@@ -1,0 +1,552 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7). Each experiment prints the same rows/series the
+   paper reports; absolute numbers differ (different machine, different
+   host optimizer), the shapes are the reproduction target.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e1 e5   # selected experiments
+     dune exec bench/main.exe -- micro   # bechamel micro-benchmarks
+
+   Experiment index (see DESIGN.md):
+     e1  Fig. 5(a)   C/NC matrix of the traditional optimizer
+     e2  Fig. 5(b-e) plan excerpts for Q2 and Q3
+     e3  Fig. 6(a)   effectiveness on 400 ad-hoc queries
+     e4  Fig. 6(b)   minimal optimization overhead
+     e5  Fig. 6(c-f) optimization time per expression set
+     e6  Fig. 6(g,h) plan quality (scaled execution cost)
+     e7  Fig. 7(a-c) scalability vs number of expressions (with eta)
+     e8  Fig. 7(d,e) scalability vs number of table locations
+     e9  Fig. 8      impact of locations per policy expression
+     t1  Table 1     policy evaluator worked example
+*)
+
+let queries = Tpch.Queries.all
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* mean and standard error over [runs] repetitions (the paper uses 7) *)
+let timed_stats ?(runs = 7) f =
+  let samples = List.init runs (fun _ -> snd (time_ms f)) in
+  let n = float_of_int runs in
+  let mean = List.fold_left ( +. ) 0. samples /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples /. n
+  in
+  (mean, sqrt var /. sqrt n)
+
+let optimize ~mode ~cat ~policies sql =
+  Optimizer.Planner.optimize_sql ~mode ~cat ~policies sql
+
+let status = function
+  | Optimizer.Planner.Planned p ->
+    if p.Optimizer.Planner.violations = [] then "C" else "NC"
+  | Optimizer.Planner.Rejected _ -> "REJ"
+
+let header title = Fmt.pr "@.==== %s ====@." title
+
+(* ------------------------------------------------------------------ *)
+(* e1 -- Fig. 5(a): compliance of the plans produced by each optimizer *)
+
+let e1 () =
+  header "E1 / Fig. 5(a): QEP compliance per query and expression set";
+  let cat = Tpch.Schema.catalog () in
+  Fmt.pr "%-12s" "set";
+  List.iter (fun (n, _) -> Fmt.pr "%8s" n) queries;
+  Fmt.pr "@.";
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      let row mode tag =
+        Fmt.pr "%-12s" (Tpch.Policies.set_name_to_string set ^ tag);
+        List.iter
+          (fun (_, sql) -> Fmt.pr "%8s" (status (optimize ~mode ~cat ~policies sql)))
+          queries;
+        Fmt.pr "@."
+      in
+      row Optimizer.Memo.Traditional "/trad";
+      row Optimizer.Memo.Compliant "/comp")
+    Tpch.Policies.all_sets;
+  Fmt.pr "(paper: traditional NC for Q2 under T and C; Q2, Q3, Q10 under CR and@.";
+  Fmt.pr " CR+A; compliant optimizer C everywhere. Our CR+A additionally turns@.";
+  Fmt.pr " Q8/Q9 non-compliant -- a consequence of restricting lineitem's pricing@.";
+  Fmt.pr " columns to force the Fig. 5(e) aggregation pushdown; see EXPERIMENTS.md.)@."
+
+(* ------------------------------------------------------------------ *)
+(* e2 -- Fig. 5(b-e): plan excerpts *)
+
+let e2 () =
+  header "E2 / Fig. 5(b-e): plan excerpts for Q2 (CR) and Q3 (CR+A)";
+  let cat = Tpch.Schema.catalog () in
+  let show set sql label mode =
+    let policies = Tpch.Policies.catalog_of cat set in
+    Fmt.pr "@.--- %s ---@." label;
+    match optimize ~mode ~cat ~policies sql with
+    | Optimizer.Planner.Planned p ->
+      Fmt.pr "%a" (Exec.Pplan.pp ~indent:2) p.Optimizer.Planner.plan;
+      List.iter
+        (fun v -> Fmt.pr "  violation: %a@." Optimizer.Checker.pp_violation v)
+        p.Optimizer.Planner.violations
+    | Optimizer.Planner.Rejected r -> Fmt.pr "REJECTED: %s@." r
+  in
+  show Tpch.Policies.CR Tpch.Queries.q2 "Q2, traditional (Fig. 5(b): non-compliant)"
+    Optimizer.Memo.Traditional;
+  show Tpch.Policies.CR Tpch.Queries.q2 "Q2, compliant (Fig. 5(c))"
+    Optimizer.Memo.Compliant;
+  show Tpch.Policies.CRA Tpch.Queries.q3 "Q3, traditional (Fig. 5(d): non-compliant)"
+    Optimizer.Memo.Traditional;
+  show Tpch.Policies.CRA Tpch.Queries.q3
+    "Q3, compliant (Fig. 5(e): aggregation pushed below the SHIP)"
+    Optimizer.Memo.Compliant
+
+(* ------------------------------------------------------------------ *)
+(* e3 -- Fig. 6(a): effectiveness on 400 ad-hoc queries *)
+
+let e3 ?(n = 400) () =
+  header "E3 / Fig. 6(a): fraction of ad-hoc queries with a compliant QEP";
+  let cat = Tpch.Schema.catalog () in
+  let adhoc = Tpch.Workload.gen_queries ~seed:2026 ~n in
+  (* the 400 queries are divided equally among the four sets (§7.2) *)
+  let tagged = List.mapi (fun i q -> (i * 4 / n, q)) adhoc in
+  let quarters =
+    List.init 4 (fun k ->
+        List.filter_map (fun (t, q) -> if t = k then Some q else None) tagged)
+  in
+  Fmt.pr "%-10s %-22s %-22s@." "set" "traditional" "compliant";
+  List.iteri
+    (fun i set ->
+      let n_expr = match set with Tpch.Policies.T -> 8 | _ -> 50 in
+      let texts = Tpch.Workload.gen_expressions ~seed:11 ~template:set ~n:n_expr () in
+      let policies = Policy.Pcatalog.of_texts cat texts in
+      let qs = List.nth quarters i in
+      let total = List.length qs in
+      let count mode =
+        List.length
+          (List.filter (fun sql -> status (optimize ~mode ~cat ~policies sql) = "C") qs)
+      in
+      let t = count Optimizer.Memo.Traditional and c = count Optimizer.Memo.Compliant in
+      Fmt.pr "%-10s %4d/%-4d (%5.1f%%)     %4d/%-4d (%5.1f%%)@."
+        (Printf.sprintf "%s(%d)" (Tpch.Policies.set_name_to_string set) n_expr)
+        t total (100. *. float_of_int t /. float_of_int total)
+        c total (100. *. float_of_int c /. float_of_int total))
+    Tpch.Policies.all_sets;
+  Fmt.pr "(paper: compliant 100%% everywhere; traditional ~50%% on average,@.";
+  Fmt.pr " 42%% under T and 30%% under CR+A)@."
+
+(* ------------------------------------------------------------------ *)
+(* e4 -- Fig. 6(b): minimal overhead (no dataflow restrictions) *)
+
+let opt_time_row ~cat ~policies (name, sql) =
+  let t_trad, se_t =
+    timed_stats (fun () ->
+        ignore (optimize ~mode:Optimizer.Memo.Traditional ~cat ~policies sql))
+  in
+  let t_comp, se_c =
+    timed_stats (fun () ->
+        ignore (optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql))
+  in
+  Fmt.pr "%-5s %10.2f +-%-8.2f %10.2f +-%-8.2f %6.2fx@." name t_trad se_t t_comp se_c
+    (t_comp /. Float.max 1e-9 t_trad)
+
+let e4 () =
+  header "E4 / Fig. 6(b): minimal overhead -- unrestricted `ship * from t to *`";
+  let cat = Tpch.Schema.catalog () in
+  let policies = Policy.Pcatalog.of_texts cat Tpch.Policies.unrestricted in
+  Fmt.pr "%-5s %20s %20s %8s@." "query" "traditional (ms)" "compliant (ms)" "ratio";
+  List.iter (opt_time_row ~cat ~policies) queries;
+  Fmt.pr "(paper: compliant ~2x traditional, most pronounced for Q2)@."
+
+(* ------------------------------------------------------------------ *)
+(* e5 -- Fig. 6(c-f): optimization time per expression set *)
+
+let e5 () =
+  header "E5 / Fig. 6(c-f): optimization time under each expression set";
+  let cat = Tpch.Schema.catalog () in
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      Fmt.pr "@.-- set %s (%d expressions) --@."
+        (Tpch.Policies.set_name_to_string set)
+        (Policy.Pcatalog.size policies);
+      Fmt.pr "%-5s %20s %20s %8s@." "query" "traditional (ms)" "compliant (ms)" "ratio";
+      List.iter (opt_time_row ~cat ~policies) queries)
+    Tpch.Policies.all_sets;
+  Fmt.pr "@.(Table 3 snippet included in the CR/CR+A sets:)@.";
+  List.iter (Fmt.pr "  %s@.") Tpch.Policies.table3
+
+(* ------------------------------------------------------------------ *)
+(* e6 -- Fig. 6(g,h): quality of plans (scaled execution cost) *)
+
+let e6 () =
+  header "E6 / Fig. 6(g,h): scaled execution cost (simulated network, alpha+beta*b)";
+  let cat = Tpch.Schema.catalog () in
+  (* estimated costs come from the optimizer; measured costs from
+     actually executing both plans on generated data and accounting the
+     bytes each SHIP moves *)
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf:0.005 ()) in
+  let measured plan =
+    (Exec.Interp.run ~network:(Catalog.network cat) ~db
+       ~table_cols:(Catalog.table_cols cat) plan)
+      .Exec.Interp.stats
+    |> Exec.Interp.total_ship_cost
+  in
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      Fmt.pr "@.-- set %s --@." (Tpch.Policies.set_name_to_string set);
+      Fmt.pr "%-5s %12s %12s %8s %10s %6s %6s %6s@." "query" "trad est" "comp est"
+        "scaled" "measured" "trad" "comp" "plan";
+      List.iter
+        (fun (name, sql) ->
+          let trad = optimize ~mode:Optimizer.Memo.Traditional ~cat ~policies sql in
+          let comp = optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql in
+          match trad, comp with
+          | Optimizer.Planner.Planned t, Optimizer.Planner.Planned c ->
+            let same =
+              Exec.Pplan.to_string t.Optimizer.Planner.plan
+              = Exec.Pplan.to_string c.Optimizer.Planner.plan
+            in
+            let mt = measured t.Optimizer.Planner.plan
+            and mc = measured c.Optimizer.Planner.plan in
+            Fmt.pr "%-5s %12.2f %12.2f %7.2fx %9.2fx %6s %6s %6s@." name
+              t.Optimizer.Planner.ship_cost c.Optimizer.Planner.ship_cost
+              (c.Optimizer.Planner.ship_cost /. Float.max 1e-9 t.Optimizer.Planner.ship_cost)
+              (mc /. Float.max 1e-9 mt)
+              (status trad) (status comp)
+              (if same then "=" else "/=")
+          | _ -> Fmt.pr "%-5s failed@." name)
+        queries)
+    [ Tpch.Policies.C; Tpch.Policies.CR ];
+  Fmt.pr "(paper: identical plans whenever the traditional plan is compliant;@.";
+  Fmt.pr " otherwise query/policy-dependent overhead, e.g. 18x for Q2 under CR)@."
+
+(* ------------------------------------------------------------------ *)
+(* e7 -- Fig. 7(a-c): scalability vs number of policy expressions *)
+
+let e7 () =
+  header "E7 / Fig. 7(a-c): optimization time vs #expressions (CR+A), with eta";
+  let cat = Tpch.Schema.catalog () in
+  let qs = [ ("Q2", Tpch.Queries.q2); ("Q3", Tpch.Queries.q3); ("Q10", Tpch.Queries.q10) ] in
+  List.iter
+    (fun (name, sql) ->
+      Fmt.pr "@.-- %s --@." name;
+      Fmt.pr "%-8s %18s %8s@." "#expr" "compliant (ms)" "eta";
+      List.iter
+        (fun n ->
+          let texts =
+            Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n ()
+          in
+          let policies = Policy.Pcatalog.of_texts cat texts in
+          let eta = ref 0 in
+          let mean, se =
+            timed_stats (fun () ->
+                match optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql with
+                | Optimizer.Planner.Planned p ->
+                  eta := p.Optimizer.Planner.eval_stats.Policy.Evaluator.eta
+                | Optimizer.Planner.Rejected _ -> ())
+          in
+          Fmt.pr "%-8d %10.2f +-%-5.2f %8d@." n mean se !eta)
+        [ 12; 25; 50; 100 ])
+    qs;
+  Fmt.pr "(paper: time grows proportionally to eta, not to the raw set size)@."
+
+(* ------------------------------------------------------------------ *)
+(* e8 -- Fig. 7(d,e): scalability vs number of table locations *)
+
+let e8 () =
+  header "E8 / Fig. 7(d,e): optimization time vs #locations of customer+orders";
+  let qs = [ ("Q3", Tpch.Queries.q3); ("Q10", Tpch.Queries.q10) ] in
+  List.iter
+    (fun (name, sql) ->
+      Fmt.pr "@.-- %s --@." name;
+      Fmt.pr "%-12s %18s %10s@." "#locations" "compliant (ms)" "groups";
+      List.iter
+        (fun k ->
+          let cat =
+            Tpch.Schema.catalog
+              ~partition_tables:[ "customer"; "orders" ]
+              ~partition_count:k ()
+          in
+          (* generated CR+A expressions: the unconditional backbone lets
+             partitions recombine (the handcrafted CR+A set would make a
+             partitioned `orders` table illegal to reunite) *)
+          let policies =
+            Policy.Pcatalog.of_texts cat
+              (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+          in
+          let groups = ref 0 in
+          let mean, se =
+            timed_stats (fun () ->
+                match optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql with
+                | Optimizer.Planner.Planned p -> groups := p.Optimizer.Planner.groups
+                | Optimizer.Planner.Rejected _ -> ())
+          in
+          Fmt.pr "%-12d %10.2f +-%-5.2f %10d@." k mean se !groups)
+        [ 1; 2; 3; 4; 5 ])
+    qs;
+  Fmt.pr "(paper: roughly linear growth, dominated by the plan annotator)@."
+
+(* ------------------------------------------------------------------ *)
+(* e9 -- Fig. 8: impact of #locations per policy expression *)
+
+let e9 () =
+  header "E9 / Fig. 8: optimization time vs #locations per expression";
+  let locations = List.init 20 (fun i -> Printf.sprintf "L%d" (i + 1)) in
+  let network = Catalog.Network.uniform ~locations ~alpha:150. ~beta:2e-6 in
+  let cat = Tpch.Schema.catalog ~network () in
+  let qs = [ ("Q2", Tpch.Queries.q2); ("Q3", Tpch.Queries.q3) ] in
+  List.iter
+    (fun (name, sql) ->
+      Fmt.pr "@.-- %s --@." name;
+      Fmt.pr "%-12s %18s@." "#locations" "compliant (ms)";
+      List.iter
+        (fun n ->
+          let texts =
+            Tpch.Workload.gen_expressions ~seed:13 ~template:Tpch.Policies.T ~n:8
+              ~locations ~locs_per_expr:n ()
+          in
+          let policies = Policy.Pcatalog.of_texts cat texts in
+          let mean, se =
+            timed_stats (fun () ->
+                ignore (optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql))
+          in
+          Fmt.pr "%-12d %10.2f +-%-5.2f@." n mean se)
+        [ 3; 5; 10; 15; 20 ])
+    qs;
+  Fmt.pr "(paper: ~1.6-1.7x growth for Q2 from 5 to 20 locations; milder for Q3,@.";
+  Fmt.pr " driven by the set operations of the annotation rules)@."
+
+(* ------------------------------------------------------------------ *)
+(* t1 -- Table 1: policy evaluator worked example *)
+
+let t1 () =
+  header "T1 / Table 1: policy evaluation algorithm on T(a..g)";
+  let open Relalg in
+  let cat =
+    let open Catalog.Table_def in
+    let col c = column c Value.Tint in
+    Catalog.make
+      ~network:
+        (Catalog.Network.uniform ~locations:[ "l0"; "l1"; "l2"; "l3"; "l4" ]
+           ~alpha:100. ~beta:1e-5)
+      [
+        ( make ~name:"t"
+            ~columns:[ col "a"; col "b"; col "c"; col "d"; col "e"; col "f"; col "g" ]
+            ~key:[ "a" ] ~row_count:1000 (),
+          [ { Catalog.db = "db-t"; location = "l0"; fraction = 1.0 } ] );
+      ]
+  in
+  let exprs =
+    [
+      "ship a, b, c from t to l2, l3";
+      "ship a, b from t to l1, l2, l3, l4";
+      "ship a, d from t to l1, l3 where b > 10";
+      "ship f, g as aggregates sum, avg from t to l1, l2 group by e, c";
+    ]
+  in
+  let policies = Policy.Pcatalog.of_texts cat exprs in
+  List.iter (Fmt.pr "  %s@.") exprs;
+  let show sql =
+    let plan =
+      Sqlfront.Binder.plan_of_sql
+        ~table_cols:(fun t ->
+          Option.map
+            (fun e -> Catalog.Table_def.col_names e.Catalog.def)
+            (Catalog.find_table cat t))
+        sql
+    in
+    let s = Summary.analyze ~table_cols:(Catalog.table_cols cat) plan in
+    Fmt.pr "  %-50s -> %a@." sql Catalog.Location.Set.pp
+      (Policy.Evaluator.locations_for ~catalog:cat ~policies s)
+  in
+  Fmt.pr "@.";
+  show "SELECT a, c, d FROM t WHERE b > 15";
+  show "SELECT c, SUM(f * (1 - g)) FROM t GROUP BY c";
+  Fmt.pr "(paper: A(q1) = {l3}, A(q2) = {l1,l2}, plus the home location l0)@."
+
+(* ------------------------------------------------------------------ *)
+(* micro -- bechamel micro-benchmarks *)
+
+let micro () =
+  header "MICRO: bechamel micro-benchmarks";
+  let open Bechamel in
+  let cat = Tpch.Schema.catalog () in
+  let policies = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  let plan_of sql =
+    Sqlfront.Binder.plan_of_sql
+      ~table_cols:(fun t ->
+        Option.map
+          (fun e -> Catalog.Table_def.col_names e.Catalog.def)
+          (Catalog.find_table cat t))
+      sql
+  in
+  let summary_q3 =
+    Relalg.Summary.analyze ~table_cols:(Catalog.table_cols cat) (plan_of Tpch.Queries.q3)
+  in
+  let tests =
+    Test.make_grouped ~name:"cgqp" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"evaluator-q3"
+          (Staged.stage (fun () ->
+               ignore
+                 (Policy.Evaluator.locations_for ~catalog:cat ~policies summary_q3)));
+        Test.make ~name:"optimize-q3-compliant"
+          (Staged.stage (fun () ->
+               ignore
+                 (optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies Tpch.Queries.q3)));
+        Test.make ~name:"optimize-q3-traditional"
+          (Staged.stage (fun () ->
+               ignore
+                 (optimize ~mode:Optimizer.Memo.Traditional ~cat ~policies
+                    Tpch.Queries.q3)));
+        Test.make ~name:"optimize-q5-compliant"
+          (Staged.stage (fun () ->
+               ignore
+                 (optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies Tpch.Queries.q5)));
+        Test.make ~name:"parse-policy"
+          (Staged.stage (fun () ->
+               ignore
+                 (Policy.Expression.parse cat
+                    "ship extendedprice, discount as aggregates sum from db-4.lineitem \
+                     to L1 group by suppkey, orderkey")));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  Fmt.pr "%-35s %16s@." "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        if ns > 1e6 then Fmt.pr "%-35s %13.3f ms@." name (ns /. 1e6)
+        else Fmt.pr "%-35s %13.3f us@." name (ns /. 1e3)
+      | _ -> Fmt.pr "%-35s %16s@." name "n/a")
+    results
+
+(* ------------------------------------------------------------------ *)
+(* e10 -- beyond the paper: extended TPC-H workload + objectives *)
+
+let e10 () =
+  header "E10 (extension): extended TPC-H workload and cost-model objectives";
+  let cat = Tpch.Schema.catalog () in
+  let policies = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf:0.005 ()) in
+  Fmt.pr "@.Compliance of the six additional queries under CR+A:@.";
+  Fmt.pr "%-5s %6s %6s %14s@." "query" "trad" "comp" "comp ship(ms)";
+  List.iter
+    (fun (name, sql) ->
+      let trad = optimize ~mode:Optimizer.Memo.Traditional ~cat ~policies sql in
+      let comp = optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql in
+      match comp with
+      | Optimizer.Planner.Planned c ->
+        Fmt.pr "%-5s %6s %6s %14.2f@." name (status trad) (status comp)
+          c.Optimizer.Planner.ship_cost
+      | Optimizer.Planner.Rejected _ -> Fmt.pr "%-5s %6s %6s@." name (status trad) "REJ")
+    Tpch.Queries.extended;
+  Fmt.pr "@.Total-cost vs response-time objective, measured on execution@.";
+  Fmt.pr "(makespan = critical path with parallel subtrees, alpha+beta*b links):@.";
+  Fmt.pr "%-5s %18s %18s@." "query" "total-obj (ms)" "response-obj (ms)";
+  List.iter
+    (fun (name, sql) ->
+      let measure objective =
+        match
+          Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~objective ~cat
+            ~policies sql
+        with
+        | Optimizer.Planner.Planned p ->
+          Some
+            (Exec.Interp.run ~network:(Catalog.network cat) ~db
+               ~table_cols:(Catalog.table_cols cat) p.Optimizer.Planner.plan)
+              .Exec.Interp.makespan_ms
+        | Optimizer.Planner.Rejected _ -> None
+      in
+      match measure `Total, measure `Response_time with
+      | Some t, Some r -> Fmt.pr "%-5s %18.2f %18.2f@." name t r
+      | _ -> Fmt.pr "%-5s rejected@." name)
+    [ ("Q5", Tpch.Queries.q5); ("Q7", Tpch.Queries.q7); ("Q8", Tpch.Queries.q8);
+      ("Q9", Tpch.Queries.q9) ]
+
+(* ------------------------------------------------------------------ *)
+(* ablation -- design-choice ablations promised in DESIGN.md *)
+
+let ablation () =
+  header "ABLATION: which rules buy what (cf. the paper's 6.4 discussion)";
+  let cat = Tpch.Schema.catalog () in
+  let cra = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  let show label outcome =
+    Fmt.pr "  %-52s %s@." label
+      (match outcome with
+      | Optimizer.Planner.Planned p ->
+        Fmt.str "%s (ship %.1f ms, %d groups)"
+          (if p.Optimizer.Planner.violations = [] then "compliant" else "NON-COMPLIANT")
+          p.Optimizer.Planner.ship_cost p.Optimizer.Planner.groups
+      | Optimizer.Planner.Rejected _ -> "REJECTED")
+  in
+  let opt ?rules policies sql =
+    optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql |> fun full ->
+    match rules with
+    | None -> full
+    | Some rules ->
+      Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~rules ~cat
+        ~policies sql
+  in
+  Fmt.pr "@.Q3 under CR+A (lineitem pricing must be aggregated towards L1):@.";
+  show "all rules" (opt cra Tpch.Queries.q3);
+  show "without eager aggregation  -> completeness lost"
+    (opt
+       ~rules:{ Optimizer.Memo.default_rules with Optimizer.Memo.eager_aggregation = false }
+       cra Tpch.Queries.q3);
+  Fmt.pr "@.Q5 under C (join reordering quality):@.";
+  let c_set = Tpch.Policies.catalog_of cat Tpch.Policies.C in
+  show "all rules" (opt c_set Tpch.Queries.q5);
+  show "without join associativity -> worse plans"
+    (opt
+       ~rules:
+         { Optimizer.Memo.default_rules with
+           Optimizer.Memo.join_associate = false }
+       c_set Tpch.Queries.q5);
+  Fmt.pr "@.Q3 with customer+orders partitioned over 3 sites:@.";
+  let pcat =
+    Tpch.Schema.catalog ~partition_tables:[ "customer"; "orders" ] ~partition_count:3 ()
+  in
+  let ppol =
+    Policy.Pcatalog.of_texts pcat
+      (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+  in
+  show "all rules"
+    (Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~cat:pcat
+       ~policies:ppol Tpch.Queries.q3);
+  show "without union pushdown     -> masking blocked"
+    (Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant
+       ~rules:
+         { Optimizer.Memo.default_rules with Optimizer.Memo.union_pushdown = false }
+       ~cat:pcat ~policies:ppol Tpch.Queries.q3)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", fun () -> e3 ()); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("t1", t1);
+    ("ablation", ablation); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> picks
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown experiment %s; available: %s@." name
+          (String.concat ", " (List.map fst experiments)))
+    requested

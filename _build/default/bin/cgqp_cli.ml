@@ -1,0 +1,316 @@
+(* cgqp — command-line driver for the compliant geo-distributed query
+   processor, running against the built-in geo-distributed TPC-H setup.
+
+   Subcommands:
+     explain   optimize a query and print the (compliant) plan
+     run       optimize + execute against generated TPC-H data
+     check     report whether a query is legal under the policies
+     catalog   print the geo-distributed catalog and policy sets
+*)
+
+open Cmdliner
+
+let policy_set_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "t" -> Ok Tpch.Policies.T
+    | "c" -> Ok Tpch.Policies.C
+    | "cr" -> Ok Tpch.Policies.CR
+    | "cra" | "cr+a" -> Ok Tpch.Policies.CRA
+    | _ -> Error (`Msg "policy set must be one of: T, C, CR, CR+A")
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Tpch.Policies.set_name_to_string s))
+
+let set_arg =
+  Arg.(
+    value
+    & opt policy_set_conv Tpch.Policies.CR
+    & info [ "p"; "policies" ] ~docv:"SET" ~doc:"Policy expression set (T, C, CR, CR+A).")
+
+let policy_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "policy-file" ] ~docv:"FILE"
+        ~doc:"Load policy expressions from FILE (one per line, overrides --policies).")
+
+let traditional_arg =
+  Arg.(
+    value & flag
+    & info [ "traditional" ]
+        ~doc:"Use the purely cost-based optimizer (no compliance annotations).")
+
+let sf_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor for generated data.")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:"SQL text, or one of the built-in names Q2, Q3, Q5, Q8, Q9, Q10.")
+
+let resolve_query q =
+  match List.assoc_opt (String.uppercase_ascii q) Tpch.Queries.all_extended with
+  | Some sql -> sql
+  | None -> q
+
+let load_policies session set file =
+  let texts =
+    match file with
+    | Some f ->
+      let ic = open_in f in
+      let rec lines acc =
+        match input_line ic with
+        | line ->
+          let line = String.trim line in
+          lines (if line = "" || String.length line >= 1 && line.[0] = '#' then acc else line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      lines []
+    | None -> Tpch.Policies.texts set
+  in
+  Cgqp.add_policies session texts
+
+let make_session ~set ~file ~traditional ?sf () =
+  let cat = Tpch.Schema.catalog ~sf:10.0 () in
+  let session = Cgqp.create ~catalog:cat () in
+  load_policies session set file;
+  if traditional then Cgqp.set_mode session Optimizer.Memo.Traditional;
+  (match sf with
+  | Some sf ->
+    let data = Tpch.Datagen.generate ~sf () in
+    Cgqp.attach_database session (Tpch.Datagen.load ~cat data)
+  | None -> ());
+  session
+
+let dot_arg =
+  Arg.(
+    value & flag
+    & info [ "dot" ] ~doc:"Print the plan as a Graphviz digraph instead of text.")
+
+let traits_arg =
+  Arg.(
+    value & flag
+    & info [ "traits" ]
+        ~doc:"Also print the annotated phase-1 plan with each operator's execution trait.")
+
+let explain_cmd =
+  let action set file traditional traits dot query =
+    let session = make_session ~set ~file ~traditional () in
+    match Cgqp.optimize session (resolve_query query) with
+    | Ok p ->
+      if dot then print_string (Exec.Pplan.to_dot p.Optimizer.Planner.plan)
+      else begin
+        Fmt.pr "%a@." Optimizer.Planner.pp_outcome (Optimizer.Planner.Planned p);
+        if traits then
+          Fmt.pr "@.annotated plan (execution traits per operator):@.%a"
+            (Optimizer.Memo.pp_anode ~indent:2)
+            p.Optimizer.Planner.annotated
+      end;
+      `Ok ()
+    | Error e -> `Error (false, Cgqp.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Optimize a query and print the plan")
+    Term.(
+      ret
+        (const action $ set_arg $ policy_file_arg $ traditional_arg $ traits_arg
+       $ dot_arg $ query_arg))
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Print the full result as CSV.")
+
+let run_cmd =
+  let action set file traditional sf csv query =
+    let session = make_session ~set ~file ~traditional ~sf () in
+    match Cgqp.run session (resolve_query query) with
+    | Ok r ->
+      if csv then print_string (Storage.Relation.to_csv r.Cgqp.relation)
+      else begin
+        Fmt.pr "%a@." (Storage.Relation.pp ~max_rows:25) r.Cgqp.relation;
+        Fmt.pr "(%d rows; shipped %d bytes; simulated transfer cost %.2f ms)@."
+          (Storage.Relation.cardinality r.Cgqp.relation)
+          r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms
+      end;
+      `Ok ()
+    | Error e -> `Error (false, Cgqp.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize and execute a query on generated TPC-H data")
+    Term.(
+      ret
+        (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg $ csv_arg
+       $ query_arg))
+
+let check_cmd =
+  let action set file query =
+    let session = make_session ~set ~file ~traditional:false () in
+    match Cgqp.optimize session (resolve_query query) with
+    | Ok p ->
+      Fmt.pr "LEGAL: a compliant plan exists (ship cost %.2f ms, %d memo groups)@."
+        p.Optimizer.Planner.ship_cost p.Optimizer.Planner.groups;
+      `Ok ()
+    | Error (`Rejected reason) ->
+      Fmt.pr "ILLEGAL: %s@." reason;
+      `Ok ()
+    | Error e -> `Error (false, Cgqp.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Report whether a query admits a compliant plan")
+    Term.(ret (const action $ set_arg $ policy_file_arg $ query_arg))
+
+let catalog_cmd =
+  let action set =
+    let cat = Tpch.Schema.catalog ~sf:10.0 () in
+    Fmt.pr "Geo-distributed TPC-H catalog (Table 2 of the paper):@.%a@." Catalog.pp cat;
+    Fmt.pr "Policy set %s:@." (Tpch.Policies.set_name_to_string set);
+    List.iter (Fmt.pr "  %s@.") (Tpch.Policies.texts set);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Print the geo-distributed catalog and a policy set")
+    Term.(ret (const action $ set_arg))
+
+(* --- interactive shell --- *)
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE"
+        ~doc:"Geo-schema definition (geodsl text); defaults to the built-in TPC-H setup.")
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "data" ] ~docv:"DIR"
+        ~doc:"Directory with <table>.csv files; defaults to generated TPC-H data.")
+
+let repl_cmd =
+  let action set file schema data sf =
+    let cat =
+      match schema with
+      | Some f -> Geodsl.load_catalog_file f
+      | None -> Tpch.Schema.catalog ~sf:10.0 ()
+    in
+    let session = Cgqp.create ~catalog:cat () in
+    let grants = ref [] and denies = ref [] in
+    let set_policies () =
+      Cgqp.set_policy_catalog session
+        (Policy.Negation.catalog_of_texts cat ~grants:!grants ~denies:!denies)
+    in
+    (match file, schema with
+    | Some f, _ ->
+      let ic = open_in f in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then grants := !grants @ [ line ]
+         done
+       with End_of_file -> close_in ic)
+    | None, None -> grants := Tpch.Policies.texts set
+    | None, Some _ -> ());
+    (match data with
+    | Some dir -> Cgqp.attach_database session (Geodsl.load_csv_dir ~cat dir)
+    | None ->
+      if schema = None then
+        Cgqp.attach_database session (Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf ())));
+    set_policies ();
+    Fmt.pr "cgqp interactive shell — \\h for help, \\q to quit@.";
+    let help () =
+      Fmt.pr
+        "  \\q                 quit@.\
+        \  \\mode trad|comp    switch optimizer mode@.\
+        \  \\policies          coverage report@.@.\
+        \  \\ship ...          add a policy expression@.\
+        \  \\deny ...          add a negative statement@.\
+        \  \\explain SQL       show the plan@.\
+        \  \\legal SQL         is a compliant plan possible?@.\
+        \  SQL                 optimize + execute@."
+    in
+    let rec loop () =
+      Fmt.pr "cgqp> %!";
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        let line = String.trim line in
+        (try
+           if line = "" then ()
+           else if line = "\\q" || line = "\\quit" then raise Exit
+           else if line = "\\h" || line = "\\help" then help ()
+           else if line = "\\mode trad" then begin
+             Cgqp.set_mode session Optimizer.Memo.Traditional;
+             Fmt.pr "mode: traditional (cost-only)@."
+           end
+           else if line = "\\mode comp" then begin
+             Cgqp.set_mode session Optimizer.Memo.Compliant;
+             Fmt.pr "mode: compliant@."
+           end
+           else if line = "\\policies" then
+             Fmt.pr "%a@." Policy.Analysis.pp_report (cat, Cgqp.policies session)
+           else if String.length line > 6 && String.sub line 0 6 = "\\ship " then begin
+             grants := !grants @ [ String.sub line 1 (String.length line - 1) ];
+             set_policies ();
+             Fmt.pr "added.@."
+           end
+           else if String.length line > 6 && String.sub line 0 6 = "\\deny " then begin
+             denies := !denies @ [ String.sub line 1 (String.length line - 1) ];
+             set_policies ();
+             Fmt.pr "added; grants re-preprocessed.@."
+           end
+           else if String.length line > 9 && String.sub line 0 9 = "\\explain " then begin
+             match Cgqp.optimize session (String.sub line 9 (String.length line - 9)) with
+             | Ok p ->
+               Fmt.pr "%a@." Optimizer.Planner.pp_outcome (Optimizer.Planner.Planned p)
+             | Error e -> Fmt.pr "error: %s@." (Cgqp.error_to_string e)
+           end
+           else if String.length line > 7 && String.sub line 0 7 = "\\legal " then
+             Fmt.pr "%s@."
+               (if Cgqp.is_legal session (String.sub line 7 (String.length line - 7)) then
+                  "LEGAL"
+                else "ILLEGAL (or invalid)")
+           else
+             match Cgqp.run session line with
+             | Ok r ->
+               Fmt.pr "%a(%d rows; shipped %d bytes; transfer cost %.2f ms)@."
+                 (Storage.Relation.pp ~max_rows:20) r.Cgqp.relation
+                 (Storage.Relation.cardinality r.Cgqp.relation)
+                 r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms
+             | Error e -> Fmt.pr "error: %s@." (Cgqp.error_to_string e)
+         with
+        | Exit -> raise Exit
+        | e -> Fmt.pr "error: %s@." (Printexc.to_string e));
+        loop ()
+    in
+    (try loop () with Exit -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive shell over a geo-schema and CSV data")
+    Term.(ret (const action $ set_arg $ policy_file_arg $ schema_arg $ data_arg $ sf_arg))
+
+let policies_cmd =
+  let action set file =
+    let session = make_session ~set ~file ~traditional:false () in
+    Fmt.pr "Policy coverage report (%d expressions):@."
+      (Policy.Pcatalog.size (Cgqp.policies session));
+    Fmt.pr "%a@." Policy.Analysis.pp_report (Cgqp.catalog session, Cgqp.policies session);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"Analyze a policy set: per-column coverage, redundancies, no-ops")
+    Term.(ret (const action $ set_arg $ policy_file_arg))
+
+let () =
+  let doc = "compliant geo-distributed query processing" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "cgqp" ~doc ~version:"1.0.0")
+          [ explain_cmd; run_cmd; check_cmd; catalog_cmd; policies_cmd; repl_cmd ]))

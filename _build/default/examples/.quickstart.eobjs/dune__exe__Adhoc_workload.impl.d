@@ -1,0 +1,1 @@
+examples/adhoc_workload.ml: Array Fmt List Optimizer Policy Printf Sys Tpch

@@ -1,0 +1,1 @@
+examples/adhoc_workload.mli:

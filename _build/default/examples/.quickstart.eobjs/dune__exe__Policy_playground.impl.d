@@ -1,0 +1,1 @@
+examples/policy_playground.ml: Catalog Fmt List Policy Relalg Sqlfront Summary Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attr Catalog Cgqp Exec Fmt List Optimizer Printf Relalg Storage Value

@@ -1,0 +1,1 @@
+examples/regulator.ml: Exec Fmt List Optimizer Policy Tpch

@@ -1,0 +1,1 @@
+examples/tpch_demo.ml: Array Cgqp Exec Fmt List Optimizer Storage Sys Tpch

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Fmt List Location Map Network Printf String Table_def

@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Format Relalg Set

@@ -1,0 +1,1 @@
+lib/catalog/location.ml: Fmt Stdlib String

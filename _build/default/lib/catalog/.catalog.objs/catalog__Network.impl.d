@@ -1,0 +1,1 @@
+lib/catalog/network.ml: Hashtbl List Location String

@@ -1,0 +1,1 @@
+lib/catalog/table_def.ml: Fmt List Relalg String

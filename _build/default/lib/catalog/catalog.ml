@@ -1,0 +1,94 @@
+(* The geo-distributed catalog: which tables exist, in which database at
+   which location each (partition of a) table lives, and the network
+   connecting the sites. The global schema is the union of local schemas
+   (GAV mapping, §7.1): a global table maps to one local table per
+   placement; a table with several placements is horizontally
+   partitioned and is read as the union of its partitions (§7.5). *)
+
+(* [catalog.ml] doubles as the library's root module: re-export the
+   sibling modules so users write [Catalog.Network], [Catalog.Location],
+   [Catalog.Table_def]. *)
+module Location = Location
+module Network = Network
+module Table_def = Table_def
+
+module String_map = Map.Make (String)
+
+type placement = {
+  db : string;  (* local database name, e.g. "db-1" *)
+  location : Location.t;
+  fraction : float;  (* share of the global rows stored here *)
+}
+
+type entry = { def : Table_def.t; placements : placement list }
+
+type t = {
+  tables : entry String_map.t;
+  network : Network.t;
+}
+
+let make ~network tables =
+  let m =
+    List.fold_left
+      (fun m (def, placements) ->
+        if placements = [] then invalid_arg "Catalog.make: table without placement";
+        String_map.add def.Table_def.name { def; placements } m)
+      String_map.empty tables
+  in
+  { tables = m; network }
+
+let network t = t.network
+let locations t = Network.locations t.network
+
+let find_table t name = String_map.find_opt (String.lowercase_ascii name) t.tables
+
+let table_exn t name =
+  match find_table t name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %s" name)
+
+let table_def t name = (table_exn t name).def
+let placements t name = (table_exn t name).placements
+
+let is_partitioned t name = List.length (placements t name) > 1
+
+(* Location of a non-partitioned table. *)
+let home_location t name =
+  match placements t name with
+  | [ p ] -> p.location
+  | ps -> (List.hd ps).location
+
+let table_cols t name = Table_def.col_names (table_def t name)
+
+let all_tables t = String_map.bindings t.tables |> List.map snd
+
+(* The database housed at a location (the paper assumes one database per
+   location); used to report which policy set applies. *)
+let db_at t loc =
+  String_map.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc p -> if String.equal p.location loc then Some p.db else acc)
+        acc e.placements)
+    t.tables None
+
+(* Tables (global names) whose placement includes [loc]. *)
+let tables_at t loc =
+  String_map.fold
+    (fun name e acc ->
+      if List.exists (fun p -> String.equal p.location loc) e.placements then name :: acc
+      else acc)
+    t.tables []
+  |> List.rev
+
+(* Resolve an aliased scan: all placements of the table. *)
+let resolve t ~table = placements t table
+
+let pp ppf t =
+  String_map.iter
+    (fun _ e ->
+      Fmt.pf ppf "%a @@ %a@."
+        Table_def.pp e.def
+        Fmt.(list ~sep:comma (using (fun p -> p.db ^ "/" ^ p.location) string))
+        e.placements)
+    t.tables

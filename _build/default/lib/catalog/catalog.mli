@@ -1,0 +1,140 @@
+(** The geo-distributed catalog: which tables exist, in which database
+    at which location each (partition of a) table lives, and the network
+    connecting the sites.
+
+    The global schema is the union of local schemas (GAV mapping, §7.1
+    of the paper): a global table maps to one local table per placement;
+    a table with several placements is horizontally partitioned and is
+    read as the union of its partitions (§7.5). *)
+
+(** Re-exported submodules, so users write [Catalog.Network],
+    [Catalog.Location], [Catalog.Table_def]. *)
+
+module Location : sig
+  type t = string
+  (** A geo-location (site), e.g. ["L1"] or ["Europe"]. *)
+
+  module Set : sig
+    include Set.S with type elt = t
+
+    val pp : Format.formatter -> t -> unit
+    val to_string : t -> string
+  end
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Network : sig
+  (** Simulated wide-area network following the paper's message cost
+      model (§7.4): shipping [b] bytes from site [i] to [j] costs
+      [alpha i j + beta i j * b] milliseconds. *)
+
+  type t
+
+  val locations : t -> Location.t list
+  val alpha : t -> Location.t -> Location.t -> float
+  val beta : t -> Location.t -> Location.t -> float
+
+  val ship_cost : t -> from_loc:Location.t -> to_loc:Location.t -> bytes:float -> float
+  (** Local moves are free. *)
+
+  val make :
+    locations:Location.t list ->
+    links:(Location.t * Location.t * float * float) list ->
+    t
+  (** [(i, j, alpha, beta)] link parameters; links are symmetric unless
+      both directions are listed. Unlisted pairs fall back to defaults. *)
+
+  val uniform : locations:Location.t list -> alpha:float -> beta:float -> t
+  (** Fully connected with uniform link parameters. *)
+
+  val paper_default : unit -> t
+  (** The paper's five regions (Europe, Africa, Asia, North America,
+      Middle East as L1–L5) with representative ping/throughput-derived
+      parameters. *)
+end
+
+module Table_def : sig
+  (** Definition and statistics of one global table. Statistics drive
+      cardinality estimation and are set independently of the physical
+      data, so the cost model can mimic any scale factor. *)
+
+  type col_stat = {
+    distinct : int;
+    width : int;  (** average serialized width in bytes *)
+    lo : float option;  (** numeric minimum, when meaningful *)
+    hi : float option;
+  }
+
+  val default_stat : col_stat
+
+  type column = { cname : string; ty : Relalg.Value.ty; stat : col_stat }
+
+  type t = {
+    name : string;  (** global table name, lowercase *)
+    columns : column list;
+    key : string list;  (** primary key columns *)
+    row_count : int;
+    clustered : bool;  (** rows stored in primary-key order *)
+  }
+
+  val make :
+    ?clustered:bool ->
+    name:string ->
+    columns:column list ->
+    key:string list ->
+    row_count:int ->
+    unit ->
+    t
+  (** [clustered] (default false) declares that rows are physically
+      stored in primary-key order, enabling sort-free merge joins. *)
+
+  val column : ?stat:col_stat -> string -> Relalg.Value.ty -> column
+  val col_names : t -> string list
+  val find_col : t -> string -> column option
+  val has_col : t -> string -> bool
+
+  val is_key : t -> string list -> bool
+  (** Do the given columns functionally determine the row (cover the
+      primary key)? *)
+
+  val row_width : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+type placement = {
+  db : string;  (** local database name, e.g. "db-1" *)
+  location : Location.t;
+  fraction : float;  (** share of the global rows stored here *)
+}
+
+type entry = { def : Table_def.t; placements : placement list }
+
+type t
+
+val make : network:Network.t -> (Table_def.t * placement list) list -> t
+(** Raises [Invalid_argument] for tables without a placement. *)
+
+val network : t -> Network.t
+val locations : t -> Location.t list
+
+val find_table : t -> string -> entry option
+val table_def : t -> string -> Table_def.t
+val placements : t -> string -> placement list
+val is_partitioned : t -> string -> bool
+
+val home_location : t -> string -> Location.t
+(** Location of a table (first placement for partitioned tables). *)
+
+val table_cols : t -> string -> string list
+val all_tables : t -> entry list
+
+val db_at : t -> Location.t -> string option
+(** The database housed at a location (the paper assumes one per
+    site). *)
+
+val tables_at : t -> Location.t -> string list
+
+val resolve : t -> table:string -> placement list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(* Geo-locations (sites). A location is identified by a short name such
+   as "L1" or "Europe". [Set] is the representation of execution and
+   shipping traits throughout the optimizer. *)
+
+type t = string
+
+module Set = struct
+  include Stdlib.Set.Make (String)
+
+  let pp ppf s =
+    Fmt.pf ppf "@[<h>{%a}@]" Fmt.(list ~sep:(any ", ") string) (elements s)
+
+  let to_string s = Fmt.str "%a" pp s
+end
+
+let pp = Fmt.string

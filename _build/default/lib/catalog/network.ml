@@ -1,0 +1,81 @@
+(* Simulated wide-area network following the paper's message cost model
+   (§7.4): shipping [b] bytes from site [i] to site [j] costs
+   [alpha i j + beta i j *. b], where [alpha] is a start-up cost (one
+   round trip) and [beta] a per-byte cost. Costs are in milliseconds. *)
+
+type t = {
+  locations : Location.t list;
+  alpha : (Location.t * Location.t, float) Hashtbl.t;
+  beta : (Location.t * Location.t, float) Hashtbl.t;
+}
+
+let locations t = t.locations
+
+let alpha t i j = if String.equal i j then 0. else
+  match Hashtbl.find_opt t.alpha (i, j) with Some a -> a | None -> 150.
+
+let beta t i j = if String.equal i j then 0. else
+  match Hashtbl.find_opt t.beta (i, j) with Some b -> b | None -> 1e-4
+
+(* Cost in milliseconds of shipping [bytes] from [i] to [j]. Local moves
+   are free: a SHIP between co-located operators is a no-op. *)
+let ship_cost t ~from_loc ~to_loc ~bytes =
+  if String.equal from_loc to_loc then 0.
+  else alpha t from_loc to_loc +. (beta t from_loc to_loc *. bytes)
+
+let make ~locations ~links =
+  let alpha = Hashtbl.create 16 and beta = Hashtbl.create 16 in
+  List.iter
+    (fun (i, j, a, b) ->
+      Hashtbl.replace alpha (i, j) a;
+      Hashtbl.replace beta (i, j) b;
+      (* links are symmetric unless overridden later *)
+      if not (Hashtbl.mem alpha (j, i)) then begin
+        Hashtbl.replace alpha (j, i) a;
+        Hashtbl.replace beta (j, i) b
+      end)
+    links;
+  { locations; alpha; beta }
+
+(* A fully-connected network with uniform link parameters; convenient
+   for tests and for the scalability experiments with many sites. *)
+let uniform ~locations ~alpha:a ~beta:b =
+  let tbl_a = Hashtbl.create 16 and tbl_b = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if not (String.equal i j) then begin
+            Hashtbl.replace tbl_a (i, j) a;
+            Hashtbl.replace tbl_b (i, j) b
+          end)
+        locations)
+    locations;
+  { locations; alpha = tbl_a; beta = tbl_b }
+
+(* The paper's five regions (footnote 12): Europe, Africa, Asia,
+   North America, Middle East as locations L1–L5. Start-up costs are
+   ping round-trip times (ms); per-byte costs derive from measured
+   inter-region throughput. Values are representative public-cloud
+   inter-region numbers; only their relative magnitudes matter. *)
+let paper_default () =
+  let l1 = "L1" (* Europe *)
+  and l2 = "L2" (* Africa *)
+  and l3 = "L3" (* Asia *)
+  and l4 = "L4" (* North America *)
+  and l5 = "L5" (* Middle East *) in
+  make
+    ~locations:[ l1; l2; l3; l4; l5 ]
+    ~links:
+      [
+        (l1, l2, 155., 1.9e-6);
+        (l1, l3, 240., 2.9e-6);
+        (l1, l4, 90., 1.1e-6);
+        (l1, l5, 110., 1.4e-6);
+        (l2, l3, 330., 4.1e-6);
+        (l2, l4, 220., 2.8e-6);
+        (l2, l5, 190., 2.4e-6);
+        (l3, l4, 180., 2.2e-6);
+        (l3, l5, 140., 1.8e-6);
+        (l4, l5, 200., 2.5e-6);
+      ]

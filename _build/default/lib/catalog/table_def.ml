@@ -1,0 +1,53 @@
+(* Definition and statistics of one global table. Statistics drive the
+   optimizer's cardinality estimation; they are set independently of the
+   physical data so the cost model can mimic any scale factor. *)
+
+type col_stat = {
+  distinct : int;  (* number of distinct values *)
+  width : int;  (* average serialized width in bytes *)
+  lo : float option;  (* numeric minimum, when meaningful *)
+  hi : float option;  (* numeric maximum, when meaningful *)
+}
+
+let default_stat = { distinct = 1000; width = 8; lo = None; hi = None }
+
+type column = { cname : string; ty : Relalg.Value.ty; stat : col_stat }
+
+type t = {
+  name : string;  (* global table name, lowercase *)
+  columns : column list;
+  key : string list;  (* primary key columns *)
+  row_count : int;
+  clustered : bool;  (* rows stored in primary-key order *)
+}
+
+let make ?(clustered = false) ~name ~columns ~key ~row_count () =
+  let name = String.lowercase_ascii name in
+  let columns =
+    List.map (fun c -> { c with cname = String.lowercase_ascii c.cname }) columns
+  in
+  { name; columns; key = List.map String.lowercase_ascii key; row_count; clustered }
+
+let column ?(stat = default_stat) cname ty = { cname = String.lowercase_ascii cname; ty; stat }
+
+let col_names t = List.map (fun c -> c.cname) t.columns
+
+let find_col t name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun c -> String.equal c.cname name) t.columns
+
+let has_col t name = find_col t name <> None
+
+let is_key t cols =
+  (* [cols] functionally determine the row iff they cover the key *)
+  t.key <> [] && List.for_all (fun k -> List.exists (String.equal k) cols) t.key
+
+let row_width t =
+  List.fold_left (fun acc c -> acc + c.stat.width) 0 t.columns
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a) [rows=%d key=%a]" t.name
+    Fmt.(list ~sep:comma (using (fun c -> c.cname) string))
+    t.columns t.row_count
+    Fmt.(list ~sep:comma string)
+    t.key

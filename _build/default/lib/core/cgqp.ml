@@ -1,0 +1,151 @@
+(* Compliant geo-distributed query processing — the end-to-end system of
+   the paper (Figure 2).
+
+   A {!session} bundles the geo-distributed catalog, the policy catalog
+   populated by the data officers' policy expressions, and (optionally)
+   the physical data. Queries submitted as SQL are parsed, bound,
+   optimized by the compliance-based two-phase optimizer, certified, and
+   executed against the in-memory engine with simulated wide-area SHIP
+   costs.
+
+   {[
+     let session = Cgqp.create ~catalog () in
+     Cgqp.add_policies session [ "ship custkey, name from customer to Europe" ];
+     match Cgqp.run session "SELECT ..." with
+     | Ok r -> ...
+     | Error (`Rejected reason) -> ...
+   ]} *)
+
+type session = {
+  catalog : Catalog.t;
+  mutable policies : Policy.Pcatalog.t;
+  mutable database : Storage.Database.t option;
+  mutable mode : Optimizer.Memo.mode;
+}
+
+type error =
+  [ `Parse of string  (** SQL or policy syntax error *)
+  | `Bind of string  (** unknown table/column, ambiguity *)
+  | `Rejected of string  (** no compliant plan exists (Figure 2 "reject") *)
+  ]
+
+type run_result = {
+  relation : Storage.Relation.t;
+  plan : Exec.Pplan.t;
+  ship_cost_ms : float;  (** simulated network cost actually incurred *)
+  shipped_bytes : int;
+  makespan_ms : float;  (** simulated response time (critical path) *)
+  planned : Optimizer.Planner.planned;
+}
+
+let create ?database ~catalog () =
+  { catalog; policies = Policy.Pcatalog.empty; database; mode = Optimizer.Memo.Compliant }
+
+let set_mode session mode = session.mode <- mode
+let catalog session = session.catalog
+let policies session = session.policies
+
+(* Install the physical data the engine executes against. *)
+let attach_database session db = session.database <- Some db
+
+(* [add_policies session texts] parses and installs policy expressions
+   (the data officer's offline step in Figure 2). *)
+let add_policies session texts =
+  let parsed =
+    List.map
+      (fun text ->
+        try Policy.Expression.parse session.catalog text
+        with Policy.Expression.Bind_error m -> raise (Invalid_argument m))
+      texts
+  in
+  session.policies <-
+    Policy.Pcatalog.make (Policy.Pcatalog.all session.policies @ parsed)
+
+let clear_policies session = session.policies <- Policy.Pcatalog.empty
+
+(* Install a pre-built (e.g. deny-preprocessed) policy catalog
+   wholesale. *)
+let set_policy_catalog session pc = session.policies <- pc
+
+let table_cols_opt session t =
+  match Catalog.find_table session.catalog t with
+  | Some e -> Some (Catalog.Table_def.col_names e.Catalog.def)
+  | None -> None
+
+(* Parse and bind; also return the ORDER BY / LIMIT decoration, which
+   is applied to the final result outside the optimizer (the paper's
+   optimizer scope is Select-Project-Join-GroupBy). *)
+let parse_and_bind session sql :
+    (Relalg.Plan.t * (Relalg.Attr.t * bool) list * int option, error) result =
+  match Sqlfront.Parser.query sql with
+  | exception Sqlfront.Parser.Error m -> Error (`Parse m)
+  | ast -> (
+    match Sqlfront.Binder.bind_query ~table_cols:(table_cols_opt session) ast with
+    | plan -> Ok (plan, ast.Sqlfront.Ast.order_by, ast.Sqlfront.Ast.limit)
+    | exception Sqlfront.Binder.Error m -> Error (`Bind m))
+
+(* Parse and bind only. *)
+let plan_of_sql session sql : (Relalg.Plan.t, error) result =
+  Result.map (fun (p, _, _) -> p) (parse_and_bind session sql)
+
+(* Optimize a query under the session's dataflow policies. The ORDER BY
+   clause becomes the root's required sort order — part of the
+   optimization goal's physical properties (§6.2); the optimizer adds a
+   Sort enforcer only when the chosen plan does not already deliver
+   it. *)
+let optimize session sql : (Optimizer.Planner.planned, error) result =
+  match parse_and_bind session sql with
+  | Error e -> Error e
+  | Ok (lplan, order_by, _) -> (
+    match
+      Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by
+        ~cat:session.catalog ~policies:session.policies lplan
+    with
+    | Optimizer.Planner.Planned p -> Ok p
+    | Optimizer.Planner.Rejected reason -> Error (`Rejected reason))
+
+(* [is_legal session sql] — does the query admit at least one compliant
+   execution plan? *)
+let is_legal session sql =
+  match optimize session sql with Ok _ -> true | Error _ -> false
+
+(* Optimize and execute; ORDER BY / LIMIT are applied to the result. *)
+let run session sql : (run_result, error) result =
+  match parse_and_bind session sql with
+  | Error e -> Error e
+  | Ok (_, order_by, limit) -> (
+    match optimize session sql with
+    | Error e -> Error e
+    | Ok planned -> (
+      match session.database with
+      | None -> Error (`Rejected "no database attached to the session")
+      | Some db ->
+        let { Exec.Interp.relation; stats; makespan_ms } =
+          Exec.Interp.run
+            ~network:(Catalog.network session.catalog)
+            ~db
+            ~table_cols:(Catalog.table_cols session.catalog)
+            planned.Optimizer.Planner.plan
+        in
+        (* ORDER BY is enforced inside the plan (Sort enforcer); only
+           LIMIT remains a result decoration *)
+        ignore order_by;
+        let relation =
+          match limit with None -> relation | Some n -> Storage.Relation.take relation n
+        in
+        Ok
+          {
+            relation;
+            plan = planned.Optimizer.Planner.plan;
+            ship_cost_ms = Exec.Interp.total_ship_cost stats;
+            shipped_bytes = Exec.Interp.total_ship_bytes stats;
+            makespan_ms;
+            planned;
+          }))
+
+let pp_error ppf = function
+  | `Parse m -> Fmt.pf ppf "syntax error: %s" m
+  | `Bind m -> Fmt.pf ppf "binding error: %s" m
+  | `Rejected m -> Fmt.pf ppf "rejected: %s" m
+
+let error_to_string e = Fmt.str "%a" pp_error e

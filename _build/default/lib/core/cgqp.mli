@@ -1,0 +1,71 @@
+(** Compliant geo-distributed query processing — the end-to-end system
+    of the paper (Figure 2).
+
+    A {!session} bundles the geo-distributed catalog, the policy catalog
+    populated by the data officers' policy expressions, and (optionally)
+    the physical data. Queries submitted as SQL are parsed, bound,
+    optimized by the compliance-based two-phase optimizer, certified,
+    and executed against the in-memory engine with simulated wide-area
+    SHIP costs.
+
+    {[
+      let session = Cgqp.create ~catalog () in
+      Cgqp.add_policies session
+        [ "ship custkey, name from customer to Europe" ];
+      match Cgqp.run session "SELECT ..." with
+      | Ok r -> ...
+      | Error (`Rejected reason) -> ...
+    ]} *)
+
+type session
+
+type error =
+  [ `Parse of string  (** SQL or policy syntax error *)
+  | `Bind of string  (** unknown table/column, ambiguity *)
+  | `Rejected of string
+    (** no compliant plan exists — the "reject" arrow of Figure 2 *) ]
+
+type run_result = {
+  relation : Storage.Relation.t;  (** the query's answer *)
+  plan : Exec.Pplan.t;  (** the executed placed plan *)
+  ship_cost_ms : float;  (** simulated network cost actually incurred *)
+  shipped_bytes : int;
+  makespan_ms : float;  (** simulated response time (critical path) *)
+  planned : Optimizer.Planner.planned;  (** full optimizer output *)
+}
+
+val create : ?database:Storage.Database.t -> catalog:Catalog.t -> unit -> session
+
+val set_mode : session -> Optimizer.Memo.mode -> unit
+(** Switch between the compliance-based optimizer (default) and the
+    purely cost-based baseline. *)
+
+val catalog : session -> Catalog.t
+val policies : session -> Policy.Pcatalog.t
+
+val attach_database : session -> Storage.Database.t -> unit
+
+val add_policies : session -> string list -> unit
+(** Parse and install policy expressions (the data officer's offline
+    step). Raises [Invalid_argument] on malformed statements. *)
+
+val clear_policies : session -> unit
+
+val set_policy_catalog : session -> Policy.Pcatalog.t -> unit
+(** Install a pre-built policy catalog wholesale (e.g. one preprocessed
+    by {!Policy.Negation}). *)
+
+val plan_of_sql : session -> string -> (Relalg.Plan.t, error) result
+(** Parse and bind only. *)
+
+val optimize : session -> string -> (Optimizer.Planner.planned, error) result
+
+val is_legal : session -> string -> bool
+(** Does the query admit at least one compliant execution plan under
+    the session's policies? *)
+
+val run : session -> string -> (run_result, error) result
+(** Optimize and execute. Requires an attached database. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

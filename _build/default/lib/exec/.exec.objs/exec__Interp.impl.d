@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Attr Catalog Expr Float Fmt Hashtbl List Pplan Pred Relalg Seq Storage Value

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Catalog Pplan Storage

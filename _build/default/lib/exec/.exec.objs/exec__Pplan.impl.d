@@ -1,0 +1,1 @@
+lib/exec/pplan.ml: Attr Buffer Catalog Expr Fmt Hashtbl List Pred Printf Relalg String

@@ -1,0 +1,1 @@
+lib/exec/pplan.mli: Attr Catalog Expr Format Pred Relalg

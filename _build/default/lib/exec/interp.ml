@@ -1,0 +1,299 @@
+(* Materialized interpreter for physical plans. Executes bottom-up
+   against a [Storage.Database.t] and accounts the bytes and simulated
+   cost of every SHIP operator (the paper's message cost model,
+   §7.4). *)
+
+open Relalg
+
+type ship_record = {
+  from_loc : Catalog.Location.t;
+  to_loc : Catalog.Location.t;
+  bytes : int;
+  rows : int;
+  cost_ms : float;
+}
+
+type stats = {
+  mutable ships : ship_record list;
+  mutable rows_processed : int;
+}
+
+type result = {
+  relation : Storage.Relation.t;
+  stats : stats;
+  makespan_ms : float;
+      (* simulated response time: sibling subtrees proceed in parallel,
+         transfers follow the message cost model, local processing is
+         charged per materialized row *)
+}
+
+(* Simulated per-row local processing cost (ms); only relative
+   magnitudes matter. *)
+let row_cost_ms = 1e-5
+
+let total_ship_cost stats = List.fold_left (fun a s -> a +. s.cost_ms) 0. stats.ships
+let total_ship_bytes stats = List.fold_left (fun a s -> a + s.bytes) 0 stats.ships
+
+exception Runtime_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+(* --- aggregate accumulation --- *)
+
+type acc = {
+  mutable sum : Value.t;
+  mutable count : int;
+  mutable vmin : Value.t;
+  mutable vmax : Value.t;
+}
+
+let fresh_acc () = { sum = Value.Null; count = 0; vmin = Value.Null; vmax = Value.Null }
+
+let feed acc v =
+  match v with
+  | Value.Null -> ()
+  | _ ->
+    acc.count <- acc.count + 1;
+    acc.sum <- (if acc.sum = Value.Null then v else Value.add acc.sum v);
+    acc.vmin <-
+      (if acc.vmin = Value.Null || Value.compare v acc.vmin < 0 then v else acc.vmin);
+    acc.vmax <-
+      (if acc.vmax = Value.Null || Value.compare v acc.vmax > 0 then v else acc.vmax)
+
+let finish (fn : Expr.agg_fn) acc =
+  match fn with
+  | Expr.Sum -> acc.sum
+  | Expr.Count -> Value.Int acc.count
+  | Expr.Min -> acc.vmin
+  | Expr.Max -> acc.vmax
+  | Expr.Avg ->
+    if acc.count = 0 then Value.Null
+    else Value.div acc.sum (Value.Int acc.count)
+
+(* --- row utilities --- *)
+
+module Row_key = struct
+  type t = Value.t array
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
+end
+
+module Row_tbl = Hashtbl.Make (Row_key)
+
+let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
+    ~(table_cols : string -> string list) (plan : Pplan.t) : result =
+  let stats = { ships = []; rows_processed = 0 } in
+  (* completion time of each subtree, for the makespan *)
+  let done_at : (Pplan.t, float) Hashtbl.t = Hashtbl.create 64 in
+  let child_finish p =
+    List.fold_left
+      (fun acc c -> Float.max acc (try Hashtbl.find done_at c with Not_found -> 0.))
+      0. p.Pplan.children
+  in
+  let rec exec (p : Pplan.t) : Storage.Relation.t =
+    let rel =
+      match p.Pplan.node, p.Pplan.children with
+      | Pplan.Table_scan { table; alias; partition }, [] ->
+        let r = Storage.Database.find_exn db ~table ~partition () in
+        let schema =
+          (* re-qualify the stored schema with the query alias *)
+          List.map2
+            (fun (_ : Attr.t) c -> Attr.make ~rel:alias ~name:c)
+            (Storage.Relation.schema r) (table_cols table)
+        in
+        Storage.Relation.make ~schema ~rows:(Storage.Relation.rows r)
+      | Pplan.Filter pred, [ c ] ->
+        let r = exec c in
+        let look = Storage.Relation.lookup_fn r in
+        let rows =
+          Array.of_seq
+            (Seq.filter
+               (fun row -> Pred.eval (fun a -> look a row) pred)
+               (Array.to_seq (Storage.Relation.rows r)))
+        in
+        Storage.Relation.make ~schema:(Storage.Relation.schema r) ~rows
+      | Pplan.Project items, [ c ] ->
+        let r = exec c in
+        let look = Storage.Relation.lookup_fn r in
+        let schema = List.map snd items in
+        let exprs = Array.of_list (List.map fst items) in
+        let rows =
+          Array.map
+            (fun row -> Array.map (fun e -> Expr.eval (fun a -> look a row) e) exprs)
+            (Storage.Relation.rows r)
+        in
+        Storage.Relation.make ~schema ~rows
+      | Pplan.Hash_join { keys; residual }, [ l; r ] ->
+        let lrel = exec l and rrel = exec r in
+        let llook = Storage.Relation.lookup_fn lrel
+        and rlook = Storage.Relation.lookup_fn rrel in
+        let lkeys = List.map fst keys and rkeys = List.map snd keys in
+        let tbl = Row_tbl.create (max 16 (Storage.Relation.cardinality rrel)) in
+        Array.iter
+          (fun row ->
+            let k = Array.of_list (List.map (fun a -> rlook a row) rkeys) in
+            if not (Array.exists (fun v -> v = Value.Null) k) then
+              Row_tbl.add tbl k row)
+          (Storage.Relation.rows rrel);
+        let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
+        let out = ref [] in
+        let joined =
+          Storage.Relation.make ~schema ~rows:[||] (* for residual lookup only *)
+        in
+        let jlook = Storage.Relation.lookup_fn joined in
+        Array.iter
+          (fun lrow ->
+            let k = Array.of_list (List.map (fun a -> llook a lrow) lkeys) in
+            if not (Array.exists (fun v -> v = Value.Null) k) then
+              List.iter
+                (fun rrow ->
+                  let row = Array.append lrow rrow in
+                  if
+                    residual = Pred.True
+                    || Pred.eval (fun a -> jlook a row) residual
+                  then out := row :: !out)
+                (Row_tbl.find_all tbl k))
+          (Storage.Relation.rows lrel);
+        Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
+      | Pplan.Nl_join pred, [ l; r ] ->
+        let lrel = exec l and rrel = exec r in
+        let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
+        let probe = Storage.Relation.make ~schema ~rows:[||] in
+        let look = Storage.Relation.lookup_fn probe in
+        let out = ref [] in
+        Array.iter
+          (fun lrow ->
+            Array.iter
+              (fun rrow ->
+                let row = Array.append lrow rrow in
+                if Pred.eval (fun a -> look a row) pred then out := row :: !out)
+              (Storage.Relation.rows rrel))
+          (Storage.Relation.rows lrel);
+        Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
+      | Pplan.Hash_agg { keys; aggs }, [ c ] ->
+        let r = exec c in
+        let look = Storage.Relation.lookup_fn r in
+        let groups : (Value.t array * acc array) Row_tbl.t = Row_tbl.create 64 in
+        let order = ref [] in
+        Array.iter
+          (fun row ->
+            let k = Array.of_list (List.map (fun a -> look a row) keys) in
+            let _, accs =
+              match Row_tbl.find_opt groups k with
+              | Some e -> e
+              | None ->
+                let e = (k, Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
+                Row_tbl.add groups k e;
+                order := k :: !order;
+                e
+            in
+            List.iteri
+              (fun i (a : Expr.agg) ->
+                feed accs.(i) (Expr.eval (fun at -> look at row) a.arg))
+              aggs)
+          (Storage.Relation.rows r);
+        (* a global aggregate over an empty input still yields one row *)
+        if keys = [] && Row_tbl.length groups = 0 then begin
+          let e = ([||], Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
+          Row_tbl.add groups [||] e;
+          order := [||] :: !order
+        end;
+        let schema =
+          keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
+        in
+        let rows =
+          List.rev_map
+            (fun k ->
+              let _, accs = Row_tbl.find groups k in
+              Array.append k
+                (Array.of_list
+                   (List.mapi (fun i (a : Expr.agg) -> finish a.fn accs.(i)) aggs)))
+            !order
+          |> Array.of_list
+        in
+        Storage.Relation.make ~schema ~rows
+      | Pplan.Sort keys, [ c ] ->
+        let r = exec c in
+        Storage.Relation.order_by r keys
+      | Pplan.Merge_join { keys; residual }, [ l; r ] ->
+        (* inputs arrive sorted ascending on their key columns *)
+        let lrel = exec l and rrel = exec r in
+        let llook = Storage.Relation.lookup_fn lrel
+        and rlook = Storage.Relation.lookup_fn rrel in
+        let lkeys = List.map fst keys and rkeys = List.map snd keys in
+        let lrows = Storage.Relation.rows lrel and rrows = Storage.Relation.rows rrel in
+        let keyl row = List.map (fun a -> llook a row) lkeys in
+        let keyr row = List.map (fun a -> rlook a row) rkeys in
+        let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
+        let probe = Storage.Relation.make ~schema ~rows:[||] in
+        let jlook = Storage.Relation.lookup_fn probe in
+        let out = ref [] in
+        let nl = Array.length lrows and nr = Array.length rrows in
+        let j = ref 0 in
+        let i = ref 0 in
+        while !i < nl && !j < nr do
+          let kl = keyl lrows.(!i) in
+          if List.exists (fun v -> v = Value.Null) kl then incr i
+          else begin
+            let c = List.compare Value.compare kl (keyr rrows.(!j)) in
+            if c < 0 then incr i
+            else if c > 0 then incr j
+            else begin
+              (* find the run of equal right keys *)
+              let j2 = ref !j in
+              while
+                !j2 < nr && List.compare Value.compare kl (keyr rrows.(!j2)) = 0
+              do
+                incr j2
+              done;
+              (* emit pairs for every left row sharing this key *)
+              let i2 = ref !i in
+              while !i2 < nl && List.compare Value.compare (keyl lrows.(!i2)) kl = 0 do
+                for jj = !j to !j2 - 1 do
+                  let row = Array.append lrows.(!i2) rrows.(jj) in
+                  if
+                    residual = Pred.True || Pred.eval (fun a -> jlook a row) residual
+                  then out := row :: !out
+                done;
+                incr i2
+              done;
+              i := !i2;
+              j := !j2
+            end
+          end
+        done;
+        Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
+      | Pplan.Union_all, (_ :: _ as children) ->
+        let rels = List.map exec children in
+        let schema = Storage.Relation.schema (List.hd rels) in
+        let rows = Array.concat (List.map Storage.Relation.rows rels) in
+        Storage.Relation.make ~schema ~rows
+      | Pplan.Ship { from_loc; to_loc }, [ c ] ->
+        let r = exec c in
+        let bytes = Storage.Relation.byte_size r in
+        let cost_ms =
+          Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
+        in
+        stats.ships <-
+          { from_loc; to_loc; bytes; rows = Storage.Relation.cardinality r; cost_ms }
+          :: stats.ships;
+        r
+      | node, children ->
+        fail "malformed plan: %s with %d children" (Pplan.node_label node)
+          (List.length children)
+    in
+    stats.rows_processed <- stats.rows_processed + Storage.Relation.cardinality rel;
+    let own_time =
+      match p.Pplan.node with
+      | Pplan.Ship _ ->
+        (* the transfer cost was just recorded as the head of ships *)
+        (match stats.ships with s :: _ -> s.cost_ms | [] -> 0.)
+      | _ -> float_of_int (Storage.Relation.cardinality rel) *. row_cost_ms
+    in
+    Hashtbl.replace done_at p (child_finish p +. own_time);
+    rel
+  in
+  let relation = exec plan in
+  { relation; stats; makespan_ms = (try Hashtbl.find done_at plan with Not_found -> 0.) }

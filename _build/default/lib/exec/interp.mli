@@ -1,0 +1,43 @@
+(** Materialized interpreter for placed physical plans.
+
+    Executes bottom-up against a {!Storage.Database.t} and accounts the
+    bytes, rows and simulated cost of every SHIP operator under the
+    message cost model (§7.4 of the paper). *)
+
+type ship_record = {
+  from_loc : Catalog.Location.t;
+  to_loc : Catalog.Location.t;
+  bytes : int;
+  rows : int;
+  cost_ms : float;
+}
+
+type stats = {
+  mutable ships : ship_record list;
+  mutable rows_processed : int;  (** total rows materialized, all operators *)
+}
+
+type result = {
+  relation : Storage.Relation.t;
+  stats : stats;
+  makespan_ms : float;
+      (** simulated response time: sibling subtrees proceed in parallel,
+          transfers follow the message cost model, local processing is
+          charged per materialized row *)
+}
+
+val row_cost_ms : float
+(** Simulated local processing cost per materialized row (ms). *)
+
+val total_ship_cost : stats -> float
+val total_ship_bytes : stats -> int
+
+exception Runtime_error of string
+(** Malformed plans (wrong arity, missing relations). *)
+
+val run :
+  network:Catalog.Network.t ->
+  db:Storage.Database.t ->
+  table_cols:(string -> string list) ->
+  Pplan.t ->
+  result

@@ -1,0 +1,159 @@
+(* Physical, site-annotated query execution plans. Every operator
+   carries the location it executes at; [Ship] marks the points where
+   intermediate results cross sites (and hence where dataflow policies
+   bite). Estimated output size is recorded for cost accounting. *)
+
+open Relalg
+
+type est = { est_rows : float; est_width : float }
+
+type node =
+  | Table_scan of { table : string; alias : string; partition : int }
+  | Filter of Pred.t
+  | Project of (Expr.scalar * Attr.t) list
+  | Hash_join of { keys : (Attr.t * Attr.t) list; residual : Pred.t }
+    (* left-key / right-key equi pairs; residual applied post-match *)
+  | Nl_join of Pred.t
+  | Hash_agg of { keys : Attr.t list; aggs : Expr.agg list }
+  | Sort of (Attr.t * bool) list  (* enforcer: (key, descending) *)
+  | Merge_join of { keys : (Attr.t * Attr.t) list; residual : Pred.t }
+    (* inputs must arrive sorted (ascending) on their key columns *)
+  | Union_all
+  | Ship of { from_loc : Catalog.Location.t; to_loc : Catalog.Location.t }
+
+type t = {
+  node : node;
+  loc : Catalog.Location.t;  (* where this operator executes *)
+  children : t list;
+  est : est;
+}
+
+let make ?(est = { est_rows = 0.; est_width = 0. }) ~loc node children =
+  { node; loc; children; est }
+
+let est_bytes t = t.est.est_rows *. t.est.est_width
+
+let rec ships t =
+  (match t.node with
+  | Ship { from_loc; to_loc } -> [ (from_loc, to_loc, t) ]
+  | Table_scan _ | Filter _ | Project _ | Hash_join _ | Nl_join _ | Hash_agg _
+  | Sort _ | Merge_join _ | Union_all ->
+    [])
+  @ List.concat_map ships t.children
+
+let node_label = function
+  | Table_scan { table; alias; partition } ->
+    if partition = 0 && String.equal table alias then Printf.sprintf "Scan %s" table
+    else Printf.sprintf "Scan %s as %s [p%d]" table alias partition
+  | Filter p -> Fmt.str "Filter [%a]" Pred.pp p
+  | Project items ->
+    Fmt.str "Project [%a]"
+      Fmt.(
+        list ~sep:comma (fun ppf (e, n) ->
+            match e with
+            | Expr.Col a when Attr.equal a n -> Attr.pp ppf a
+            | _ -> Fmt.pf ppf "%a AS %a" Expr.pp_scalar e Attr.pp n))
+      items
+  | Hash_join { keys; residual } ->
+    Fmt.str "HashJoin [%a%s]"
+      Fmt.(
+        list ~sep:comma (fun ppf (l, r) -> Fmt.pf ppf "%a=%a" Attr.pp l Attr.pp r))
+      keys
+      (match residual with Pred.True -> "" | p -> Fmt.str "; %a" Pred.pp p)
+  | Nl_join p -> Fmt.str "NLJoin [%a]" Pred.pp p
+  | Hash_agg { keys; aggs } ->
+    Fmt.str "HashAgg [keys: %a; aggs: %a]"
+      Fmt.(list ~sep:comma Attr.pp)
+      keys
+      Fmt.(list ~sep:comma Expr.pp_agg)
+      aggs
+  | Sort keys ->
+    Fmt.str "Sort [%a]"
+      Fmt.(
+        list ~sep:comma (fun ppf (a, desc) ->
+            Fmt.pf ppf "%a%s" Attr.pp a (if desc then " desc" else "")))
+      keys
+  | Merge_join { keys; residual } ->
+    Fmt.str "MergeJoin [%a%s]"
+      Fmt.(
+        list ~sep:comma (fun ppf (l, r) -> Fmt.pf ppf "%a=%a" Attr.pp l Attr.pp r))
+      keys
+      (match residual with Pred.True -> "" | p -> Fmt.str "; %a" Pred.pp p)
+  | Union_all -> "UnionAll"
+  | Ship { from_loc; to_loc } -> Printf.sprintf "SHIP %s -> %s" from_loc to_loc
+
+let rec pp ?(indent = 0) ppf t =
+  Fmt.pf ppf "%s%s @@%s (%.0f rows)@." (String.make indent ' ') (node_label t.node)
+    t.loc t.est.est_rows;
+  List.iter (pp ~indent:(indent + 2) ppf) t.children
+
+let to_string t = Fmt.str "%a" (pp ~indent:0) t
+
+let rec count_ops t = 1 + List.fold_left (fun acc c -> acc + count_ops c) 0 t.children
+
+(* Graphviz rendering: one node per operator, clustered by execution
+   site; SHIP edges are drawn bold. *)
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let next = ref 0 in
+  let esc s = String.concat "\\n" (String.split_on_char '\n' (String.escaped s)) in
+  Buffer.add_string buf "digraph plan {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  (* gather nodes per location for clustering *)
+  let clusters : (string, (int * string) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let edges = Buffer.create 256 in
+  let rec walk p =
+    incr next;
+    let id = !next in
+    let label = esc (node_label p.node) in
+    let bucket =
+      match Hashtbl.find_opt clusters p.loc with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace clusters p.loc l;
+        l
+    in
+    bucket := (id, label) :: !bucket;
+    List.iter
+      (fun c ->
+        let cid = walk c in
+        let style =
+          match c.node with Ship _ -> " [penwidth=2, color=red]" | _ -> ""
+        in
+        Buffer.add_string edges (Printf.sprintf "  n%d -> n%d%s;\n" cid id style))
+      p.children;
+    id
+  in
+  ignore (walk t);
+  Hashtbl.iter
+    (fun loc nodes ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n" loc loc);
+      List.iter
+        (fun (id, label) ->
+          Buffer.add_string buf (Printf.sprintf "    n%d [label=\"%s\"];\n" id label))
+        !nodes;
+      Buffer.add_string buf "  }\n")
+    clusters;
+  Buffer.add_buffer buf edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Insert SHIP operators between every child/parent pair at different
+   locations, bottom-up. The input tree has locations but no Ship
+   nodes. *)
+let rec with_ships t =
+  match t.node with
+  | Ship _ -> { t with children = List.map with_ships t.children }
+  | _ ->
+    let children =
+      List.map
+        (fun c ->
+          let c = with_ships c in
+          if String.equal c.loc t.loc then c
+          else
+            { node = Ship { from_loc = c.loc; to_loc = t.loc }; loc = t.loc;
+              children = [ c ]; est = c.est })
+        t.children
+    in
+    { t with children }

@@ -1,0 +1,50 @@
+(** Physical, site-annotated query execution plans.
+
+    Every operator carries the location it executes at; [Ship] marks
+    the points where intermediate results cross sites — where dataflow
+    policies bite. Estimated output sizes are recorded for cost
+    accounting. *)
+
+open Relalg
+
+type est = { est_rows : float; est_width : float }
+
+type node =
+  | Table_scan of { table : string; alias : string; partition : int }
+  | Filter of Pred.t
+  | Project of (Expr.scalar * Attr.t) list
+  | Hash_join of { keys : (Attr.t * Attr.t) list; residual : Pred.t }
+      (** left/right equi-key pairs; [residual] applied after matching *)
+  | Nl_join of Pred.t
+  | Hash_agg of { keys : Attr.t list; aggs : Expr.agg list }
+  | Sort of (Attr.t * bool) list  (** enforcer: (key, descending) *)
+  | Merge_join of { keys : (Attr.t * Attr.t) list; residual : Pred.t }
+      (** inputs must arrive sorted ascending on their key columns *)
+  | Union_all
+  | Ship of { from_loc : Catalog.Location.t; to_loc : Catalog.Location.t }
+
+type t = {
+  node : node;
+  loc : Catalog.Location.t;  (** where this operator executes *)
+  children : t list;
+  est : est;
+}
+
+val make : ?est:est -> loc:Catalog.Location.t -> node -> t list -> t
+val est_bytes : t -> float
+
+val ships : t -> (Catalog.Location.t * Catalog.Location.t * t) list
+(** All SHIP operators in the tree with their endpoints. *)
+
+val node_label : node -> string
+val pp : ?indent:int -> Format.formatter -> t -> unit
+val to_string : t -> string
+val count_ops : t -> int
+
+val to_dot : t -> string
+(** Graphviz rendering, operators clustered by execution site and SHIP
+    edges highlighted. *)
+
+val with_ships : t -> t
+(** Insert a [Ship] between every child/parent pair at different
+    locations. The input tree has locations but no [Ship] nodes. *)

@@ -1,0 +1,1 @@
+lib/optimizer/checker.ml: Catalog Exec Expr Fmt List Plan Policy Pred Printf Relalg String Summary

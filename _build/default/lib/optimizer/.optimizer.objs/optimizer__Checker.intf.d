@@ -1,0 +1,1 @@
+lib/optimizer/checker.mli: Catalog Exec Format Plan Policy Relalg

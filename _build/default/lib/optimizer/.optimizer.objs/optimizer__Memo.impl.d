@@ -1,0 +1,1 @@
+lib/optimizer/memo.ml: Attr Catalog Exec Expr Float Fmt Fun Hashtbl Lazy List Normalize Option Plan Policy Pred Printf Queue Relalg Stats Stdlib String Summary Value

@@ -1,0 +1,1 @@
+lib/optimizer/memo.mli: Attr Catalog Exec Expr Format Lazy Plan Policy Pred Relalg Stats Summary

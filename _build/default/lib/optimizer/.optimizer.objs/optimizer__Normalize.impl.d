@@ -1,0 +1,1 @@
+lib/optimizer/normalize.ml: Attr Expr List Plan Pred Relalg String

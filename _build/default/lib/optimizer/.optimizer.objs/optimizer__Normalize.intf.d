@@ -1,0 +1,1 @@
+lib/optimizer/normalize.mli: Plan Relalg

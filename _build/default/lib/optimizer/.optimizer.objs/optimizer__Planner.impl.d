@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Catalog Checker Exec Fmt Logs Memo Normalize Plan Policy Relalg Site_selector Sqlfront

@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Attr Catalog Checker Exec Format Memo Plan Policy Relalg Site_selector

@@ -1,0 +1,1 @@
+lib/optimizer/site_selector.ml: Catalog Exec Float Hashtbl List Memo Option

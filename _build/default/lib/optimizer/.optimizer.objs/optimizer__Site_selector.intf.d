@@ -1,0 +1,1 @@
+lib/optimizer/site_selector.mli: Catalog Exec Memo

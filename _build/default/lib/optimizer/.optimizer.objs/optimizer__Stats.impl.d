@@ -1,0 +1,1 @@
+lib/optimizer/stats.ml: Attr Catalog Expr Float List Plan Pred Relalg String Value

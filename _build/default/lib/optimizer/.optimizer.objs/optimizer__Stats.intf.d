@@ -1,0 +1,1 @@
+lib/optimizer/stats.mli: Attr Catalog Plan Pred Relalg

@@ -1,0 +1,126 @@
+(* Compliance certification of a *placed* physical plan (Definition 1 of
+   the paper, checked through the trait machinery of §6.1 — the same
+   derivation that underlies Theorem 1): walking bottom-up, every
+   operator's location must lie in the intersection of its inputs'
+   shipping traits, where a subtree pertaining to a single database
+   additionally contributes the policy evaluator's result 𝒜. Used to
+   classify the traditional optimizer's plans as compliant (C) or
+   non-compliant (NC) in the experiments (Fig. 5(a), Fig. 6). *)
+
+open Relalg
+module Locset = Catalog.Location.Set
+
+type violation = {
+  at : string;  (* pretty-printed operator *)
+  from_loc : Catalog.Location.t;
+  to_loc : Catalog.Location.t;
+  allowed : Locset.t;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "SHIP %s -> %s at [%s] violates policies (allowed: %a)" v.from_loc v.to_loc
+    v.at Locset.pp v.allowed
+
+(* Reconstruct the logical expression of a physical subtree (Ship
+   operators are transparent). *)
+let rec logical_of (p : Exec.Pplan.t) : Plan.t =
+  match p.node, p.children with
+  | Exec.Pplan.Table_scan { table; alias; _ }, [] -> Plan.Scan { table; alias }
+  | Exec.Pplan.Filter pred, [ c ] -> Plan.Select (pred, logical_of c)
+  | Exec.Pplan.Project items, [ c ] -> Plan.Project (items, logical_of c)
+  | Exec.Pplan.Hash_join { keys; residual }, [ l; r ] ->
+    let eq =
+      Pred.conj_all
+        (List.map
+           (fun (a, b) -> Pred.Atom (Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b)))
+           keys)
+    in
+    Plan.Join (Pred.conj eq residual, logical_of l, logical_of r)
+  | Exec.Pplan.Nl_join pred, [ l; r ] -> Plan.Join (pred, logical_of l, logical_of r)
+  | Exec.Pplan.Merge_join { keys; residual }, [ l; r ] ->
+    let eq =
+      Pred.conj_all
+        (List.map
+           (fun (a, b) -> Pred.Atom (Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b)))
+           keys)
+    in
+    Plan.Join (Pred.conj eq residual, logical_of l, logical_of r)
+  | Exec.Pplan.Sort _, [ c ] -> logical_of c
+  | Exec.Pplan.Hash_agg { keys; aggs }, [ c ] ->
+    Plan.Aggregate { keys; aggs; input = logical_of c }
+  | Exec.Pplan.Union_all, cs -> Plan.Union (List.map logical_of cs)
+  | Exec.Pplan.Ship _, [ c ] -> logical_of c
+  | node, cs ->
+    invalid_arg
+      (Printf.sprintf "Checker.logical_of: %s with %d children"
+         (Exec.Pplan.node_label node) (List.length cs))
+
+(* Locations of all base tables in the subtree (using the actual scan
+   partitions). *)
+let rec scan_locations (cat : Catalog.t) (p : Exec.Pplan.t) : Locset.t =
+  match p.node with
+  | Exec.Pplan.Table_scan { table; partition; _ } -> (
+    match List.nth_opt (Catalog.placements cat table) partition with
+    | Some pl -> Locset.singleton pl.Catalog.location
+    | None -> Locset.empty)
+  | _ ->
+    List.fold_left
+      (fun acc c -> Locset.union acc (scan_locations cat c))
+      Locset.empty p.children
+
+let rec ops_all_at (p : Exec.Pplan.t) (l : Catalog.Location.t) : bool =
+  String.equal p.Exec.Pplan.loc l && List.for_all (fun c -> ops_all_at c l) p.children
+
+(* [certify] returns the violations of a placed plan; empty = compliant. *)
+let certify ~(cat : Catalog.t) ~(policies : Policy.Pcatalog.t) (plan : Exec.Pplan.t) :
+    violation list =
+  let table_cols = Catalog.table_cols cat in
+  let violations = ref [] in
+  (* returns the shipping trait 𝒮 of the subtree's output *)
+  let rec walk (p : Exec.Pplan.t) : Locset.t =
+    match p.node with
+    | Exec.Pplan.Ship { from_loc; to_loc } ->
+      let child = List.hd p.children in
+      let s = walk child in
+      if not (Locset.mem to_loc s) then
+        violations :=
+          { at = Exec.Pplan.node_label child.node; from_loc; to_loc; allowed = s }
+          :: !violations;
+      s
+    | Exec.Pplan.Table_scan { table; partition; _ } ->
+      let home =
+        match List.nth_opt (Catalog.placements cat table) partition with
+        | Some pl -> Locset.singleton pl.Catalog.location
+        | None -> Locset.empty
+      in
+      let policy =
+        Policy.Evaluator.locations_for ~include_home:false ~catalog:cat ~policies
+          (Summary.analyze ~table_cols (logical_of p))
+      in
+      Locset.union home policy
+    | _ ->
+      let child_traits = List.map walk p.children in
+      (* AR2: executable where all inputs may ship; the Ship nodes above
+         children have already moved them to p.loc, so membership of
+         p.loc was checked there. *)
+      let exec =
+        List.fold_left Locset.inter
+          (Locset.of_list (Catalog.locations cat))
+          child_traits
+      in
+      (* AR4: a single-database subtree wholly placed at its home
+         location contributes the policy evaluator's locations. *)
+      let slocs = scan_locations cat p in
+      let policy =
+        match Locset.elements slocs with
+        | [ l ] when ops_all_at p l ->
+          Policy.Evaluator.locations_for ~include_home:false ~catalog:cat ~policies
+            (Summary.analyze ~table_cols (logical_of p))
+        | _ -> Locset.empty
+      in
+      Locset.union exec policy
+  in
+  ignore (walk plan);
+  List.rev !violations
+
+let is_compliant ~cat ~policies plan = certify ~cat ~policies plan = []

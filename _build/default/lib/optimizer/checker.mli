@@ -1,0 +1,31 @@
+(** Compliance certification of a {e placed} physical plan
+    (Definition 1 of the paper, checked through the trait derivation
+    underlying Theorem 1).
+
+    Used both to re-certify the compliant optimizer's output
+    independently of the memo, and to classify the traditional
+    optimizer's plans as C/NC in the experiments (Fig. 5(a),
+    Fig. 6). *)
+
+open Relalg
+
+type violation = {
+  at : string;  (** pretty-printed shipped operator *)
+  from_loc : Catalog.Location.t;
+  to_loc : Catalog.Location.t;
+  allowed : Catalog.Location.Set.t;  (** the shipped subtree's 𝒮 *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val logical_of : Exec.Pplan.t -> Plan.t
+(** Reconstruct the logical expression of a physical subtree (SHIP
+    operators are transparent). *)
+
+val certify :
+  cat:Catalog.t -> policies:Policy.Pcatalog.t -> Exec.Pplan.t -> violation list
+(** All SHIP edges whose destination lies outside the shipped subtree's
+    shipping trait; empty means compliant. *)
+
+val is_compliant :
+  cat:Catalog.t -> policies:Policy.Pcatalog.t -> Exec.Pplan.t -> bool

@@ -1,0 +1,160 @@
+(* Deterministic logical rewrites applied before memo-based exploration:
+   selection pushdown and column pruning (the paper's "masking via
+   projection" — projecting restricted attributes out before data ever
+   moves, cf. Figure 1(b) and §7.2). *)
+
+open Relalg
+
+let output_attrs ~table_cols plan = Plan.output_cols ~table_cols plan
+
+let attr_set xs = List.fold_left (fun s a -> Attr.Set.add a s) Attr.Set.empty xs
+
+(* --- selection pushdown --- *)
+
+(* Push the conjuncts in [preds] as deep as possible into [plan]; any
+   conjunct that cannot sink past an operator is applied just above
+   it. *)
+let rec push ~table_cols (plan : Plan.t) (preds : Pred.t list) : Plan.t =
+  match plan with
+  | Plan.Scan _ -> wrap plan preds
+  | Plan.Select (p, i) -> push ~table_cols i (Pred.conjuncts p @ preds)
+  | Plan.Project (items, i) ->
+    (* rewrite conjuncts through the projection when possible *)
+    let env =
+      List.fold_left (fun m (e, n) -> Attr.Map.add n e m) Attr.Map.empty items
+    in
+    let rewritable, blocked =
+      List.partition
+        (fun c ->
+          Attr.Set.for_all (fun a -> Attr.Map.mem a env) (Pred.cols c))
+        preds
+    in
+    let rewritten = List.map (Pred.subst env) rewritable in
+    wrap (Plan.Project (items, push ~table_cols i rewritten)) blocked
+  | Plan.Join (p, l, r) ->
+    let pool = Pred.conjuncts p @ preds in
+    let lcols = attr_set (output_attrs ~table_cols l) in
+    let rcols = attr_set (output_attrs ~table_cols r) in
+    let lp, rest =
+      List.partition (fun c -> Attr.Set.subset (Pred.cols c) lcols) pool
+    in
+    let rp, jp = List.partition (fun c -> Attr.Set.subset (Pred.cols c) rcols) rest in
+    Plan.Join (Pred.conj_all jp, push ~table_cols l lp, push ~table_cols r rp)
+  | Plan.Aggregate { keys; aggs; input } ->
+    (* conjuncts over group keys commute with the aggregation *)
+    let keyset = attr_set keys in
+    let sinkable, blocked =
+      List.partition (fun c -> Attr.Set.subset (Pred.cols c) keyset) preds
+    in
+    wrap
+      (Plan.Aggregate { keys; aggs; input = push ~table_cols input sinkable })
+      blocked
+  | Plan.Union xs -> wrap (Plan.Union (List.map (fun x -> push ~table_cols x []) xs)) preds
+
+and wrap plan = function
+  | [] -> plan
+  | preds -> Plan.Select (Pred.conj_all preds, plan)
+
+let pushdown ~table_cols plan = push ~table_cols plan []
+
+(* --- column pruning --- *)
+
+(* Wrap every scan in a projection keeping only the columns the rest of
+   the plan actually uses. This is the compliance-critical masking step:
+   a restricted column that is never referenced disappears before any
+   SHIP can expose it. *)
+let prune_columns ~table_cols (plan : Plan.t) : Plan.t =
+  (* all attributes referenced anywhere above the scans *)
+  let used = ref Attr.Set.empty in
+  let use_set s = used := Attr.Set.union s !used in
+  let rec collect = function
+    | Plan.Scan _ -> ()
+    | Plan.Select (p, i) ->
+      use_set (Pred.cols p);
+      collect i
+    | Plan.Project (items, i) ->
+      List.iter (fun (e, _) -> use_set (Expr.cols e)) items;
+      collect i
+    | Plan.Join (p, l, r) ->
+      use_set (Pred.cols p);
+      collect l;
+      collect r
+    | Plan.Aggregate { keys; aggs; input } ->
+      use_set (attr_set keys);
+      List.iter (fun (a : Expr.agg) -> use_set (Expr.cols a.arg)) aggs;
+      collect input
+    | Plan.Union xs -> List.iter collect xs
+  in
+  collect plan;
+  (* also keep the plan's own outputs (a bare scan as root, etc.) *)
+  use_set (attr_set (output_attrs ~table_cols plan));
+  let rec rewrite = function
+    | Plan.Scan { table; alias } as scan ->
+      let cols = table_cols table in
+      let needed =
+        List.filter (fun c -> Attr.Set.mem (Attr.make ~rel:alias ~name:c) !used) cols
+      in
+      if List.length needed = List.length cols || needed = [] then scan
+      else
+        Plan.Project
+          ( List.map
+              (fun c ->
+                let a = Attr.make ~rel:alias ~name:c in
+                (Expr.Col a, a))
+              needed,
+            scan )
+    | Plan.Select (p, i) -> Plan.Select (p, rewrite i)
+    | Plan.Project (items, i) -> Plan.Project (items, rewrite i)
+    | Plan.Join (p, l, r) -> Plan.Join (p, rewrite l, rewrite r)
+    | Plan.Aggregate { keys; aggs; input } -> Plan.Aggregate { keys; aggs; input = rewrite input }
+    | Plan.Union xs -> Plan.Union (List.map rewrite xs)
+  in
+  rewrite plan
+
+let normalize ~table_cols plan =
+  plan |> pushdown ~table_cols |> prune_columns ~table_cols
+
+(* --- canonicalization (memo group identity) --- *)
+
+(* A canonical representative for a logical expression: join trees are
+   flattened and rebuilt left-deep over leaves sorted by their printed
+   form, with the full join predicate at the top join; conjunct lists
+   are sorted. Two expressions produced by commutativity/associativity
+   rewrites therefore share one representative. *)
+let rec canon (plan : Plan.t) : Plan.t =
+  match plan with
+  | Plan.Scan _ -> plan
+  | Plan.Select (p, i) ->
+    let conj =
+      Pred.conjuncts p |> List.sort Pred.compare_pred |> Pred.conj_all
+    in
+    Plan.Select (conj, canon i)
+  | Plan.Project (items, i) -> Plan.Project (items, canon i)
+  | Plan.Join _ ->
+    let leaves, preds = flatten plan in
+    let leaves = List.sort Plan.compare (List.map canon leaves) in
+    let preds = List.sort Pred.compare_pred preds in
+    (match leaves with
+    | [] -> assert false
+    | first :: rest ->
+      let joined =
+        List.fold_left (fun acc leaf -> Plan.Join (Pred.True, acc, leaf)) first rest
+      in
+      (* attach the whole predicate at the topmost join *)
+      (match joined with
+      | Plan.Join (_, l, r) -> Plan.Join (Pred.conj_all preds, l, r)
+      | other -> wrap other preds))
+  | Plan.Aggregate { keys; aggs; input } ->
+    let keys = List.sort Attr.compare keys in
+    let aggs =
+      List.sort (fun (a : Expr.agg) (b : Expr.agg) -> String.compare a.alias b.alias) aggs
+    in
+    Plan.Aggregate { keys; aggs; input = canon input }
+  | Plan.Union xs -> Plan.Union (List.sort Plan.compare (List.map canon xs))
+
+and flatten = function
+  | Plan.Join (p, l, r) ->
+    let ll, lp = flatten l in
+    let rl, rp = flatten r in
+    (ll @ rl, Pred.conjuncts p @ lp @ rp)
+  | other -> ([ other ], [])

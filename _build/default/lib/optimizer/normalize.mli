@@ -1,0 +1,22 @@
+(** Deterministic logical rewrites applied before memo exploration.
+
+    Selection pushdown distributes WHERE conjuncts to the deepest
+    operator they can sit on; column pruning wraps every scan in a
+    projection keeping only the columns the plan uses — the paper's
+    "masking via projection" (a restricted column that is never
+    referenced disappears before any SHIP could expose it). *)
+
+open Relalg
+
+val pushdown : table_cols:(string -> string list) -> Plan.t -> Plan.t
+val prune_columns : table_cols:(string -> string list) -> Plan.t -> Plan.t
+
+val normalize : table_cols:(string -> string list) -> Plan.t -> Plan.t
+(** [pushdown] followed by [prune_columns]. *)
+
+val canon : Plan.t -> Plan.t
+(** Canonical representative used as memo-group identity: join trees are
+    flattened and rebuilt left-deep over sorted leaves with the full
+    join predicate on top; conjunct and key lists are sorted. Plans
+    related by join commutativity/associativity share one
+    representative. *)

@@ -1,0 +1,73 @@
+(* End-to-end two-phase optimization (Figure 2): normalize, explore and
+   annotate (phase 1), select sites (phase 2). The [Traditional] mode is
+   the baseline of §7: the same cost-based optimizer without annotation
+   rules, whose plan is placed by the same site selector treating every
+   location as legal, and then classified by the compliance checker. *)
+
+open Relalg
+
+let src = Logs.Src.create "cgqp.optimizer" ~doc:"compliance-based query optimizer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type planned = {
+  plan : Exec.Pplan.t;
+  annotated : Memo.anode;  (* phase-1 plan with execution traits *)
+  phase1_cost : float;  (* location-free cost-model value *)
+  ship_cost : float;  (* simulated data-transfer cost, ms *)
+  groups : int;  (* memo size, for the plan-space experiments *)
+  eval_stats : Policy.Evaluator.stats;
+  violations : Checker.violation list;  (* empty = compliant *)
+}
+
+type outcome = Planned of planned | Rejected of string
+
+let is_compliant = function
+  | Planned p -> p.violations = []
+  | Rejected _ -> false
+
+let optimize ?(mode = Memo.Compliant) ?rules ?objective ?required_order
+    ~(cat : Catalog.t) ~(policies : Policy.Pcatalog.t) (lplan : Plan.t) : outcome =
+  let table_cols = Catalog.table_cols cat in
+  let nplan = Normalize.normalize ~table_cols lplan in
+  let eval_stats = Policy.Evaluator.fresh_stats () in
+  let m = Memo.create ?rules ~eval_stats ~mode ~cat ~policies () in
+  let gid = Memo.ingest m nplan in
+  match Memo.extract ?required_order m gid with
+  | None ->
+    Log.info (fun f -> f "query rejected: no compliant plan in the explored space");
+    Rejected "no compliant execution plan exists in the explored space"
+  | Some (anode, phase1_cost) -> (
+    Log.debug (fun f ->
+        f "phase 1 done: %d memo groups, best cost %.0f, eta=%d"
+          (Memo.group_count m) phase1_cost eval_stats.Policy.Evaluator.eta);
+    match Site_selector.select ?objective ~network:(Catalog.network cat) anode with
+    | None -> Rejected "site selection found no feasible placement"
+    | Some { plan; cost } ->
+      let violations = Checker.certify ~cat ~policies plan in
+      Log.debug (fun f ->
+          f "phase 2 done: ship cost %.2f ms, %d operators, %s" cost
+            (Exec.Pplan.count_ops plan)
+            (if violations = [] then "compliant" else "NON-COMPLIANT"));
+      Planned
+        { plan; annotated = anode; phase1_cost; ship_cost = cost;
+          groups = Memo.group_count m; eval_stats; violations })
+
+(* Convenience: SQL in, placed plan out. *)
+let optimize_sql ?mode ?rules ?objective ?required_order ~cat ~policies sql =
+  let table_cols t =
+    match Catalog.find_table cat t with
+    | Some e -> Some (Catalog.Table_def.col_names e.Catalog.def)
+    | None -> None
+  in
+  let lplan = Sqlfront.Binder.plan_of_sql ~table_cols sql in
+  optimize ?mode ?rules ?objective ?required_order ~cat ~policies lplan
+
+let pp_outcome ppf = function
+  | Rejected reason -> Fmt.pf ppf "REJECTED: %s" reason
+  | Planned p ->
+    Fmt.pf ppf "%s plan (phase-1 cost %.0f, ship cost %.2f ms):@.%a"
+      (if p.violations = [] then "compliant" else "NON-COMPLIANT")
+      p.phase1_cost p.ship_cost
+      (Exec.Pplan.pp ~indent:2)
+      p.plan

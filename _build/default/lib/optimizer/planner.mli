@@ -1,0 +1,51 @@
+(** End-to-end two-phase optimization (Figure 2 of the paper):
+    normalize, explore and annotate (phase 1), select sites (phase 2),
+    certify. *)
+
+open Relalg
+
+type planned = {
+  plan : Exec.Pplan.t;  (** placed physical plan with SHIP operators *)
+  annotated : Memo.anode;  (** the phase-1 plan with execution traits *)
+  phase1_cost : float;  (** location-free cost-model value *)
+  ship_cost : float;  (** simulated data-transfer cost, ms *)
+  groups : int;  (** memo size, for the plan-space experiments *)
+  eval_stats : Policy.Evaluator.stats;  (** η etc. from this run *)
+  violations : Checker.violation list;  (** empty = certified compliant *)
+}
+
+type outcome =
+  | Planned of planned
+  | Rejected of string
+      (** the query has no compliant plan in the explored space — the
+          "reject" arrow of Figure 2 *)
+
+val is_compliant : outcome -> bool
+
+val optimize :
+  ?mode:Memo.mode ->
+  ?rules:Memo.rules ->
+  ?objective:Site_selector.objective ->
+  ?required_order:(Attr.t * bool) list ->
+  cat:Catalog.t ->
+  policies:Policy.Pcatalog.t ->
+  Plan.t ->
+  outcome
+(** Optimize a bound logical plan. [mode] defaults to {!Memo.Compliant};
+    {!Memo.Traditional} is the purely cost-based baseline of §7, whose
+    output is still placed by the same site selector (all locations
+    legal) and then classified by the compliance checker. *)
+
+val optimize_sql :
+  ?mode:Memo.mode ->
+  ?rules:Memo.rules ->
+  ?objective:Site_selector.objective ->
+  ?required_order:(Attr.t * bool) list ->
+  cat:Catalog.t ->
+  policies:Policy.Pcatalog.t ->
+  string ->
+  outcome
+(** Parse, bind and optimize SQL text. Parser/binder errors propagate as
+    exceptions ({!Sqlfront.Parser.Error}, {!Sqlfront.Binder.Error}). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,137 @@
+(* Phase 2 (§6.3): place every operator of the annotated plan at a
+   concrete site, minimizing total data-shipping cost under the message
+   cost model, restricted to each operator's execution trait. Memoized
+   recursive top-down dynamic programming — Algorithm 2 of the paper. *)
+
+module Locset = Catalog.Location.Set
+
+let infinity_cost = Float.max_float
+
+type placement = { plan : Exec.Pplan.t; cost : float }
+
+(* Optimization objective, cf. the paper's §3.3 discussion: [`Total]
+   minimizes the sum of all transfers (total query execution cost);
+   [`Response_time] treats sibling subtrees as shipping in parallel and
+   minimizes the critical path. *)
+type objective = [ `Total | `Response_time ]
+
+(* [select ~network anode] returns the cheapest compliant placement, or
+   None if some operator has an empty execution trait (cannot happen for
+   plans produced by the compliant annotator). *)
+let select ?(objective = `Total) ~(network : Catalog.Network.t) (root : Memo.anode) :
+    placement option =
+  let memo : (int * Catalog.Location.t, float) Hashtbl.t = Hashtbl.create 256 in
+  let choice : (int * Catalog.Location.t, Catalog.Location.t list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* CostOf(n, l): minimum cost of computing [n]'s subtree with [n]
+     executing at [l]; records the chosen child locations. *)
+  let rec cost_of (n : Memo.anode) (l : Catalog.Location.t) : float =
+    match Hashtbl.find_opt memo (n.uid, l) with
+    | Some c -> c
+    | None ->
+      let c =
+        match n.children with
+        | [] ->
+          (* base case: a table scan is free at the table's location and
+             impossible elsewhere *)
+          if Locset.mem l n.exec then 0. else infinity_cost
+        | children ->
+          let per_child =
+            List.map
+              (fun (child : Memo.anode) ->
+                let bytes = child.rows *. child.width in
+                Locset.fold
+                  (fun l' best ->
+                    let c' = cost_of child l' in
+                    if c' >= infinity_cost then best
+                    else
+                      let total =
+                        c'
+                        +. Catalog.Network.ship_cost network ~from_loc:l' ~to_loc:l ~bytes
+                      in
+                      match best with
+                      | Some (_, bc) when bc <= total -> best
+                      | _ -> Some (l', total))
+                  child.exec None)
+              children
+          in
+          if List.for_all Option.is_some per_child then begin
+            Hashtbl.replace choice (n.uid, l)
+              (List.map (fun o -> fst (Option.get o)) per_child);
+            match objective with
+            | `Total ->
+              List.fold_left (fun acc o -> acc +. snd (Option.get o)) 0. per_child
+            | `Response_time ->
+              (* children ship concurrently: the critical path governs *)
+              List.fold_left
+                (fun acc o -> Float.max acc (snd (Option.get o)))
+                0. per_child
+          end
+          else infinity_cost
+      in
+      Hashtbl.replace memo (n.uid, l) c;
+      c
+  in
+  (* pick the best root location among the root's execution trait *)
+  let best =
+    Locset.fold
+      (fun l acc ->
+        let c = cost_of root l in
+        match acc with
+        | Some (_, bc) when bc <= c -> acc
+        | _ when c >= infinity_cost -> acc
+        | _ -> Some (l, c))
+      root.exec None
+  in
+  match best with
+  | None -> None
+  | Some (root_loc, total) ->
+    let rec build (n : Memo.anode) (l : Catalog.Location.t) : Exec.Pplan.t =
+      let child_locs =
+        match Hashtbl.find_opt choice (n.uid, l) with Some ls -> ls | None -> []
+      in
+      let children = List.map2 build n.children child_locs in
+      {
+        Exec.Pplan.node = n.shape;
+        loc = l;
+        children;
+        est = { Exec.Pplan.est_rows = n.rows; est_width = n.width };
+      }
+    in
+    let placed = build root root_loc in
+    Some { plan = Exec.Pplan.with_ships placed; cost = total }
+
+(* Exhaustive reference implementation used by the tests to validate the
+   DP: enumerates every assignment of locations (exponential). *)
+let brute_force ~(network : Catalog.Network.t) (root : Memo.anode) : float option =
+  let rec go (n : Memo.anode) : (Catalog.Location.t * float) list =
+    match n.children with
+    | [] -> Locset.fold (fun l acc -> (l, 0.) :: acc) n.exec []
+    | children ->
+      let child_choices = List.map go children in
+      Locset.fold
+        (fun l acc ->
+          let cost =
+            List.fold_left2
+              (fun acc (child : Memo.anode) choices ->
+                let best =
+                  List.fold_left
+                    (fun b (l', c') ->
+                      let t =
+                        c'
+                        +. Catalog.Network.ship_cost network ~from_loc:l' ~to_loc:l
+                             ~bytes:(child.rows *. child.width)
+                      in
+                      Float.min b t)
+                    infinity_cost choices
+                in
+                acc +. best)
+              0. children child_choices
+          in
+          (l, cost) :: acc)
+        n.exec []
+  in
+  match go root with
+  | [] -> None
+  | xs -> Some (List.fold_left (fun b (_, c) -> Float.min b c) infinity_cost xs)

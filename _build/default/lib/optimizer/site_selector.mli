@@ -1,0 +1,23 @@
+(** Phase 2 (§6.3): place every operator of the annotated plan at a
+    concrete site, minimizing total shipping cost under the message
+    cost model, restricted to each operator's execution trait —
+    Algorithm 2 of the paper, as memoized top-down dynamic
+    programming. *)
+
+type placement = { plan : Exec.Pplan.t; cost : float }
+
+type objective = [ `Total | `Response_time ]
+(** [`Total] minimizes the sum of all transfers (the paper's default
+    total-cost model); [`Response_time] treats sibling subtrees as
+    shipping in parallel and minimizes the critical path (the
+    alternative cost model of the §3.3 discussion). *)
+
+val select :
+  ?objective:objective -> network:Catalog.Network.t -> Memo.anode -> placement option
+(** Cheapest compliant placement (with SHIP operators inserted), or
+    [None] if some operator's execution trait admits no feasible
+    site. *)
+
+val brute_force : network:Catalog.Network.t -> Memo.anode -> float option
+(** Exhaustive reference used by the tests to validate the DP
+    (exponential; small plans only). *)

@@ -1,0 +1,144 @@
+(* Cardinality and width estimation for logical plans, driven by catalog
+   statistics. Standard System-R style selectivities; the absolute
+   numbers only matter relative to one another, exactly as in the
+   paper's cost model (§6, "cost functions are based on input
+   cardinalities"). *)
+
+open Relalg
+
+type col_info = { distinct : float; width : float; lo : float option; hi : float option }
+
+type node_est = {
+  rows : float;
+  cols : (Attr.t * col_info) list;
+}
+
+let default_col = { distinct = 1000.; width = 8.; lo = None; hi = None }
+
+let width_of est =
+  List.fold_left (fun acc (_, c) -> acc +. c.width) 0. est.cols
+
+let find_col est a =
+  match List.find_opt (fun (b, _) -> Attr.equal a b) est.cols with
+  | Some (_, c) -> c
+  | None -> (
+    (* fall back to a unique bare-name match (post-projection refs) *)
+    match
+      List.filter (fun ((b : Attr.t), _) -> String.equal a.Attr.name b.Attr.name) est.cols
+    with
+    | [ (_, c) ] -> c
+    | _ -> default_col)
+
+let numeric_of_value v = Value.to_float v
+
+(* Selectivity of one atom. *)
+let rec selectivity est (p : Pred.t) : float =
+  match p with
+  | Pred.True -> 1.0
+  | Pred.False -> 0.0
+  | Pred.And (l, r) -> selectivity est l *. selectivity est r
+  | Pred.Or (l, r) ->
+    let a = selectivity est l and b = selectivity est r in
+    Float.min 1.0 (a +. b -. (a *. b))
+  | Pred.Not q -> Float.max 0.0 (1.0 -. selectivity est q)
+  | Pred.Atom atom -> atom_selectivity est atom
+
+and atom_selectivity est = function
+  | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
+    1.0 /. Float.max (find_col est a).distinct (find_col est b).distinct
+  | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Const _)
+  | Pred.Cmp (Pred.Eq, Expr.Const _, Expr.Col a) ->
+    1.0 /. Float.max 1.0 (find_col est a).distinct
+  | Pred.Cmp (Pred.Ne, _, _) -> 0.9
+  | Pred.Cmp ((Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge) as c, Expr.Col a, Expr.Const v)
+  | Pred.Cmp ((Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge) as c, Expr.Const v, Expr.Col a) -> (
+    (* interpolate within [lo, hi] when known *)
+    let info = find_col est a in
+    match info.lo, info.hi, numeric_of_value v with
+    | Some lo, Some hi, Some x when hi > lo ->
+      let frac_below = Float.max 0.0 (Float.min 1.0 ((x -. lo) /. (hi -. lo))) in
+      let s =
+        match c with
+        | Pred.Lt | Pred.Le -> frac_below
+        | Pred.Gt | Pred.Ge -> 1.0 -. frac_below
+        | Pred.Eq | Pred.Ne -> 0.3
+      in
+      Float.max 0.005 s
+    | _ -> 0.33)
+  | Pred.Cmp ((Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge), _, _) -> 0.33
+  | Pred.Cmp (Pred.Eq, _, _) -> 0.05
+  | Pred.Like (_, _) -> 0.15
+  | Pred.In (Expr.Col a, vs) ->
+    Float.min 1.0 (float_of_int (List.length vs) /. Float.max 1.0 (find_col est a).distinct)
+  | Pred.In (_, vs) -> Float.min 1.0 (0.05 *. float_of_int (List.length vs))
+  | Pred.Is_null _ -> 0.02
+  | Pred.Not_null _ -> 0.98
+
+(* Column info of a scalar expression. *)
+let scalar_info est = function
+  | Expr.Col a -> find_col est a
+  | Expr.Const v ->
+    { distinct = 1.; width = float_of_int (Value.byte_width v); lo = None; hi = None }
+  | Expr.Binop (_, _, _) as e ->
+    let cols = Attr.Set.elements (Expr.cols e) in
+    let distinct =
+      List.fold_left (fun acc a -> Float.max acc (find_col est a).distinct) 1. cols
+    in
+    { distinct; width = 8.; lo = None; hi = None }
+
+let clamp_distinct rows c = { c with distinct = Float.min c.distinct rows }
+
+let rec estimate (cat : Catalog.t) (plan : Plan.t) : node_est =
+  match plan with
+  | Plan.Scan { table; alias } -> scan_est cat ~table ~alias ~fraction:1.0
+  | Plan.Select (p, i) ->
+    let e = estimate cat i in
+    let rows = Float.max 1.0 (e.rows *. selectivity e p) in
+    { rows; cols = List.map (fun (a, c) -> (a, clamp_distinct rows c)) e.cols }
+  | Plan.Project (items, i) ->
+    let e = estimate cat i in
+    { rows = e.rows;
+      cols = List.map (fun (ex, n) -> (n, clamp_distinct e.rows (scalar_info e ex))) items }
+  | Plan.Join (p, l, r) ->
+    let el = estimate cat l and er = estimate cat r in
+    let cross = { rows = el.rows *. er.rows; cols = el.cols @ er.cols } in
+    let rows = Float.max 1.0 (cross.rows *. selectivity cross p) in
+    { rows; cols = List.map (fun (a, c) -> (a, clamp_distinct rows c)) cross.cols }
+  | Plan.Aggregate { keys; aggs; input } ->
+    let e = estimate cat input in
+    let group_count =
+      if keys = [] then 1.0
+      else
+        List.fold_left (fun acc k -> acc *. (find_col e k).distinct) 1.0 keys
+        |> Float.min (e.rows /. 2.0)
+        |> Float.max 1.0
+    in
+    let key_cols = List.map (fun k -> (k, clamp_distinct group_count (find_col e k))) keys in
+    let agg_cols =
+      List.map
+        (fun (a : Expr.agg) ->
+          ( Attr.unqualified a.alias,
+            { distinct = group_count; width = 8.; lo = None; hi = None } ))
+        aggs
+    in
+    { rows = group_count; cols = key_cols @ agg_cols }
+  | Plan.Union xs ->
+    let es = List.map (estimate cat) xs in
+    let rows = List.fold_left (fun acc e -> acc +. e.rows) 0.0 es in
+    let cols = match es with [] -> [] | e :: _ -> e.cols in
+    { rows; cols = List.map (fun (a, c) -> (a, clamp_distinct rows c)) cols }
+
+and scan_est cat ~table ~alias ~fraction : node_est =
+  let def = Catalog.table_def cat table in
+  let rows = Float.max 1.0 (float_of_int def.Catalog.Table_def.row_count *. fraction) in
+  let cols =
+    List.map
+      (fun (c : Catalog.Table_def.column) ->
+        let s = c.stat in
+        ( Attr.make ~rel:alias ~name:c.cname,
+          clamp_distinct rows
+            { distinct = float_of_int s.distinct; width = float_of_int s.width;
+              lo = s.lo; hi = s.hi } ))
+      def.Catalog.Table_def.columns
+  in
+  { rows; cols }

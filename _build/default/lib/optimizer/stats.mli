@@ -1,0 +1,27 @@
+(** Cardinality and width estimation for logical plans, driven by
+    catalog statistics. System-R style selectivities; only relative
+    magnitudes matter, exactly as in the paper's cost model (§6). *)
+
+open Relalg
+
+type col_info = {
+  distinct : float;
+  width : float;
+  lo : float option;
+  hi : float option;
+}
+
+type node_est = { rows : float; cols : (Attr.t * col_info) list }
+
+val width_of : node_est -> float
+(** Estimated row width in bytes. *)
+
+val find_col : node_est -> Attr.t -> col_info
+(** Exact match, then unique bare-name match, then a default. *)
+
+val selectivity : node_est -> Pred.t -> float
+
+val estimate : Catalog.t -> Plan.t -> node_est
+
+val scan_est : Catalog.t -> table:string -> alias:string -> fraction:float -> node_est
+(** Estimate for one partition of a table ([fraction] of its rows). *)

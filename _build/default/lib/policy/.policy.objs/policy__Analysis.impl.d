@@ -1,0 +1,1 @@
+lib/policy/analysis.ml: Catalog Expr Expression Fmt Implication List Pcatalog Pred Relalg String

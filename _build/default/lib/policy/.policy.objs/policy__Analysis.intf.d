@@ -1,0 +1,1 @@
+lib/policy/analysis.mli: Catalog Expr Expression Format Pcatalog Relalg

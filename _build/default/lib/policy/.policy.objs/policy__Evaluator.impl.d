@@ -1,0 +1,1 @@
+lib/policy/evaluator.ml: Catalog Expr Expression Implication List Option Pcatalog Relalg String Summary

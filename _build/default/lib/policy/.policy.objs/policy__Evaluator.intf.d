@@ -1,0 +1,1 @@
+lib/policy/evaluator.mli: Catalog Expr Pcatalog Relalg Summary

@@ -1,0 +1,1 @@
+lib/policy/expression.ml: Attr Catalog Expr Fmt List Option Pred Relalg Sqlfront String

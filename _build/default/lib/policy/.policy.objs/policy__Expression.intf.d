@@ -1,0 +1,1 @@
+lib/policy/expression.mli: Catalog Expr Format Pred Relalg Sqlfront

@@ -1,0 +1,1 @@
+lib/policy/implication.ml: Attr Expr List Pred Relalg Value

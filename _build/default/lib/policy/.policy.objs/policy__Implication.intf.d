@@ -1,0 +1,1 @@
+lib/policy/implication.mli: Pred Relalg

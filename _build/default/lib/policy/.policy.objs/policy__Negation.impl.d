@@ -1,0 +1,1 @@
+lib/policy/negation.ml: Catalog Expression Fmt List Pcatalog Printf Relalg Sqlfront String

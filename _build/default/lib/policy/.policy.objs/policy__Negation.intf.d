@@ -1,0 +1,1 @@
+lib/policy/negation.mli: Catalog Expression Format Pcatalog Relalg

@@ -1,0 +1,1 @@
+lib/policy/pcatalog.ml: Catalog Expression Fmt List Map String

@@ -1,0 +1,1 @@
+lib/policy/pcatalog.mli: Catalog Expression Format

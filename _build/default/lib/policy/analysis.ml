@@ -1,0 +1,144 @@
+(* Static analysis of a policy catalog, for the data officer's benefit:
+
+   - per-table coverage: for each column, where may it go raw
+     (unconditionally or under some row condition) and where only in
+     aggregate form;
+   - redundancy: expressions subsumed by another expression that grants
+     at least as much under conditions at least as weak;
+   - dead expressions: grants whose target locations add nothing beyond
+     the table's home site.
+
+   None of this affects evaluation — it is tooling over the catalog. *)
+
+open Relalg
+module Locset = Catalog.Location.Set
+
+type column_coverage = {
+  column : string;
+  raw_unconditional : Locset.t;  (* basic grants with no row condition *)
+  raw_conditional : Locset.t;  (* additional sites reachable under conditions *)
+  aggregate_only : (Expr.agg_fn * Locset.t) list;  (* per sanctioned function *)
+}
+
+let coverage (cat : Catalog.t) (policies : Pcatalog.t) (table : string) :
+    column_coverage list =
+  let def = Catalog.table_def cat table in
+  let exprs = Pcatalog.for_table policies table in
+  List.map
+    (fun (c : Catalog.Table_def.column) ->
+      let col = c.cname in
+      let raw_unconditional, raw_conditional =
+        List.fold_left
+          (fun (unc, cond) (e : Expression.t) ->
+            if Expression.is_basic e && List.mem col e.Expression.ship_cols then
+              if e.Expression.pred = Pred.True then
+                (Locset.union unc e.Expression.to_locs, cond)
+              else (unc, Locset.union cond e.Expression.to_locs)
+            else (unc, cond))
+          (Locset.empty, Locset.empty) exprs
+      in
+      let aggregate_only =
+        List.fold_left
+          (fun acc (e : Expression.t) ->
+            if Expression.is_aggregate e && List.mem col e.Expression.ship_cols then
+              List.fold_left
+                (fun acc fn ->
+                  let prev =
+                    match List.assoc_opt fn acc with
+                    | Some l -> l
+                    | None -> Locset.empty
+                  in
+                  (fn, Locset.union prev e.Expression.to_locs)
+                  :: List.remove_assoc fn acc)
+                acc e.Expression.agg_fns
+            else acc)
+          [] exprs
+      in
+      { column = col;
+        raw_unconditional;
+        raw_conditional = Locset.diff raw_conditional raw_unconditional;
+        aggregate_only })
+    def.Catalog.Table_def.columns
+
+(* Does [by] grant at least everything [e] grants? Uses the sound
+   implication test, so the answer errs towards "not subsumed". *)
+let subsumes ~(by : Expression.t) (e : Expression.t) : bool =
+  by != e
+  && String.equal by.Expression.table e.Expression.table
+  && List.for_all
+       (fun c -> List.mem c by.Expression.ship_cols)
+       e.Expression.ship_cols
+  && Locset.subset e.Expression.to_locs by.Expression.to_locs
+  && Implication.implies e.Expression.pred by.Expression.pred
+  &&
+  match Expression.is_basic e, Expression.is_basic by with
+  | _, true ->
+    (* a raw grant dominates any grant of the same cells *)
+    true
+  | true, false ->
+    (* an aggregate-only grant never covers a raw grant *)
+    false
+  | false, false ->
+    (* aggregate grants: at least the same functions and at least as
+       fine-grained grouping *)
+    List.for_all (fun f -> List.mem f by.Expression.agg_fns) e.Expression.agg_fns
+    && List.for_all
+         (fun g -> List.mem g by.Expression.group_by)
+         e.Expression.group_by
+
+(* Expressions made redundant by some other expression of the catalog,
+   paired with a witness. *)
+let redundant (policies : Pcatalog.t) : (Expression.t * Expression.t) list =
+  let all = Pcatalog.all policies in
+  List.filter_map
+    (fun e ->
+      match List.find_opt (fun by -> subsumes ~by e) all with
+      | Some by -> Some (e, by)
+      | None -> None)
+    all
+
+(* Grants that only name the table's own home site (no-ops under the
+   home-location rule). *)
+let dead (cat : Catalog.t) (policies : Pcatalog.t) : Expression.t list =
+  List.filter
+    (fun (e : Expression.t) ->
+      match Catalog.placements cat e.Expression.table with
+      | [ p ] -> Locset.subset e.Expression.to_locs (Locset.singleton p.Catalog.location)
+      | _ -> false)
+    (Pcatalog.all policies)
+
+let pp_column_coverage ppf (c : column_coverage) =
+  Fmt.pf ppf "%-14s raw: %a%s%s" c.column Locset.pp c.raw_unconditional
+    (if Locset.is_empty c.raw_conditional then ""
+     else Fmt.str "  +cond: %a" Locset.pp c.raw_conditional)
+    (match c.aggregate_only with
+    | [] -> ""
+    | fns ->
+      Fmt.str "  agg: %s"
+        (String.concat ", "
+           (List.map
+              (fun (fn, locs) ->
+                Fmt.str "%s->%a" (Expr.agg_fn_to_string fn) Locset.pp locs)
+              fns)))
+
+let pp_report ppf (cat, policies) =
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      let t = entry.Catalog.def.Catalog.Table_def.name in
+      Fmt.pf ppf "@.%s (home %s):@." t (Catalog.home_location cat t);
+      List.iter (fun c -> Fmt.pf ppf "  %a@." pp_column_coverage c)
+        (coverage cat policies t))
+    (Catalog.all_tables cat);
+  (match redundant policies with
+  | [] -> Fmt.pf ppf "@.no redundant expressions@."
+  | rs ->
+    Fmt.pf ppf "@.redundant expressions:@.";
+    List.iter
+      (fun ((e : Expression.t), (by : Expression.t)) ->
+        Fmt.pf ppf "  %s@.    subsumed by: %s@." e.Expression.text by.Expression.text)
+      rs);
+  match dead cat policies with
+  | [] -> ()
+  | ds ->
+    Fmt.pf ppf "@.no-op expressions (grant only the home site):@.";
+    List.iter (fun (e : Expression.t) -> Fmt.pf ppf "  %s@." e.Expression.text) ds

@@ -1,0 +1,33 @@
+(** Static analysis of a policy catalog, for data officers: per-column
+    coverage matrices, redundant expressions, and no-op grants. Pure
+    tooling over the catalog — evaluation is unaffected. *)
+
+open Relalg
+module Locset = Catalog.Location.Set
+
+type column_coverage = {
+  column : string;
+  raw_unconditional : Locset.t;
+      (** sites reachable raw with no row condition *)
+  raw_conditional : Locset.t;
+      (** additional sites reachable raw under some row condition *)
+  aggregate_only : (Expr.agg_fn * Locset.t) list;
+      (** sites reachable only in aggregated form, per function *)
+}
+
+val coverage : Catalog.t -> Pcatalog.t -> string -> column_coverage list
+(** One row per column of the table. *)
+
+val subsumes : by:Expression.t -> Expression.t -> bool
+(** Does [by] grant at least everything the other expression grants
+    (columns, locations, functions, grouping) under conditions at least
+    as weak? Sound: errs towards [false]. *)
+
+val redundant : Pcatalog.t -> (Expression.t * Expression.t) list
+(** Expressions subsumed by another expression, with a witness. *)
+
+val dead : Catalog.t -> Pcatalog.t -> Expression.t list
+(** Grants that only name the table's own home site. *)
+
+val pp_column_coverage : Format.formatter -> column_coverage -> unit
+val pp_report : Format.formatter -> Catalog.t * Pcatalog.t -> unit

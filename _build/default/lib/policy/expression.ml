@@ -1,0 +1,99 @@
+(* A bound (name-resolved) policy expression, cf. §4 of the paper.
+   [ship_cols] is the concrete column list ("*" is expanded at bind
+   time); [to_locs] likewise. The predicate is expressed over base
+   columns [Attr {rel = table; name = column}]. *)
+
+open Relalg
+
+type t = {
+  table : string;  (* global table name *)
+  ship_cols : string list;  (* A_e *)
+  agg_fns : Expr.agg_fn list;  (* F_e; empty for basic expressions *)
+  to_locs : Catalog.Location.Set.t;  (* L_e *)
+  pred : Pred.t;  (* P_e, over base columns *)
+  group_by : string list;  (* G_e *)
+  text : string;  (* original statement, for display *)
+}
+
+let is_basic e = e.agg_fns = []
+let is_aggregate e = e.agg_fns <> []
+
+exception Bind_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Bind_error m)) fmt
+
+(* Resolve a parsed policy statement against the catalog. Location names
+   are matched case-insensitively against the catalog's site list. *)
+let of_ast (cat : Catalog.t) (stmt : Sqlfront.Ast.policy_stmt) ~text : t =
+  let table = stmt.p_table in
+  let def =
+    match Catalog.find_table cat table with
+    | Some e -> e.Catalog.def
+    | None -> fail "policy references unknown table %s" table
+  in
+  (* When a database qualifier is given, check it matches a placement. *)
+  (match stmt.p_db with
+  | None -> ()
+  | Some db ->
+    let ok =
+      List.exists
+        (fun (p : Catalog.placement) -> String.equal (String.lowercase_ascii p.db) db)
+        (Catalog.placements cat table)
+    in
+    if not ok then fail "table %s is not stored in database %s" table db);
+  let all_cols = Catalog.Table_def.col_names def in
+  let ship_cols =
+    match stmt.ship_attrs with
+    | Sqlfront.Ast.All_attrs -> all_cols
+    | Sqlfront.Ast.Attr_list cs ->
+      List.iter
+        (fun c -> if not (List.mem c all_cols) then fail "unknown column %s.%s" table c)
+        cs;
+      cs
+  in
+  let locations = Catalog.locations cat in
+  let canon_loc l =
+    let l' = String.lowercase_ascii l in
+    match
+      List.find_opt (fun k -> String.equal (String.lowercase_ascii k) l') locations
+    with
+    | Some k -> k
+    | None -> fail "unknown location %s" l
+  in
+  let to_locs =
+    match stmt.to_locs with
+    | Sqlfront.Ast.All_locs -> Catalog.Location.Set.of_list locations
+    | Sqlfront.Ast.Loc_list ls -> Catalog.Location.Set.of_list (List.map canon_loc ls)
+  in
+  let group_by =
+    List.map
+      (fun c ->
+        if not (List.mem c all_cols) then fail "unknown group-by column %s.%s" table c;
+        c)
+      stmt.p_group_by
+  in
+  (* Normalize predicate columns: the statement may qualify them with the
+     alias or table name, or leave them bare. *)
+  let alias = Option.value stmt.p_alias ~default:table in
+  let pred =
+    Pred.map_cols
+      (fun a ->
+        let rel_ok =
+          a.Attr.rel = "" || String.equal a.Attr.rel alias || String.equal a.Attr.rel table
+        in
+        if not rel_ok then fail "predicate references foreign relation %s" a.Attr.rel;
+        if not (List.mem a.Attr.name all_cols) then
+          fail "predicate references unknown column %s" a.Attr.name;
+        Attr.make ~rel:table ~name:a.Attr.name)
+      stmt.p_where
+  in
+  { table; ship_cols; agg_fns = stmt.aggregates; to_locs; pred; group_by; text }
+
+let parse (cat : Catalog.t) (text : string) : t =
+  let stmt =
+    try Sqlfront.Parser.policy text
+    with Sqlfront.Parser.Error m -> fail "%s (in policy %S)" m text
+  in
+  of_ast cat stmt ~text
+
+let pp ppf e = Fmt.string ppf e.text

@@ -1,0 +1,40 @@
+(** Bound (name-resolved) policy expressions — the paper's §4.
+
+    A policy expression declares which cells of a table may legally be
+    shipped to which locations, optionally only in aggregated form:
+
+    {v
+    ship <columns|*> from [db.]table [alias] to <locations|*>
+        [where <condition>]
+    ship <columns> as aggregates <fns> from [db.]table to <locations>
+        [where <condition>] group by <columns>
+    v} *)
+
+open Relalg
+
+type t = {
+  table : string;  (** global table name *)
+  ship_cols : string list;  (** A_e; ["*"] is expanded at bind time *)
+  agg_fns : Expr.agg_fn list;  (** F_e; empty for basic expressions *)
+  to_locs : Catalog.Location.Set.t;  (** L_e *)
+  pred : Pred.t;  (** P_e, over base columns *)
+  group_by : string list;  (** G_e *)
+  text : string;  (** original statement, for display *)
+}
+
+val is_basic : t -> bool
+val is_aggregate : t -> bool
+
+exception Bind_error of string
+
+val of_ast : Catalog.t -> Sqlfront.Ast.policy_stmt -> text:string -> t
+(** Resolve a parsed statement: checks table, columns and database
+    qualifier against the catalog; matches location names
+    case-insensitively; normalizes predicate columns to
+    [Attr {rel = table; _}]. Raises {!Bind_error} on any mismatch. *)
+
+val parse : Catalog.t -> string -> t
+(** Parse then bind. Raises {!Bind_error} (including on syntax
+    errors). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** Sound-but-incomplete logical implication test (the paper's §5
+    "Discussion", in the spirit of Goldstein & Larson).
+
+    [implies pq pe] returns true only if every row binding that
+    satisfies [pq] under {!Relalg.Pred.eval} — including bindings with
+    NULLs — also satisfies [pe]. The test works on bounded DNF with
+    per-attribute range/domain reasoning and syntactic matching;
+    multi-attribute arithmetic defeats it ([A=5 AND B=3 =/=> A+B=8], the
+    paper's own example). *)
+
+open Relalg
+
+type literal = Pos of Pred.atom | Neg of Pred.atom
+
+val dnf : Pred.t -> literal list list option
+(** Bounded disjunctive normal form; [None] when the expansion exceeds
+    the internal limit. [[[]]] is [True], [[]] is [False]. *)
+
+val conj_implies_literal : literal list -> literal -> bool
+val conj_implies_conj : literal list -> literal list -> bool
+
+val implies : Pred.t -> Pred.t -> bool
+(** The sound test for [pq => pe]. *)

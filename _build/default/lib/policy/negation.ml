@@ -1,0 +1,71 @@
+(* Negative policy statements, cf. §4 "Disclosure Model": specifying
+   what is *not* allowed is sometimes more convenient; under the closed
+   world assumption such statements are handled by a preprocessing step
+   that subtracts the denied shipments from the positive grants.
+
+   A deny statement shares the ship grammar:
+
+     deny <columns|*> from [db.]table to <locations|*> [where <cond>]
+
+   Preprocessing is conservative: a grant whose ship (or group-by)
+   attributes intersect the denied columns loses the denied locations
+   outright — even when the deny carries a row condition, since a grant
+   cannot be partially honoured without row-level enforcement. Grants
+   whose location set becomes empty are dropped. *)
+
+type t = {
+  d_table : string;
+  d_cols : string list;
+  d_locs : Catalog.Location.Set.t;
+  d_pred : Relalg.Pred.t;  (* recorded for display; subtraction ignores it *)
+  d_text : string;
+}
+
+let parse (cat : Catalog.t) (text : string) : t =
+  let stmt =
+    try Sqlfront.Parser.deny text
+    with Sqlfront.Parser.Error m ->
+      raise (Expression.Bind_error (Printf.sprintf "%s (in deny %S)" m text))
+  in
+  if stmt.Sqlfront.Ast.aggregates <> [] then
+    raise (Expression.Bind_error "deny statements cannot carry aggregates");
+  (* reuse the positive binder for validation and normalization *)
+  let e = Expression.of_ast cat stmt ~text in
+  {
+    d_table = e.Expression.table;
+    d_cols = e.Expression.ship_cols;
+    d_locs = e.Expression.to_locs;
+    d_pred = e.Expression.pred;
+    d_text = text;
+  }
+
+let affects (d : t) (e : Expression.t) =
+  String.equal d.d_table e.Expression.table
+  && List.exists
+       (fun c ->
+         List.exists (String.equal c) e.Expression.ship_cols
+         || List.exists (String.equal c) e.Expression.group_by)
+       d.d_cols
+
+(* Subtract every deny from every affected grant. *)
+let apply ~(denies : t list) (grants : Expression.t list) : Expression.t list =
+  List.filter_map
+    (fun (e : Expression.t) ->
+      let to_locs =
+        List.fold_left
+          (fun locs d ->
+            if affects d e then Catalog.Location.Set.diff locs d.d_locs else locs)
+          e.Expression.to_locs denies
+      in
+      if Catalog.Location.Set.is_empty to_locs then None
+      else Some { e with Expression.to_locs })
+    grants
+
+(* Convenience: build a policy catalog from positive and negative
+   statement texts. *)
+let catalog_of_texts (cat : Catalog.t) ~grants ~denies : Pcatalog.t =
+  let gs = List.map (Expression.parse cat) grants in
+  let ds = List.map (parse cat) denies in
+  Pcatalog.make (apply ~denies:ds gs)
+
+let pp ppf d = Fmt.string ppf d.d_text

@@ -1,0 +1,33 @@
+(** Negative policy statements, cf. the paper's §4 "Disclosure Model":
+    specifying what is {e not} allowed is sometimes more convenient;
+    under the closed-world assumption such statements are handled by a
+    preprocessing step that subtracts the denied shipments from the
+    positive grants.
+
+    {v deny <columns|*> from [db.]table to <locations|*> [where <cond>] v}
+
+    Preprocessing is conservative: a grant whose ship or group-by
+    attributes intersect the denied columns loses the denied locations
+    outright (row conditions on the deny are not used to keep partial
+    grants); grants whose location set becomes empty are dropped. *)
+
+type t = {
+  d_table : string;
+  d_cols : string list;
+  d_locs : Catalog.Location.Set.t;
+  d_pred : Relalg.Pred.t;  (** recorded for display; subtraction ignores it *)
+  d_text : string;
+}
+
+val parse : Catalog.t -> string -> t
+(** Raises {!Expression.Bind_error} on malformed statements or
+    aggregate denies. *)
+
+val affects : t -> Expression.t -> bool
+
+val apply : denies:t list -> Expression.t list -> Expression.t list
+
+val catalog_of_texts :
+  Catalog.t -> grants:string list -> denies:string list -> Pcatalog.t
+
+val pp : Format.formatter -> t -> unit

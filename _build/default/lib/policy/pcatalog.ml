@@ -1,0 +1,36 @@
+(* The policy catalog (Figure 2): all policy expressions in force,
+   indexed by the table they govern. *)
+
+module String_map = Map.Make (String)
+
+type t = {
+  by_table : Expression.t list String_map.t;
+  all : Expression.t list;
+}
+
+let empty = { by_table = String_map.empty; all = [] }
+
+let make (exprs : Expression.t list) : t =
+  let by_table =
+    List.fold_left
+      (fun m e ->
+        String_map.update e.Expression.table
+          (function None -> Some [ e ] | Some es -> Some (es @ [ e ]))
+          m)
+      String_map.empty exprs
+  in
+  { by_table; all = exprs }
+
+let of_texts (cat : Catalog.t) (texts : string list) : t =
+  make (List.map (Expression.parse cat) texts)
+
+let for_table t name =
+  match String_map.find_opt (String.lowercase_ascii name) t.by_table with
+  | Some es -> es
+  | None -> []
+
+let all t = t.all
+let size t = List.length t.all
+
+let pp ppf t =
+  Fmt.(list ~sep:(any "@.") Expression.pp) ppf t.all

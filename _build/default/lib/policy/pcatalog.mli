@@ -1,0 +1,21 @@
+(** The policy catalog (Figure 2 of the paper): all policy expressions
+    in force, indexed by the table they govern. Populated offline by the
+    data officers. *)
+
+type t
+
+val empty : t
+
+val make : Expression.t list -> t
+
+val of_texts : Catalog.t -> string list -> t
+(** Parse and bind each statement against the catalog. Raises
+    {!Expression.Bind_error} on invalid statements. *)
+
+val for_table : t -> string -> Expression.t list
+(** Expressions governing a table (case-insensitive), in declaration
+    order. *)
+
+val all : t -> Expression.t list
+val size : t -> int
+val pp : Format.formatter -> t -> unit

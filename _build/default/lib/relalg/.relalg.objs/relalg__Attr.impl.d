@@ -1,0 +1,1 @@
+lib/relalg/attr.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/relalg/attr.mli: Format Map Set

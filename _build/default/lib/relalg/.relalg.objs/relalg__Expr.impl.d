@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Attr Fmt Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relalg/expr.mli: Attr Format Value

@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Attr Expr Fmt Int List Pred Stdlib String

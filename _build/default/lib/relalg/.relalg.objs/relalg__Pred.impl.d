@@ -1,0 +1,1 @@
+lib/relalg/pred.ml: Attr Expr Fmt Hashtbl List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relalg/pred.mli: Attr Expr Format Value

@@ -1,0 +1,1 @@
+lib/relalg/summary.ml: Attr Expr Fmt Fun List Option Plan Pred String

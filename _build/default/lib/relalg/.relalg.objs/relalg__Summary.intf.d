@@ -1,0 +1,1 @@
+lib/relalg/summary.mli: Expr Format Plan Pred

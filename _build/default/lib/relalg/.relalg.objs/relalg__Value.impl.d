@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Bool Float Fmt Hashtbl Int Printf String

@@ -1,0 +1,29 @@
+(* A column reference, qualified by the relation alias (or base table
+   name) it belongs to. [rel = ""] denotes an unqualified reference that
+   name resolution must bind later. *)
+
+type t = { rel : string; name : string }
+
+let make ~rel ~name = { rel = String.lowercase_ascii rel; name = String.lowercase_ascii name }
+let unqualified name = { rel = ""; name = String.lowercase_ascii name }
+let is_qualified a = a.rel <> ""
+
+let compare a b =
+  match String.compare a.rel b.rel with 0 -> String.compare a.name b.name | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf a = if a.rel = "" then Fmt.string ppf a.name else Fmt.pf ppf "%s.%s" a.rel a.name
+let to_string a = Fmt.str "%a" pp a
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,89 @@
+(* Scalar and aggregate expressions appearing in projections, predicates
+   and aggregations. *)
+
+type binop = Add | Sub | Mul | Div
+
+type scalar =
+  | Col of Attr.t
+  | Const of Value.t
+  | Binop of binop * scalar * scalar
+
+type agg_fn = Sum | Count | Min | Max | Avg
+
+(* One aggregate output: [fn] applied to scalar [arg], exposed under
+   [alias]. COUNT( * ) is represented as [Count] over [Const (Int 1)]. *)
+type agg = { fn : agg_fn; arg : scalar; alias : string }
+
+let binop_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let agg_fn_to_string = function
+  | Sum -> "sum"
+  | Count -> "count"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let agg_fn_of_string s =
+  match String.lowercase_ascii s with
+  | "sum" -> Some Sum
+  | "count" -> Some Count
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "avg" -> Some Avg
+  | _ -> None
+
+let rec cols = function
+  | Col a -> Attr.Set.singleton a
+  | Const _ -> Attr.Set.empty
+  | Binop (_, l, r) -> Attr.Set.union (cols l) (cols r)
+
+let rec map_cols f = function
+  | Col a -> Col (f a)
+  | Const v -> Const v
+  | Binop (op, l, r) -> Binop (op, map_cols f l, map_cols f r)
+
+(* Substitute whole column references by scalar expressions; used when
+   pulling projections through operators. *)
+let rec subst (env : scalar Attr.Map.t) = function
+  | Col a as e -> ( match Attr.Map.find_opt a env with Some e' -> e' | None -> e)
+  | Const v -> Const v
+  | Binop (op, l, r) -> Binop (op, subst env l, subst env r)
+
+let rec eval (lookup : Attr.t -> Value.t) = function
+  | Col a -> lookup a
+  | Const v -> v
+  | Binop (op, l, r) -> (
+    let lv = eval lookup l and rv = eval lookup r in
+    match op with
+    | Add -> Value.add lv rv
+    | Sub -> Value.sub lv rv
+    | Mul -> Value.mul lv rv
+    | Div -> Value.div lv rv)
+
+let rec compare_scalar a b =
+  match a, b with
+  | Col x, Col y -> Attr.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Binop (o1, l1, r1), Binop (o2, l2, r2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = compare_scalar l1 l2 in
+      if c <> 0 then c else compare_scalar r1 r2
+  | Col _, (Const _ | Binop _) -> -1
+  | Const _, Col _ -> 1
+  | Const _, Binop _ -> -1
+  | Binop _, (Col _ | Const _) -> 1
+
+let equal_scalar a b = compare_scalar a b = 0
+
+let rec pp_scalar ppf = function
+  | Col a -> Attr.pp ppf a
+  | Const v -> Value.pp ppf v
+  | Binop (op, l, r) ->
+    Fmt.pf ppf "(%a %s %a)" pp_scalar l (binop_to_string op) pp_scalar r
+
+let pp_agg ppf { fn; arg; alias } =
+  Fmt.pf ppf "%s(%a) AS %s" (agg_fn_to_string fn) pp_scalar arg alias
+
+let scalar_to_string e = Fmt.str "%a" pp_scalar e

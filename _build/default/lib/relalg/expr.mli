@@ -1,0 +1,43 @@
+(** Scalar and aggregate expressions.
+
+    Scalars appear in projections and predicates; aggregates in
+    [Plan.Aggregate] operators and in the [as aggregates] clause of
+    policy expressions. *)
+
+type binop = Add | Sub | Mul | Div
+
+type scalar =
+  | Col of Attr.t
+  | Const of Value.t
+  | Binop of binop * scalar * scalar
+
+type agg_fn = Sum | Count | Min | Max | Avg
+
+type agg = { fn : agg_fn; arg : scalar; alias : string }
+(** One aggregate output: [fn] applied to [arg], exposed under [alias].
+    COUNT(star) is represented as [Count] over [Const (Int 1)]. *)
+
+val binop_to_string : binop -> string
+val agg_fn_to_string : agg_fn -> string
+
+val agg_fn_of_string : string -> agg_fn option
+(** Case-insensitive; recognizes sum/count/min/max/avg. *)
+
+val cols : scalar -> Attr.Set.t
+(** All column references in the expression. *)
+
+val map_cols : (Attr.t -> Attr.t) -> scalar -> scalar
+
+val subst : scalar Attr.Map.t -> scalar -> scalar
+(** Replace column references by whole expressions; used to rewrite
+    predicates through projections. *)
+
+val eval : (Attr.t -> Value.t) -> scalar -> Value.t
+(** Evaluate under a row binding. Arithmetic over NULL is NULL. *)
+
+val compare_scalar : scalar -> scalar -> int
+val equal_scalar : scalar -> scalar -> bool
+
+val pp_scalar : Format.formatter -> scalar -> unit
+val pp_agg : Format.formatter -> agg -> unit
+val scalar_to_string : scalar -> string

@@ -1,0 +1,136 @@
+(* Logical query plans. A [Scan] references a *global* table name plus
+   the alias used in the query; the catalog later resolves it to a
+   database/location (or to a union of partitions, cf. §7.5). *)
+
+type t =
+  | Scan of { table : string; alias : string }
+  | Select of Pred.t * t
+  | Project of (Expr.scalar * Attr.t) list * t  (* expr AS attr *)
+  | Join of Pred.t * t * t
+  | Aggregate of aggregate
+  | Union of t list  (* bag union of union-compatible inputs *)
+
+and aggregate = { keys : Attr.t list; aggs : Expr.agg list; input : t }
+
+let rec compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c
+  else
+    match a, b with
+    | Scan s1, Scan s2 ->
+      let c = String.compare s1.table s2.table in
+      if c <> 0 then c else String.compare s1.alias s2.alias
+    | Select (p1, i1), Select (p2, i2) ->
+      let c = Pred.compare_pred p1 p2 in
+      if c <> 0 then c else compare i1 i2
+    | Project (xs1, i1), Project (xs2, i2) ->
+      let cmp_item (e1, n1) (e2, n2) =
+        let c = Expr.compare_scalar e1 e2 in
+        if c <> 0 then c else Attr.compare n1 n2
+      in
+      let c = List.compare cmp_item xs1 xs2 in
+      if c <> 0 then c else compare i1 i2
+    | Join (p1, l1, r1), Join (p2, l2, r2) ->
+      let c = Pred.compare_pred p1 p2 in
+      if c <> 0 then c
+      else
+        let c = compare l1 l2 in
+        if c <> 0 then c else compare r1 r2
+    | Aggregate a1, Aggregate a2 ->
+      let c = List.compare Attr.compare a1.keys a2.keys in
+      if c <> 0 then c
+      else
+        let cmp_agg (x : Expr.agg) (y : Expr.agg) =
+          let c = Stdlib.compare x.Expr.fn y.Expr.fn in
+          if c <> 0 then c
+          else
+            let c = Expr.compare_scalar x.arg y.arg in
+            if c <> 0 then c else String.compare x.alias y.alias
+        in
+        let c = List.compare cmp_agg a1.aggs a2.aggs in
+        if c <> 0 then c else compare a1.input a2.input
+    | Union xs1, Union xs2 -> List.compare compare xs1 xs2
+    | (Scan _ | Select _ | Project _ | Join _ | Aggregate _ | Union _), _ -> 0
+
+and rank = function
+  | Scan _ -> 0
+  | Select _ -> 1
+  | Project _ -> 2
+  | Join _ -> 3
+  | Aggregate _ -> 4
+  | Union _ -> 5
+
+let equal a b = compare a b = 0
+
+(* Aliases of all base relations referenced in the subtree, mapped to
+   their global table names. *)
+let rec base_tables = function
+  | Scan { table; alias } -> [ (alias, table) ]
+  | Select (_, i) | Project (_, i) -> base_tables i
+  | Join (_, l, r) -> base_tables l @ base_tables r
+  | Aggregate { input; _ } -> base_tables input
+  | Union xs -> List.concat_map base_tables xs
+
+(* All selection/join predicates in the subtree, conjoined. *)
+let rec all_preds = function
+  | Scan _ -> Pred.True
+  | Select (p, i) -> Pred.conj p (all_preds i)
+  | Project (_, i) -> all_preds i
+  | Join (p, l, r) -> Pred.conj p (Pred.conj (all_preds l) (all_preds r))
+  | Aggregate { input; _ } -> all_preds input
+  | Union xs -> List.fold_left (fun acc x -> Pred.conj acc (all_preds x)) Pred.True xs
+
+(* Names of the columns produced by the plan, in order. Scans cannot be
+   resolved without a catalog, so the caller provides the column list of
+   each base table via [table_cols]. *)
+let rec output_cols ~(table_cols : string -> string list) = function
+  | Scan { table; alias } ->
+    List.map (fun c -> Attr.make ~rel:alias ~name:c) (table_cols table)
+  | Select (_, i) -> output_cols ~table_cols i
+  | Project (items, _) -> List.map snd items
+  | Join (_, l, r) -> output_cols ~table_cols l @ output_cols ~table_cols r
+  | Aggregate { keys; aggs; _ } ->
+    keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
+  | Union (x :: _) -> output_cols ~table_cols x
+  | Union [] -> []
+
+let rec pp ?(indent = 0) ppf plan =
+  let pad = String.make indent ' ' in
+  match plan with
+  | Scan { table; alias } ->
+    if table = alias then Fmt.pf ppf "%sScan %s" pad table
+    else Fmt.pf ppf "%sScan %s AS %s" pad table alias
+  | Select (p, i) -> Fmt.pf ppf "%sSelect [%a]@.%a" pad Pred.pp p (pp ~indent:(indent + 2)) i
+  | Project (items, i) ->
+    let pp_item ppf (e, n) =
+      match e with
+      | Expr.Col a when Attr.equal a n -> Expr.pp_scalar ppf e
+      | _ -> Fmt.pf ppf "%a AS %a" Expr.pp_scalar e Attr.pp n
+    in
+    Fmt.pf ppf "%sProject [%a]@.%a" pad Fmt.(list ~sep:comma pp_item) items
+      (pp ~indent:(indent + 2))
+      i
+  | Join (p, l, r) ->
+    Fmt.pf ppf "%sJoin [%a]@.%a@.%a" pad Pred.pp p (pp ~indent:(indent + 2)) l
+      (pp ~indent:(indent + 2))
+      r
+  | Aggregate { keys; aggs; input } ->
+    Fmt.pf ppf "%sAggregate [keys: %a; aggs: %a]@.%a" pad
+      Fmt.(list ~sep:comma Attr.pp)
+      keys
+      Fmt.(list ~sep:comma Expr.pp_agg)
+      aggs
+      (pp ~indent:(indent + 2))
+      input
+  | Union xs ->
+    Fmt.pf ppf "%sUnion@.%a" pad Fmt.(list ~sep:(any "@.") (pp ~indent:(indent + 2))) xs
+
+let to_string plan = Fmt.str "%a" (pp ~indent:0) plan
+
+(* Number of join operators, the paper's query-complexity measure. *)
+let rec join_count = function
+  | Scan _ -> 0
+  | Select (_, i) | Project (_, i) -> join_count i
+  | Join (_, l, r) -> 1 + join_count l + join_count r
+  | Aggregate { input; _ } -> join_count input
+  | Union xs -> List.fold_left (fun acc x -> acc + join_count x) 0 xs

@@ -1,0 +1,36 @@
+(** Logical query plans.
+
+    A [Scan] references a {e global} table name plus the alias used in
+    the query; the catalog later resolves it to a database/location, or
+    to a union of partition scans for horizontally partitioned tables
+    (§7.5 of the paper). *)
+
+type t =
+  | Scan of { table : string; alias : string }
+  | Select of Pred.t * t
+  | Project of (Expr.scalar * Attr.t) list * t  (** expr AS attr *)
+  | Join of Pred.t * t * t
+  | Aggregate of aggregate
+  | Union of t list  (** bag union of union-compatible inputs *)
+
+and aggregate = { keys : Attr.t list; aggs : Expr.agg list; input : t }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val base_tables : t -> (string * string) list
+(** Aliases of all base relations in the subtree, with their global
+    table names, left to right. *)
+
+val all_preds : t -> Pred.t
+(** Conjunction of every selection and join predicate in the subtree. *)
+
+val output_cols : table_cols:(string -> string list) -> t -> Attr.t list
+(** Columns produced by the plan, in order. [table_cols] supplies the
+    column list of each base table. *)
+
+val pp : ?indent:int -> Format.formatter -> t -> unit
+val to_string : t -> string
+
+val join_count : t -> int
+(** Number of join operators — the paper's query-complexity measure. *)

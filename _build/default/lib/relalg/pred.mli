@@ -1,0 +1,61 @@
+(** Predicates: boolean combinations of comparison / LIKE / IN atoms.
+
+    Evaluation follows a two-valued reading of SQL atoms: any comparison
+    involving NULL is false, and [Not p] is the plain negation of [p]'s
+    value. The policy implication test ({!Policy.Implication}) is sound
+    with respect to exactly this semantics. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | Cmp of cmp * Expr.scalar * Expr.scalar
+  | Like of Expr.scalar * string  (** SQL LIKE with [%] and [_] wildcards *)
+  | In of Expr.scalar * Value.t list
+  | Is_null of Expr.scalar
+  | Not_null of Expr.scalar
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val cmp_to_string : cmp -> string
+
+val flip_cmp : cmp -> cmp
+(** Mirror a comparison: [a < b] iff [b > a]. *)
+
+val atom_cols : atom -> Attr.Set.t
+val cols : t -> Attr.Set.t
+
+val conj : t -> t -> t
+(** Conjunction with [True]/[False] simplification. *)
+
+val disj : t -> t -> t
+val conj_all : t list -> t
+
+val conjuncts : t -> t list
+(** Top-level conjuncts; [conjuncts True = []]. *)
+
+val map_exprs : (Expr.scalar -> Expr.scalar) -> t -> t
+val map_cols : (Attr.t -> Attr.t) -> t -> t
+val subst : Expr.scalar Attr.Map.t -> t -> t
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE matching ([%] any sequence, [_] any single character). *)
+
+val eval_cmp : cmp -> Value.t -> Value.t -> bool
+(** False whenever either side is NULL. *)
+
+val eval_atom : (Attr.t -> Value.t) -> atom -> bool
+val eval : (Attr.t -> Value.t) -> t -> bool
+
+val compare_pred : t -> t -> int
+val compare_atom : atom -> atom -> int
+val equal : t -> t -> bool
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

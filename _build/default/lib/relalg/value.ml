@@ -1,0 +1,140 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int
+  | Bool of bool
+
+type ty = Tint | Tfloat | Tstr | Tdate | Tbool
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+  | Date _ -> Some Tdate
+  | Bool _ -> Some Tbool
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstr -> "string"
+  | Tdate -> "date"
+  | Tbool -> "bool"
+
+(* Rank used to order values of distinct, non-comparable types. Numeric
+   values (Int/Float) share a rank so that mixed comparisons are
+   numeric. *)
+let rank = function
+  | Null -> 0
+  | Int _ | Float _ -> 1
+  | Str _ -> 2
+  | Date _ -> 3
+  | Bool _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Null | Int _ | Float _ | Str _ | Date _ | Bool _), _ ->
+    Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash x
+  | Float x ->
+    (* Hash a float that is an exact integer like the integer, so that
+       Int and Float keys that compare equal also hash equal. *)
+    if Float.is_integer x && Float.abs x < 1e18 then Hashtbl.hash (int_of_float x)
+    else Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash d
+  | Bool b -> Hashtbl.hash b
+
+let byte_width = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> String.length s + 4
+  | Date _ -> 4
+  | Bool _ -> 1
+
+let num_op int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> int_op x y
+  | Float x, Float y -> float_op x y
+  | Int x, Float y -> float_op (float_of_int x) y
+  | Float x, Int y -> float_op x (float_of_int y)
+  | _ -> Null
+
+let add = num_op (fun x y -> Int (x + y)) (fun x y -> Float (x +. y))
+let sub = num_op (fun x y -> Int (x - y)) (fun x y -> Float (x -. y))
+let mul = num_op (fun x y -> Int (x * y)) (fun x y -> Float (x *. y))
+
+let div =
+  num_op
+    (fun x y -> if y = 0 then Null else Float (float_of_int x /. float_of_int y))
+    (fun x y -> if y = 0. then Null else Float (x /. y))
+
+let to_float = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | Date d -> Some (float_of_int d)
+  | Null | Str _ | Bool _ -> None
+
+(* Days from the civil epoch 1970-01-01; the classic Howard Hinnant
+   days_from_civil algorithm. *)
+let days_from_civil ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let date_of_string s =
+  match String.split_on_char '-' s with
+  | [ ys; ms; ds ] -> (
+    match int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds with
+    | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+      Some (days_from_civil ~y ~m ~d)
+    | _ -> None)
+  | _ -> None
+
+let date_to_string z =
+  let y, m, d = civil_from_days z in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Int x -> Fmt.int ppf x
+  | Float x -> Fmt.pf ppf "%.4f" x
+  | Str s -> Fmt.pf ppf "'%s'" s
+  | Date d -> Fmt.string ppf (date_to_string d)
+  | Bool b -> Fmt.bool ppf b
+
+let to_string v = Fmt.str "%a" pp v

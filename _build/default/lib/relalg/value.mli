@@ -1,0 +1,51 @@
+(** Runtime values of the relational engine.
+
+    A small dynamically-typed value universe shared by the storage layer,
+    the execution engine, and predicate evaluation. Dates are stored as a
+    day count so range comparisons are plain integer comparisons. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int  (** days since 1970-01-01 *)
+  | Bool of bool
+
+type ty = Tint | Tfloat | Tstr | Tdate | Tbool
+
+val type_of : t -> ty option
+(** [type_of v] is the type of [v], or [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val compare : t -> t -> int
+(** Total order used by joins, grouping and range analysis. [Null] sorts
+    before every other value; values of distinct types are ordered by an
+    arbitrary but fixed type rank. Numeric values compare numerically
+    across [Int]/[Float]. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val byte_width : t -> int
+(** Approximate serialized width in bytes, used by the network cost
+    model to estimate shipped volume. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic; [Null] is absorbing, ints are promoted to floats when
+    mixed. Division by zero yields [Null]. *)
+
+val to_float : t -> float option
+
+val date_of_string : string -> int option
+(** [date_of_string "1994-03-15"] parses an ISO date to a day count. *)
+
+val date_to_string : int -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

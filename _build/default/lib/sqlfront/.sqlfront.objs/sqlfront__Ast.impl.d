@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Attr Expr List Pred Relalg

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.ml: Ast Attr Expr Fmt Hashtbl List Parser Plan Pred Printf Relalg String

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.mli: Ast Plan Relalg

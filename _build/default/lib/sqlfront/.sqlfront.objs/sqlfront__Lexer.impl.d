@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.ml: Buffer Fmt List Printf String

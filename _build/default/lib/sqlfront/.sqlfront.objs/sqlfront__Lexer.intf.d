@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.mli: Format

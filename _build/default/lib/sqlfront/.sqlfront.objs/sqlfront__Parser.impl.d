@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Ast Attr Expr Fmt Lexer List Option Pred Relalg String Value

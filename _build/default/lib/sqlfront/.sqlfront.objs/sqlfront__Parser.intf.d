@@ -1,0 +1,1 @@
+lib/sqlfront/parser.mli: Ast

@@ -1,0 +1,49 @@
+(* Abstract syntax produced by the parser, prior to name resolution.
+   Column references may be unqualified; the binder resolves them. *)
+
+open Relalg
+
+type select_item =
+  | Scalar_item of Expr.scalar * string option  (* expr [AS alias] *)
+  | Agg_item of Expr.agg_fn * Expr.scalar * string option  (* fn(expr) [AS alias] *)
+
+type query = {
+  select : select_item list;
+  from : (string * string) list;  (* (table, alias); alias defaults to table *)
+  where : Pred.t;
+  group_by : Attr.t list;
+  having : Pred.t;  (* over group keys and aggregate aliases *)
+  order_by : (Attr.t * bool) list;  (* column, descending? — result decoration *)
+  limit : int option;
+}
+
+(* Policy expression statement (§4):
+     ship <attrs|*> [as aggregates f1, ...] from [db.]table [alias]
+       to <locs|*> [where cond] [group by attrs] *)
+type attr_spec = All_attrs | Attr_list of string list
+type loc_spec = All_locs | Loc_list of string list
+
+type policy_stmt = {
+  ship_attrs : attr_spec;
+  aggregates : Expr.agg_fn list;  (* empty for basic expressions *)
+  p_db : string option;
+  p_table : string;
+  p_alias : string option;
+  to_locs : loc_spec;
+  p_where : Pred.t;
+  p_group_by : string list;
+}
+
+let item_alias i =
+  match i with
+  | Scalar_item (Expr.Col a, None) -> Some a.Attr.name
+  | Scalar_item (_, alias) -> alias
+  | Agg_item (fn, arg, None) -> (
+    match arg with
+    | Expr.Col a -> Some (Expr.agg_fn_to_string fn ^ "_" ^ a.Attr.name)
+    | _ -> None)
+  | Agg_item (_, _, alias) -> alias
+
+let is_aggregate_query q =
+  q.group_by <> []
+  || List.exists (function Agg_item _ -> true | Scalar_item _ -> false) q.select

@@ -1,0 +1,143 @@
+(* Name resolution: turns a parsed [Ast.query] into a canonical logical
+   plan. The initial plan is a left-deep chain of condition-less joins
+   with the full WHERE predicate on top; the optimizer's pushdown rules
+   distribute conjuncts afterwards. *)
+
+open Relalg
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+type scope = {
+  aliases : (string * string) list;  (* alias -> table *)
+  cols : (string * string list) list;  (* alias -> column names *)
+}
+
+let make_scope ~table_cols (from : (string * string) list) : scope =
+  let cols =
+    List.map
+      (fun (table, alias) ->
+        match table_cols table with
+        | Some cs -> (alias, cs)
+        | None -> fail "unknown table %s" table)
+      from
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (_, alias) ->
+      if Hashtbl.mem seen alias then fail "duplicate alias %s" alias;
+      Hashtbl.add seen alias ())
+    from;
+  { aliases = from; cols }
+
+(* Qualify a column reference: unqualified names must resolve to exactly
+   one alias. *)
+let resolve_attr (scope : scope) (a : Attr.t) : Attr.t =
+  if Attr.is_qualified a then begin
+    match List.assoc_opt a.Attr.rel scope.cols with
+    | Some cs when List.mem a.Attr.name cs -> a
+    | Some _ -> fail "column %s not found in relation %s" a.Attr.name a.Attr.rel
+    | None -> fail "unknown relation alias %s" a.Attr.rel
+  end
+  else
+    let owners =
+      List.filter (fun (_, cs) -> List.mem a.Attr.name cs) scope.cols
+    in
+    match owners with
+    | [ (alias, _) ] -> Attr.make ~rel:alias ~name:a.Attr.name
+    | [] -> fail "unknown column %s" a.Attr.name
+    | _ :: _ :: _ -> fail "ambiguous column %s" a.Attr.name
+
+let resolve_scalar scope e = Expr.map_cols (resolve_attr scope) e
+let resolve_pred scope p = Pred.map_cols (resolve_attr scope) p
+
+let default_agg_alias i (fn : Expr.agg_fn) (arg : Expr.scalar) =
+  match arg with
+  | Expr.Col a -> Expr.agg_fn_to_string fn ^ "_" ^ a.Attr.name
+  | _ -> Printf.sprintf "%s_%d" (Expr.agg_fn_to_string fn) i
+
+let bind_query ~(table_cols : string -> string list option) (q : Ast.query) : Plan.t =
+  if q.Ast.select = [] then fail "empty select list";
+  if q.Ast.from = [] then fail "empty from list";
+  let scope = make_scope ~table_cols q.Ast.from in
+  let base =
+    match q.Ast.from with
+    | [] -> assert false
+    | (t0, a0) :: rest ->
+      List.fold_left
+        (fun acc (t, a) -> Plan.Join (Pred.True, acc, Plan.Scan { table = t; alias = a }))
+        (Plan.Scan { table = t0; alias = a0 })
+        rest
+  in
+  let where = resolve_pred scope q.Ast.where in
+  let filtered = if where = Pred.True then base else Plan.Select (where, base) in
+  if Ast.is_aggregate_query q then begin
+    let keys = List.map (resolve_attr scope) q.Ast.group_by in
+    let aggs, out_items =
+      List.fold_left
+        (fun (aggs, items) item ->
+          match item with
+          | Ast.Agg_item (fn, arg, alias) ->
+            let arg = resolve_scalar scope arg in
+            let alias =
+              match alias with
+              | Some a -> a
+              | None -> default_agg_alias (List.length aggs) fn arg
+            in
+            ( { Expr.fn; arg; alias } :: aggs,
+              (Expr.Col (Attr.unqualified alias), Attr.unqualified alias) :: items )
+          | Ast.Scalar_item (e, alias) -> (
+            match resolve_scalar scope e with
+            | Expr.Col a when List.exists (Attr.equal a) keys ->
+              let name =
+                match alias with Some al -> Attr.unqualified al | None -> a
+              in
+              (aggs, (Expr.Col a, name) :: items)
+            | Expr.Col a ->
+              fail "column %s must appear in GROUP BY" (Attr.to_string a)
+            | _ -> fail "select expressions over group keys are not supported"))
+        ([], []) q.Ast.select
+    in
+    let aggs = List.rev aggs and out_items = List.rev out_items in
+    let agg_plan = Plan.Aggregate { keys; aggs; input = filtered } in
+    (* HAVING references group keys (qualified) or aggregate aliases
+       (unqualified); resolve keys, leave aliases untouched *)
+    let agg_plan =
+      match q.Ast.having with
+      | Pred.True -> agg_plan
+      | having ->
+        let resolve_having a =
+          if List.exists (fun (g : Expr.agg) -> String.equal g.alias a.Attr.name) aggs
+          then Attr.unqualified a.Attr.name
+          else resolve_attr scope a
+        in
+        Plan.Select (Pred.map_cols resolve_having having, agg_plan)
+    in
+    Plan.Project (out_items, agg_plan)
+  end
+  else begin
+    if q.Ast.having <> Pred.True then fail "HAVING requires GROUP BY or aggregates";
+    let items =
+      List.mapi
+        (fun i item ->
+          match item with
+          | Ast.Scalar_item (e, alias) ->
+            let e = resolve_scalar scope e in
+            let name =
+              match alias, e with
+              | Some a, _ -> Attr.unqualified a
+              | None, Expr.Col a -> a
+              | None, _ -> Attr.unqualified (Printf.sprintf "col_%d" i)
+            in
+            (e, name)
+          | Ast.Agg_item _ -> assert false)
+        q.Ast.select
+    in
+    Plan.Project (items, filtered)
+  end
+
+(* Convenience: parse then bind. *)
+let plan_of_sql ~table_cols sql =
+  let ast = Parser.query sql in
+  bind_query ~table_cols ast

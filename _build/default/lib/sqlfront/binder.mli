@@ -1,0 +1,19 @@
+(** Name resolution: turns a parsed query into a canonical logical
+    plan — a left-deep chain of condition-less joins with the full WHERE
+    predicate on top (the optimizer's pushdown rules distribute
+    conjuncts afterwards), topped by Aggregate/Project as appropriate.
+
+    Unqualified columns must resolve to exactly one alias; every scalar
+    item of an aggregation query must be a GROUP BY key. *)
+
+open Relalg
+
+exception Error of string
+
+val bind_query : table_cols:(string -> string list option) -> Ast.query -> Plan.t
+(** [table_cols] returns a table's column list, or [None] for unknown
+    tables. Raises {!Error} on resolution failures. *)
+
+val plan_of_sql : table_cols:(string -> string list option) -> string -> Plan.t
+(** Parse then bind. Parser errors propagate as
+    {!Parser.Error}. *)

@@ -1,0 +1,404 @@
+(* Recursive-descent parser for the SQL subset (Select-Project-Join-
+   GroupBy queries) and for policy expressions. Functions thread the
+   remaining token list explicitly; backtracking uses exceptions. *)
+
+open Relalg
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+type tokens = Lexer.token list
+
+let peek = function [] -> Lexer.Eof | t :: _ -> t
+let advance = function [] -> [] | _ :: r -> r
+
+let expect tok ts =
+  match ts with
+  | t :: r when t = tok -> r
+  | t :: _ -> fail "expected %s but found %s" (Lexer.token_to_string tok) (Lexer.token_to_string t)
+  | [] -> fail "expected %s but found end of input" (Lexer.token_to_string tok)
+
+let kw name ts =
+  match ts with
+  | Lexer.Ident s :: r when String.equal s name -> r
+  | t :: _ -> fail "expected keyword %s but found %s" name (Lexer.token_to_string t)
+  | [] -> fail "expected keyword %s" name
+
+let is_kw name ts = match peek ts with Lexer.Ident s -> String.equal s name | _ -> false
+
+let ident ts =
+  match ts with
+  | Lexer.Ident s :: r -> (s, r)
+  | t :: _ -> fail "expected identifier, found %s" (Lexer.token_to_string t)
+  | [] -> fail "expected identifier"
+
+(* Reserved words that terminate expression/alias positions. *)
+let reserved =
+  [ "select"; "from"; "where"; "group"; "by"; "as"; "and"; "or"; "not"; "like"; "in";
+    "is"; "null"; "between"; "ship"; "deny"; "to"; "aggregates"; "order"; "having";
+    "limit" ]
+
+let is_reserved s = List.mem s reserved
+
+(* A string literal shaped like an ISO date becomes a Date value so that
+   comparisons against date columns work without a typing pass. *)
+let literal_of_string s =
+  match Value.date_of_string s with Some d -> Value.Date d | None -> Value.Str s
+
+(* --- scalar expressions --- *)
+
+let rec parse_expr ts : Expr.scalar * tokens =
+  let lhs, ts = parse_term ts in
+  parse_expr_rest lhs ts
+
+and parse_expr_rest lhs ts =
+  match peek ts with
+  | Lexer.Plus ->
+    let rhs, ts = parse_term (advance ts) in
+    parse_expr_rest (Expr.Binop (Expr.Add, lhs, rhs)) ts
+  | Lexer.Minus ->
+    let rhs, ts = parse_term (advance ts) in
+    parse_expr_rest (Expr.Binop (Expr.Sub, lhs, rhs)) ts
+  | _ -> (lhs, ts)
+
+and parse_term ts =
+  let lhs, ts = parse_factor ts in
+  parse_term_rest lhs ts
+
+and parse_term_rest lhs ts =
+  match peek ts with
+  | Lexer.Star ->
+    let rhs, ts = parse_factor (advance ts) in
+    parse_term_rest (Expr.Binop (Expr.Mul, lhs, rhs)) ts
+  | Lexer.Slash ->
+    let rhs, ts = parse_factor (advance ts) in
+    parse_term_rest (Expr.Binop (Expr.Div, lhs, rhs)) ts
+  | _ -> (lhs, ts)
+
+and parse_factor ts =
+  match ts with
+  | Lexer.Int_lit v :: r -> (Expr.Const (Value.Int v), r)
+  | Lexer.Float_lit v :: r -> (Expr.Const (Value.Float v), r)
+  | Lexer.String_lit s :: r -> (Expr.Const (literal_of_string s), r)
+  | Lexer.Minus :: Lexer.Int_lit v :: r -> (Expr.Const (Value.Int (-v)), r)
+  | Lexer.Minus :: Lexer.Float_lit v :: r -> (Expr.Const (Value.Float (-.v)), r)
+  | Lexer.Lparen :: r ->
+    let e, r = parse_expr r in
+    (e, expect Lexer.Rparen r)
+  | Lexer.Ident "date" :: Lexer.String_lit s :: r -> (
+    match Value.date_of_string s with
+    | Some d -> (Expr.Const (Value.Date d), r)
+    | None -> fail "invalid date literal '%s'" s)
+  | Lexer.Ident "null" :: r -> (Expr.Const Value.Null, r)
+  | Lexer.Ident name :: r when not (is_reserved name) -> (
+    match r with
+    | Lexer.Dot :: Lexer.Ident col :: r2 -> (Expr.Col (Attr.make ~rel:name ~name:col), r2)
+    | _ -> (Expr.Col (Attr.unqualified name), r))
+  | t :: _ -> fail "unexpected token %s in expression" (Lexer.token_to_string t)
+  | [] -> fail "unexpected end of input in expression"
+
+(* --- predicates --- *)
+
+let cmp_of_token = function
+  | Lexer.Eq -> Some Pred.Eq
+  | Lexer.Neq -> Some Pred.Ne
+  | Lexer.Lt -> Some Pred.Lt
+  | Lexer.Le -> Some Pred.Le
+  | Lexer.Gt -> Some Pred.Gt
+  | Lexer.Ge -> Some Pred.Ge
+  | _ -> None
+
+let parse_literal ts : Value.t * tokens =
+  match ts with
+  | Lexer.Int_lit v :: r -> (Value.Int v, r)
+  | Lexer.Float_lit v :: r -> (Value.Float v, r)
+  | Lexer.String_lit s :: r -> (literal_of_string s, r)
+  | Lexer.Minus :: Lexer.Int_lit v :: r -> (Value.Int (-v), r)
+  | Lexer.Minus :: Lexer.Float_lit v :: r -> (Value.Float (-.v), r)
+  | Lexer.Ident "date" :: Lexer.String_lit s :: r -> (
+    match Value.date_of_string s with
+    | Some d -> (Value.Date d, r)
+    | None -> fail "invalid date literal '%s'" s)
+  | t :: _ -> fail "expected literal, found %s" (Lexer.token_to_string t)
+  | [] -> fail "expected literal"
+
+let rec parse_pred ts : Pred.t * tokens =
+  let lhs, ts = parse_and ts in
+  match peek ts with
+  | Lexer.Ident "or" ->
+    let rhs, ts = parse_pred (advance ts) in
+    (Pred.Or (lhs, rhs), ts)
+  | _ -> (lhs, ts)
+
+and parse_and ts =
+  let lhs, ts = parse_not ts in
+  match peek ts with
+  | Lexer.Ident "and" ->
+    let rhs, ts = parse_and (advance ts) in
+    (Pred.And (lhs, rhs), ts)
+  | _ -> (lhs, ts)
+
+and parse_not ts =
+  match peek ts with
+  | Lexer.Ident "not" ->
+    let p, ts = parse_not (advance ts) in
+    (Pred.Not p, ts)
+  | _ -> parse_primary ts
+
+and parse_primary ts =
+  (* Try a comparison first; on failure re-parse as a parenthesized
+     predicate. *)
+  match try Some (parse_comparison ts) with Error _ -> None with
+  | Some res -> res
+  | None -> (
+    match ts with
+    | Lexer.Lparen :: r ->
+      let p, r = parse_pred r in
+      (p, expect Lexer.Rparen r)
+    | t :: _ -> fail "cannot parse predicate at %s" (Lexer.token_to_string t)
+    | [] -> fail "unexpected end of input in predicate")
+
+and parse_comparison ts =
+  let lhs, ts = parse_expr ts in
+  match ts with
+  | Lexer.Ident "like" :: Lexer.String_lit pat :: r -> (Pred.Atom (Pred.Like (lhs, pat)), r)
+  | Lexer.Ident "not" :: Lexer.Ident "like" :: Lexer.String_lit pat :: r ->
+    (Pred.Not (Pred.Atom (Pred.Like (lhs, pat))), r)
+  | Lexer.Ident "between" :: r ->
+    let lo, r = parse_literal r in
+    let r = kw "and" r in
+    let hi, r = parse_literal r in
+    ( Pred.And
+        ( Pred.Atom (Pred.Cmp (Pred.Ge, lhs, Expr.Const lo)),
+          Pred.Atom (Pred.Cmp (Pred.Le, lhs, Expr.Const hi)) ),
+      r )
+  | Lexer.Ident "in" :: Lexer.Lparen :: r ->
+    let rec values acc r =
+      let v, r = parse_literal r in
+      match peek r with
+      | Lexer.Comma -> values (v :: acc) (advance r)
+      | _ -> (List.rev (v :: acc), expect Lexer.Rparen r)
+    in
+    let vs, r = values [] r in
+    (Pred.Atom (Pred.In (lhs, vs)), r)
+  | Lexer.Ident "is" :: Lexer.Ident "null" :: r -> (Pred.Atom (Pred.Is_null lhs), r)
+  | Lexer.Ident "is" :: Lexer.Ident "not" :: Lexer.Ident "null" :: r ->
+    (Pred.Atom (Pred.Not_null lhs), r)
+  | t :: _ when cmp_of_token t <> None ->
+    let c = Option.get (cmp_of_token t) in
+    let rhs, r = parse_expr (advance ts) in
+    (Pred.Atom (Pred.Cmp (c, lhs, rhs)), r)
+  | t :: _ -> fail "expected comparison operator, found %s" (Lexer.token_to_string t)
+  | [] -> fail "expected comparison operator"
+
+(* --- select items --- *)
+
+let agg_fn_token ts =
+  match ts with
+  | Lexer.Ident s :: Lexer.Lparen :: _ -> Expr.agg_fn_of_string s
+  | _ -> None
+
+let parse_select_item ts : Ast.select_item * tokens =
+  match agg_fn_token ts with
+  | Some fn -> (
+    let ts = advance (advance ts) (* fn ( *) in
+    let arg, ts =
+      match peek ts with
+      | Lexer.Star -> (Expr.Const (Value.Int 1), advance ts)
+      | _ -> parse_expr ts
+    in
+    let ts = expect Lexer.Rparen ts in
+    match ts with
+    | Lexer.Ident "as" :: r ->
+      let a, r = ident r in
+      (Ast.Agg_item (fn, arg, Some a), r)
+    | _ -> (Ast.Agg_item (fn, arg, None), ts))
+  | None -> (
+    let e, ts = parse_expr ts in
+    match ts with
+    | Lexer.Ident "as" :: r ->
+      let a, r = ident r in
+      (Ast.Scalar_item (e, Some a), r)
+    | _ -> (Ast.Scalar_item (e, None), ts))
+
+let rec parse_select_items acc ts =
+  let item, ts = parse_select_item ts in
+  match peek ts with
+  | Lexer.Comma -> parse_select_items (item :: acc) (advance ts)
+  | _ -> (List.rev (item :: acc), ts)
+
+let parse_table_ref ts : (string * string) * tokens =
+  let t, ts = ident ts in
+  if is_reserved t then fail "expected table name, found keyword %s" t
+  else
+    match ts with
+    | Lexer.Ident "as" :: r ->
+      let a, r = ident r in
+      ((t, a), r)
+    | Lexer.Ident a :: r when not (is_reserved a) -> ((t, a), r)
+    | _ -> ((t, t), ts)
+
+let rec parse_from acc ts =
+  let tr, ts = parse_table_ref ts in
+  match peek ts with
+  | Lexer.Comma -> parse_from (tr :: acc) (advance ts)
+  | _ -> (List.rev (tr :: acc), ts)
+
+let parse_group_by ts : Attr.t list * tokens =
+  let rec cols acc ts =
+    let e, ts = parse_expr ts in
+    let a =
+      match e with Expr.Col a -> a | _ -> fail "GROUP BY supports plain columns only"
+    in
+    match peek ts with
+    | Lexer.Comma -> cols (a :: acc) (advance ts)
+    | _ -> (List.rev (a :: acc), ts)
+  in
+  cols [] ts
+
+(* --- entry points --- *)
+
+let query (input : string) : Ast.query =
+  let ts = try Lexer.tokenize input with Lexer.Error m -> raise (Error m) in
+  let ts = kw "select" ts in
+  let select, ts = parse_select_items [] ts in
+  let ts = kw "from" ts in
+  let from, ts = parse_from [] ts in
+  let where, ts =
+    if is_kw "where" ts then parse_pred (advance ts) else (Pred.True, ts)
+  in
+  let group_by, ts =
+    if is_kw "group" ts then parse_group_by (kw "by" (advance ts)) else ([], ts)
+  in
+  let having, ts =
+    if is_kw "having" ts then parse_pred (advance ts) else (Pred.True, ts)
+  in
+  let order_by, ts =
+    if is_kw "order" ts then begin
+      let ts = kw "by" (advance ts) in
+      let rec items acc ts =
+        let e, ts = parse_expr ts in
+        let a =
+          match e with
+          | Expr.Col a -> a
+          | _ -> fail "ORDER BY supports plain columns only"
+        in
+        let desc, ts =
+          if is_kw "desc" ts then (true, advance ts)
+          else if is_kw "asc" ts then (false, advance ts)
+          else (false, ts)
+        in
+        match peek ts with
+        | Lexer.Comma -> items ((a, desc) :: acc) (advance ts)
+        | _ -> (List.rev ((a, desc) :: acc), ts)
+      in
+      items [] ts
+    end
+    else ([], ts)
+  in
+  let limit, ts =
+    if is_kw "limit" ts then
+      match advance ts with
+      | Lexer.Int_lit n :: r -> (Some n, r)
+      | _ -> fail "LIMIT expects an integer"
+    else (None, ts)
+  in
+  (match peek ts with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input at %s" (Lexer.token_to_string t));
+  { Ast.select; from; where; group_by; having; order_by; limit }
+
+let policy_body ~lead (input : string) : Ast.policy_stmt =
+  let ts = try Lexer.tokenize input with Lexer.Error m -> raise (Error m) in
+  let ts = kw lead ts in
+  let ship_attrs, ts =
+    match peek ts with
+    | Lexer.Star -> (Ast.All_attrs, advance ts)
+    | _ ->
+      let rec cols acc ts =
+        let c, ts = ident ts in
+        match peek ts with
+        | Lexer.Comma -> cols (c :: acc) (advance ts)
+        | _ -> (List.rev (c :: acc), ts)
+      in
+      let cs, ts = cols [] ts in
+      (Ast.Attr_list cs, ts)
+  in
+  let aggregates, ts =
+    if is_kw "as" ts then begin
+      let ts = kw "aggregates" (advance ts) in
+      let rec fns acc ts =
+        let f, ts = ident ts in
+        let fn =
+          match Expr.agg_fn_of_string f with
+          | Some fn -> fn
+          | None -> fail "unknown aggregate function %s" f
+        in
+        match peek ts with
+        | Lexer.Comma -> fns (fn :: acc) (advance ts)
+        | _ -> (List.rev (fn :: acc), ts)
+      in
+      fns [] ts
+    end
+    else ([], ts)
+  in
+  let ts = kw "from" ts in
+  let name, ts = ident ts in
+  let p_db, p_table, ts =
+    match ts with
+    | Lexer.Dot :: r ->
+      let t, r = ident r in
+      (Some name, t, r)
+    | _ -> (None, name, ts)
+  in
+  let p_alias, ts =
+    match ts with
+    | Lexer.Ident a :: r when not (is_reserved a) -> (Some a, r)
+    | _ -> (None, ts)
+  in
+  let ts = kw "to" ts in
+  let to_locs, ts =
+    match peek ts with
+    | Lexer.Star -> (Ast.All_locs, advance ts)
+    | _ ->
+      let rec locs acc ts =
+        let l, ts =
+          match ts with
+          | Lexer.Ident s :: r -> (s, r)
+          | t :: _ -> fail "expected location, found %s" (Lexer.token_to_string t)
+          | [] -> fail "expected location"
+        in
+        match peek ts with
+        | Lexer.Comma -> locs (l :: acc) (advance ts)
+        | _ -> (List.rev (l :: acc), ts)
+      in
+      let ls, ts = locs [] ts in
+      (Ast.Loc_list ls, ts)
+  in
+  let p_where, ts =
+    if is_kw "where" ts then parse_pred (advance ts) else (Pred.True, ts)
+  in
+  let p_group_by, ts =
+    if is_kw "group" ts then begin
+      let ts = kw "by" (advance ts) in
+      let rec cols acc ts =
+        let c, ts = ident ts in
+        match peek ts with
+        | Lexer.Comma -> cols (c :: acc) (advance ts)
+        | _ -> (List.rev (c :: acc), ts)
+      in
+      cols [] ts
+    end
+    else ([], ts)
+  in
+  (match peek ts with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input at %s" (Lexer.token_to_string t));
+  { Ast.ship_attrs; aggregates; p_db; p_table; p_alias; to_locs; p_where; p_group_by }
+
+let policy input = policy_body ~lead:"ship" input
+
+(* Negative statements share the grammar with [ship], introduced by the
+   keyword [deny]. *)
+let deny input = policy_body ~lead:"deny" input

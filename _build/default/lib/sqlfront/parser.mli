@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the SQL subset
+    (Select-Project-Join-GroupBy queries) and for policy expressions.
+
+    Supported query grammar:
+    {v
+    SELECT item [, item ...]
+    FROM table [AS alias] [, table [AS alias] ...]
+    [WHERE predicate]
+    [GROUP BY column [, column ...]]
+    v}
+    where items are scalar expressions or [fn(expr)] aggregates, and
+    predicates support AND/OR/NOT, comparisons, BETWEEN, IN, LIKE and
+    IS [NOT] NULL. ISO-dated string literals become date values. *)
+
+exception Error of string
+
+val query : string -> Ast.query
+(** Raises {!Error} on malformed input (including lexer errors). *)
+
+val policy : string -> Ast.policy_stmt
+(** Parse a [ship ... from ... to ...] policy expression. *)
+
+val deny : string -> Ast.policy_stmt
+(** Parse a [deny ... from ... to ...] negative statement (same grammar
+    as [ship]). *)

@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Attr Buffer Fmt List Relalg Relation String Value

@@ -1,0 +1,1 @@
+lib/storage/csv.mli: Attr Relalg Relation Value

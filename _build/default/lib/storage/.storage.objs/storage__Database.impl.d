@@ -1,0 +1,1 @@
+lib/storage/database.ml: List Map Printf Relation Stdlib String

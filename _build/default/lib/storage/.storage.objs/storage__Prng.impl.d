@@ -1,0 +1,1 @@
+lib/storage/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Attr Buffer Fmt List Relalg String Value

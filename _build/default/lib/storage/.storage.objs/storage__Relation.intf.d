@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Attr Format Relalg Value

@@ -1,0 +1,108 @@
+(* Minimal CSV reading/writing for bringing external data into the
+   engine. Quoting follows RFC 4180: fields may be wrapped in double
+   quotes, embedded quotes are doubled; separators are commas, records
+   newlines. Values are parsed according to declared column types; empty
+   fields read as NULL. *)
+
+open Relalg
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+(* Split one CSV document into records of fields. *)
+let parse_fields (s : string) : string list list =
+  let records = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let n = String.length s in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec go i in_quotes =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+      List.rev !records
+    end
+    else
+      let c = s.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else
+        match c with
+        | '"' -> go (i + 1) true
+        | ',' ->
+          flush_field ();
+          go (i + 1) false
+        | '\r' -> go (i + 1) false
+        | '\n' ->
+          flush_record ();
+          go (i + 1) false
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1) false
+  in
+  go 0 false
+
+let value_of_string (ty : Value.ty) (s : string) : Value.t =
+  let s = String.trim s in
+  if s = "" then Value.Null
+  else
+    match ty with
+    | Value.Tint -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> fail "not an integer: %S" s)
+    | Value.Tfloat -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> fail "not a float: %S" s)
+    | Value.Tstr -> Value.Str s
+    | Value.Tdate -> (
+      match Value.date_of_string s with
+      | Some d -> Value.Date d
+      | None -> fail "not an ISO date: %S" s)
+    | Value.Tbool -> (
+      match String.lowercase_ascii s with
+      | "true" | "t" | "1" -> Value.Bool true
+      | "false" | "f" | "0" -> Value.Bool false
+      | _ -> fail "not a boolean: %S" s)
+
+(* [parse ~schema ~types ?header text]: rows typed per column. With
+   [header] (default true) the first record is skipped. *)
+let parse ~(schema : Attr.t list) ~(types : Value.ty list) ?(header = true)
+    (text : string) : Relation.t =
+  let arity = List.length schema in
+  if List.length types <> arity then fail "schema/types arity mismatch";
+  let records = parse_fields text in
+  let records = if header then match records with _ :: r -> r | [] -> [] else records in
+  let rows =
+    List.mapi
+      (fun lineno fields ->
+        if List.length fields <> arity then
+          fail "record %d has %d fields, expected %d" (lineno + 1)
+            (List.length fields) arity
+        else Array.of_list (List.map2 value_of_string types fields))
+      records
+  in
+  Relation.make ~schema ~rows:(Array.of_list rows)
+
+let load_file ~schema ~types ?header path : Relation.t =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse ~schema ~types ?header text

@@ -1,0 +1,20 @@
+(** Minimal CSV reading (RFC 4180 quoting) for bringing external data
+    into the engine. Values are typed per declared column; empty fields
+    read as NULL. *)
+
+open Relalg
+
+exception Error of string
+
+val parse_fields : string -> string list list
+(** Raw records of fields. *)
+
+val value_of_string : Value.ty -> string -> Value.t
+(** Raises {!Error} on type mismatches. *)
+
+val parse :
+  schema:Attr.t list -> types:Value.ty list -> ?header:bool -> string -> Relation.t
+(** [header] (default true) skips the first record. *)
+
+val load_file :
+  schema:Attr.t list -> types:Value.ty list -> ?header:bool -> string -> Relation.t

@@ -1,0 +1,33 @@
+(* Physical storage: maps (table, partition index) to a materialized
+   relation. Partition 0 is the sole partition of unpartitioned
+   tables. *)
+
+module Key = struct
+  type t = string * int
+
+  let compare = Stdlib.compare
+end
+
+module Key_map = Map.Make (Key)
+
+type t = { mutable store : Relation.t Key_map.t }
+
+let create () = { store = Key_map.empty }
+
+let add t ~table ?(partition = 0) rel =
+  t.store <- Key_map.add (String.lowercase_ascii table, partition) rel t.store
+
+let find t ~table ?(partition = 0) () =
+  Key_map.find_opt (String.lowercase_ascii table, partition) t.store
+
+let find_exn t ~table ?(partition = 0) () =
+  match find t ~table ~partition () with
+  | Some r -> r
+  | None ->
+    invalid_arg (Printf.sprintf "Database: no relation for %s[%d]" table partition)
+
+let tables t =
+  Key_map.bindings t.store |> List.map fst
+
+let total_rows t =
+  Key_map.fold (fun _ r acc -> acc + Relation.cardinality r) t.store 0

@@ -1,0 +1,17 @@
+(** Physical storage: maps (table, partition index) to a materialized
+    relation. Partition 0 is the sole partition of unpartitioned
+    tables. Table names are case-insensitive. *)
+
+type t
+
+val create : unit -> t
+val add : t -> table:string -> ?partition:int -> Relation.t -> unit
+val find : t -> table:string -> ?partition:int -> unit -> Relation.t option
+
+val find_exn : t -> table:string -> ?partition:int -> unit -> Relation.t
+(** Raises [Invalid_argument] when absent. *)
+
+val tables : t -> (string * int) list
+(** All stored (table, partition) pairs. *)
+
+val total_rows : t -> int

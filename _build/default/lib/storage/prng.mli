@@ -1,0 +1,33 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All data and workload generation goes through this module so that
+    every experiment is reproducible from a seed; no ambient randomness
+    is used anywhere in the repository. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises
+    [Invalid_argument] for non-positive bounds. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_k : t -> int -> 'a list -> 'a list
+(** [pick_k t k xs]: [k] distinct elements, in random order. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** An independent generator derived from this one's state. *)

@@ -1,0 +1,99 @@
+(* An in-memory materialized relation: a schema of qualified column
+   names and an array of rows. *)
+
+open Relalg
+
+type t = { schema : Attr.t list; rows : Value.t array array }
+
+let make ~schema ~rows =
+  let n = List.length schema in
+  Array.iter
+    (fun r ->
+      if Array.length r <> n then invalid_arg "Relation.make: row arity mismatch")
+    rows;
+  { schema; rows }
+
+let empty ~schema = { schema; rows = [||] }
+let schema t = t.schema
+let rows t = t.rows
+let cardinality t = Array.length t.rows
+
+(* Index of an attribute in the schema: exact match first, then a
+   unique match on the bare column name. *)
+let find_index t (a : Attr.t) : int option =
+  let arr = Array.of_list t.schema in
+  let exact = ref None and by_name = ref [] in
+  Array.iteri
+    (fun i b ->
+      if Attr.equal a b then exact := Some i
+      else if String.equal a.Attr.name b.Attr.name then by_name := i :: !by_name)
+    arr;
+  match !exact, !by_name with
+  | Some i, _ -> Some i
+  | None, [ i ] -> Some i
+  | None, _ -> None
+
+let lookup_fn t : Attr.t -> Value.t array -> Value.t =
+  let cache : (Attr.t * int) list ref = ref [] in
+  fun a row ->
+    let ix =
+      match List.assoc_opt a !cache with
+      | Some i -> i
+      | None -> (
+        match find_index t a with
+        | Some i ->
+          cache := (a, i) :: !cache;
+          i
+        | None -> -1)
+    in
+    if ix >= 0 && ix < Array.length row then row.(ix) else Value.Null
+
+(* Total serialized size in bytes (what a SHIP of this relation moves). *)
+let byte_size t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
+    0 t.rows
+
+(* Order rows by the given (attribute, descending) keys. *)
+let order_by t (keys : (Attr.t * bool) list) =
+  let look = lookup_fn t in
+  let cmp r1 r2 =
+    let rec go = function
+      | [] -> 0
+      | (a, desc) :: rest ->
+        let c = Value.compare (look a r1) (look a r2) in
+        if c <> 0 then if desc then -c else c else go rest
+    in
+    go keys
+  in
+  let rows = Array.copy t.rows in
+  Array.stable_sort cmp rows;
+  { t with rows }
+
+(* First [n] rows. *)
+let take t n =
+  if cardinality t <= n then t
+  else { t with rows = Array.sub t.rows 0 n }
+
+let pp ?(max_rows = 20) ppf t =
+  Fmt.pf ppf "%a@." Fmt.(list ~sep:(any " | ") Attr.pp) t.schema;
+  Array.iteri
+    (fun i row ->
+      if i < max_rows then
+        Fmt.pf ppf "%a@." Fmt.(array ~sep:(any " | ") Value.pp) row)
+    t.rows;
+  if cardinality t > max_rows then Fmt.pf ppf "... (%d rows)@." (cardinality t)
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "," (List.map Attr.to_string t.schema));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map Value.to_string row)));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** In-memory materialized relations: a schema of qualified column
+    names and an array of rows. *)
+
+open Relalg
+
+type t
+
+val make : schema:Attr.t list -> rows:Value.t array array -> t
+(** Raises [Invalid_argument] if some row's arity differs from the
+    schema. *)
+
+val empty : schema:Attr.t list -> t
+val schema : t -> Attr.t list
+val rows : t -> Value.t array array
+val cardinality : t -> int
+
+val find_index : t -> Attr.t -> int option
+(** Column position: exact match first, then a unique match on the bare
+    column name. *)
+
+val lookup_fn : t -> Attr.t -> Value.t array -> Value.t
+(** A caching accessor suitable for [Pred.eval] / [Expr.eval]; unknown
+    attributes read as NULL. *)
+
+val order_by : t -> (Attr.t * bool) list -> t
+(** Stable sort by (attribute, descending?) keys; unknown attributes
+    read as NULL and sort first. *)
+
+val take : t -> int -> t
+(** First [n] rows. *)
+
+val byte_size : t -> int
+(** Total serialized size — what a SHIP of this relation moves. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+val to_csv : t -> string

@@ -1,0 +1,1 @@
+lib/tpch/datagen.ml: Array Attr Catalog Float List Option Printf Relalg Schema Seq Storage Value

@@ -1,0 +1,1 @@
+lib/tpch/policies.ml: List Policy Printf Schema

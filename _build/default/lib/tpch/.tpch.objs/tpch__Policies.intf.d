@@ -1,0 +1,1 @@
+lib/tpch/policies.mli: Catalog Policy

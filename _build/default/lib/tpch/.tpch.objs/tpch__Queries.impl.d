@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: List String

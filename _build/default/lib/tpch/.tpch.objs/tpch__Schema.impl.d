@@ -1,0 +1,1 @@
+lib/tpch/schema.ml: Catalog List Option Relalg String

@@ -1,0 +1,1 @@
+lib/tpch/schema.mli: Catalog

@@ -1,0 +1,1 @@
+lib/tpch/workload.ml: Datagen List Policies Printf Schema Storage String

@@ -1,0 +1,1 @@
+lib/tpch/workload.mli: Catalog Policies

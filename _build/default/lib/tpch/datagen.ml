@@ -1,0 +1,207 @@
+(* Deterministic TPC-H-shaped data generator. Follows dbgen's value
+   domains (names, segments, types, date ranges, pricing rules) closely
+   enough that query selectivities behave like the original, while
+   staying small and fully seeded. *)
+
+open Relalg
+module Prng = Storage.Prng
+
+let regions = [ "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" ]
+
+(* nation -> region index, the standard dbgen mapping *)
+let nations =
+  [
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1); ("EGYPT", 4);
+    ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3); ("INDIA", 2); ("INDONESIA", 2);
+    ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0);
+    ("MOROCCO", 0); ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+    ("UNITED STATES", 1);
+  ]
+
+let segments = [ "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" ]
+let priorities = [ "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" ]
+let type_syl1 = [ "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" ]
+let type_syl2 = [ "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" ]
+let type_syl3 = [ "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" ]
+let containers = [ "SM CASE"; "LG BOX"; "MED BAG"; "JUMBO JAR"; "WRAP PACK" ]
+let instructs = [ "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" ]
+let modes = [ "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" ]
+let part_words = [ "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque";
+                   "black"; "blanched"; "green"; "ivory"; "lemon"; "linen" ]
+
+let vi i = Value.Int i
+let vf f = Value.Float (Float.round (f *. 100.) /. 100.)
+let vs s = Value.Str s
+let vd d = Value.Date d
+
+let day s = Option.get (Value.date_of_string s)
+let date_lo = day "1992-01-01"
+let date_hi = day "1998-08-02"
+
+type tables = {
+  region : Value.t array array;
+  nation : Value.t array array;
+  supplier : Value.t array array;
+  part : Value.t array array;
+  partsupp : Value.t array array;
+  customer : Value.t array array;
+  orders : Value.t array array;
+  lineitem : Value.t array array;
+}
+
+let generate ?(seed = 42) ~sf () : tables =
+  let g = Prng.create ~seed in
+  let n_supp = Schema.rows_at sf "supplier" in
+  let n_cust = Schema.rows_at sf "customer" in
+  let n_part = Schema.rows_at sf "part" in
+  let n_ord = Schema.rows_at sf "orders" in
+  let region =
+    Array.of_list
+      (List.mapi (fun i r -> [| vi i; vs r; vs "r" |]) regions)
+  in
+  let nation =
+    Array.of_list
+      (List.mapi (fun i (n, r) -> [| vi i; vs n; vi r; vs "n" |]) nations)
+  in
+  let supplier =
+    Array.init n_supp (fun i ->
+        [|
+          vi (i + 1);
+          vs (Printf.sprintf "Supplier#%09d" (i + 1));
+          vs (Printf.sprintf "addr-s%d" (i + 1));
+          vi (Prng.int g 25);
+          vs (Printf.sprintf "%02d-%07d" (10 + Prng.int g 25) (Prng.int g 9_999_999));
+          vf (float_of_int (Prng.range g (-99_900) 999_900) /. 100.);
+          vs "s";
+        |])
+  in
+  let part_price i = 90_000. +. (float_of_int ((i / 10) mod 20001)) +. (100. *. float_of_int (i mod 1000)) in
+  let part =
+    Array.init n_part (fun i ->
+        let key = i + 1 in
+        [|
+          vi key;
+          vs (Prng.pick g part_words ^ " " ^ Prng.pick g part_words);
+          vs (Printf.sprintf "Manufacturer#%d" (1 + Prng.int g 5));
+          vs (Printf.sprintf "Brand#%d%d" (1 + Prng.int g 5) (1 + Prng.int g 5));
+          vs (Prng.pick g type_syl1 ^ " " ^ Prng.pick g type_syl2 ^ " " ^ Prng.pick g type_syl3);
+          vi (1 + Prng.int g 50);
+          vs (Prng.pick g containers);
+          vf (part_price key /. 100.);
+          vs "p";
+        |])
+  in
+  let partsupp =
+    Array.init (n_part * 4) (fun i ->
+        let pk = (i / 4) + 1 in
+        let sk = 1 + ((pk + (i mod 4 * ((n_supp / 4) + 1))) mod n_supp) in
+        [|
+          vi pk;
+          vi sk;
+          vi (1 + Prng.int g 9999);
+          vf (1. +. Prng.float g 999.);
+          vs "ps";
+        |])
+  in
+  let customer =
+    Array.init n_cust (fun i ->
+        [|
+          vi (i + 1);
+          vs (Printf.sprintf "Customer#%09d" (i + 1));
+          vs (Printf.sprintf "addr-c%d" (i + 1));
+          vi (Prng.int g 25);
+          vs (Printf.sprintf "%02d-%07d" (10 + Prng.int g 25) (Prng.int g 9_999_999));
+          vf (float_of_int (Prng.range g (-99_900) 999_900) /. 100.);
+          vs (Prng.pick g segments);
+          vs "c";
+        |])
+  in
+  let orders = Array.make n_ord [||] in
+  let lineitems = ref [] in
+  let n_lines = ref 0 in
+  for i = 0 to n_ord - 1 do
+    let okey = i + 1 in
+    let ckey = 1 + Prng.int g n_cust in
+    let odate = Prng.range g date_lo (date_hi - 151) in
+    let lines = 1 + Prng.int g 7 in
+    let total = ref 0. in
+    for ln = 1 to lines do
+      let pkey = 1 + Prng.int g n_part in
+      let skey = 1 + ((pkey + (Prng.int g 4 * ((n_supp / 4) + 1))) mod n_supp) in
+      let qty = 1 + Prng.int g 50 in
+      let price = part_price pkey /. 100. *. float_of_int qty in
+      let disc = float_of_int (Prng.int g 11) /. 100. in
+      let tax = float_of_int (Prng.int g 9) /. 100. in
+      let sdate = odate + 1 + Prng.int g 121 in
+      let cdate = odate + 30 + Prng.int g 61 in
+      let rdate = sdate + 1 + Prng.int g 30 in
+      total := !total +. (price *. (1. -. disc) *. (1. +. tax));
+      incr n_lines;
+      lineitems :=
+        [|
+          vi okey; vi pkey; vi skey; vi ln; vi qty; vf price; vf disc; vf tax;
+          vs (if rdate <= day "1995-06-17" then Prng.pick g [ "R"; "A" ] else "N");
+          vs (if sdate > day "1995-06-17" then "O" else "F");
+          vd sdate; vd cdate; vd rdate;
+          vs (Prng.pick g instructs); vs (Prng.pick g modes); vs "l";
+        |]
+        :: !lineitems
+    done;
+    orders.(i) <-
+      [|
+        vi okey; vi ckey;
+        vs (if odate > day "1995-06-17" then "O" else "F");
+        vf !total; vd odate;
+        vs (Prng.pick g priorities);
+        vs (Printf.sprintf "Clerk#%09d" (1 + Prng.int g (max 1 (n_ord / 1000))));
+        vi 0; vs "o";
+      |]
+  done;
+  {
+    region;
+    nation;
+    supplier;
+    part;
+    partsupp;
+    customer;
+    orders;
+    lineitem = Array.of_list (List.rev !lineitems);
+  }
+
+(* Load generated rows into a database, honouring the catalog's
+   partitioning: a table with k placements is split round-robin into k
+   partitions. *)
+let load ~(cat : Catalog.t) (t : tables) : Storage.Database.t =
+  let db = Storage.Database.create () in
+  let add name rows =
+    let def = Catalog.table_def cat name in
+    let schema =
+      List.map (fun c -> Attr.make ~rel:name ~name:c) (Catalog.Table_def.col_names def)
+    in
+    match Catalog.placements cat name with
+    | [ _ ] ->
+      Storage.Database.add db ~table:name (Storage.Relation.make ~schema ~rows)
+    | ps ->
+      let k = List.length ps in
+      List.iteri
+        (fun i _ ->
+          let part_rows =
+            Array.of_seq
+              (Seq.filter_map
+                 (fun (j, row) -> if j mod k = i then Some row else None)
+                 (Array.to_seqi rows))
+          in
+          Storage.Database.add db ~table:name ~partition:i
+            (Storage.Relation.make ~schema ~rows:part_rows))
+        ps
+  in
+  add "region" t.region;
+  add "nation" t.nation;
+  add "supplier" t.supplier;
+  add "part" t.part;
+  add "partsupp" t.partsupp;
+  add "customer" t.customer;
+  add "orders" t.orders;
+  add "lineitem" t.lineitem;
+  db

@@ -1,0 +1,38 @@
+(** Deterministic TPC-H-shaped data generator. Follows dbgen's value
+    domains (names, segments, types, date ranges, pricing rules) closely
+    enough that query selectivities behave like the original, while
+    staying small and fully seeded. *)
+
+open Relalg
+
+(** dbgen value domains, exposed for the workload generators. *)
+
+val regions : string list
+val nations : (string * int) list
+(** Nation name and region index. *)
+
+val segments : string list
+val priorities : string list
+val type_syl1 : string list
+val type_syl2 : string list
+val type_syl3 : string list
+
+type tables = {
+  region : Value.t array array;
+  nation : Value.t array array;
+  supplier : Value.t array array;
+  part : Value.t array array;
+  partsupp : Value.t array array;
+  customer : Value.t array array;
+  orders : Value.t array array;
+  lineitem : Value.t array array;
+}
+
+val generate : ?seed:int -> sf:float -> unit -> tables
+(** Rows for all eight tables at scale factor [sf], deterministic in
+    [seed] (default 42). Referential integrity holds across the
+    tables. *)
+
+val load : cat:Catalog.t -> tables -> Storage.Database.t
+(** Load the rows into a database, splitting partitioned tables
+    round-robin according to the catalog's placements. *)

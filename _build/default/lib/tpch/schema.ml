@@ -1,0 +1,171 @@
+(* The TPC-H schema (column names unprefixed, as in the paper's
+   Table 3), its catalog statistics as a function of the scale factor,
+   and the five-location distribution of Table 2. *)
+
+open Catalog.Table_def
+
+let day s = float_of_int (Option.get (Relalg.Value.date_of_string s))
+
+let stat ?(width = 8) ?lo ?hi distinct = { distinct; width; lo; hi }
+
+(* Row counts at scale factor [sf] (the classic dbgen cardinalities). *)
+let rows_at sf = function
+  | "region" -> 5
+  | "nation" -> 25
+  | "supplier" -> max 5 (int_of_float (10_000. *. sf))
+  | "customer" -> max 10 (int_of_float (150_000. *. sf))
+  | "part" -> max 10 (int_of_float (200_000. *. sf))
+  | "partsupp" -> max 20 (int_of_float (800_000. *. sf))
+  | "orders" -> max 20 (int_of_float (1_500_000. *. sf))
+  | "lineitem" -> max 40 (int_of_float (6_000_000. *. sf))
+  | t -> invalid_arg ("Tpch.rows_at: " ^ t)
+
+let tables ~sf : Catalog.Table_def.t list =
+  let r = rows_at sf in
+  (* the generator emits rows in primary-key order: clustered storage *)
+  let vt = Relalg.Value.Tstr and vi = Relalg.Value.Tint and vf = Relalg.Value.Tfloat in
+  let vd = Relalg.Value.Tdate in
+  [
+    make ~clustered:true ~name:"region" ~key:[ "regionkey" ] ~row_count:(r "region") ()
+      ~columns:
+        [
+          column ~stat:(stat 5) "regionkey" vi;
+          column ~stat:(stat ~width:12 5) "name" vt;
+          column ~stat:(stat ~width:32 5) "comment" vt;
+        ];
+    make ~clustered:true ~name:"nation" ~key:[ "nationkey" ] ~row_count:(r "nation") ()
+      ~columns:
+        [
+          column ~stat:(stat 25) "nationkey" vi;
+          column ~stat:(stat ~width:16 25) "name" vt;
+          column ~stat:(stat 5) "regionkey" vi;
+          column ~stat:(stat ~width:32 25) "comment" vt;
+        ];
+    make ~clustered:true ~name:"supplier" ~key:[ "suppkey" ] ~row_count:(r "supplier") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "supplier")) "suppkey" vi;
+          column ~stat:(stat ~width:18 (r "supplier")) "name" vt;
+          column ~stat:(stat ~width:24 (r "supplier")) "address" vt;
+          column ~stat:(stat 25) "nationkey" vi;
+          column ~stat:(stat ~width:15 (r "supplier")) "phone" vt;
+          column ~stat:(stat ~lo:(-999.) ~hi:9999. (r "supplier" / 10)) "acctbal" vf;
+          column ~stat:(stat ~width:40 (r "supplier")) "comment" vt;
+        ];
+    make ~clustered:true ~name:"part" ~key:[ "partkey" ] ~row_count:(r "part") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "part")) "partkey" vi;
+          column ~stat:(stat ~width:32 (r "part" / 10)) "name" vt;
+          column ~stat:(stat ~width:14 5) "mfgr" vt;
+          column ~stat:(stat ~width:10 25) "brand" vt;
+          column ~stat:(stat ~width:20 150) "type" vt;
+          column ~stat:(stat ~lo:1. ~hi:50. 50) "size" vi;
+          column ~stat:(stat ~width:10 40) "container" vt;
+          column ~stat:(stat ~lo:900. ~hi:2000. 1000) "retailprice" vf;
+          column ~stat:(stat ~width:18 (r "part")) "comment" vt;
+        ];
+    make ~clustered:true ~name:"partsupp" ~key:[ "partkey"; "suppkey" ] ~row_count:(r "partsupp") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "part")) "partkey" vi;
+          column ~stat:(stat (r "supplier")) "suppkey" vi;
+          column ~stat:(stat ~lo:1. ~hi:9999. 9999) "availqty" vi;
+          column ~stat:(stat ~lo:1. ~hi:1000. 1000) "supplycost" vf;
+          column ~stat:(stat ~width:60 (r "partsupp")) "comment" vt;
+        ];
+    make ~clustered:true ~name:"customer" ~key:[ "custkey" ] ~row_count:(r "customer") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "customer")) "custkey" vi;
+          column ~stat:(stat ~width:18 (r "customer")) "name" vt;
+          column ~stat:(stat ~width:24 (r "customer")) "address" vt;
+          column ~stat:(stat 25) "nationkey" vi;
+          column ~stat:(stat ~width:15 (r "customer")) "phone" vt;
+          column ~stat:(stat ~lo:(-999.) ~hi:9999. (r "customer" / 10)) "acctbal" vf;
+          column ~stat:(stat ~width:10 5) "mktsegment" vt;
+          column ~stat:(stat ~width:40 (r "customer")) "comment" vt;
+        ];
+    make ~clustered:true ~name:"orders" ~key:[ "orderkey" ] ~row_count:(r "orders") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "orders")) "orderkey" vi;
+          column ~stat:(stat (r "customer")) "custkey" vi;
+          column ~stat:(stat ~width:1 3) "orderstatus" vt;
+          column ~stat:(stat ~lo:800. ~hi:500_000. (r "orders" / 4)) "totalprice" vf;
+          column
+            ~stat:(stat ~width:4 ~lo:(day "1992-01-01") ~hi:(day "1998-08-02") 2400)
+            "orderdate" vd;
+          column ~stat:(stat ~width:15 5) "orderpriority" vt;
+          column ~stat:(stat ~width:15 1000) "clerk" vt;
+          column ~stat:(stat 1) "shippriority" vi;
+          column ~stat:(stat ~width:48 (r "orders")) "comment" vt;
+        ];
+    make ~clustered:true ~name:"lineitem" ~key:[ "orderkey"; "linenumber" ] ~row_count:(r "lineitem") ()
+      ~columns:
+        [
+          column ~stat:(stat (r "orders")) "orderkey" vi;
+          column ~stat:(stat (r "part")) "partkey" vi;
+          column ~stat:(stat (r "supplier")) "suppkey" vi;
+          column ~stat:(stat ~lo:1. ~hi:7. 7) "linenumber" vi;
+          column ~stat:(stat ~lo:1. ~hi:50. 50) "quantity" vi;
+          column ~stat:(stat ~lo:900. ~hi:105_000. (r "lineitem" / 10)) "extendedprice" vf;
+          column ~stat:(stat ~lo:0. ~hi:0.1 11) "discount" vf;
+          column ~stat:(stat ~lo:0. ~hi:0.08 9) "tax" vf;
+          column ~stat:(stat ~width:1 3) "returnflag" vt;
+          column ~stat:(stat ~width:1 2) "linestatus" vt;
+          column
+            ~stat:(stat ~width:4 ~lo:(day "1992-01-02") ~hi:(day "1998-12-01") 2500)
+            "shipdate" vd;
+          column
+            ~stat:(stat ~width:4 ~lo:(day "1992-01-31") ~hi:(day "1998-10-31") 2450)
+            "commitdate" vd;
+          column
+            ~stat:(stat ~width:4 ~lo:(day "1992-01-03") ~hi:(day "1998-12-31") 2550)
+            "receiptdate" vd;
+          column ~stat:(stat ~width:17 4) "shipinstruct" vt;
+          column ~stat:(stat ~width:7 7) "shipmode" vt;
+          column ~stat:(stat ~width:27 (r "lineitem")) "comment" vt;
+        ];
+  ]
+
+(* Table 2: distribution of the TPC-H tables among five locations. *)
+let distribution : (string * string * Catalog.Location.t) list =
+  [
+    ("customer", "db-1", "L1");
+    ("orders", "db-1", "L1");
+    ("supplier", "db-2", "L2");
+    ("partsupp", "db-2", "L2");
+    ("part", "db-3", "L3");
+    ("lineitem", "db-4", "L4");
+    ("nation", "db-5", "L5");
+    ("region", "db-5", "L5");
+  ]
+
+(* The standard catalog: one placement per table, per Table 2.
+   [partition_tables] spreads the named tables across the first
+   [partition_count] locations (default: all) in equal fractions — the
+   §7.5 setup. *)
+let catalog ?(sf = 10.0) ?(partition_tables = []) ?partition_count ?network () : Catalog.t =
+  let network = match network with Some n -> n | None -> Catalog.Network.paper_default () in
+  let locations = Catalog.Network.locations network in
+  let part_locs =
+    match partition_count with
+    | None -> locations
+    | Some k -> List.filteri (fun i _ -> i < k) locations
+  in
+  let placements name db home =
+    if List.mem name partition_tables then
+      List.map
+        (fun l ->
+          { Catalog.db; location = l; fraction = 1.0 /. float_of_int (List.length part_locs) })
+        part_locs
+    else [ { Catalog.db; location = home; fraction = 1.0 } ]
+  in
+  let defs = tables ~sf in
+  Catalog.make ~network
+    (List.map
+       (fun (name, db, home) ->
+         let def = List.find (fun d -> String.equal d.name name) defs in
+         (def, placements name db home))
+       distribution)

@@ -1,0 +1,31 @@
+(** The TPC-H schema (column names unprefixed, as in the paper's
+    Table 3), its catalog statistics as a function of the scale factor,
+    and the five-location distribution of Table 2. *)
+
+val day : string -> float
+(** Day count of an ISO date, for statistics bounds. *)
+
+val rows_at : float -> string -> int
+(** dbgen cardinalities at a scale factor, clamped to small minima so
+    tiny scale factors stay executable. *)
+
+val tables : sf:float -> Catalog.Table_def.t list
+(** The eight table definitions with statistics at scale factor [sf]. *)
+
+val distribution : (string * string * Catalog.Location.t) list
+(** Table 2: (table, database, location) — customer/orders at db-1/L1,
+    supplier/partsupp at db-2/L2, part at db-3/L3, lineitem at db-4/L4,
+    nation/region at db-5/L5. *)
+
+val catalog :
+  ?sf:float ->
+  ?partition_tables:string list ->
+  ?partition_count:int ->
+  ?network:Catalog.Network.t ->
+  unit ->
+  Catalog.t
+(** The geo-distributed TPC-H catalog. [sf] (default 10, the paper's
+    setting) drives the statistics only. [partition_tables] spreads the
+    named tables over the first [partition_count] locations in equal
+    fractions (the §7.5 setup); [network] defaults to
+    {!Catalog.Network.paper_default}. *)

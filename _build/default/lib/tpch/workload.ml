@@ -1,0 +1,277 @@
+(* Workload generators (§7.1):
+
+   - the ad-hoc query generator: random PK–FK join queries spanning two
+     or more locations, with random output columns, predicates and
+     (for ~30% of queries) aggregations;
+   - the policy-expression generator: instantiates the T / C / CR / CR+A
+     templates against the schema and a "property file" describing which
+     columns may be aggregated, serve as grouping keys, or carry range
+     predicates.
+
+   Both are fully deterministic given a seed. *)
+
+module Prng = Storage.Prng
+
+(* --- property file analogue --- *)
+
+(* columns visible to the workload (never the free-text columns) *)
+let visible_cols = function
+  | "region" -> [ "regionkey"; "name" ]
+  | "nation" -> [ "nationkey"; "name"; "regionkey" ]
+  | "supplier" -> [ "suppkey"; "name"; "acctbal"; "nationkey" ]
+  | "part" -> [ "partkey"; "name"; "mfgr"; "brand"; "type"; "size"; "retailprice" ]
+  | "partsupp" -> [ "partkey"; "suppkey"; "availqty"; "supplycost" ]
+  | "customer" -> [ "custkey"; "name"; "acctbal"; "mktsegment"; "nationkey" ]
+  | "orders" -> [ "orderkey"; "custkey"; "orderstatus"; "totalprice"; "orderdate";
+                  "orderpriority"; "shippriority" ]
+  | "lineitem" -> [ "orderkey"; "partkey"; "suppkey"; "linenumber"; "quantity";
+                    "extendedprice"; "discount"; "shipdate"; "returnflag"; "shipmode" ]
+  | t -> invalid_arg ("visible_cols: " ^ t)
+
+let aggregatable = function
+  | "supplier" -> [ "acctbal" ]
+  | "part" -> [ "retailprice"; "size" ]
+  | "partsupp" -> [ "availqty"; "supplycost" ]
+  | "customer" -> [ "acctbal" ]
+  | "orders" -> [ "totalprice" ]
+  | "lineitem" -> [ "quantity"; "extendedprice"; "discount" ]
+  | _ -> []
+
+let groupable = function
+  | "region" -> [ "name" ]
+  | "nation" -> [ "name"; "regionkey" ]
+  | "supplier" -> [ "nationkey"; "suppkey" ]
+  | "part" -> [ "mfgr"; "brand"; "size" ]
+  | "partsupp" -> [ "partkey"; "suppkey" ]
+  | "customer" -> [ "mktsegment"; "nationkey"; "custkey" ]
+  | "orders" -> [ "orderpriority"; "orderstatus"; "custkey"; "orderkey" ]
+  | "lineitem" -> [ "returnflag"; "shipmode"; "suppkey"; "orderkey" ]
+  | _ -> []
+
+(* (column, predicate-text generator) pools per table *)
+let predicate_pool g table =
+  let num col lo hi =
+    let v = Prng.range g lo hi in
+    let op = Prng.pick g [ ">"; ">="; "<"; "<=" ] in
+    Printf.sprintf "%s %s %d" col op v
+  in
+  let streq col values = Printf.sprintf "%s = '%s'" col (Prng.pick g values) in
+  match table with
+  | "customer" ->
+    [ streq "mktsegment" Datagen.segments; num "acctbal" (-500) 9000 ]
+  | "orders" ->
+    [
+      Printf.sprintf "orderdate >= '19%02d-01-01'" (Prng.range g 92 97);
+      num "totalprice" 1000 300000;
+      streq "orderpriority" Datagen.priorities;
+    ]
+  | "lineitem" ->
+    [
+      num "quantity" 1 45;
+      Printf.sprintf "shipdate >= '19%02d-01-01'" (Prng.range g 92 97);
+      streq "returnflag" [ "R"; "A"; "N" ];
+    ]
+  | "part" ->
+    [
+      num "size" 1 45;
+      Printf.sprintf "type LIKE '%%%s'" (Prng.pick g Datagen.type_syl3);
+      streq "mfgr"
+        (List.map (Printf.sprintf "Manufacturer#%d") [ 1; 2; 3; 4; 5 ]);
+    ]
+  | "supplier" -> [ num "acctbal" (-500) 9000 ]
+  | "partsupp" -> [ num "supplycost" 10 900; num "availqty" 100 9000 ]
+  | "nation" -> [ streq "name" (List.map fst Datagen.nations) ]
+  | "region" -> [ streq "name" Datagen.regions ]
+  | _ -> []
+
+(* PK-FK join edges: (table1, cols1, table2, cols2) *)
+let fk_edges =
+  [
+    ("customer", [ "nationkey" ], "nation", [ "nationkey" ]);
+    ("supplier", [ "nationkey" ], "nation", [ "nationkey" ]);
+    ("nation", [ "regionkey" ], "region", [ "regionkey" ]);
+    ("orders", [ "custkey" ], "customer", [ "custkey" ]);
+    ("lineitem", [ "orderkey" ], "orders", [ "orderkey" ]);
+    ("lineitem", [ "partkey" ], "part", [ "partkey" ]);
+    ("lineitem", [ "suppkey" ], "supplier", [ "suppkey" ]);
+    ("lineitem", [ "partkey"; "suppkey" ], "partsupp", [ "partkey"; "suppkey" ]);
+    ("partsupp", [ "partkey" ], "part", [ "partkey" ]);
+    ("partsupp", [ "suppkey" ], "supplier", [ "suppkey" ]);
+  ]
+
+let location_of table =
+  let _, _, l = List.find (fun (t, _, _) -> String.equal t table) Schema.distribution in
+  l
+
+(* --- ad-hoc query generation --- *)
+
+(* Grow a connected set of distinct tables along FK edges. *)
+let rec grow g tables target =
+  if List.length tables >= target then tables
+  else
+    let candidates =
+      List.filter_map
+        (fun (t1, _, t2, _) ->
+          if List.mem t1 tables && not (List.mem t2 tables) then Some t2
+          else if List.mem t2 tables && not (List.mem t1 tables) then Some t1
+          else None)
+        fk_edges
+    in
+    match candidates with
+    | [] -> tables
+    | _ -> grow g (Prng.pick g candidates :: tables) target
+
+let spans_locations tables =
+  List.sort_uniq String.compare (List.map location_of tables) |> List.length >= 2
+
+let join_conjuncts tables =
+  List.filter_map
+    (fun (t1, c1, t2, c2) ->
+      if List.mem t1 tables && List.mem t2 tables then
+        Some
+          (String.concat " AND "
+             (List.map2 (fun a b -> Printf.sprintf "%s.%s = %s.%s" t1 a t2 b) c1 c2))
+      else None)
+    fk_edges
+
+(* One random ad-hoc query as SQL text. *)
+let rec gen_query (g : Prng.t) : string =
+  let n_tables =
+    let d = Prng.int g 100 in
+    if d < 55 then 2 else if d < 90 then 3 else 4
+  in
+  let start = Prng.pick g [ "customer"; "orders"; "lineitem"; "part"; "supplier"; "partsupp" ] in
+  let tables = grow g [ start ] n_tables in
+  if List.length tables < 2 || not (spans_locations tables) then gen_query g
+  else begin
+    let joins = join_conjuncts tables in
+    let is_agg = Prng.int g 100 < 30 in
+    let preds =
+      let n = Prng.range g 3 4 in
+      let all = List.concat_map (fun t -> List.map (fun p -> (t, p)) (predicate_pool g t)) tables in
+      Prng.pick_k g (min n (List.length all)) all
+      |> List.map (fun (t, p) ->
+             (* qualify the first identifier of the predicate text *)
+             let i = String.index p ' ' in
+             Printf.sprintf "%s.%s%s" t (String.sub p 0 i) (String.sub p i (String.length p - i)))
+    in
+    let where = String.concat " AND " (joins @ preds) in
+    let select, group =
+      if is_agg then begin
+        let agg_candidates =
+          List.concat_map (fun t -> List.map (fun c -> (t, c)) (aggregatable t)) tables
+        in
+        let grp_candidates =
+          List.concat_map (fun t -> List.map (fun c -> (t, c)) (groupable t)) tables
+        in
+        if agg_candidates = [] || grp_candidates = [] then
+          (* fall back to a plain projection *)
+          let outs =
+            Prng.pick_k g
+              (min 4 (List.length tables * 2))
+              (List.concat_map (fun t -> List.map (fun c -> (t, c)) (visible_cols t)) tables)
+          in
+          (String.concat ", " (List.map (fun (t, c) -> t ^ "." ^ c) outs), "")
+        else begin
+          let keys = Prng.pick_k g (min (Prng.range g 1 2) (List.length grp_candidates)) grp_candidates in
+          let aggs = Prng.pick_k g (min (Prng.range g 1 2) (List.length agg_candidates)) agg_candidates in
+          let fns = [ "sum"; "min"; "max"; "avg"; "count" ] in
+          let key_txt = List.map (fun (t, c) -> t ^ "." ^ c) keys in
+          let agg_txt =
+            List.mapi
+              (fun i (t, c) ->
+                Printf.sprintf "%s(%s.%s) AS agg_%d" (Prng.pick g fns) t c i)
+              aggs
+          in
+          ( String.concat ", " (key_txt @ agg_txt),
+            " GROUP BY " ^ String.concat ", " key_txt )
+        end
+      end
+      else
+        let all_cols =
+          List.concat_map (fun t -> List.map (fun c -> (t, c)) (visible_cols t)) tables
+        in
+        let outs = Prng.pick_k g (min 4 (List.length all_cols)) all_cols in
+        (String.concat ", " (List.map (fun (t, c) -> t ^ "." ^ c) outs), "")
+    in
+    Printf.sprintf "SELECT %s FROM %s WHERE %s%s" select (String.concat ", " tables)
+      where group
+  end
+
+let gen_queries ~seed ~n : string list =
+  let g = Prng.create ~seed in
+  List.init n (fun _ -> gen_query g)
+
+(* --- policy-expression generation --- *)
+
+(* A backbone expression per table guarantees that every query has a
+   compliant plan (all workload-visible data may reach the hub L1); the
+   remaining expressions add template-specific variety, exactly like the
+   paper's generator instantiating templates against the schema and
+   property file. [locs_per_expr] overrides the number of `to`
+   locations (Fig. 8). *)
+let gen_expressions ~seed ~(template : Policies.set_name) ~n
+    ?(locations = [ "L1"; "L2"; "L3"; "L4"; "L5" ]) ?locs_per_expr () : string list =
+  let g = Prng.create ~seed in
+  let tables = List.map (fun (t, db, _) -> (t, db)) Schema.distribution in
+  let pick_locs () =
+    match locs_per_expr with
+    | Some k -> Prng.pick_k g (min k (List.length locations)) locations
+    | None ->
+      let k = Prng.range g 1 (min 4 (List.length locations)) in
+      Prng.pick_k g k locations
+  in
+  let backbone =
+    List.map
+      (fun (t, db) ->
+        match template with
+        | Policies.T ->
+          Printf.sprintf "ship * from %s.%s to L1, %s" db t
+            (String.concat ", " (pick_locs ()))
+        | Policies.C | Policies.CR | Policies.CRA ->
+          Printf.sprintf "ship %s from %s.%s to L1, %s"
+            (String.concat ", " (visible_cols t))
+            db t
+            (String.concat ", " (pick_locs ())))
+      tables
+  in
+  let random_expr () =
+    let t, db = Prng.pick g tables in
+    let locs = String.concat ", " (pick_locs ()) in
+    let cols () =
+      let vs = visible_cols t in
+      String.concat ", " (Prng.pick_k g (Prng.range g 1 (List.length vs)) vs)
+    in
+    let where () =
+      (* roughly half the generated expressions are unconditioned *)
+      if Prng.bool g then ""
+      else
+        match predicate_pool g t with
+        | [] -> ""
+        | pool -> " where " ^ Prng.pick g pool
+    in
+    match template with
+    | Policies.T -> Printf.sprintf "ship * from %s.%s to %s" db t locs
+    | Policies.C -> Printf.sprintf "ship %s from %s.%s to %s" (cols ()) db t locs
+    | Policies.CR ->
+      Printf.sprintf "ship %s from %s.%s to %s%s" (cols ()) db t locs (where ())
+    | Policies.CRA ->
+      if Prng.bool g && aggregatable t <> [] then begin
+        let ship =
+          Prng.pick_k g (Prng.range g 1 (List.length (aggregatable t))) (aggregatable t)
+        in
+        let fns = Prng.pick_k g (Prng.range g 1 3) [ "sum"; "avg"; "min"; "max"; "count" ] in
+        let grp =
+          match groupable t with
+          | [] -> ""
+          | gs ->
+            " group by "
+            ^ String.concat ", " (Prng.pick_k g (Prng.range g 1 (List.length gs)) gs)
+        in
+        Printf.sprintf "ship %s as aggregates %s from %s.%s to %s%s%s"
+          (String.concat ", " ship) (String.concat ", " fns) db t locs (where ()) grp
+      end
+      else Printf.sprintf "ship %s from %s.%s to %s%s" (cols ()) db t locs (where ())
+  in
+  let extra = max 0 (n - List.length backbone) in
+  backbone @ List.init extra (fun _ -> random_expr ())

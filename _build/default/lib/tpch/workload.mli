@@ -1,0 +1,31 @@
+(** Workload generators (§7.1): random PK–FK join queries spanning two
+    or more locations, and policy-expression sets instantiated from the
+    T / C / CR / CR+A templates against the schema and a property file
+    analogue. Fully deterministic given a seed. *)
+
+val visible_cols : string -> string list
+(** Columns the workload may reference (free-text columns excluded). *)
+
+val aggregatable : string -> string list
+val groupable : string -> string list
+
+val location_of : string -> Catalog.Location.t
+(** Home location of a table under the Table 2 distribution. *)
+
+val gen_queries : seed:int -> n:int -> string list
+(** [n] random ad-hoc queries as SQL text: 55% over two tables, 35%
+    three, 10% four; ~30% aggregation queries; 3–4 non-join predicates
+    each; always spanning at least two locations. *)
+
+val gen_expressions :
+  seed:int ->
+  template:Policies.set_name ->
+  n:int ->
+  ?locations:Catalog.Location.t list ->
+  ?locs_per_expr:int ->
+  unit ->
+  string list
+(** [n] policy expressions: a backbone expression per table (ensuring
+    every query keeps a compliant plan via the hub L1) plus
+    template-shaped random expressions. [locs_per_expr] fixes the
+    number of [to] locations per expression (the Fig. 8 experiment). *)

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Array Catalog Exec Float List Optimizer Policy QCheck QCheck_alcotest Relalg Storage Tpch

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Catalog List Policy Relalg String Tpch

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog List Relalg String Tpch

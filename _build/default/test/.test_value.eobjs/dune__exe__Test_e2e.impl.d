@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Attr Catalog Cgqp Exec Expr Float Fmt List Optimizer Plan Pred Printf Relalg Storage Tpch Value

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Attr Catalog Exec Expr Float List Pred Relalg Storage Value

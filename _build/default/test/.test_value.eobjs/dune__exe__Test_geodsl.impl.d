@@ -1,0 +1,1 @@
+test/test_geodsl.ml: Alcotest Array Attr Catalog Cgqp Exec Geodsl List Optimizer Option Relalg Storage Value

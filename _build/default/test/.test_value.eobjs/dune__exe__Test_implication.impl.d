@@ -1,0 +1,1 @@
+test/test_implication.ml: Alcotest Attr Expr List Option Policy Pred QCheck QCheck_alcotest Relalg Value

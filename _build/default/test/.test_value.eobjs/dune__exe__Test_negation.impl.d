@@ -1,0 +1,1 @@
+test/test_negation.ml: Alcotest Catalog Exec List Optimizer Policy Tpch

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Array Attr Catalog Exec Expr List Optimizer Option Plan Pred Printf QCheck QCheck_alcotest Relalg Storage Value

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Attr Catalog Exec Expr Float Fmt List Optimizer Option Plan Policy Pred Printf QCheck QCheck_alcotest Relalg Sqlfront Storage String Tpch Value

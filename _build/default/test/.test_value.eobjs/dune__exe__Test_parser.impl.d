@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attr Expr List Plan Pred Relalg Sqlfront String Value

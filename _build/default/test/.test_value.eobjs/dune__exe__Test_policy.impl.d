@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Attr Catalog Expr List Plan Policy Pred QCheck QCheck_alcotest Relalg Storage Summary Tpch Value

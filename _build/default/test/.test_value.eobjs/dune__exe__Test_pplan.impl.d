@@ -1,0 +1,1 @@
+test/test_pplan.ml: Alcotest Attr Exec Expr List Pred QCheck QCheck_alcotest Relalg Storage String

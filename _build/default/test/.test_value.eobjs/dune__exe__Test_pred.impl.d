@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Attr Expr List Pred QCheck QCheck_alcotest Relalg Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Attr List QCheck QCheck_alcotest Relalg Storage Value

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Attr Expr List Option Plan Pred Relalg Summary Value

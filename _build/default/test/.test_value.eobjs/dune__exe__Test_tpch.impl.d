@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Catalog Exec List Optimizer Option Plan Policy Printexc Relalg Sqlfront Storage String Tpch Value

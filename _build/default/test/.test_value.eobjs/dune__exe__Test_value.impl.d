@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest QCheck QCheck_alcotest Relalg Stdlib Value

@@ -1,0 +1,143 @@
+(* Ablation tests: each transformation rule's contribution, mirroring
+   the paper's §6.4 completeness discussion. *)
+
+let cat = Tpch.Schema.catalog ()
+let cra = Tpch.Policies.catalog_of cat Tpch.Policies.CRA
+
+let opt ?rules policies sql =
+  Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ?rules ~cat
+    ~policies sql
+
+let test_eager_agg_needed_for_completeness () =
+  (* with all rules Q3 is legal; without aggregate pushdown the policy
+     "pricing only aggregated towards L1" admits no plan *)
+  (match opt cra Tpch.Queries.q3 with
+  | Optimizer.Planner.Planned p ->
+    Alcotest.(check bool) "compliant with rule" true (p.Optimizer.Planner.violations = [])
+  | Optimizer.Planner.Rejected r -> Alcotest.failf "rejected with full rules: %s" r);
+  match
+    opt
+      ~rules:
+        { Optimizer.Memo.default_rules with Optimizer.Memo.eager_aggregation = false }
+      cra Tpch.Queries.q3
+  with
+  | Optimizer.Planner.Rejected _ -> ()
+  | Optimizer.Planner.Planned _ -> Alcotest.fail "should be incomplete without the rule"
+
+let test_join_reorder_improves_cost () =
+  let c_set = Tpch.Policies.catalog_of cat Tpch.Policies.C in
+  let cost rules =
+    match opt ~rules c_set Tpch.Queries.q5 with
+    | Optimizer.Planner.Planned p -> p.Optimizer.Planner.ship_cost
+    | Optimizer.Planner.Rejected r -> Alcotest.failf "rejected: %s" r
+  in
+  let full = cost Optimizer.Memo.default_rules in
+  let no_assoc =
+    cost { Optimizer.Memo.default_rules with Optimizer.Memo.join_associate = false }
+  in
+  Alcotest.(check bool) "reordering never hurts" true (full <= no_assoc +. 1e-6)
+
+let test_union_pushdown_needed_for_partitions () =
+  let pcat =
+    Tpch.Schema.catalog ~partition_tables:[ "customer"; "orders" ] ~partition_count:3 ()
+  in
+  let ppol =
+    Policy.Pcatalog.of_texts pcat
+      (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+  in
+  (match
+     Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~cat:pcat
+       ~policies:ppol Tpch.Queries.q3
+   with
+  | Optimizer.Planner.Planned _ -> ()
+  | Optimizer.Planner.Rejected r -> Alcotest.failf "full rules rejected: %s" r);
+  match
+    Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant
+      ~rules:{ Optimizer.Memo.default_rules with Optimizer.Memo.union_pushdown = false }
+      ~cat:pcat ~policies:ppol Tpch.Queries.q3
+  with
+  | Optimizer.Planner.Rejected _ -> ()
+  | Optimizer.Planner.Planned _ ->
+    Alcotest.fail "partition masking requires union pushdown"
+
+let test_rules_do_not_change_semantics () =
+  (* plans with and without associativity compute the same answer *)
+  let data = Tpch.Datagen.generate ~sf:0.002 () in
+  let db = Tpch.Datagen.load ~cat data in
+  let exec rules =
+    match opt ~rules (Tpch.Policies.catalog_of cat Tpch.Policies.T) Tpch.Queries.q5 with
+    | Optimizer.Planner.Planned p ->
+      (Exec.Interp.run ~network:(Catalog.network cat) ~db
+         ~table_cols:(Catalog.table_cols cat) p.Optimizer.Planner.plan)
+        .Exec.Interp.relation
+    | Optimizer.Planner.Rejected r -> Alcotest.failf "rejected: %s" r
+  in
+  let sort rel =
+    (* round floats: different join orders accumulate sums in different
+       order *)
+    Storage.Relation.rows rel |> Array.to_list |> List.map Array.to_list
+    |> List.map
+         (List.map (fun v ->
+              match v with
+              | Relalg.Value.Float f -> Relalg.Value.Float (Float.round (f *. 1e3) /. 1e3)
+              | _ -> v))
+    |> List.sort (List.compare Relalg.Value.compare)
+  in
+  let full = exec Optimizer.Memo.default_rules in
+  let restricted =
+    exec { Optimizer.Memo.default_rules with Optimizer.Memo.join_associate = false }
+  in
+  Alcotest.(check bool) "same answers" true (sort full = sort restricted)
+
+(* Randomized oracle: for random ad-hoc queries (including aggregate
+   queries) under a permissive generated policy set, the compliant
+   optimizer (which may push aggregates past joins) and the traditional
+   one (which never does) must compute identical answers. *)
+let prop_random_queries_agree =
+  let data = Tpch.Datagen.generate ~sf:0.002 () in
+  let db = Tpch.Datagen.load ~cat data in
+  let policies =
+    Policy.Pcatalog.of_texts cat
+      (Tpch.Workload.gen_expressions ~seed:1 ~template:Tpch.Policies.T ~n:8 ())
+  in
+  let canon rel =
+    Storage.Relation.rows rel |> Array.to_list |> List.map Array.to_list
+    |> List.map
+         (List.map (fun v ->
+              match v with
+              | Relalg.Value.Float f ->
+                Relalg.Value.Float (Float.round (f *. 1e3) /. 1e3)
+              | _ -> v))
+    |> List.sort (List.compare Relalg.Value.compare)
+  in
+  QCheck.Test.make ~name:"random queries: compliant = traditional answers" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1) in
+      let exec mode =
+        match Optimizer.Planner.optimize_sql ~mode ~cat ~policies sql with
+        | Optimizer.Planner.Planned p ->
+          Some
+            (canon
+               (Exec.Interp.run ~network:(Catalog.network cat) ~db
+                  ~table_cols:(Catalog.table_cols cat) p.Optimizer.Planner.plan)
+                 .Exec.Interp.relation)
+        | Optimizer.Planner.Rejected _ -> None
+      in
+      match exec Optimizer.Memo.Compliant, exec Optimizer.Memo.Traditional with
+      | Some a, Some b -> a = b
+      | None, _ | _, None -> false (* T backbone guarantees plans exist *))
+
+let () =
+  Alcotest.run "ablation"
+    [
+      ( "ablation",
+        [
+          Alcotest.test_case "eager agg completeness" `Quick
+            test_eager_agg_needed_for_completeness;
+          Alcotest.test_case "join reorder cost" `Quick test_join_reorder_improves_cost;
+          Alcotest.test_case "union pushdown" `Quick test_union_pushdown_needed_for_partitions;
+          Alcotest.test_case "semantics invariant" `Quick test_rules_do_not_change_semantics;
+          QCheck_alcotest.to_alcotest prop_random_queries_agree;
+        ] );
+    ]

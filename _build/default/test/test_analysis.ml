@@ -1,0 +1,123 @@
+(* Policy-analysis tooling tests: coverage, redundancy, no-op grants. *)
+
+module Locset = Catalog.Location.Set
+
+let locset = Alcotest.testable Locset.pp Locset.equal
+let cat = Tpch.Schema.catalog ()
+
+let coverage_of policies table col =
+  match
+    List.find_opt
+      (fun (c : Policy.Analysis.column_coverage) -> c.column = col)
+      (Policy.Analysis.coverage cat policies table)
+  with
+  | Some c -> c
+  | None -> Alcotest.failf "no coverage row for %s.%s" table col
+
+let test_coverage_raw () =
+  let pols = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  let c = coverage_of pols "customer" "acctbal" in
+  Alcotest.check locset "acctbal raw" (Locset.of_list [ "L4"; "L5" ])
+    c.Policy.Analysis.raw_unconditional;
+  let sensitive = coverage_of pols "customer" "phone" in
+  Alcotest.check locset "phone nowhere" Locset.empty
+    sensitive.Policy.Analysis.raw_unconditional
+
+let test_coverage_aggregate_only () =
+  let pols = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  let c = coverage_of pols "lineitem" "extendedprice" in
+  Alcotest.check locset "raw only to L5" (Locset.of_list [ "L5" ])
+    c.Policy.Analysis.raw_unconditional;
+  match List.assoc_opt Relalg.Expr.Sum c.Policy.Analysis.aggregate_only with
+  | Some locs -> Alcotest.check locset "sum to L1" (Locset.of_list [ "L1" ]) locs
+  | None -> Alcotest.fail "sum coverage missing"
+
+let test_coverage_conditional () =
+  let pols = Tpch.Policies.catalog_of cat Tpch.Policies.CR in
+  (* e4 grants part columns to L4 under a row condition; the backbone
+     already grants L4 unconditionally, so the conditional column only
+     shows extra sites when there are any *)
+  let c = coverage_of pols "part" "size" in
+  Alcotest.(check bool) "unconditional includes L4" true
+    (Locset.mem "L4" c.Policy.Analysis.raw_unconditional);
+  Alcotest.(check bool) "conditional disjoint" true
+    (Locset.is_empty
+       (Locset.inter c.Policy.Analysis.raw_unconditional
+          c.Policy.Analysis.raw_conditional))
+
+let test_redundant () =
+  let pols =
+    Policy.Pcatalog.of_texts cat
+      [
+        "ship name, regionkey from db-5.nation to L1, L2";
+        "ship name, regionkey, nationkey from db-5.nation to L1, L2, L3";
+        "ship name from db-5.nation to L1 where regionkey > 2";
+      ]
+  in
+  let rs = Policy.Analysis.redundant pols in
+  (* the first expression is subsumed by the second; the third too
+     (its condition implies True and its grant is narrower) *)
+  Alcotest.(check int) "two redundancies" 2 (List.length rs);
+  List.iter
+    (fun ((_, by) : Policy.Expression.t * Policy.Expression.t) ->
+      Alcotest.(check bool) "witness is the wide grant" true
+        (String.length by.Policy.Expression.text > 40))
+    rs
+
+let test_not_redundant () =
+  let pols =
+    Policy.Pcatalog.of_texts cat
+      [
+        "ship name from db-5.nation to L1, L2";
+        "ship name as aggregates min from db-5.nation to L1, L2 group by regionkey";
+        "ship regionkey from db-5.nation to L3";
+      ]
+  in
+  (* the aggregate grant is subsumed by the raw one; but neither raw
+     grant subsumes the other *)
+  let rs = Policy.Analysis.redundant pols in
+  Alcotest.(check int) "only the aggregate is redundant" 1 (List.length rs);
+  match rs with
+  | [ (e, _) ] ->
+    Alcotest.(check bool) "it is the aggregate" true (Policy.Expression.is_aggregate e)
+  | _ -> Alcotest.fail "expected exactly one"
+
+let test_aggregate_subsumption_requires_fns () =
+  let pols =
+    Policy.Pcatalog.of_texts cat
+      [
+        "ship acctbal as aggregates sum from db-1.customer to L4 group by mktsegment";
+        "ship acctbal as aggregates avg from db-1.customer to L4 group by mktsegment";
+      ]
+  in
+  Alcotest.(check int) "different functions: no redundancy" 0
+    (List.length (Policy.Analysis.redundant pols))
+
+let test_dead_grants () =
+  let pols =
+    Policy.Pcatalog.of_texts cat
+      [
+        "ship name from db-5.nation to L5";  (* nation's own home *)
+        "ship name from db-5.nation to L1";
+      ]
+  in
+  match Policy.Analysis.dead cat pols with
+  | [ e ] ->
+    Alcotest.(check bool) "home-only grant flagged" true
+      (Locset.equal e.Policy.Expression.to_locs (Locset.singleton "L5"))
+  | ds -> Alcotest.failf "expected one dead grant, got %d" (List.length ds)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "raw coverage" `Quick test_coverage_raw;
+          Alcotest.test_case "aggregate-only coverage" `Quick test_coverage_aggregate_only;
+          Alcotest.test_case "conditional coverage" `Quick test_coverage_conditional;
+          Alcotest.test_case "redundant" `Quick test_redundant;
+          Alcotest.test_case "not redundant" `Quick test_not_redundant;
+          Alcotest.test_case "agg fns matter" `Quick test_aggregate_subsumption_requires_fns;
+          Alcotest.test_case "dead grants" `Quick test_dead_grants;
+        ] );
+    ]

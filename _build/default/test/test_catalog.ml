@@ -1,0 +1,94 @@
+let test_network_ship_cost () =
+  let n =
+    Catalog.Network.make ~locations:[ "a"; "b" ] ~links:[ ("a", "b", 100., 0.001) ]
+  in
+  Alcotest.(check (float 1e-9)) "local is free" 0.
+    (Catalog.Network.ship_cost n ~from_loc:"a" ~to_loc:"a" ~bytes:1e9);
+  Alcotest.(check (float 1e-6)) "alpha + beta*b" 1100.
+    (Catalog.Network.ship_cost n ~from_loc:"a" ~to_loc:"b" ~bytes:1e6);
+  (* symmetric by default *)
+  Alcotest.(check (float 1e-6)) "symmetric" 1100.
+    (Catalog.Network.ship_cost n ~from_loc:"b" ~to_loc:"a" ~bytes:1e6)
+
+let test_network_uniform () =
+  let n = Catalog.Network.uniform ~locations:[ "x"; "y"; "z" ] ~alpha:10. ~beta:0.5 in
+  Alcotest.(check int) "three locations" 3 (List.length (Catalog.Network.locations n));
+  Alcotest.(check (float 1e-9)) "pairwise" 15.
+    (Catalog.Network.ship_cost n ~from_loc:"x" ~to_loc:"z" ~bytes:10.)
+
+let test_paper_network () =
+  let n = Catalog.Network.paper_default () in
+  Alcotest.(check int) "five regions" 5 (List.length (Catalog.Network.locations n));
+  (* every inter-region link has a positive cost *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i <> j then
+            Alcotest.(check bool) "positive cost" true
+              (Catalog.Network.ship_cost n ~from_loc:i ~to_loc:j ~bytes:1. > 0.))
+        (Catalog.Network.locations n))
+    (Catalog.Network.locations n)
+
+let test_table_def () =
+  let open Catalog.Table_def in
+  let t =
+    make ~name:"Orders"
+      ~columns:
+        [ column "OrderKey" Relalg.Value.Tint; column "custkey" Relalg.Value.Tint ]
+      ~key:[ "ORDERKEY" ] ~row_count:100 ()
+  in
+  Alcotest.(check string) "lowercased" "orders" t.name;
+  Alcotest.(check bool) "has col" true (has_col t "orderkey");
+  Alcotest.(check bool) "key check" true (is_key t [ "orderkey"; "custkey" ]);
+  Alcotest.(check bool) "not key" false (is_key t [ "custkey" ]);
+  Alcotest.(check int) "row width" 16 (row_width t)
+
+let test_catalog_lookup () =
+  let cat = Tpch.Schema.catalog () in
+  Alcotest.(check int) "five locations" 5 (List.length (Catalog.locations cat));
+  Alcotest.(check int) "eight tables" 8 (List.length (Catalog.all_tables cat));
+  Alcotest.(check string) "lineitem home" "L4" (Catalog.home_location cat "lineitem");
+  Alcotest.(check bool) "unknown table" true (Catalog.find_table cat "nope" = None);
+  Alcotest.(check (option string)) "db at L5" (Some "db-5") (Catalog.db_at cat "L5");
+  Alcotest.(check (list string)) "tables at L1" [ "customer"; "orders" ]
+    (List.sort String.compare (Catalog.tables_at cat "L1"));
+  Alcotest.(check int) "lineitem cols" 16 (List.length (Catalog.table_cols cat "lineitem"))
+
+let test_partitioned_catalog () =
+  let cat =
+    Tpch.Schema.catalog ~partition_tables:[ "customer" ] ~partition_count:3 ()
+  in
+  Alcotest.(check bool) "customer partitioned" true (Catalog.is_partitioned cat "customer");
+  Alcotest.(check int) "three placements" 3
+    (List.length (Catalog.placements cat "customer"));
+  let fracs =
+    List.fold_left
+      (fun acc (p : Catalog.placement) -> acc +. p.fraction)
+      0. (Catalog.placements cat "customer")
+  in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 fracs;
+  Alcotest.(check bool) "orders not partitioned" false (Catalog.is_partitioned cat "orders")
+
+let test_rows_at_scaling () =
+  Alcotest.(check int) "region fixed" 5 (Tpch.Schema.rows_at 10.0 "region");
+  Alcotest.(check int) "lineitem sf 1" 6_000_000 (Tpch.Schema.rows_at 1.0 "lineitem");
+  Alcotest.(check bool) "small sf clamps" true (Tpch.Schema.rows_at 0.00001 "orders" >= 20)
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "ship cost" `Quick test_network_ship_cost;
+          Alcotest.test_case "uniform" `Quick test_network_uniform;
+          Alcotest.test_case "paper default" `Quick test_paper_network;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "table def" `Quick test_table_def;
+          Alcotest.test_case "lookup" `Quick test_catalog_lookup;
+          Alcotest.test_case "partitioned" `Quick test_partitioned_catalog;
+          Alcotest.test_case "row scaling" `Quick test_rows_at_scaling;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Execution-engine tests: each physical operator, SHIP accounting, and
+   ship insertion. *)
+
+open Relalg
+module P = Exec.Pplan
+
+let network = Catalog.Network.uniform ~locations:[ "x"; "y" ] ~alpha:10. ~beta:1.0
+
+let attr rel name = Attr.make ~rel ~name
+let col rel name = Expr.Col (attr rel name)
+
+let db_with tables =
+  let db = Storage.Database.create () in
+  List.iter
+    (fun (name, cols, rows) ->
+      let schema = List.map (fun c -> attr name c) cols in
+      Storage.Database.add db ~table:name
+        (Storage.Relation.make ~schema ~rows:(Array.of_list rows)))
+    tables;
+  db
+
+let table_cols = function
+  | "r" -> [ "a"; "b" ]
+  | "s" -> [ "a"; "c" ]
+  | t -> Alcotest.failf "unknown table %s" t
+
+let default_db () =
+  db_with
+    [
+      ( "r",
+        [ "a"; "b" ],
+        [
+          [| Value.Int 1; Value.Str "one" |];
+          [| Value.Int 2; Value.Str "two" |];
+          [| Value.Int 3; Value.Str "three" |];
+        ] );
+      ( "s",
+        [ "a"; "c" ],
+        [
+          [| Value.Int 1; Value.Int 10 |];
+          [| Value.Int 1; Value.Int 20 |];
+          [| Value.Int 3; Value.Int 30 |];
+          [| Value.Int 4; Value.Int 40 |];
+        ] );
+    ]
+
+let node ?(loc = "x") ?(est = { P.est_rows = 1.; est_width = 8. }) n children =
+  { P.node = n; loc; children; est }
+
+let run ?(db = default_db ()) plan =
+  Exec.Interp.run ~network ~db ~table_cols plan
+
+let scan ?(loc = "x") t = node ~loc (P.Table_scan { table = t; alias = t; partition = 0 }) []
+
+let test_scan () =
+  let r = run (scan "r") in
+  Alcotest.(check int) "three rows" 3 (Storage.Relation.cardinality r.relation);
+  Alcotest.(check int) "two cols" 2 (List.length (Storage.Relation.schema r.relation))
+
+let test_filter () =
+  let plan =
+    node (P.Filter (Pred.Atom (Pred.Cmp (Pred.Ge, col "r" "a", Expr.Const (Value.Int 2)))))
+      [ scan "r" ]
+  in
+  let r = run plan in
+  Alcotest.(check int) "two rows" 2 (Storage.Relation.cardinality r.relation)
+
+let test_project () =
+  let plan =
+    node
+      (P.Project
+         [ (Expr.Binop (Expr.Mul, col "r" "a", Expr.Const (Value.Int 10)), Attr.unqualified "x") ])
+      [ scan "r" ]
+  in
+  let r = run plan in
+  let rows = Storage.Relation.rows r.relation in
+  Alcotest.(check bool) "computed" true (Value.equal rows.(0).(0) (Value.Int 10));
+  Alcotest.(check bool) "computed2" true (Value.equal rows.(2).(0) (Value.Int 30))
+
+let test_hash_join () =
+  let plan =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; scan "s" ]
+  in
+  let r = run plan in
+  (* keys 1 (x2), 3 (x1): 3 join rows *)
+  Alcotest.(check int) "join rows" 3 (Storage.Relation.cardinality r.relation);
+  Alcotest.(check int) "concat schema" 4 (List.length (Storage.Relation.schema r.relation))
+
+let test_hash_join_residual () =
+  let plan =
+    node
+      (P.Hash_join
+         {
+           keys = [ (attr "r" "a", attr "s" "a") ];
+           residual = Pred.Atom (Pred.Cmp (Pred.Gt, col "s" "c", Expr.Const (Value.Int 15)));
+         })
+      [ scan "r"; scan "s" ]
+  in
+  let r = run plan in
+  Alcotest.(check int) "residual filters" 2 (Storage.Relation.cardinality r.relation)
+
+let test_nl_join () =
+  let plan =
+    node
+      (P.Nl_join (Pred.Atom (Pred.Cmp (Pred.Lt, col "r" "a", col "s" "c"))))
+      [ scan "r"; scan "s" ]
+  in
+  let r = run plan in
+  (* all 12 combinations satisfy a < c *)
+  Alcotest.(check int) "cross filtered" 12 (Storage.Relation.cardinality r.relation)
+
+let test_merge_join () =
+  (* inputs sorted ascending on the key; duplicate keys on both sides *)
+  let db =
+    db_with
+      [
+        ( "r",
+          [ "a"; "b" ],
+          [
+            [| Value.Int 1; Value.Str "r1" |];
+            [| Value.Int 1; Value.Str "r1b" |];
+            [| Value.Int 2; Value.Str "r2" |];
+            [| Value.Int 4; Value.Str "r4" |];
+          ] );
+        ( "s",
+          [ "a"; "c" ],
+          [
+            [| Value.Int 1; Value.Int 10 |];
+            [| Value.Int 1; Value.Int 11 |];
+            [| Value.Int 3; Value.Int 30 |];
+            [| Value.Int 4; Value.Int 40 |];
+          ] );
+      ]
+  in
+  let merge =
+    node
+      (P.Merge_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; scan "s" ]
+  in
+  let hash =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; scan "s" ]
+  in
+  let rows p =
+    Storage.Relation.rows (run ~db p).relation
+    |> Array.to_list |> List.map Array.to_list
+    |> List.sort (List.compare Value.compare)
+  in
+  (* 2x2 for key 1, plus key 4: five rows, identical to the hash join *)
+  Alcotest.(check int) "five rows" 5 (List.length (rows merge));
+  Alcotest.(check bool) "merge = hash" true (rows merge = rows hash)
+
+let test_merge_join_nulls_and_residual () =
+  let db =
+    db_with
+      [
+        ("r", [ "a"; "b" ], [ [| Value.Null; Value.Str "n" |]; [| Value.Int 1; Value.Str "x" |] ]);
+        ("s", [ "a"; "c" ], [ [| Value.Int 1; Value.Int 5 |]; [| Value.Int 1; Value.Int 50 |] ]);
+      ]
+  in
+  let plan =
+    node
+      (P.Merge_join
+         {
+           keys = [ (attr "r" "a", attr "s" "a") ];
+           residual = Pred.Atom (Pred.Cmp (Pred.Gt, col "s" "c", Expr.Const (Value.Int 10)));
+         })
+      [ scan "r"; scan "s" ]
+  in
+  let r = run ~db plan in
+  Alcotest.(check int) "null skipped, residual filters" 1
+    (Storage.Relation.cardinality r.relation)
+
+let test_sort_operator () =
+  let plan = node (P.Sort [ (attr "s" "c", true) ]) [ scan "s" ] in
+  let r = run plan in
+  let look = Storage.Relation.lookup_fn r.relation in
+  let vals =
+    Array.to_list (Storage.Relation.rows r.relation)
+    |> List.map (fun row -> look (attr "s" "c") row)
+  in
+  let rec desc = function
+    | a :: (b :: _ as rest) -> Value.compare a b >= 0 && desc rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (desc vals)
+
+let test_hash_agg () =
+  let plan =
+    node
+      (P.Hash_agg
+         {
+           keys = [ attr "s" "a" ];
+           aggs =
+             [
+               { Expr.fn = Expr.Sum; arg = col "s" "c"; alias = "total" };
+               { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" };
+               { Expr.fn = Expr.Min; arg = col "s" "c"; alias = "lo" };
+               { Expr.fn = Expr.Max; arg = col "s" "c"; alias = "hi" };
+               { Expr.fn = Expr.Avg; arg = col "s" "c"; alias = "mean" };
+             ];
+         })
+      [ scan "s" ]
+  in
+  let r = run plan in
+  Alcotest.(check int) "three groups" 3 (Storage.Relation.cardinality r.relation);
+  let look = Storage.Relation.lookup_fn r.relation in
+  let find_group k =
+    match
+      Array.find_opt
+        (fun row -> Value.equal (look (attr "s" "a") row) (Value.Int k))
+        (Storage.Relation.rows r.relation)
+    with
+    | Some row -> row
+    | None -> Alcotest.failf "group %d missing" k
+  in
+  let g1 = find_group 1 in
+  Alcotest.(check bool) "sum" true (Value.equal (look (Attr.unqualified "total") g1) (Value.Int 30));
+  Alcotest.(check bool) "count" true (Value.equal (look (Attr.unqualified "n") g1) (Value.Int 2));
+  Alcotest.(check bool) "min" true (Value.equal (look (Attr.unqualified "lo") g1) (Value.Int 10));
+  Alcotest.(check bool) "max" true (Value.equal (look (Attr.unqualified "hi") g1) (Value.Int 20));
+  Alcotest.(check bool) "avg" true
+    (Value.equal (look (Attr.unqualified "mean") g1) (Value.Float 15.))
+
+let test_global_agg_empty_input () =
+  let plan =
+    node
+      (P.Hash_agg
+         {
+           keys = [];
+           aggs = [ { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" } ];
+         })
+      [
+        node (P.Filter Pred.False) [ scan "s" ];
+      ]
+  in
+  let r = run plan in
+  Alcotest.(check int) "one row" 1 (Storage.Relation.cardinality r.relation);
+  let row = (Storage.Relation.rows r.relation).(0) in
+  Alcotest.(check bool) "count zero" true (Value.equal row.(0) (Value.Int 0))
+
+let test_union_all () =
+  let plan = node P.Union_all [ scan "r"; scan "r" ] in
+  let r = run plan in
+  Alcotest.(check int) "doubled" 6 (Storage.Relation.cardinality r.relation)
+
+let test_ship_accounting () =
+  let inner = scan ~loc:"y" "r" in
+  let plan =
+    node (P.Ship { from_loc = "y"; to_loc = "x" }) [ inner ]
+  in
+  let r = run plan in
+  Alcotest.(check int) "one ship" 1 (List.length r.stats.Exec.Interp.ships);
+  let s = List.hd r.stats.Exec.Interp.ships in
+  Alcotest.(check int) "rows shipped" 3 s.Exec.Interp.rows;
+  Alcotest.(check bool) "bytes positive" true (s.Exec.Interp.bytes > 0);
+  (* alpha 10 + beta 1.0 per byte *)
+  Alcotest.(check (float 1e-6)) "cost model" (10. +. float_of_int s.Exec.Interp.bytes)
+    s.Exec.Interp.cost_ms
+
+let test_with_ships () =
+  let j =
+    node ~loc:"x"
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan ~loc:"x" "r"; scan ~loc:"y" "s" ]
+  in
+  let shipped = P.with_ships j in
+  let ships = P.ships shipped in
+  Alcotest.(check int) "one ship inserted" 1 (List.length ships);
+  (match ships with
+  | [ (f, t, _) ] ->
+    Alcotest.(check string) "from" "y" f;
+    Alcotest.(check string) "to" "x" t
+  | _ -> Alcotest.fail "expected one ship");
+  (* executing the shipped plan matches the unshipped result *)
+  let r1 = run j and r2 = run shipped in
+  Alcotest.(check int) "same result"
+    (Storage.Relation.cardinality r1.relation)
+    (Storage.Relation.cardinality r2.relation)
+
+let test_makespan_parallel_branches () =
+  (* two shipped children proceed in parallel: the makespan reflects the
+     slower branch plus local work, not the sum *)
+  let j =
+    node ~loc:"x"
+      (P.Nl_join Pred.True)
+      [
+        node ~loc:"x" (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "r" ];
+        node ~loc:"x" (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "s" ];
+      ]
+  in
+  let r = run j in
+  let total = Exec.Interp.total_ship_cost r.stats in
+  Alcotest.(check bool) "makespan below the serial total" true
+    (r.Exec.Interp.makespan_ms < total);
+  Alcotest.(check bool) "but at least the slower ship" true
+    (r.Exec.Interp.makespan_ms
+    >= List.fold_left
+         (fun m (s : Exec.Interp.ship_record) -> Float.max m s.cost_ms)
+         0. r.stats.Exec.Interp.ships)
+
+let test_malformed_plan () =
+  let bad = node (P.Filter Pred.True) [] in
+  match run bad with
+  | exception Exec.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "malformed plan must raise"
+
+let test_null_join_keys () =
+  (* rows with NULL join keys never match *)
+  let db =
+    db_with
+      [
+        ("r", [ "a"; "b" ], [ [| Value.Null; Value.Str "n" |]; [| Value.Int 1; Value.Str "o" |] ]);
+        ("s", [ "a"; "c" ], [ [| Value.Null; Value.Int 9 |]; [| Value.Int 1; Value.Int 10 |] ]);
+      ]
+  in
+  let plan =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; scan "s" ]
+  in
+  let r = run ~db plan in
+  Alcotest.(check int) "nulls do not join" 1 (Storage.Relation.cardinality r.relation)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "hash join residual" `Quick test_hash_join_residual;
+          Alcotest.test_case "nl join" `Quick test_nl_join;
+          Alcotest.test_case "merge join" `Quick test_merge_join;
+          Alcotest.test_case "merge join nulls/residual" `Quick
+            test_merge_join_nulls_and_residual;
+          Alcotest.test_case "sort" `Quick test_sort_operator;
+          Alcotest.test_case "hash agg" `Quick test_hash_agg;
+          Alcotest.test_case "empty global agg" `Quick test_global_agg_empty_input;
+          Alcotest.test_case "union all" `Quick test_union_all;
+          Alcotest.test_case "null join keys" `Quick test_null_join_keys;
+        ] );
+      ( "ships",
+        [
+          Alcotest.test_case "ship accounting" `Quick test_ship_accounting;
+          Alcotest.test_case "with_ships" `Quick test_with_ships;
+          Alcotest.test_case "malformed" `Quick test_malformed_plan;
+          Alcotest.test_case "makespan parallelism" `Quick test_makespan_parallel_branches;
+        ] );
+    ]

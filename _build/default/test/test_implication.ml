@@ -1,0 +1,160 @@
+open Relalg
+module I = Policy.Implication
+
+let a name = Attr.make ~rel:"t" ~name
+let col name = Expr.Col (a name)
+let int n = Expr.Const (Value.Int n)
+let str s = Expr.Const (Value.Str s)
+let cmp c l r = Pred.Atom (Pred.Cmp (c, l, r))
+
+let check name expected pq pe = Alcotest.(check bool) name expected (I.implies pq pe)
+
+let test_trivial () =
+  check "anything implies true" true (cmp Pred.Eq (col "a") (int 1)) Pred.True;
+  check "false implies anything" true Pred.False (cmp Pred.Eq (col "a") (int 1));
+  check "syntactic equality" true
+    (cmp Pred.Gt (col "a") (int 1))
+    (cmp Pred.Gt (col "a") (int 1))
+
+let test_range_subsumption () =
+  check "b>15 => b>10" true (cmp Pred.Gt (col "b") (int 15)) (cmp Pred.Gt (col "b") (int 10));
+  check "b>10 !=> b>15" false (cmp Pred.Gt (col "b") (int 10)) (cmp Pred.Gt (col "b") (int 15));
+  check "b>=10 !=> b>10" false (cmp Pred.Ge (col "b") (int 10)) (cmp Pred.Gt (col "b") (int 10));
+  check "b>10 => b>=10" true (cmp Pred.Gt (col "b") (int 10)) (cmp Pred.Ge (col "b") (int 10));
+  check "b=12 => b>10" true (cmp Pred.Eq (col "b") (int 12)) (cmp Pred.Gt (col "b") (int 10));
+  check "5<b<8 => b<10" true
+    (Pred.And (cmp Pred.Gt (col "b") (int 5), cmp Pred.Lt (col "b") (int 8)))
+    (cmp Pred.Lt (col "b") (int 10));
+  check "b<10 !=> b=5" false (cmp Pred.Lt (col "b") (int 10)) (cmp Pred.Eq (col "b") (int 5))
+
+let test_conjunction () =
+  let pq = Pred.And (cmp Pred.Gt (col "b") (int 15), cmp Pred.Eq (col "c") (str "x")) in
+  check "conj implies its conjunct" true pq (cmp Pred.Gt (col "b") (int 10));
+  check "conj implies other conjunct" true pq (cmp Pred.Eq (col "c") (str "x"));
+  check "conj implies conj" true pq
+    (Pred.And (cmp Pred.Gt (col "b") (int 10), cmp Pred.Eq (col "c") (str "x")));
+  check "conj does not imply new atom" false pq (cmp Pred.Eq (col "d") (int 1))
+
+let test_disjunction () =
+  let pe = Pred.Or (cmp Pred.Gt (col "b") (int 10), cmp Pred.Eq (col "c") (str "x")) in
+  check "stronger branch implies or" true (cmp Pred.Gt (col "b") (int 15)) pe;
+  check "q-or into e-or" true
+    (Pred.Or (cmp Pred.Gt (col "b") (int 20), cmp Pred.Eq (col "b") (int 11))) pe;
+  check "one bad disjunct kills it" false
+    (Pred.Or (cmp Pred.Gt (col "b") (int 20), cmp Pred.Eq (col "b") (int 5))) pe
+
+let test_in_and_eq () =
+  check "eq implies in" true
+    (cmp Pred.Eq (col "c") (str "x"))
+    (Pred.Atom (Pred.In (col "c", [ Value.Str "x"; Value.Str "y" ])));
+  check "in implies in superset" true
+    (Pred.Atom (Pred.In (col "c", [ Value.Str "x" ])))
+    (Pred.Atom (Pred.In (col "c", [ Value.Str "x"; Value.Str "y" ])));
+  check "in not implies in subset" false
+    (Pred.Atom (Pred.In (col "c", [ Value.Str "x"; Value.Str "z" ])))
+    (Pred.Atom (Pred.In (col "c", [ Value.Str "x"; Value.Str "y" ])));
+  check "eq implies ne other" true
+    (cmp Pred.Eq (col "b") (int 5))
+    (cmp Pred.Ne (col "b") (int 6));
+  check "eq does not imply ne same" false
+    (cmp Pred.Eq (col "b") (int 5))
+    (cmp Pred.Ne (col "b") (int 5))
+
+let test_like () =
+  let like pat = Pred.Atom (Pred.Like (col "c", pat)) in
+  check "same like" true (like "%COPPER%") (like "%COPPER%");
+  check "eq implies matching like" true (cmp Pred.Eq (col "c") (str "XCOPPERY")) (like "%COPPER%");
+  check "eq does not imply failing like" false (cmp Pred.Eq (col "c") (str "TIN")) (like "%COPPER%");
+  check "different like not implied" false (like "%COPPER%") (like "%TIN%")
+
+let test_soundness_boundaries () =
+  (* the paper's incompleteness example: A=5 AND B=3 does not imply
+     A+B=8 under this test *)
+  let pq = Pred.And (cmp Pred.Eq (col "a") (int 5), cmp Pred.Eq (col "b") (int 3)) in
+  let pe = cmp Pred.Eq (Expr.Binop (Expr.Add, col "a", col "b")) (int 8) in
+  check "A=5&B=3 !=> A+B=8 (incomplete)" false pq pe;
+  (* negative literals must not produce range facts (NULL semantics) *)
+  check "NOT(b<5) !=> b>=5" false
+    (Pred.Not (cmp Pred.Lt (col "b") (int 5)))
+    (cmp Pred.Ge (col "b") (int 5));
+  (* but a pinned value decides negative goals *)
+  check "b=7 => NOT(b<5)" true (cmp Pred.Eq (col "b") (int 7))
+    (Pred.Not (cmp Pred.Lt (col "b") (int 5)))
+
+let test_dates_and_strings () =
+  let d s = Expr.Const (Value.Date (Option.get (Value.date_of_string s))) in
+  check "date range" true
+    (cmp Pred.Ge (col "sd") (d "1995-01-01"))
+    (cmp Pred.Gt (col "sd") (d "1994-12-31"));
+  check "string order" true
+    (cmp Pred.Eq (col "c") (str "m"))
+    (Pred.Atom (Pred.Cmp (Pred.Lt, col "c", str "z")))
+
+(* --- property: implication is sound w.r.t. Pred.eval --- *)
+
+let gen_atom_pred =
+  let open QCheck.Gen in
+  let atom =
+    let* name = oneofl [ "x"; "y" ] in
+    let* v = int_range 0 6 in
+    oneof
+      [
+        (let* c = oneofl [ Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ] in
+         return (cmp c (col name) (Expr.Const (Value.Int v))));
+        return (Pred.Atom (Pred.In (col name, [ Value.Int v; Value.Int (v + 2) ])));
+        return (Pred.Atom (Pred.Is_null (col name)));
+        return (Pred.Atom (Pred.Not_null (col name)));
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (4, atom);
+          (2, map2 (fun l r -> Pred.And (l, r)) (go (depth - 1)) (go (depth - 1)));
+          (2, map2 (fun l r -> Pred.Or (l, r)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun p -> Pred.Not p) (go (depth - 1)));
+        ]
+  in
+  go 2
+
+let prop_soundness =
+  QCheck.Test.make ~name:"implies is sound wrt eval (incl. NULL)" ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_atom_pred gen_atom_pred))
+    (fun (pq, pe) ->
+      if I.implies pq pe then begin
+        (* whenever pq holds under a binding, pe must hold too; include
+           NULL in the domain to exercise three-valued corner cases *)
+        let domain = Value.Null :: List.map (fun i -> Value.Int i) [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        List.for_all
+          (fun vx ->
+            List.for_all
+              (fun vy ->
+                let lookup at =
+                  if Attr.equal at (a "x") then vx
+                  else if Attr.equal at (a "y") then vy
+                  else Value.Null
+                in
+                (not (Pred.eval lookup pq)) || Pred.eval lookup pe)
+              domain)
+          domain
+      end
+      else true)
+
+let () =
+  Alcotest.run "implication"
+    [
+      ( "implication",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "range subsumption" `Quick test_range_subsumption;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+          Alcotest.test_case "disjunction" `Quick test_disjunction;
+          Alcotest.test_case "in/eq" `Quick test_in_and_eq;
+          Alcotest.test_case "like" `Quick test_like;
+          Alcotest.test_case "soundness boundaries" `Quick test_soundness_boundaries;
+          Alcotest.test_case "dates and strings" `Quick test_dates_and_strings;
+          QCheck_alcotest.to_alcotest prop_soundness;
+        ] );
+    ]

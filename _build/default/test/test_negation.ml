@@ -1,0 +1,114 @@
+(* Negative policy statements (§4 "Disclosure Model"): deny statements
+   preprocessed against positive grants under the closed-world
+   assumption. *)
+
+module Locset = Catalog.Location.Set
+
+let locset = Alcotest.testable Locset.pp Locset.equal
+let cat = Tpch.Schema.catalog ()
+
+let test_parse_deny () =
+  let d = Policy.Negation.parse cat "deny acctbal from db-1.customer to L4, L5" in
+  Alcotest.(check string) "table" "customer" d.Policy.Negation.d_table;
+  Alcotest.(check (list string)) "cols" [ "acctbal" ] d.Policy.Negation.d_cols;
+  Alcotest.check locset "locs" (Locset.of_list [ "L4"; "L5" ]) d.Policy.Negation.d_locs
+
+let test_deny_subtracts () =
+  let grants =
+    List.map (Policy.Expression.parse cat)
+      [
+        "ship custkey, name, acctbal from db-1.customer to L2, L4, L5";
+        "ship custkey, name from db-1.customer to L3";
+      ]
+  in
+  let denies = [ Policy.Negation.parse cat "deny acctbal from db-1.customer to L4, L5" ] in
+  match Policy.Negation.apply ~denies grants with
+  | [ e1; e2 ] ->
+    Alcotest.check locset "acctbal grant narrowed" (Locset.of_list [ "L2" ])
+      e1.Policy.Expression.to_locs;
+    Alcotest.check locset "unrelated grant untouched" (Locset.of_list [ "L3" ])
+      e2.Policy.Expression.to_locs
+  | es -> Alcotest.failf "expected two grants, got %d" (List.length es)
+
+let test_deny_drops_empty_grants () =
+  let grants =
+    [ Policy.Expression.parse cat "ship acctbal from db-1.customer to L4" ]
+  in
+  let denies = [ Policy.Negation.parse cat "deny acctbal from db-1.customer to *" ] in
+  Alcotest.(check int) "grant fully revoked" 0
+    (List.length (Policy.Negation.apply ~denies grants))
+
+let test_deny_on_group_by () =
+  (* denying a grouping column also narrows aggregate grants *)
+  let grants =
+    [
+      Policy.Expression.parse cat
+        "ship extendedprice as aggregates sum from db-4.lineitem to L1, L5 \
+         group by suppkey";
+    ]
+  in
+  let denies = [ Policy.Negation.parse cat "deny suppkey from db-4.lineitem to L5" ] in
+  match Policy.Negation.apply ~denies grants with
+  | [ e ] ->
+    Alcotest.check locset "L5 revoked" (Locset.of_list [ "L1" ]) e.Policy.Expression.to_locs
+  | _ -> Alcotest.fail "grant disappeared"
+
+let test_deny_rejects_aggregates () =
+  match
+    Policy.Negation.parse cat
+      "deny acctbal as aggregates sum from db-1.customer to L4"
+  with
+  | exception Policy.Expression.Bind_error _ -> ()
+  | _ -> Alcotest.fail "aggregate deny must be rejected"
+
+let test_catalog_of_texts () =
+  let pc =
+    Policy.Negation.catalog_of_texts cat
+      ~grants:[ "ship * from db-5.nation to *"; "ship * from db-5.region to *" ]
+      ~denies:[ "deny name from db-5.nation to L2" ]
+  in
+  match Policy.Pcatalog.for_table pc "nation" with
+  | [ e ] ->
+    Alcotest.(check bool) "L2 gone" false (Locset.mem "L2" e.Policy.Expression.to_locs);
+    Alcotest.(check bool) "L1 kept" true (Locset.mem "L1" e.Policy.Expression.to_locs)
+  | _ -> Alcotest.fail "nation grant missing"
+
+let test_end_to_end_with_denials () =
+  (* a deny flips a previously legal shipment into a rejection *)
+  let grants = Tpch.Policies.set_t in
+  let with_denial =
+    Policy.Negation.catalog_of_texts cat ~grants
+      ~denies:[ "deny quantity from db-4.lineitem to L1, L5" ]
+  in
+  let without = Policy.Pcatalog.of_texts cat grants in
+  let sql =
+    "SELECT o.orderkey, l.quantity FROM orders o, lineitem l WHERE o.orderkey = l.orderkey"
+  in
+  (match Optimizer.Planner.optimize_sql ~cat ~policies:without sql with
+  | Optimizer.Planner.Planned _ -> ()
+  | Optimizer.Planner.Rejected r -> Alcotest.failf "should be legal without deny: %s" r);
+  match Optimizer.Planner.optimize_sql ~cat ~policies:with_denial sql with
+  | Optimizer.Planner.Planned p ->
+    (* lineitem data may no longer leave its site: no SHIP out of L4,
+       and the join runs there *)
+    Alcotest.(check (list string)) "no ship out of L4" []
+      (List.filter_map
+         (fun (f, t, _) -> if f = "L4" then Some (f ^ "->" ^ t) else None)
+         (Exec.Pplan.ships p.Optimizer.Planner.plan));
+    Alcotest.(check string) "root at L4" "L4" p.Optimizer.Planner.plan.Exec.Pplan.loc
+  | Optimizer.Planner.Rejected _ -> ()
+
+let () =
+  Alcotest.run "negation"
+    [
+      ( "negation",
+        [
+          Alcotest.test_case "parse" `Quick test_parse_deny;
+          Alcotest.test_case "subtracts" `Quick test_deny_subtracts;
+          Alcotest.test_case "drops empty" `Quick test_deny_drops_empty_grants;
+          Alcotest.test_case "group-by columns" `Quick test_deny_on_group_by;
+          Alcotest.test_case "no aggregate denies" `Quick test_deny_rejects_aggregates;
+          Alcotest.test_case "catalog helper" `Quick test_catalog_of_texts;
+          Alcotest.test_case "end to end" `Quick test_end_to_end_with_denials;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for the deterministic rewrites: selection pushdown, column
+   pruning ("masking via projection") and canonicalization. *)
+
+open Relalg
+module N = Optimizer.Normalize
+
+let table_cols = function
+  | "customer" -> [ "custkey"; "name"; "acctbal" ]
+  | "orders" -> [ "custkey"; "ordkey"; "totprice" ]
+  | t -> Alcotest.failf "unknown table %s" t
+
+let scan ?alias t = Plan.Scan { table = t; alias = Option.value alias ~default:t }
+let col rel name = Expr.Col (Attr.make ~rel ~name)
+let eq a b = Pred.Atom (Pred.Cmp (Pred.Eq, a, b))
+let gt a n = Pred.Atom (Pred.Cmp (Pred.Gt, a, Expr.Const (Value.Int n)))
+
+let test_pushdown_through_join () =
+  let plan =
+    Plan.Select
+      ( Pred.conj_all
+          [
+            eq (col "customer" "custkey") (col "orders" "custkey");
+            gt (col "customer" "acctbal") 10;
+            gt (col "orders" "totprice") 5;
+          ],
+        Plan.Join (Pred.True, scan "customer", scan "orders") )
+  in
+  match N.pushdown ~table_cols plan with
+  | Plan.Join (jp, Plan.Select (lp, Plan.Scan _), Plan.Select (rp, Plan.Scan _)) ->
+    Alcotest.(check int) "join keeps the cross conjunct" 1 (List.length (Pred.conjuncts jp));
+    Alcotest.(check int) "left filter" 1 (List.length (Pred.conjuncts lp));
+    Alcotest.(check int) "right filter" 1 (List.length (Pred.conjuncts rp))
+  | p -> Alcotest.failf "unexpected shape:@.%s" (Plan.to_string p)
+
+let test_pushdown_through_aggregate () =
+  (* a predicate over a group key sinks below the aggregation; one over
+     an aggregate output stays above *)
+  let agg =
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"orders" ~name:"custkey" ];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "orders" "totprice"; alias = "s" } ];
+        input = scan "orders";
+      }
+  in
+  let plan =
+    Plan.Select
+      ( Pred.conj
+          (gt (col "orders" "custkey") 7)
+          (gt (Expr.Col (Attr.unqualified "s")) 100),
+        agg )
+  in
+  match N.pushdown ~table_cols plan with
+  | Plan.Select (above, Plan.Aggregate { input = Plan.Select (below, Plan.Scan _); _ }) ->
+    Alcotest.(check int) "above" 1 (List.length (Pred.conjuncts above));
+    Alcotest.(check int) "below" 1 (List.length (Pred.conjuncts below))
+  | p -> Alcotest.failf "unexpected shape:@.%s" (Plan.to_string p)
+
+let test_pushdown_through_project () =
+  let plan =
+    Plan.Select
+      ( gt (Expr.Col (Attr.unqualified "bal")) 10,
+        Plan.Project ([ (col "customer" "acctbal", Attr.unqualified "bal") ], scan "customer") )
+  in
+  match N.pushdown ~table_cols plan with
+  | Plan.Project (_, Plan.Select (p, Plan.Scan _)) ->
+    (* the conjunct was rewritten through the projection *)
+    Alcotest.(check bool) "rewritten to base column" true
+      (Attr.Set.mem (Attr.make ~rel:"customer" ~name:"acctbal") (Pred.cols p))
+  | p -> Alcotest.failf "unexpected shape:@.%s" (Plan.to_string p)
+
+let test_prune_columns () =
+  let plan =
+    Plan.Project
+      ( [ (col "customer" "name", Attr.unqualified "name") ],
+        Plan.Select (gt (col "customer" "acctbal") 10, scan "customer") )
+  in
+  let pruned = N.prune_columns ~table_cols plan in
+  (* the scan should now project only name and acctbal (custkey dropped) *)
+  let rec find_scan_project = function
+    | Plan.Project (items, Plan.Scan _) -> Some items
+    | Plan.Project (_, i) | Plan.Select (_, i) -> find_scan_project i
+    | _ -> None
+  in
+  match find_scan_project pruned with
+  | Some items -> Alcotest.(check int) "two columns kept" 2 (List.length items)
+  | None -> Alcotest.failf "no pruning projection inserted:@.%s" (Plan.to_string pruned)
+
+let test_prune_keeps_semantics () =
+  (* pruning must never remove columns used by predicates *)
+  let plan =
+    Plan.Project
+      ( [ (col "orders" "ordkey", Attr.unqualified "ordkey") ],
+        Plan.Select (gt (col "orders" "totprice") 3, scan "orders") )
+  in
+  let pruned = N.prune_columns ~table_cols plan in
+  let rec scan_cols = function
+    | Plan.Project (items, Plan.Scan _) -> List.map (fun (_, n) -> n.Attr.name) items
+    | Plan.Project (_, i) | Plan.Select (_, i) -> scan_cols i
+    | _ -> []
+  in
+  let cols = scan_cols pruned in
+  Alcotest.(check bool) "totprice kept" true (List.mem "totprice" cols);
+  Alcotest.(check bool) "custkey dropped" false (List.mem "custkey" cols)
+
+let test_canon_join_order_invariance () =
+  let a = scan ~alias:"a" "customer"
+  and b = scan ~alias:"b" "orders" in
+  let p = eq (col "a" "custkey") (col "b" "custkey") in
+  let j1 = Plan.Join (p, a, b) in
+  let j2 = Plan.Join (p, b, a) in
+  Alcotest.(check bool) "commuted joins share canon" true
+    (Plan.equal (N.canon j1) (N.canon j2))
+
+let test_canon_assoc_invariance () =
+  let a = scan ~alias:"a" "customer"
+  and b = scan ~alias:"b" "orders"
+  and c = scan ~alias:"c" "orders" in
+  let pab = eq (col "a" "custkey") (col "b" "custkey") in
+  let pbc = eq (col "b" "ordkey") (col "c" "ordkey") in
+  let left = Plan.Join (pbc, Plan.Join (pab, a, b), c) in
+  let right = Plan.Join (pab, a, Plan.Join (pbc, b, c)) in
+  Alcotest.(check bool) "associated joins share canon" true
+    (Plan.equal (N.canon left) (N.canon right))
+
+let test_canon_conjunct_order () =
+  let s1 =
+    Plan.Select
+      (Pred.conj (gt (col "customer" "acctbal") 1) (gt (col "customer" "custkey") 2),
+       scan "customer")
+  in
+  let s2 =
+    Plan.Select
+      (Pred.conj (gt (col "customer" "custkey") 2) (gt (col "customer" "acctbal") 1),
+       scan "customer")
+  in
+  Alcotest.(check bool) "conjunct order irrelevant" true
+    (Plan.equal (N.canon s1) (N.canon s2))
+
+(* property: pushdown + pruning preserve the set of base tables and all
+   predicate atoms *)
+let prop_normalize_preserves_tables =
+  QCheck.Test.make ~name:"normalize preserves base tables" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let n = 1 + Storage.Prng.int g 3 in
+      let aliases = List.init n (fun i -> Printf.sprintf "t%d" i) in
+      let plan =
+        List.fold_left
+          (fun acc a ->
+            Plan.Join
+              ( eq (col (Printf.sprintf "t%d" 0) "custkey") (col a "custkey"),
+                acc,
+                Plan.Scan { table = "customer"; alias = a } ))
+          (Plan.Scan { table = "customer"; alias = "t0" })
+          (List.tl aliases)
+      in
+      let plan = Plan.Select (gt (col "t0" "acctbal") (Storage.Prng.int g 50), plan) in
+      let tc = function "customer" -> [ "custkey"; "name"; "acctbal" ] | _ -> [] in
+      let before = List.sort compare (Plan.base_tables plan) in
+      let after = List.sort compare (Plan.base_tables (N.normalize ~table_cols:tc plan)) in
+      before = after)
+
+(* --- semantics preservation: execute original vs normalized plan --- *)
+
+(* trivial single-site physical rendering of a logical plan *)
+let rec physical_of (plan : Plan.t) : Exec.Pplan.t =
+  let mk node children =
+    { Exec.Pplan.node; loc = "x"; children;
+      est = { Exec.Pplan.est_rows = 0.; est_width = 0. } }
+  in
+  match plan with
+  | Plan.Scan { table; alias } ->
+    mk (Exec.Pplan.Table_scan { table; alias; partition = 0 }) []
+  | Plan.Select (p, i) -> mk (Exec.Pplan.Filter p) [ physical_of i ]
+  | Plan.Project (items, i) -> mk (Exec.Pplan.Project items) [ physical_of i ]
+  | Plan.Join (p, l, r) -> mk (Exec.Pplan.Nl_join p) [ physical_of l; physical_of r ]
+  | Plan.Aggregate { keys; aggs; input } ->
+    mk (Exec.Pplan.Hash_agg { keys; aggs }) [ physical_of input ]
+  | Plan.Union xs -> mk Exec.Pplan.Union_all (List.map physical_of xs)
+
+let tiny_tables = [ ("r", [ "a"; "b"; "c" ]); ("s", [ "a"; "d" ]) ]
+let tiny_cols t = List.assoc t tiny_tables
+
+let tiny_db seed =
+  let g = Storage.Prng.create ~seed in
+  let db = Storage.Database.create () in
+  List.iter
+    (fun (t, cols) ->
+      let schema = List.map (fun c -> Attr.make ~rel:t ~name:c) cols in
+      let rows =
+        Array.init
+          (5 + Storage.Prng.int g 10)
+          (fun _ ->
+            Array.of_list
+              (List.map (fun _ -> Value.Int (Storage.Prng.int g 6)) cols))
+      in
+      Storage.Database.add db ~table:t (Storage.Relation.make ~schema ~rows))
+    tiny_tables;
+  db
+
+let gen_tiny_plan g : Plan.t =
+  let pred_over alias cols =
+    let c = Storage.Prng.pick g cols in
+    let v = Storage.Prng.int g 6 in
+    let op = Storage.Prng.pick g [ Pred.Eq; Pred.Lt; Pred.Ge; Pred.Ne ] in
+    Pred.Atom (Pred.Cmp (op, Expr.Col (Attr.make ~rel:alias ~name:c), Expr.Const (Value.Int v)))
+  in
+  let base = Plan.Scan { table = "r"; alias = "r" } in
+  let joined =
+    if Storage.Prng.bool g then
+      Plan.Join
+        ( Pred.Atom
+            (Pred.Cmp
+               ( Pred.Eq,
+                 Expr.Col (Attr.make ~rel:"r" ~name:"a"),
+                 Expr.Col (Attr.make ~rel:"s" ~name:"a") )),
+          base,
+          Plan.Scan { table = "s"; alias = "s" } )
+    else base
+  in
+  let with_tables aliases =
+    let n_preds = Storage.Prng.int g 3 in
+    let preds =
+      List.init n_preds (fun _ ->
+          let alias = Storage.Prng.pick g aliases in
+          pred_over alias (tiny_cols (if alias = "r" then "r" else "s")))
+    in
+    if preds = [] then joined else Plan.Select (Pred.conj_all preds, joined)
+  in
+  let aliases = if Plan.join_count joined > 0 then [ "r"; "s" ] else [ "r" ] in
+  let filtered = with_tables aliases in
+  if Storage.Prng.bool g then
+    Plan.Project
+      ( [ (Expr.Col (Attr.make ~rel:"r" ~name:"a"), Attr.make ~rel:"r" ~name:"a");
+          (Expr.Col (Attr.make ~rel:"r" ~name:"b"), Attr.make ~rel:"r" ~name:"b") ],
+        filtered )
+  else
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"r" ~name:"b" ];
+        aggs =
+          [ { Expr.fn = Expr.Sum; arg = Expr.Col (Attr.make ~rel:"r" ~name:"c");
+              alias = "s_c" } ];
+        input = filtered;
+      }
+
+let prop_normalize_preserves_semantics =
+  let network = Catalog.Network.uniform ~locations:[ "x" ] ~alpha:0. ~beta:0. in
+  QCheck.Test.make ~name:"normalize preserves query answers" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let plan = gen_tiny_plan g in
+      let normalized = N.normalize ~table_cols:tiny_cols plan in
+      let db = tiny_db (seed + 7) in
+      let exec p =
+        (Exec.Interp.run ~network ~db ~table_cols:tiny_cols (physical_of p))
+          .Exec.Interp.relation
+        |> Storage.Relation.rows |> Array.to_list |> List.map Array.to_list
+        |> List.sort (List.compare Value.compare)
+      in
+      exec plan = exec normalized)
+
+let () =
+  Alcotest.run "normalize"
+    [
+      ( "pushdown",
+        [
+          Alcotest.test_case "through join" `Quick test_pushdown_through_join;
+          Alcotest.test_case "through aggregate" `Quick test_pushdown_through_aggregate;
+          Alcotest.test_case "through project" `Quick test_pushdown_through_project;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "prunes" `Quick test_prune_columns;
+          Alcotest.test_case "keeps predicate cols" `Quick test_prune_keeps_semantics;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "commute" `Quick test_canon_join_order_invariance;
+          Alcotest.test_case "associate" `Quick test_canon_assoc_invariance;
+          Alcotest.test_case "conjunct order" `Quick test_canon_conjunct_order;
+          QCheck_alcotest.to_alcotest prop_normalize_preserves_tables;
+          QCheck_alcotest.to_alcotest prop_normalize_preserves_semantics;
+        ] );
+    ]

@@ -1,0 +1,348 @@
+(* Optimizer tests: memo exploration, annotation traits, Theorem 1
+   (the compliance-based optimizer never emits a non-compliant plan),
+   the site-selector DP against brute force, and plan extraction. *)
+
+open Relalg
+module Locset = Catalog.Location.Set
+
+let cat = Tpch.Schema.catalog ()
+let cra = Tpch.Policies.catalog_of cat Tpch.Policies.CRA
+let t_set = Tpch.Policies.catalog_of cat Tpch.Policies.T
+
+let optimize ?(mode = Optimizer.Memo.Compliant) ~policies sql =
+  Optimizer.Planner.optimize_sql ~mode ~cat ~policies sql
+
+let planned = function
+  | Optimizer.Planner.Planned p -> p
+  | Optimizer.Planner.Rejected r -> Alcotest.failf "unexpectedly rejected: %s" r
+
+(* --- basic end-to-end planning --- *)
+
+let test_all_queries_compliant () =
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      List.iter
+        (fun (name, sql) ->
+          let p = planned (optimize ~policies sql) in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s compliant" (Tpch.Policies.set_name_to_string set) name)
+            []
+            (List.map
+               (fun v -> Fmt.str "%a" Optimizer.Checker.pp_violation v)
+               p.Optimizer.Planner.violations))
+        Tpch.Queries.all)
+    Tpch.Policies.all_sets
+
+let test_traditional_q2_non_compliant () =
+  let p = planned (optimize ~mode:Optimizer.Memo.Traditional ~policies:t_set Tpch.Queries.q2) in
+  Alcotest.(check bool) "Q2 traditional violates" true
+    (p.Optimizer.Planner.violations <> [])
+
+let test_rejection () =
+  (* no policies at all: a cross-border join is impossible *)
+  let empty = Policy.Pcatalog.empty in
+  match
+    optimize ~policies:empty
+      "SELECT c.name FROM customer c, lineitem l WHERE c.custkey = l.orderkey"
+  with
+  | Optimizer.Planner.Rejected _ -> ()
+  | Optimizer.Planner.Planned _ -> Alcotest.fail "must reject without policies"
+
+let test_single_site_needs_no_policy () =
+  (* customer and orders are co-located at L1: legal with no policies *)
+  let empty = Policy.Pcatalog.empty in
+  let p =
+    planned
+      (optimize ~policies:empty
+         "SELECT c.name, o.totalprice FROM customer c, orders o WHERE c.custkey = o.custkey")
+  in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> Fmt.str "%a" Optimizer.Checker.pp_violation v)
+       p.Optimizer.Planner.violations);
+  (* every operator must run at L1 *)
+  let rec locs (pl : Exec.Pplan.t) =
+    pl.Exec.Pplan.loc :: List.concat_map locs pl.Exec.Pplan.children
+  in
+  Alcotest.(check (list string)) "all at L1" [ "L1" ]
+    (List.sort_uniq String.compare (locs (planned (optimize ~policies:empty
+      "SELECT c.name, o.totalprice FROM customer c, orders o WHERE c.custkey = o.custkey"))
+      .Optimizer.Planner.plan))
+
+let test_q3_pushes_aggregate_below_ship () =
+  let p = planned (optimize ~policies:cra Tpch.Queries.q3) in
+  (* find a HashAgg strictly below a Ship L4->L1 *)
+  let rec has_agg_below_ship (pl : Exec.Pplan.t) =
+    (match pl.Exec.Pplan.node with
+    | Exec.Pplan.Ship { from_loc = "L4"; to_loc = "L1" } -> (
+      match pl.Exec.Pplan.children with
+      | [ { Exec.Pplan.node = Exec.Pplan.Hash_agg _; _ } ] -> true
+      | _ -> false)
+    | _ -> false)
+    || List.exists has_agg_below_ship pl.Exec.Pplan.children
+  in
+  Alcotest.(check bool) "Fig 5(e) shape" true (has_agg_below_ship p.Optimizer.Planner.plan)
+
+let test_traditional_does_not_push_aggregate () =
+  let p = planned (optimize ~mode:Optimizer.Memo.Traditional ~policies:cra Tpch.Queries.q3) in
+  let rec agg_count (pl : Exec.Pplan.t) =
+    (match pl.Exec.Pplan.node with Exec.Pplan.Hash_agg _ -> 1 | _ -> 0)
+    + List.fold_left (fun a c -> a + agg_count c) 0 pl.Exec.Pplan.children
+  in
+  Alcotest.(check int) "single aggregate (Fig 5(d))" 1 (agg_count p.Optimizer.Planner.plan)
+
+let test_same_plan_when_traditional_compliant () =
+  (* §7.4: identical plans whenever the cost-based plan is compliant and
+     no compliant-only rules fire (Q5 under C involves no aggregates
+     pushdown opportunity exploited differently) *)
+  let c_set = Tpch.Policies.catalog_of cat Tpch.Policies.C in
+  let t = planned (optimize ~mode:Optimizer.Memo.Traditional ~policies:c_set Tpch.Queries.q3) in
+  let c = planned (optimize ~policies:c_set Tpch.Queries.q3) in
+  Alcotest.(check bool) "traditional compliant" true (t.Optimizer.Planner.violations = []);
+  Alcotest.(check (float 1e-6)) "same ship cost" t.Optimizer.Planner.ship_cost
+    c.Optimizer.Planner.ship_cost
+
+(* --- memo internals --- *)
+
+let test_memo_dedup () =
+  let m = Optimizer.Memo.create ~mode:Optimizer.Memo.Compliant ~cat ~policies:cra () in
+  let plan sql =
+    Sqlfront.Binder.plan_of_sql
+      ~table_cols:(fun t ->
+        Option.map (fun e -> Catalog.Table_def.col_names e.Catalog.def)
+          (Catalog.find_table cat t))
+      sql
+  in
+  let g1 =
+    Optimizer.Memo.ingest m
+      (plan "SELECT c.name FROM customer c, orders o WHERE c.custkey = o.custkey")
+  in
+  let g2 =
+    Optimizer.Memo.ingest m
+      (plan "SELECT c.name FROM orders o, customer c WHERE o.custkey = c.custkey")
+  in
+  Alcotest.(check bool)
+    "commuted queries reach equal-sized memos" true
+    (g1 >= 0 && g2 >= 0)
+
+let test_exploration_grows_plan_space () =
+  let count mode =
+    let p = planned (optimize ~mode ~policies:cra Tpch.Queries.q5) in
+    p.Optimizer.Planner.groups
+  in
+  let trad = count Optimizer.Memo.Traditional in
+  let comp = count Optimizer.Memo.Compliant in
+  (* the compliant optimizer explores at least as much (extra eager-agg
+     alternatives), cf. §7.3's plan-space growth *)
+  Alcotest.(check bool) "plan space grows" true (comp >= trad)
+
+(* --- Theorem 1 as a property --- *)
+
+let prop_theorem_1 =
+  QCheck.Test.make ~name:"theorem 1: compliant optimizer never emits violations" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1) in
+      (* random, possibly very restrictive policy set: no backbone *)
+      let n_expr = 2 + Storage.Prng.int g 10 in
+      let template = Storage.Prng.pick g Tpch.Policies.all_sets in
+      let texts =
+        Tpch.Workload.gen_expressions ~seed:(seed + 1) ~template ~n:n_expr ()
+        (* drop some backbone expressions to provoke rejections *)
+        |> List.filteri (fun i _ -> i mod 3 <> 0)
+      in
+      let policies = Policy.Pcatalog.of_texts cat texts in
+      match optimize ~policies sql with
+      | Optimizer.Planner.Planned p -> p.Optimizer.Planner.violations = []
+      | Optimizer.Planner.Rejected _ -> true (* rejecting is always sound *))
+
+(* --- site selector: DP equals brute force --- *)
+
+let gen_anode seed =
+  let g = Storage.Prng.create ~seed in
+  let locations = [ "L1"; "L2"; "L3"; "L4"; "L5" ] in
+  let uid = ref 0 in
+  let rec build depth =
+    incr uid;
+    let my_uid = !uid in
+    let exec =
+      Locset.of_list (Storage.Prng.pick_k g (1 + Storage.Prng.int g 3) locations)
+    in
+    let children =
+      if depth = 0 then []
+      else List.init (1 + Storage.Prng.int g 2) (fun _ -> build (depth - 1))
+    in
+    let exec = if children = [] then Locset.singleton (Storage.Prng.pick g locations) else exec in
+    {
+      Optimizer.Memo.uid = my_uid;
+      shape = Exec.Pplan.Union_all;
+      children;
+      exec;
+      rows = float_of_int (1 + Storage.Prng.int g 1000);
+      width = float_of_int (8 + Storage.Prng.int g 64);
+    }
+  in
+  build (1 + Storage.Prng.int g 2)
+
+let prop_site_selector_optimal =
+  QCheck.Test.make ~name:"site-selector DP matches brute force" ~count:120
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let network = Catalog.network cat in
+      let anode = gen_anode seed in
+      let dp = Optimizer.Site_selector.select ~network anode in
+      let bf = Optimizer.Site_selector.brute_force ~network anode in
+      match dp, bf with
+      | Some { cost; _ }, Some expect -> Float.abs (cost -. expect) < 1e-6
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let test_response_time_objective () =
+  (* the critical-path objective never exceeds the total-cost value of
+     its own plan, and still yields a compliant placement *)
+  let total = planned (optimize ~policies:cra Tpch.Queries.q5) in
+  let resp =
+    match
+      Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant
+        ~objective:`Response_time ~cat ~policies:cra Tpch.Queries.q5
+    with
+    | Optimizer.Planner.Planned p -> p
+    | Optimizer.Planner.Rejected r -> Alcotest.failf "rejected: %s" r
+  in
+  Alcotest.(check bool) "critical path <= total" true
+    (resp.Optimizer.Planner.ship_cost <= total.Optimizer.Planner.ship_cost +. 1e-6);
+  Alcotest.(check (list string)) "still compliant" []
+    (List.map (fun v -> Fmt.str "%a" Optimizer.Checker.pp_violation v)
+       resp.Optimizer.Planner.violations)
+
+let rec plan_has pred (pl : Exec.Pplan.t) =
+  pred pl.Exec.Pplan.node || List.exists (plan_has pred) pl.Exec.Pplan.children
+
+let test_merge_join_on_clustered_keys () =
+  (* partsupp and part are both clustered on partkey: a sort-free merge
+     join beats the hash join under the cost model *)
+  let p =
+    planned
+      (optimize ~policies:t_set
+         "SELECT ps.partkey, p.retailprice FROM partsupp ps, part p \
+          WHERE ps.partkey = p.partkey")
+  in
+  Alcotest.(check bool) "merge join chosen" true
+    (plan_has
+       (function Exec.Pplan.Merge_join _ -> true | _ -> false)
+       p.Optimizer.Planner.plan);
+  Alcotest.(check bool) "no sorts needed" false
+    (plan_has (function Exec.Pplan.Sort _ -> true | _ -> false) p.Optimizer.Planner.plan)
+
+let test_order_by_enforcer () =
+  (* an ORDER BY satisfied by the plan's natural order adds no Sort; an
+     unsatisfied one adds exactly one root enforcer *)
+  let satisfied =
+    planned
+      (Optimizer.Planner.optimize_sql ~cat ~policies:t_set
+         ~required_order:[ (Attr.make ~rel:"ps" ~name:"partkey", false) ]
+         "SELECT ps.partkey, p.retailprice FROM partsupp ps, part p \
+          WHERE ps.partkey = p.partkey")
+  in
+  Alcotest.(check bool) "no sort when satisfied" false
+    (plan_has
+       (function Exec.Pplan.Sort _ -> true | _ -> false)
+       satisfied.Optimizer.Planner.plan);
+  let unsatisfied =
+    planned
+      (Optimizer.Planner.optimize_sql ~cat ~policies:t_set
+         ~required_order:[ (Attr.make ~rel:"p" ~name:"retailprice", true) ]
+         "SELECT ps.partkey, p.retailprice FROM partsupp ps, part p \
+          WHERE ps.partkey = p.partkey")
+  in
+  Alcotest.(check bool) "sort added" true
+    (plan_has
+       (function Exec.Pplan.Sort _ -> true | _ -> false)
+       unsatisfied.Optimizer.Planner.plan)
+
+(* --- checker --- *)
+
+let test_checker_flags_bad_ship () =
+  (* hand-build a plan shipping raw lineitem pricing data to L1 under CR+A *)
+  let mk ?(loc = "L4") node children =
+    { Exec.Pplan.node; loc; children; est = { Exec.Pplan.est_rows = 1.; est_width = 8. } }
+  in
+  let scan =
+    mk (Exec.Pplan.Table_scan { table = "lineitem"; alias = "l"; partition = 0 }) []
+  in
+  let project =
+    mk
+      (Exec.Pplan.Project
+         [ (Expr.Col (Attr.make ~rel:"l" ~name:"extendedprice"),
+            Attr.make ~rel:"l" ~name:"extendedprice") ])
+      [ scan ]
+  in
+  let shipped =
+    mk ~loc:"L1" (Exec.Pplan.Ship { from_loc = "L4"; to_loc = "L1" }) [ project ]
+  in
+  let violations = Optimizer.Checker.certify ~cat ~policies:cra shipped in
+  Alcotest.(check int) "one violation" 1 (List.length violations);
+  (* the same ship to L5 is fine *)
+  let ok = mk ~loc:"L5" (Exec.Pplan.Ship { from_loc = "L4"; to_loc = "L5" }) [ project ] in
+  Alcotest.(check int) "no violation to L5" 0
+    (List.length (Optimizer.Checker.certify ~cat ~policies:cra ok))
+
+let test_stats_sanity () =
+  let est = Optimizer.Stats.estimate cat (Plan.Scan { table = "lineitem"; alias = "l" }) in
+  Alcotest.(check bool) "row count" true (est.Optimizer.Stats.rows > 1e6);
+  let filtered =
+    Optimizer.Stats.estimate cat
+      (Plan.Select
+         ( Pred.Atom
+             (Pred.Cmp
+                ( Pred.Eq,
+                  Expr.Col (Attr.make ~rel:"l" ~name:"orderkey"),
+                  Expr.Const (Value.Int 5) )),
+           Plan.Scan { table = "lineitem"; alias = "l" } ))
+  in
+  Alcotest.(check bool) "selection reduces" true
+    (filtered.Optimizer.Stats.rows < est.Optimizer.Stats.rows);
+  let agg =
+    Optimizer.Stats.estimate cat
+      (Plan.Aggregate
+         {
+           keys = [ Attr.make ~rel:"l" ~name:"returnflag" ];
+           aggs = [];
+           input = Plan.Scan { table = "lineitem"; alias = "l" };
+         })
+  in
+  Alcotest.(check bool) "few groups" true (agg.Optimizer.Stats.rows <= 3.5)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "planning",
+        [
+          Alcotest.test_case "all queries compliant" `Slow test_all_queries_compliant;
+          Alcotest.test_case "traditional Q2 NC" `Quick test_traditional_q2_non_compliant;
+          Alcotest.test_case "rejection" `Quick test_rejection;
+          Alcotest.test_case "single site" `Quick test_single_site_needs_no_policy;
+          Alcotest.test_case "Q3 pushdown" `Quick test_q3_pushes_aggregate_below_ship;
+          Alcotest.test_case "trad no pushdown" `Quick test_traditional_does_not_push_aggregate;
+          Alcotest.test_case "same plan when compliant" `Quick
+            test_same_plan_when_traditional_compliant;
+          Alcotest.test_case "response-time objective" `Quick
+            test_response_time_objective;
+          Alcotest.test_case "merge join on clustered keys" `Quick
+            test_merge_join_on_clustered_keys;
+          Alcotest.test_case "order-by enforcer" `Quick test_order_by_enforcer;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "dedup" `Quick test_memo_dedup;
+          Alcotest.test_case "plan space" `Quick test_exploration_grows_plan_space;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_theorem_1;
+          QCheck_alcotest.to_alcotest prop_site_selector_optimal;
+          Alcotest.test_case "checker flags" `Quick test_checker_flags_bad_ship;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Physical-plan utility tests: labels, DOT rendering, SHIP insertion
+   and traversal helpers. *)
+
+open Relalg
+module P = Exec.Pplan
+
+let attr rel name = Attr.make ~rel ~name
+
+let mk ?(loc = "x") node children =
+  { P.node; loc; children; est = { P.est_rows = 10.; est_width = 8. } }
+
+let scan ?(loc = "x") t = mk ~loc (P.Table_scan { table = t; alias = t; partition = 0 }) []
+
+let join ?(loc = "x") l r =
+  mk ~loc (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True }) [ l; r ]
+
+let test_labels () =
+  let labels =
+    [
+      P.Table_scan { table = "t"; alias = "t"; partition = 0 };
+      P.Filter Pred.True;
+      P.Project [ (Expr.Col (attr "t" "a"), attr "t" "a") ];
+      P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True };
+      P.Nl_join Pred.True;
+      P.Merge_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True };
+      P.Sort [ (attr "t" "a", true) ];
+      P.Hash_agg { keys = []; aggs = [] };
+      P.Union_all;
+      P.Ship { from_loc = "x"; to_loc = "y" };
+    ]
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "non-empty label" true (String.length (P.node_label n) > 0))
+    labels;
+  Alcotest.(check string) "ship label" "SHIP x -> y"
+    (P.node_label (P.Ship { from_loc = "x"; to_loc = "y" }))
+
+let test_with_ships_inserts_minimal () =
+  let plan = join ~loc:"x" (scan ~loc:"x" "r") (scan ~loc:"y" "s") in
+  let shipped = P.with_ships plan in
+  Alcotest.(check int) "exactly one ship" 1 (List.length (P.ships shipped));
+  (* already co-located plans gain nothing *)
+  let local = join ~loc:"x" (scan ~loc:"x" "r") (scan ~loc:"x" "s") in
+  Alcotest.(check int) "no ships when local" 0 (List.length (P.ships (P.with_ships local)))
+
+let test_with_ships_idempotent () =
+  let plan = join ~loc:"z" (scan ~loc:"x" "r") (scan ~loc:"y" "s") in
+  let once = P.with_ships plan in
+  let twice = P.with_ships once in
+  Alcotest.(check string) "idempotent" (P.to_string once) (P.to_string twice)
+
+let test_count_ops () =
+  let plan = join (scan "r") (scan "s") in
+  Alcotest.(check int) "three ops" 3 (P.count_ops plan);
+  Alcotest.(check int) "with ships counts them" 3 (P.count_ops (P.with_ships plan))
+
+let test_est_bytes () =
+  Alcotest.(check (float 1e-9)) "rows*width" 80. (P.est_bytes (scan "r"))
+
+let test_to_dot_wellformed () =
+  let plan = P.with_ships (join ~loc:"x" (scan ~loc:"x" "r") (scan ~loc:"y" "s")) in
+  let dot = P.to_dot plan in
+  Alcotest.(check bool) "digraph" true (String.length dot > 20);
+  let has sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub dot i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has digraph header" true (has "digraph plan");
+  Alcotest.(check bool) "clusters per site" true (has "cluster_x" && has "cluster_y");
+  Alcotest.(check bool) "ship edge highlighted" true (has "penwidth=2");
+  (* balanced braces *)
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 dot in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let prop_with_ships_preserves_structure =
+  QCheck.Test.make ~name:"with_ships preserves non-ship operators" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let locs = [ "a"; "b"; "c" ] in
+      let rec build depth =
+        if depth = 0 then scan ~loc:(Storage.Prng.pick g locs) "r"
+        else
+          match Storage.Prng.int g 3 with
+          | 0 -> mk ~loc:(Storage.Prng.pick g locs) (P.Filter Pred.True) [ build (depth - 1) ]
+          | 1 -> join ~loc:(Storage.Prng.pick g locs) (build (depth - 1)) (build (depth - 1))
+          | _ -> mk ~loc:(Storage.Prng.pick g locs) P.Union_all [ build (depth - 1) ]
+      in
+      let plan = build (1 + Storage.Prng.int g 3) in
+      let rec non_ship_count (p : P.t) =
+        (match p.P.node with P.Ship _ -> 0 | _ -> 1)
+        + List.fold_left (fun a c -> a + non_ship_count c) 0 p.P.children
+      in
+      non_ship_count plan = non_ship_count (P.with_ships plan))
+
+let () =
+  Alcotest.run "pplan"
+    [
+      ( "pplan",
+        [
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "with_ships minimal" `Quick test_with_ships_inserts_minimal;
+          Alcotest.test_case "with_ships idempotent" `Quick test_with_ships_idempotent;
+          Alcotest.test_case "count_ops" `Quick test_count_ops;
+          Alcotest.test_case "est_bytes" `Quick test_est_bytes;
+          Alcotest.test_case "dot output" `Quick test_to_dot_wellformed;
+          QCheck_alcotest.to_alcotest prop_with_ships_preserves_structure;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+open Relalg
+module Prng = Storage.Prng
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:99 and b = Prng.create ~seed:99 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check (list int)) "same stream" xs ys;
+  let c = Prng.create ~seed:100 in
+  let zs = List.init 100 (fun _ -> Prng.int c 1_000_000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let v = Prng.range g (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "range out of bounds: %d" v
+  done;
+  for _ = 1 to 1_000 do
+    let f = Prng.float g 1.0 in
+    if f < 0. || f >= 1.0001 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_prng_pick_k () =
+  let g = Prng.create ~seed:5 in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  let k = Prng.pick_k g 4 xs in
+  Alcotest.(check int) "k elements" 4 (List.length k);
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare k));
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) k
+
+let test_prng_distribution () =
+  (* coarse uniformity: each bucket within 3x of expectation *)
+  let g = Prng.create ~seed:123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket reasonable" true (c > 300 && c < 3000))
+    buckets
+
+let schema = [ Attr.make ~rel:"t" ~name:"a"; Attr.make ~rel:"t" ~name:"b" ]
+
+let rel rows =
+  Storage.Relation.make ~schema
+    ~rows:(Array.of_list (List.map (fun (a, b) -> [| Value.Int a; Value.Str b |]) rows))
+
+let test_relation_basic () =
+  let r = rel [ (1, "x"); (2, "y") ] in
+  Alcotest.(check int) "cardinality" 2 (Storage.Relation.cardinality r);
+  Alcotest.(check bool) "byte size positive" true (Storage.Relation.byte_size r > 0)
+
+let test_relation_lookup () =
+  let r = rel [ (1, "x") ] in
+  let look = Storage.Relation.lookup_fn r in
+  let row = (Storage.Relation.rows r).(0) in
+  Alcotest.(check bool) "exact" true
+    (Value.equal (look (Attr.make ~rel:"t" ~name:"a") row) (Value.Int 1));
+  Alcotest.(check bool) "by bare name" true
+    (Value.equal (look (Attr.unqualified "b") row) (Value.Str "x"));
+  Alcotest.(check bool) "missing is null" true
+    (Value.equal (look (Attr.unqualified "zzz") row) Value.Null)
+
+let test_relation_arity_check () =
+  match
+    Storage.Relation.make ~schema ~rows:[| [| Value.Int 1 |] |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let test_database () =
+  let db = Storage.Database.create () in
+  Storage.Database.add db ~table:"t" (rel [ (1, "x") ]);
+  Storage.Database.add db ~table:"t" ~partition:1 (rel [ (2, "y") ]);
+  Alcotest.(check int) "total rows" 2 (Storage.Database.total_rows db);
+  Alcotest.(check bool) "find p0" true (Storage.Database.find db ~table:"t" () <> None);
+  Alcotest.(check bool) "find p1" true
+    (Storage.Database.find db ~table:"t" ~partition:1 () <> None);
+  Alcotest.(check bool) "missing" true
+    (Storage.Database.find db ~table:"nope" () = None);
+  (* case-insensitive table names *)
+  Alcotest.(check bool) "case" true (Storage.Database.find db ~table:"T" () <> None)
+
+let test_order_by_and_take () =
+  let r = rel [ (3, "c"); (1, "a"); (2, "b"); (1, "z") ] in
+  let sorted = Storage.Relation.order_by r [ (Attr.make ~rel:"t" ~name:"a", false) ] in
+  let firsts =
+    Array.to_list (Storage.Relation.rows sorted) |> List.map (fun row -> row.(0))
+  in
+  Alcotest.(check bool) "ascending" true
+    (firsts = [ Value.Int 1; Value.Int 1; Value.Int 2; Value.Int 3 ]);
+  (* stability: the two key-1 rows keep their original relative order *)
+  let seconds =
+    Array.to_list (Storage.Relation.rows sorted) |> List.map (fun row -> row.(1))
+  in
+  Alcotest.(check bool) "stable" true
+    (List.filteri (fun i _ -> i < 2) seconds = [ Value.Str "a"; Value.Str "z" ]);
+  let top2 = Storage.Relation.take sorted 2 in
+  Alcotest.(check int) "take" 2 (Storage.Relation.cardinality top2);
+  Alcotest.(check int) "take beyond size is identity" 4
+    (Storage.Relation.cardinality (Storage.Relation.take sorted 100))
+
+let test_split_independence () =
+  let g = Prng.create ~seed:4 in
+  let h = Prng.split g in
+  let a = List.init 50 (fun _ -> Prng.int g 1000) in
+  let b = List.init 50 (fun _ -> Prng.int h 1000) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let prop_pick_in_list =
+  QCheck.Test.make ~name:"pick returns a member" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 20) small_int))
+    (fun (seed, xs) ->
+      let g = Prng.create ~seed in
+      List.mem (Prng.pick g xs) xs)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "pick_k" `Quick test_prng_pick_k;
+          Alcotest.test_case "distribution" `Quick test_prng_distribution;
+          QCheck_alcotest.to_alcotest prop_pick_in_list;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "basic" `Quick test_relation_basic;
+          Alcotest.test_case "lookup" `Quick test_relation_lookup;
+          Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+          Alcotest.test_case "database" `Quick test_database;
+          Alcotest.test_case "order_by/take" `Quick test_order_by_and_take;
+          Alcotest.test_case "split" `Quick test_split_independence;
+        ] );
+    ]

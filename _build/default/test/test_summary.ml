@@ -1,0 +1,200 @@
+open Relalg
+
+let table_cols = function
+  | "customer" -> [ "custkey"; "name"; "acctbal"; "mktseg"; "region" ]
+  | "orders" -> [ "custkey"; "ordkey"; "totprice" ]
+  | "supply" -> [ "ordkey"; "quantity"; "extprice" ]
+  | t -> Alcotest.failf "unknown table %s" t
+
+let scan ?alias table =
+  Plan.Scan { table; alias = Option.value alias ~default:table }
+
+let col rel name = Expr.Col (Attr.make ~rel ~name)
+
+let analyze = Summary.analyze ~table_cols
+
+let find_out s name =
+  match List.find_opt (fun (r : Summary.out_ref) -> r.name = name) s.Summary.outputs with
+  | Some r -> r
+  | None -> Alcotest.failf "output %s not found" name
+
+let test_scan_summary () =
+  let s = analyze (scan "customer") in
+  Alcotest.(check int) "five outputs" 5 (List.length s.Summary.outputs);
+  Alcotest.(check bool) "valid" true s.Summary.valid;
+  Alcotest.(check bool) "not aggregate" false (Summary.is_aggregate s);
+  let r = find_out s "acctbal" in
+  Alcotest.(check int) "single source" 1 (List.length r.Summary.sources)
+
+let test_project_provenance () =
+  let plan =
+    Plan.Project
+      ( [ (col "c" "name", Attr.unqualified "n");
+        (Expr.Binop (Expr.Add, col "c" "acctbal", col "c" "custkey"), Attr.unqualified "d") ],
+        scan ~alias:"c" "customer" )
+  in
+  let s = analyze plan in
+  let n = find_out s "n" in
+  Alcotest.(check bool) "renamed keeps source" true
+    (List.exists
+       (fun (b : Summary.base_col) -> b.table = "customer" && b.column = "name")
+       n.Summary.sources);
+  let d = find_out s "d" in
+  Alcotest.(check int) "derived has two sources" 2 (List.length d.Summary.sources);
+  Alcotest.(check bool) "derived not opaque" false d.Summary.opaque
+
+let test_select_normalizes_pred () =
+  let plan =
+    Plan.Select
+      ( Pred.Atom (Pred.Cmp (Pred.Gt, col "c" "acctbal", Expr.Const (Value.Int 5))),
+        scan ~alias:"c" "customer" )
+  in
+  let s = analyze plan in
+  let cols = Pred.cols s.Summary.pred in
+  Alcotest.(check bool) "pred over base columns" true
+    (Attr.Set.mem (Attr.make ~rel:"customer" ~name:"acctbal") cols)
+
+let test_aggregate_summary () =
+  let plan =
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"s" ~name:"ordkey" ];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "s" "quantity"; alias = "q" } ];
+        input = scan ~alias:"s" "supply";
+      }
+  in
+  let s = analyze plan in
+  Alcotest.(check bool) "aggregate" true (Summary.is_aggregate s);
+  let k = find_out s "ordkey" in
+  Alcotest.(check bool) "key flag" true k.Summary.group_key;
+  let q = find_out s "q" in
+  Alcotest.(check bool) "sum fn" true (q.Summary.agg = Some Expr.Sum)
+
+let test_reaggregation_compose () =
+  (* sum of partial sums stays sum; min of partial max is opaque *)
+  let inner =
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"s" ~name:"ordkey" ];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "s" "quantity"; alias = "partial" } ];
+        input = scan ~alias:"s" "supply";
+      }
+  in
+  let outer fn =
+    Plan.Aggregate
+      {
+        keys = [];
+        aggs = [ { Expr.fn; arg = Expr.Col (Attr.unqualified "partial"); alias = "total" } ];
+        input = inner;
+      }
+  in
+  let s = analyze (outer Expr.Sum) in
+  let t = find_out s "total" in
+  Alcotest.(check bool) "sum.sum = sum" true (t.Summary.agg = Some Expr.Sum);
+  Alcotest.(check bool) "still valid" true s.Summary.valid;
+  let s2 = analyze (outer Expr.Avg) in
+  let t2 = find_out s2 "total" in
+  Alcotest.(check bool) "avg.sum opaque" true t2.Summary.opaque
+
+let test_regroup_must_coarsen () =
+  (* outer keys must be a subset of inner keys *)
+  let inner =
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"o" ~name:"custkey" ];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "o" "totprice"; alias = "p" } ];
+        input = scan ~alias:"o" "orders";
+      }
+  in
+  let bad =
+    Plan.Aggregate
+      {
+        keys = [ Attr.unqualified "p" ];
+        aggs = [ { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "c" } ];
+        input = inner;
+      }
+  in
+  let s = analyze bad in
+  Alcotest.(check bool) "grouping by aggregate invalid" false s.Summary.valid
+
+let test_join_summary () =
+  let plan =
+    Plan.Join
+      ( Pred.Atom (Pred.Cmp (Pred.Eq, col "c" "custkey", col "o" "custkey")),
+        scan ~alias:"c" "customer",
+        scan ~alias:"o" "orders" )
+  in
+  let s = analyze plan in
+  Alcotest.(check int) "outputs concat" 8 (List.length s.Summary.outputs);
+  Alcotest.(check int) "two tables" 2 (List.length s.Summary.tables);
+  Alcotest.(check bool) "join pred kept" true (s.Summary.pred <> Pred.True)
+
+let test_join_above_aggregate_invalid () =
+  let agg =
+    Plan.Aggregate
+      {
+        keys = [ Attr.make ~rel:"o" ~name:"custkey" ];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "o" "totprice"; alias = "p" } ];
+        input = scan ~alias:"o" "orders";
+      }
+  in
+  let plan =
+    Plan.Join
+      ( Pred.Atom (Pred.Cmp (Pred.Eq, col "c" "custkey", Expr.Col (Attr.make ~rel:"o" ~name:"custkey"))),
+        scan ~alias:"c" "customer",
+        agg )
+  in
+  (* the join references o.custkey which the aggregate renamed; the
+     summary must be conservative *)
+  let s = analyze plan in
+  Alcotest.(check bool) "beyond SP/SPG" false s.Summary.valid
+
+let test_opaque_compound_over_aggregate () =
+  let agg =
+    Plan.Aggregate
+      {
+        keys = [];
+        aggs = [ { Expr.fn = Expr.Sum; arg = col "o" "totprice"; alias = "p" } ];
+        input = scan ~alias:"o" "orders";
+      }
+  in
+  let plan =
+    Plan.Project
+      ( [ (Expr.Binop (Expr.Mul, Expr.Col (Attr.unqualified "p"), Expr.Const (Value.Int 2)), Attr.unqualified "x") ],
+        agg )
+  in
+  let s = analyze plan in
+  let x = find_out s "x" in
+  Alcotest.(check bool) "2*sum is opaque" true x.Summary.opaque
+
+let test_count_star_no_sources () =
+  let plan =
+    Plan.Aggregate
+      {
+        keys = [];
+        aggs = [ { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" } ];
+        input = scan "orders";
+      }
+  in
+  let s = analyze plan in
+  let n = find_out s "n" in
+  Alcotest.(check int) "no sources" 0 (List.length n.Summary.sources);
+  Alcotest.(check bool) "not opaque" false n.Summary.opaque
+
+let () =
+  Alcotest.run "summary"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "scan" `Quick test_scan_summary;
+          Alcotest.test_case "project provenance" `Quick test_project_provenance;
+          Alcotest.test_case "select normalizes" `Quick test_select_normalizes_pred;
+          Alcotest.test_case "aggregate" `Quick test_aggregate_summary;
+          Alcotest.test_case "re-aggregation" `Quick test_reaggregation_compose;
+          Alcotest.test_case "regroup coarsens" `Quick test_regroup_must_coarsen;
+          Alcotest.test_case "join" `Quick test_join_summary;
+          Alcotest.test_case "join above agg" `Quick test_join_above_aggregate_invalid;
+          Alcotest.test_case "opaque compound" `Quick test_opaque_compound_over_aggregate;
+          Alcotest.test_case "count star" `Quick test_count_star_no_sources;
+        ] );
+    ]

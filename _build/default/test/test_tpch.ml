@@ -1,0 +1,244 @@
+(* TPC-H substrate tests: schema/catalog shape, deterministic data
+   generation with referential integrity, query parsing, and the
+   workload generators. *)
+
+open Relalg
+
+let cat = Tpch.Schema.catalog ()
+
+let test_distribution_matches_table2 () =
+  List.iter
+    (fun (table, db, loc) ->
+      match Catalog.placements cat table with
+      | [ p ] ->
+        Alcotest.(check string) (table ^ " db") db p.Catalog.db;
+        Alcotest.(check string) (table ^ " loc") loc p.Catalog.location
+      | _ -> Alcotest.failf "%s should have one placement" table)
+    Tpch.Schema.distribution
+
+let tiny = Tpch.Datagen.generate ~sf:0.002 ()
+
+let test_datagen_shapes () =
+  Alcotest.(check int) "regions" 5 (Array.length tiny.Tpch.Datagen.region);
+  Alcotest.(check int) "nations" 25 (Array.length tiny.Tpch.Datagen.nation);
+  Alcotest.(check bool) "lineitems per order 1..7" true
+    (let n_ord = Array.length tiny.Tpch.Datagen.orders in
+     let n_li = Array.length tiny.Tpch.Datagen.lineitem in
+     n_li >= n_ord && n_li <= 7 * n_ord);
+  Alcotest.(check int) "partsupp = 4x part" (4 * Array.length tiny.Tpch.Datagen.part)
+    (Array.length tiny.Tpch.Datagen.partsupp)
+
+let test_datagen_deterministic () =
+  let a = Tpch.Datagen.generate ~seed:5 ~sf:0.002 () in
+  let b = Tpch.Datagen.generate ~seed:5 ~sf:0.002 () in
+  Alcotest.(check bool) "same data" true (a.Tpch.Datagen.orders = b.Tpch.Datagen.orders);
+  let c = Tpch.Datagen.generate ~seed:6 ~sf:0.002 () in
+  Alcotest.(check bool) "different seeds differ" true
+    (c.Tpch.Datagen.orders <> a.Tpch.Datagen.orders)
+
+let test_referential_integrity () =
+  let n_cust = Array.length tiny.Tpch.Datagen.customer in
+  let n_part = Array.length tiny.Tpch.Datagen.part in
+  let n_supp = Array.length tiny.Tpch.Datagen.supplier in
+  let n_ord = Array.length tiny.Tpch.Datagen.orders in
+  Array.iter
+    (fun row ->
+      match row.(1) with
+      | Value.Int ck ->
+        if ck < 1 || ck > n_cust then Alcotest.failf "orders.custkey %d out of range" ck
+      | _ -> Alcotest.fail "orders.custkey not an int")
+    tiny.Tpch.Datagen.orders;
+  Array.iter
+    (fun row ->
+      (match row.(0) with
+      | Value.Int ok ->
+        if ok < 1 || ok > n_ord then Alcotest.failf "lineitem.orderkey %d" ok
+      | _ -> Alcotest.fail "orderkey");
+      (match row.(1) with
+      | Value.Int pk -> if pk < 1 || pk > n_part then Alcotest.failf "lineitem.partkey %d" pk
+      | _ -> Alcotest.fail "partkey");
+      match row.(2) with
+      | Value.Int sk -> if sk < 1 || sk > n_supp then Alcotest.failf "lineitem.suppkey %d" sk
+      | _ -> Alcotest.fail "suppkey")
+    tiny.Tpch.Datagen.lineitem;
+  Array.iter
+    (fun row ->
+      match row.(2) with
+      | Value.Int nk -> if nk < 0 || nk > 24 then Alcotest.failf "nation.regionkey? %d" nk
+      | _ -> ())
+    tiny.Tpch.Datagen.supplier
+
+let test_dates_in_range () =
+  let lo = Option.get (Value.date_of_string "1992-01-01") in
+  let hi = Option.get (Value.date_of_string "1998-12-31") in
+  Array.iter
+    (fun row ->
+      match row.(4) with
+      | Value.Date d ->
+        if d < lo || d > hi then
+          Alcotest.failf "orderdate out of range: %s" (Value.date_to_string d)
+      | _ -> Alcotest.fail "orderdate not a date")
+    tiny.Tpch.Datagen.orders
+
+let test_load_partitions () =
+  let pcat =
+    Tpch.Schema.catalog ~partition_tables:[ "customer" ] ~partition_count:3 ()
+  in
+  let db = Tpch.Datagen.load ~cat:pcat tiny in
+  let total =
+    List.fold_left
+      (fun acc i ->
+        match Storage.Database.find db ~table:"customer" ~partition:i () with
+        | Some r -> acc + Storage.Relation.cardinality r
+        | None -> Alcotest.failf "missing partition %d" i)
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "partitions cover the table"
+    (Array.length tiny.Tpch.Datagen.customer)
+    total
+
+let table_cols t =
+  Option.map (fun e -> Catalog.Table_def.col_names e.Catalog.def) (Catalog.find_table cat t)
+
+let test_queries_parse_and_bind () =
+  List.iter
+    (fun (name, sql) ->
+      match Sqlfront.Binder.plan_of_sql ~table_cols sql with
+      | plan ->
+        Alcotest.(check bool) (name ^ " has joins") true (Plan.join_count plan >= 2)
+      | exception e -> Alcotest.failf "%s failed: %s" name (Printexc.to_string e))
+    Tpch.Queries.all
+
+let test_extended_queries_parse_and_plan () =
+  let pols = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  List.iter
+    (fun (name, sql) ->
+      match Optimizer.Planner.optimize_sql ~cat ~policies:pols sql with
+      | Optimizer.Planner.Planned p ->
+        Alcotest.(check bool) (name ^ " compliant") true
+          (p.Optimizer.Planner.violations = [])
+      | Optimizer.Planner.Rejected r -> Alcotest.failf "%s rejected: %s" name r)
+    Tpch.Queries.extended;
+  Alcotest.(check int) "twelve queries total" 12 (List.length Tpch.Queries.all_extended)
+
+let test_single_site_queries_ship_nothing () =
+  (* Q1 and Q6 touch only lineitem: their plans must contain no SHIP *)
+  let pols = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  List.iter
+    (fun name ->
+      match Optimizer.Planner.optimize_sql ~cat ~policies:pols (Tpch.Queries.by_name name) with
+      | Optimizer.Planner.Planned p ->
+        Alcotest.(check int) (name ^ " no ships") 0
+          (List.length (Exec.Pplan.ships p.Optimizer.Planner.plan))
+      | Optimizer.Planner.Rejected r -> Alcotest.failf "%s rejected: %s" name r)
+    [ "Q1"; "Q6" ]
+
+let test_query_join_complexity () =
+  let joins name = Plan.join_count (Sqlfront.Binder.plan_of_sql ~table_cols (Tpch.Queries.by_name name)) in
+  (* the paper's complexity buckets: Q3/Q10 low, Q5/Q9 medium, Q2/Q8 high *)
+  Alcotest.(check int) "Q3" 2 (joins "Q3");
+  Alcotest.(check int) "Q10" 3 (joins "Q10");
+  Alcotest.(check int) "Q5" 5 (joins "Q5");
+  Alcotest.(check int) "Q9" 5 (joins "Q9");
+  Alcotest.(check int) "Q8" 7 (joins "Q8");
+  Alcotest.(check int) "Q2" 8 (joins "Q2")
+
+let test_policy_sets_parse () =
+  List.iter
+    (fun set ->
+      let pc = Tpch.Policies.catalog_of cat set in
+      Alcotest.(check bool)
+        (Tpch.Policies.set_name_to_string set ^ " non-empty")
+        true
+        (Policy.Pcatalog.size pc >= 8))
+    Tpch.Policies.all_sets;
+  Alcotest.(check int) "T has 8" 8 (List.length Tpch.Policies.set_t);
+  Alcotest.(check int) "C has 10" 10 (List.length Tpch.Policies.set_c);
+  Alcotest.(check int) "CR has 10" 10 (List.length Tpch.Policies.set_cr)
+
+let test_workload_queries_valid () =
+  let queries = Tpch.Workload.gen_queries ~seed:99 ~n:100 in
+  Alcotest.(check int) "100 queries" 100 (List.length queries);
+  List.iter
+    (fun sql ->
+      match Sqlfront.Binder.plan_of_sql ~table_cols sql with
+      | plan ->
+        (* every ad-hoc query must span >= 2 locations (§7.1) *)
+        let locs =
+          Plan.base_tables plan
+          |> List.map (fun (_, t) -> Catalog.home_location cat t)
+          |> List.sort_uniq String.compare
+        in
+        Alcotest.(check bool) "spans locations" true (List.length locs >= 2)
+      | exception e -> Alcotest.failf "generated query invalid: %s\n%s" (Printexc.to_string e) sql)
+    queries
+
+let test_workload_aggregate_share () =
+  let queries = Tpch.Workload.gen_queries ~seed:7 ~n:200 in
+  let n_agg =
+    List.length
+      (List.filter
+         (fun q ->
+           let ast = Sqlfront.Parser.query q in
+           Sqlfront.Ast.is_aggregate_query ast)
+         queries)
+  in
+  (* ~30% aggregation queries (§7.1) *)
+  Alcotest.(check bool) "aggregate share ~30%" true (n_agg > 30 && n_agg < 90)
+
+let test_generated_expressions_parse () =
+  List.iter
+    (fun template ->
+      let texts = Tpch.Workload.gen_expressions ~seed:3 ~template ~n:50 () in
+      Alcotest.(check int) "50 expressions" 50 (List.length texts);
+      List.iter
+        (fun t ->
+          match Policy.Expression.parse cat t with
+          | _ -> ()
+          | exception e ->
+            Alcotest.failf "bad expression %S: %s" t (Printexc.to_string e))
+        texts)
+    Tpch.Policies.all_sets
+
+let test_generated_cra_has_aggregates () =
+  let texts = Tpch.Workload.gen_expressions ~seed:3 ~template:Tpch.Policies.CRA ~n:60 () in
+  let n_agg =
+    List.length
+      (List.filter
+         (fun t -> Policy.Expression.is_aggregate (Policy.Expression.parse cat t))
+         texts)
+  in
+  Alcotest.(check bool) "some aggregate expressions" true (n_agg > 5)
+
+let () =
+  Alcotest.run "tpch"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "table 2 distribution" `Quick test_distribution_matches_table2;
+          Alcotest.test_case "policy sets parse" `Quick test_policy_sets_parse;
+        ] );
+      ( "datagen",
+        [
+          Alcotest.test_case "shapes" `Quick test_datagen_shapes;
+          Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
+          Alcotest.test_case "referential integrity" `Quick test_referential_integrity;
+          Alcotest.test_case "dates in range" `Quick test_dates_in_range;
+          Alcotest.test_case "partitioned load" `Quick test_load_partitions;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "parse and bind" `Quick test_queries_parse_and_bind;
+          Alcotest.test_case "join complexity" `Quick test_query_join_complexity;
+          Alcotest.test_case "extended workload" `Quick test_extended_queries_parse_and_plan;
+          Alcotest.test_case "single-site ship nothing" `Quick
+            test_single_site_queries_ship_nothing;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "queries valid" `Quick test_workload_queries_valid;
+          Alcotest.test_case "aggregate share" `Quick test_workload_aggregate_share;
+          Alcotest.test_case "expressions parse" `Quick test_generated_expressions_parse;
+          Alcotest.test_case "cra aggregates" `Quick test_generated_cra_has_aggregates;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+open Relalg
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_compare_numeric () =
+  Alcotest.(check int) "int order" (-1) (compare (Value.compare (Value.Int 1) (Value.Int 2)) 0);
+  Alcotest.(check bool) "mixed int/float eq" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check bool) "mixed int/float lt" true
+    (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare Value.Null (Value.Int min_int) < 0)
+
+let test_hash_consistent () =
+  (* equal values must hash equal, incl. across Int/Float *)
+  Alcotest.(check int) "int/float hash" (Value.hash (Value.Int 42))
+    (Value.hash (Value.Float 42.0))
+
+let test_arith () =
+  Alcotest.check value "add" (Value.Int 7) (Value.add (Value.Int 3) (Value.Int 4));
+  Alcotest.check value "promote" (Value.Float 7.5) (Value.add (Value.Int 3) (Value.Float 4.5));
+  Alcotest.check value "null absorbs" Value.Null (Value.mul Value.Null (Value.Int 3));
+  Alcotest.check value "div by zero" Value.Null (Value.div (Value.Int 1) (Value.Int 0));
+  Alcotest.check value "int div is exact" (Value.Float 2.5)
+    (Value.div (Value.Int 5) (Value.Int 2))
+
+let test_dates () =
+  Alcotest.(check (option int)) "epoch" (Some 0) (Value.date_of_string "1970-01-01");
+  Alcotest.(check (option int)) "day two" (Some 1) (Value.date_of_string "1970-01-02");
+  (match Value.date_of_string "1995-03-15" with
+  | Some d -> Alcotest.(check string) "round trip" "1995-03-15" (Value.date_to_string d)
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check (option int)) "bad month" None (Value.date_of_string "1995-13-01");
+  Alcotest.(check (option int)) "garbage" None (Value.date_of_string "hello");
+  (* leap year round trip *)
+  (match Value.date_of_string "2000-02-29" with
+  | Some d -> Alcotest.(check string) "leap" "2000-02-29" (Value.date_to_string d)
+  | None -> Alcotest.fail "leap parse failed")
+
+let test_byte_width () =
+  Alcotest.(check int) "int width" 8 (Value.byte_width (Value.Int 5));
+  Alcotest.(check int) "str width" 9 (Value.byte_width (Value.Str "hello"))
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date round-trips through string" ~count:500
+    QCheck.(int_range (-100_000) 100_000)
+    (fun d ->
+      match Value.date_of_string (Value.date_to_string d) with
+      | Some d' -> d = d'
+      | None -> false)
+
+let prop_compare_total_order =
+  let gen =
+    QCheck.oneof
+      [
+        QCheck.map (fun i -> Value.Int i) QCheck.small_signed_int;
+        QCheck.map (fun f -> Value.Float f) (QCheck.float_bound_exclusive 1000.);
+        QCheck.map (fun s -> Value.Str s) QCheck.small_printable_string;
+        QCheck.always Value.Null;
+      ]
+  in
+  QCheck.Test.make ~name:"compare is antisymmetric and transitive-ish" ~count:1000
+    (QCheck.triple gen gen gen)
+    (fun (a, b, c) ->
+      let sgn x = Stdlib.compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare numeric" `Quick test_compare_numeric;
+          Alcotest.test_case "hash consistency" `Quick test_hash_consistent;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "dates" `Quick test_dates;
+          Alcotest.test_case "byte width" `Quick test_byte_width;
+          QCheck_alcotest.to_alcotest prop_date_roundtrip;
+          QCheck_alcotest.to_alcotest prop_compare_total_order;
+        ] );
+    ]
