@@ -17,7 +17,9 @@
      e7  Fig. 7(a-c) scalability vs number of expressions (with eta)
      e8  Fig. 7(d,e) scalability vs number of table locations
      e9  Fig. 8      impact of locations per policy expression
+     e11 (extension) optimizer fast path: verdict caches + branch-and-bound
      t1  Table 1     policy evaluator worked example
+     smoke           quick CI subset (t1 + e11 with fewer repetitions)
 *)
 
 let queries = Tpch.Queries.all
@@ -472,6 +474,94 @@ let e10 () =
       ("Q9", Tpch.Queries.q9) ]
 
 (* ------------------------------------------------------------------ *)
+(* e11 -- fast path: hash-consing + verdict caches + branch-and-bound *)
+
+let e11 ?(runs = 7) () =
+  header "E11: optimizer fast path -- verdict caches + branch-and-bound (Fig. 7 shape)";
+  let cat = Tpch.Schema.catalog () in
+  let set_caches b =
+    Policy.Implication.set_cache_enabled b;
+    Policy.Evaluator.set_cache_enabled b
+  in
+  let plan_sig = function
+    | Optimizer.Planner.Planned p -> Exec.Pplan.to_string p.Optimizer.Planner.plan
+    | Optimizer.Planner.Rejected r -> "REJECTED: " ^ r
+  in
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0. else 100. *. float_of_int hits /. float_of_int total
+  in
+  let tot_base = ref 0. and tot_fast = ref 0. and mismatches = ref 0 in
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      Fmt.pr "@.-- set %s --@." (Tpch.Policies.set_name_to_string set);
+      Fmt.pr "%-5s %15s %15s %8s %7s %7s %8s %5s@." "query" "baseline (ms)" "fast (ms)"
+        "speedup" "impl%" "eval%" "pruned" "plan";
+      List.iter
+        (fun (name, sql) ->
+          (* baseline: verdict caches off, no branch-and-bound *)
+          set_caches false;
+          let base_out =
+            Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~prune:false
+              ~cat ~policies sql
+          in
+          let t_base, se_b =
+            timed_stats ~runs (fun () ->
+                ignore
+                  (Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant
+                     ~prune:false ~cat ~policies sql))
+          in
+          (* fast path: caches on (cold), pruning on; the first run warms
+             the caches, the timed runs then see steady-state hit rates *)
+          set_caches true;
+          Policy.Implication.reset_cache ();
+          Policy.Evaluator.reset_cache ();
+          let fast_out =
+            Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~cat ~policies
+              sql
+          in
+          let ih0, im0 = Policy.Implication.cache_stats () in
+          let eh0, em0 = Policy.Evaluator.cache_stats () in
+          let t_fast, se_f =
+            timed_stats ~runs (fun () ->
+                ignore
+                  (Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~cat
+                     ~policies sql))
+          in
+          let ih1, im1 = Policy.Implication.cache_stats () in
+          let eh1, em1 = Policy.Evaluator.cache_stats () in
+          let pruned =
+            match fast_out with
+            | Optimizer.Planner.Planned p ->
+              let ps = p.Optimizer.Planner.prune_stats in
+              ps.Optimizer.Memo.groups_pruned + ps.Optimizer.Memo.entries_pruned
+              + ps.Optimizer.Memo.combos_pruned
+            | Optimizer.Planner.Rejected _ -> 0
+          in
+          let same = String.equal (plan_sig base_out) (plan_sig fast_out) in
+          if not same then incr mismatches;
+          tot_base := !tot_base +. t_base;
+          tot_fast := !tot_fast +. t_fast;
+          Fmt.pr "%-5s %8.2f +-%-5.2f %8.2f +-%-5.2f %7.2fx %6.1f%% %6.1f%% %8d %5s@."
+            name t_base se_b t_fast se_f
+            (t_base /. Float.max 1e-9 t_fast)
+            (rate (ih1 - ih0) (im1 - im0))
+            (rate (eh1 - eh0) (em1 - em0))
+            pruned
+            (if same then "=" else "/="))
+        queries)
+    Tpch.Policies.all_sets;
+  set_caches true;
+  Fmt.pr "@.total %8.2f ms -> %8.2f ms (%.2fx); plan mismatches: %d@." !tot_base
+    !tot_fast
+    (!tot_base /. Float.max 1e-9 !tot_fast)
+    !mismatches;
+  Fmt.pr "(impl%%/eval%% = steady-state hit rates of the implication- and@.";
+  Fmt.pr " compliance-verdict caches; pruned = groups + candidates + join combos@.";
+  Fmt.pr " skipped by branch-and-bound; plan `=` means byte-identical to baseline)@."
+
+(* ------------------------------------------------------------------ *)
 (* ablation -- design-choice ablations promised in DESIGN.md *)
 
 let ablation () =
@@ -529,11 +619,16 @@ let ablation () =
 
 (* ------------------------------------------------------------------ *)
 
+let smoke () =
+  t1 ();
+  e11 ~runs:2 ()
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", fun () -> e3 ()); ("e4", e4); ("e5", e5);
-    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("t1", t1);
-    ("ablation", ablation); ("micro", micro);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", fun () -> e11 ()); ("t1", t1); ("ablation", ablation); ("micro", micro);
+    ("smoke", smoke);
   ]
 
 let () =

@@ -25,7 +25,12 @@ type entry = { def : Table_def.t; placements : placement list }
 type t = {
   tables : entry String_map.t;
   network : Network.t;
+  stamp : int;  (* unique per catalog; keys cross-catalog caches *)
 }
+
+(* Catalogs are immutable after [make], so a construction-time stamp
+   identifies one soundly for the lifetime of the process. *)
+let next_stamp = ref 0
 
 let make ~network tables =
   let m =
@@ -35,7 +40,10 @@ let make ~network tables =
         String_map.add def.Table_def.name { def; placements } m)
       String_map.empty tables
   in
-  { tables = m; network }
+  incr next_stamp;
+  { tables = m; network; stamp = !next_stamp }
+
+let stamp t = t.stamp
 
 let network t = t.network
 let locations t = Network.locations t.network

@@ -118,6 +118,10 @@ val make : network:Network.t -> (Table_def.t * placement list) list -> t
 val network : t -> Network.t
 val locations : t -> Location.t list
 
+val stamp : t -> int
+(** Unique id assigned at [make] time. Catalogs are immutable, so the
+    stamp soundly identifies one in process-wide cache keys. *)
+
 val find_table : t -> string -> entry option
 val table_def : t -> string -> Table_def.t
 val placements : t -> string -> placement list

@@ -49,6 +49,7 @@ type group = {
   partition_tag : int;  (* >= 0 when the whole subtree reads one partition *)
   single_loc : Catalog.Location.t option;
   policy_ships : Locset.t Lazy.t;  (* AR4 contribution for this group *)
+  lb : float;  (* static lower bound on any entry's cost *)
 }
 
 and entry = {
@@ -83,6 +84,13 @@ let default_rules =
   { join_commute = true; join_associate = true; eager_aggregation = true;
     union_pushdown = true }
 
+type prune_stats = {
+  bound : float;  (* the global upper bound U; infinity = never seeded *)
+  groups_pruned : int;
+  entries_pruned : int;
+  combos_pruned : int;
+}
+
 type t = {
   cat : Catalog.t;
   policies : Policy.Pcatalog.t;
@@ -95,10 +103,16 @@ type t = {
   table_cols : string -> string list;
   mutable next_id : int;
   max_frontier : int;
+  prune : bool;  (* branch-and-bound pruning enabled *)
+  mutable naive : bool;  (* phase-A bound seeding: original exprs only *)
+  mutable bound : float;  (* best known complete-plan cost U *)
+  mutable groups_pruned : int;
+  mutable entries_pruned : int;
+  mutable combos_pruned : int;
 }
 
-let create ?(max_frontier = 8) ?(rules = default_rules) ?eval_stats ~mode ~cat
-    ~policies () =
+let create ?(max_frontier = 8) ?(prune = true) ?(rules = default_rules) ?eval_stats
+    ~mode ~cat ~policies () =
   let table_cols name = Catalog.table_cols cat name in
   {
     cat;
@@ -112,7 +126,17 @@ let create ?(max_frontier = 8) ?(rules = default_rules) ?eval_stats ~mode ~cat
     table_cols;
     next_id = 0;
     max_frontier;
+    prune;
+    naive = false;
+    bound = Float.infinity;
+    groups_pruned = 0;
+    entries_pruned = 0;
+    combos_pruned = 0;
   }
+
+let prune_stats m =
+  { bound = m.bound; groups_pruned = m.groups_pruned; entries_pruned = m.entries_pruned;
+    combos_pruned = m.combos_pruned }
 
 let group m id = Hashtbl.find m.arr id
 let group_count m = m.next_id
@@ -128,6 +152,38 @@ let group_key (repr : Plan.t) ~(partition : int) =
   Printf.sprintf "%d|%s" partition (Plan.to_string repr)
 
 let all_locations m = Locset.of_list (Catalog.locations m.cat)
+
+(* Exploration-independent lower bound on the cost of any entry of a
+   group: every member plan is a tree whose leaves scan each referenced
+   base table exactly once (transformation rules preserve the base
+   tables), every scan costs its estimated row count, and all other
+   operator costs are nonnegative — so the summed scan estimates bound
+   any alternative, including ones created by rules that have not fired
+   yet. This is what makes branch-and-bound pruning safe to apply
+   before a group is explored. *)
+let static_lb m ~(tables : (string * string) list) ~(partition : int) : float =
+  let scan_rows cnt f = Float.max 1.0 (float_of_int cnt *. f) in
+  List.fold_left
+    (fun acc (_, t) ->
+      match Catalog.find_table m.cat t with
+      | None -> acc
+      | Some { def; placements } ->
+        let cnt = def.Catalog.Table_def.row_count in
+        let contribution =
+          if partition >= 0 then
+            (* single-partition subtree: only that partition's share *)
+            match List.nth_opt placements partition with
+            | Some pl -> scan_rows cnt pl.Catalog.fraction
+            | None -> scan_rows cnt 1.0
+          else
+            (* partitioned tables read as the union of their partition
+               scans; each partition scan is costed separately *)
+            List.fold_left
+              (fun s (pl : Catalog.placement) -> s +. scan_rows cnt pl.Catalog.fraction)
+              0. placements
+        in
+        acc +. contribution)
+    0. tables
 
 let new_group m ~repr ~partition ~est (expr_of_group : gid -> mexpr list) : gid =
   let id = m.next_id in
@@ -172,7 +228,8 @@ let new_group m ~repr ~partition ~est (expr_of_group : gid -> mexpr list) : gid 
   in
   let g =
     { id; repr; exprs = []; explored = false; entries = None; est; summary; tables;
-      partition_tag = partition; single_loc; policy_ships }
+      partition_tag = partition; single_loc; policy_ships;
+      lb = static_lb m ~tables ~partition }
   in
   Hashtbl.replace m.arr id g;
   m.groups <- g :: m.groups;
@@ -608,13 +665,36 @@ let rec entries_of m (g : group) : entry list =
   match g.entries with
   | Some es -> es
   | None ->
-    explore m g;
-    (* guard against accidental cycles *)
-    g.entries <- Some [];
-    let candidates = List.concat_map (entry_candidates m g) g.exprs in
-    let result = pareto ~cap:m.max_frontier candidates in
-    g.entries <- Some result;
-    result
+    (* Branch-and-bound: a group whose static lower bound already
+       exceeds the best known complete-plan cost cannot contribute to
+       the final plan — skip its exploration and annotation outright. *)
+    if (not m.naive) && m.prune && g.lb > m.bound then begin
+      m.groups_pruned <- m.groups_pruned + 1;
+      g.entries <- Some [];
+      []
+    end
+    else begin
+      if not m.naive then explore m g;
+      (* guard against accidental cycles *)
+      g.entries <- Some [];
+      (* During bound seeding only the originally ingested expression
+         is costed (no rule firing): a cheap complete plan whose cost
+         upper-bounds the real optimum. *)
+      let exprs = if m.naive then [ List.hd g.exprs ] else g.exprs in
+      let candidates = List.concat_map (entry_candidates m g) exprs in
+      let candidates =
+        if (not m.naive) && m.prune && m.bound < Float.infinity then begin
+          let n0 = List.length candidates in
+          let kept = List.filter (fun e -> e.cost <= m.bound) candidates in
+          m.entries_pruned <- m.entries_pruned + (n0 - List.length kept);
+          kept
+        end
+        else candidates
+      in
+      let result = pareto ~cap:m.max_frontier candidates in
+      g.entries <- Some result;
+      result
+    end
 
 and entry_candidates m (g : group) (e : mexpr) : entry list =
   let all = all_locations m in
@@ -661,6 +741,13 @@ and entry_candidates m (g : group) (e : mexpr) : entry list =
       (fun le ->
         List.concat_map
           (fun re ->
+            (* child costs alone already exceed the bound: every
+               physical alternative of this combo is dead *)
+            if m.prune && le.cost +. re.cost > m.bound then begin
+              m.combos_pruned <- m.combos_pruned + 1;
+              []
+            end
+            else
             let exec = Locset.inter le.ship_trait re.ship_trait in
             (* default physical join (hash when equi keys exist, nested
                loops otherwise); a hash join streams the probe (left)
@@ -731,16 +818,31 @@ let rec pp_anode ?(indent = 0) ppf (n : anode) =
 
 let extract ?(required_order = []) m (root_gid : gid) : (anode * float) option =
   let g = group m root_gid in
+  (* pick the cheapest entry once the root's required sort order (the
+     "desired physical properties" of the §6.2 optimization goal) is
+     priced in: entries not delivering it pay a final sort *)
+  let final_cost (e : entry) =
+    e.cost
+    +. if order_covers e.order required_order then 0. else sort_cost g.est.Stats.rows
+  in
+  (* Branch-and-bound, phase A: cost the plan as ingested (no rule
+     firing) to obtain a complete compliant plan whose cost U bounds
+     the optimum; phase B then skips groups, candidates and join
+     combos that provably exceed U. When the naive plan is rejected,
+     U stays infinite and phase B runs unpruned. *)
+  if m.prune && m.bound = Float.infinity then begin
+    m.naive <- true;
+    (match entries_of m g with
+    | [] -> ()
+    | es ->
+      m.bound <- List.fold_left (fun acc e -> Float.min acc (final_cost e)) Float.infinity es);
+    m.naive <- false;
+    (* forget the naive frontiers; phase B recomputes them in full *)
+    Hashtbl.iter (fun _ gr -> gr.entries <- None) m.arr
+  end;
   match entries_of m g with
   | [] -> None
   | es ->
-    (* pick the cheapest entry once the root's required sort order (the
-       "desired physical properties" of the §6.2 optimization goal) is
-       priced in: entries not delivering it pay a final sort *)
-    let final_cost (e : entry) =
-      e.cost
-      +. if order_covers e.order required_order then 0. else sort_cost g.est.Stats.rows
-    in
     let best =
       List.fold_left
         (fun a b -> if final_cost b < final_cost a then b else a)

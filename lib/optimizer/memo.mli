@@ -53,6 +53,9 @@ type group = {
   partition_tag : int;  (** >= 0 when the subtree reads one partition *)
   single_loc : Catalog.Location.t option;
   policy_ships : Locset.t Lazy.t;  (** AR4 contribution (evaluated once) *)
+  lb : float;
+      (** static lower bound on any entry's cost (summed base-table scan
+          estimates), used by branch-and-bound pruning *)
 }
 
 and entry = {
@@ -86,10 +89,18 @@ type rules = {
 
 val default_rules : rules
 
+type prune_stats = {
+  bound : float;  (** the branch-and-bound upper bound U; infinite = never seeded *)
+  groups_pruned : int;  (** groups skipped outright (lower bound above U) *)
+  entries_pruned : int;  (** annotated candidates dropped for costing above U *)
+  combos_pruned : int;  (** join child combinations skipped before annotation *)
+}
+
 type t
 
 val create :
   ?max_frontier:int ->
+  ?prune:bool ->
   ?rules:rules ->
   ?eval_stats:Policy.Evaluator.stats ->
   mode:mode ->
@@ -97,6 +108,14 @@ val create :
   policies:Policy.Pcatalog.t ->
   unit ->
   t
+(** [prune] (default true) enables branch-and-bound: {!extract} first
+    costs the plan as ingested — a complete plan whose cost U bounds
+    the optimum — then skips groups, candidates and join combos whose
+    cost provably exceeds U. Chosen plans are unaffected: every entry
+    of the optimal plan costs at most U, so only non-optimal
+    alternatives are discarded. *)
+
+val prune_stats : t -> prune_stats
 
 val group : t -> gid -> group
 val group_count : t -> int

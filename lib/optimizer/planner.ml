@@ -17,6 +17,7 @@ type planned = {
   ship_cost : float;  (* simulated data-transfer cost, ms *)
   groups : int;  (* memo size, for the plan-space experiments *)
   eval_stats : Policy.Evaluator.stats;
+  prune_stats : Memo.prune_stats;  (* branch-and-bound effectiveness *)
   violations : Checker.violation list;  (* empty = compliant *)
 }
 
@@ -26,12 +27,12 @@ let is_compliant = function
   | Planned p -> p.violations = []
   | Rejected _ -> false
 
-let optimize ?(mode = Memo.Compliant) ?rules ?objective ?required_order
+let optimize ?(mode = Memo.Compliant) ?prune ?rules ?objective ?required_order
     ~(cat : Catalog.t) ~(policies : Policy.Pcatalog.t) (lplan : Plan.t) : outcome =
   let table_cols = Catalog.table_cols cat in
   let nplan = Normalize.normalize ~table_cols lplan in
   let eval_stats = Policy.Evaluator.fresh_stats () in
-  let m = Memo.create ?rules ~eval_stats ~mode ~cat ~policies () in
+  let m = Memo.create ?prune ?rules ~eval_stats ~mode ~cat ~policies () in
   let gid = Memo.ingest m nplan in
   match Memo.extract ?required_order m gid with
   | None ->
@@ -51,17 +52,18 @@ let optimize ?(mode = Memo.Compliant) ?rules ?objective ?required_order
             (if violations = [] then "compliant" else "NON-COMPLIANT"));
       Planned
         { plan; annotated = anode; phase1_cost; ship_cost = cost;
-          groups = Memo.group_count m; eval_stats; violations })
+          groups = Memo.group_count m; eval_stats;
+          prune_stats = Memo.prune_stats m; violations })
 
 (* Convenience: SQL in, placed plan out. *)
-let optimize_sql ?mode ?rules ?objective ?required_order ~cat ~policies sql =
+let optimize_sql ?mode ?prune ?rules ?objective ?required_order ~cat ~policies sql =
   let table_cols t =
     match Catalog.find_table cat t with
     | Some e -> Some (Catalog.Table_def.col_names e.Catalog.def)
     | None -> None
   in
   let lplan = Sqlfront.Binder.plan_of_sql ~table_cols sql in
-  optimize ?mode ?rules ?objective ?required_order ~cat ~policies lplan
+  optimize ?mode ?prune ?rules ?objective ?required_order ~cat ~policies lplan
 
 let pp_outcome ppf = function
   | Rejected reason -> Fmt.pf ppf "REJECTED: %s" reason

@@ -11,6 +11,7 @@ type planned = {
   ship_cost : float;  (** simulated data-transfer cost, ms *)
   groups : int;  (** memo size, for the plan-space experiments *)
   eval_stats : Policy.Evaluator.stats;  (** η etc. from this run *)
+  prune_stats : Memo.prune_stats;  (** branch-and-bound effectiveness *)
   violations : Checker.violation list;  (** empty = certified compliant *)
 }
 
@@ -24,6 +25,7 @@ val is_compliant : outcome -> bool
 
 val optimize :
   ?mode:Memo.mode ->
+  ?prune:bool ->
   ?rules:Memo.rules ->
   ?objective:Site_selector.objective ->
   ?required_order:(Attr.t * bool) list ->
@@ -34,10 +36,13 @@ val optimize :
 (** Optimize a bound logical plan. [mode] defaults to {!Memo.Compliant};
     {!Memo.Traditional} is the purely cost-based baseline of §7, whose
     output is still placed by the same site selector (all locations
-    legal) and then classified by the compliance checker. *)
+    legal) and then classified by the compliance checker. [prune]
+    (default true) toggles the memo's branch-and-bound pruning — see
+    {!Memo.create}. *)
 
 val optimize_sql :
   ?mode:Memo.mode ->
+  ?prune:bool ->
   ?rules:Memo.rules ->
   ?objective:Site_selector.objective ->
   ?required_order:(Attr.t * bool) list ->

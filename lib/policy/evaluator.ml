@@ -119,7 +119,7 @@ let home_locations (catalog : Catalog.t) (s : Summary.t) =
       | Some _ | None -> acc)
     Locset.empty s.Summary.tables
 
-let locations_for ?stats ?(include_home = true) ~(catalog : Catalog.t)
+let locations_for_uncached ?stats ?(include_home = true) ~(catalog : Catalog.t)
     ~(policies : Pcatalog.t) (s : Summary.t) : Locset.t =
   let all_locations = Locset.of_list (Catalog.locations catalog) in
   let home = if include_home then home_locations catalog s else Locset.empty in
@@ -187,3 +187,56 @@ let locations_for ?stats ?(include_home = true) ~(catalog : Catalog.t)
           all_locations reqs
       in
       Locset.union granted home
+
+(* -- Compliance-verdict cache -------------------------------------
+
+   Algorithm 1 is pure in (catalog, policies, include_home, summary);
+   both catalogs are immutable and carry construction-time stamps, and
+   summaries are plain data, so the whole evaluation memoizes on a
+   structural key. Cached entries also record how much they bumped the
+   instrumentation counters (η, implication tests), and hits replay
+   those increments — E7-style η reports stay exact whether or not the
+   cache is warm. The [enabled] switch exists for the differential
+   suite. *)
+
+type verdict = { locs : Locset.t; d_eta : int; d_tests : int }
+
+let cache : ((int * int * bool) * Summary.t, verdict) Hashtbl.t = Hashtbl.create 1024
+let enabled = ref true
+let hits = ref 0
+let misses = ref 0
+let max_entries = 1 lsl 16
+
+let set_cache_enabled b = enabled := b
+let cache_stats () = (!hits, !misses)
+
+let reset_cache () =
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0
+
+let replay stats ~d_eta ~d_tests =
+  match stats with
+  | None -> ()
+  | Some st ->
+    st.eta <- st.eta + d_eta;
+    st.implication_tests <- st.implication_tests + d_tests
+
+let locations_for ?stats ?(include_home = true) ~(catalog : Catalog.t)
+    ~(policies : Pcatalog.t) (s : Summary.t) : Locset.t =
+  if not !enabled then locations_for_uncached ?stats ~include_home ~catalog ~policies s
+  else
+    let key = ((Catalog.stamp catalog, Pcatalog.stamp policies, include_home), s) in
+    match Hashtbl.find_opt cache key with
+    | Some v ->
+      incr hits;
+      replay stats ~d_eta:v.d_eta ~d_tests:v.d_tests;
+      v.locs
+    | None ->
+      incr misses;
+      if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
+      let local = fresh_stats () in
+      let locs = locations_for_uncached ~stats:local ~include_home ~catalog ~policies s in
+      Hashtbl.add cache key { locs; d_eta = local.eta; d_tests = local.implication_tests };
+      replay stats ~d_eta:local.eta ~d_tests:local.implication_tests;
+      locs

@@ -43,4 +43,27 @@ val locations_for :
   Catalog.Location.Set.t
 (** 𝒜(q, D, 𝒫). [include_home] (default true) adds the home locations
     of non-partitioned referenced tables; the optimizer passes [false]
-    because rule AR1/AR3 already account for them via traits. *)
+    because rule AR1/AR3 already account for them via traits.
+
+    Results are memoized on (catalog stamp, policy-catalog stamp,
+    include_home, summary) unless the cache is disabled; cache hits
+    replay the instrumentation increments (η, implication tests) the
+    original evaluation produced, so [stats] stay exact. *)
+
+val locations_for_uncached :
+  ?stats:stats ->
+  ?include_home:bool ->
+  catalog:Catalog.t ->
+  policies:Pcatalog.t ->
+  Summary.t ->
+  Catalog.Location.Set.t
+(** The same evaluation, bypassing the verdict cache — the baseline the
+    differential suite compares against. *)
+
+val set_cache_enabled : bool -> unit
+(** Globally enable/disable the verdict cache (default enabled). *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since the last {!reset_cache}. *)
+
+val reset_cache : unit -> unit

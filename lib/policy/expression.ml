@@ -96,4 +96,51 @@ let parse (cat : Catalog.t) (text : string) : t =
   in
   of_ast cat stmt ~text
 
+(* -- Structural order and hash-consing ---------------------------- *)
+
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else
+    let c = String.compare a.table b.table in
+    if c <> 0 then c
+    else
+      let c = List.compare String.compare a.ship_cols b.ship_cols in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.agg_fns b.agg_fns in
+        if c <> 0 then c
+        else
+          let c = Catalog.Location.Set.compare a.to_locs b.to_locs in
+          if c <> 0 then c
+          else
+            let c = Pred.compare_pred a.pred b.pred in
+            if c <> 0 then c
+            else
+              let c = List.compare String.compare a.group_by b.group_by in
+              if c <> 0 then c else String.compare a.text b.text
+
+let equal a b = a == b || compare a b = 0
+
+let hash (e : t) =
+  let h = Hashtbl.hash (e.table, e.ship_cols, e.agg_fns, e.group_by, e.text) in
+  let h = (h * 0x01000193) lxor Pred.hash e.pred in
+  (h * 0x01000193) lxor Hashtbl.hash (Catalog.Location.Set.elements e.to_locs)
+
+module Hc = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* Canonicalize the predicate first so that equal policy predicates
+   across different expressions (and query summaries) share one node —
+   this is what warms the implication-verdict cache across queries. *)
+let intern e =
+  let p = Pred.hashcons e.pred in
+  let e = if p == e.pred then e else { e with pred = p } in
+  (Hc.intern e).Hc.node
+
+let intern_stats () = (Hc.hits (), Hc.misses (), Hc.size ())
+
 let pp ppf e = Fmt.string ppf e.text

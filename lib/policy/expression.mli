@@ -37,4 +37,22 @@ val parse : Catalog.t -> string -> t
 (** Parse then bind. Raises {!Bind_error} (including on syntax
     errors). *)
 
+val compare : t -> t -> int
+(** Structural order over all fields (predicates via
+    {!Relalg.Pred.compare_pred}). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with [equal]. *)
+
+val intern : t -> t
+(** Hash-consed representative (predicate included): [equal e f]
+    implies [intern e == intern f]. The policy catalog interns every
+    expression at construction, so equality checks inside the
+    optimizer hot path are pointer comparisons. *)
+
+val intern_stats : unit -> int * int * int
+(** [(hits, misses, size)] of the expression intern table. *)
+
 val pp : Format.formatter -> t -> unit

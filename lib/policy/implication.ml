@@ -236,7 +236,7 @@ let conj_implies_literal (q : literal list) (d : literal) : bool =
 let conj_implies_conj q d = List.for_all (conj_implies_literal q) d
 
 (* [implies pq pe]: sound test for pq => pe. *)
-let implies (pq : Pred.t) (pe : Pred.t) : bool =
+let implies_uncached (pq : Pred.t) (pe : Pred.t) : bool =
   match pe with
   | Pred.True -> true
   | _ -> (
@@ -246,3 +246,41 @@ let implies (pq : Pred.t) (pe : Pred.t) : bool =
       | Some dq, Some de ->
         List.for_all (fun q -> List.exists (fun d -> conj_implies_conj q d) de) dq
       | _ -> false)
+
+(* -- Verdict cache ------------------------------------------------
+
+   The optimizer re-tests the same (query-predicate, policy-predicate)
+   pairs for every memo group it annotates; the verdict only depends
+   on the two predicates, so it is memoized on their intern ids. The
+   [enabled] switch exists for the differential test suite, which
+   compares cached against from-scratch runs. *)
+
+let cache : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
+let enabled = ref true
+let hits = ref 0
+let misses = ref 0
+let max_entries = 1 lsl 18
+
+let set_cache_enabled b = enabled := b
+let cache_stats () = (!hits, !misses)
+
+let reset_cache () =
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0
+
+let implies (pq : Pred.t) (pe : Pred.t) : bool =
+  if not !enabled then implies_uncached pq pe
+  else
+    let pq, qid = Pred.intern pq in
+    let pe, eid = Pred.intern pe in
+    match Hashtbl.find_opt cache (qid, eid) with
+    | Some v ->
+      incr hits;
+      v
+    | None ->
+      incr misses;
+      if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
+      let v = implies_uncached pq pe in
+      Hashtbl.add cache (qid, eid) v;
+      v

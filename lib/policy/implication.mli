@@ -20,4 +20,17 @@ val conj_implies_literal : literal list -> literal -> bool
 val conj_implies_conj : literal list -> literal list -> bool
 
 val implies : Pred.t -> Pred.t -> bool
-(** The sound test for [pq => pe]. *)
+(** The sound test for [pq => pe]. Verdicts are memoized on the intern
+    ids of the two predicates (unless disabled below). *)
+
+val implies_uncached : Pred.t -> Pred.t -> bool
+(** The same test, bypassing the verdict cache — the baseline the
+    differential suite compares against. *)
+
+val set_cache_enabled : bool -> unit
+(** Globally enable/disable the verdict cache (default enabled). *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since the last {!reset_cache}. *)
+
+val reset_cache : unit -> unit

@@ -6,11 +6,24 @@ module String_map = Map.Make (String)
 type t = {
   by_table : Expression.t list String_map.t;
   all : Expression.t list;
+  stamp : int;  (* unique per catalog; keys cross-catalog caches *)
 }
 
-let empty = { by_table = String_map.empty; all = [] }
+(* Policy catalogs are immutable after [make]; a construction-time
+   stamp identifies one soundly in process-wide cache keys. *)
+let next_stamp = ref 0
+
+let fresh_stamp () =
+  incr next_stamp;
+  !next_stamp
+
+let empty = { by_table = String_map.empty; all = []; stamp = fresh_stamp () }
 
 let make (exprs : Expression.t list) : t =
+  (* Intern on entry: every expression the evaluator ever sees is the
+     canonical node, so the predicate intern table (and with it the
+     implication-verdict cache) is shared across queries and sets. *)
+  let exprs = List.map Expression.intern exprs in
   let by_table =
     List.fold_left
       (fun m e ->
@@ -19,7 +32,9 @@ let make (exprs : Expression.t list) : t =
           m)
       String_map.empty exprs
   in
-  { by_table; all = exprs }
+  { by_table; all = exprs; stamp = fresh_stamp () }
+
+let stamp t = t.stamp
 
 let of_texts (cat : Catalog.t) (texts : string list) : t =
   make (List.map (Expression.parse cat) texts)

@@ -18,4 +18,9 @@ val for_table : t -> string -> Expression.t list
 
 val all : t -> Expression.t list
 val size : t -> int
+
+val stamp : t -> int
+(** Unique id assigned at construction. Policy catalogs are immutable,
+    so the stamp soundly identifies one in process-wide cache keys. *)
+
 val pp : Format.formatter -> t -> unit

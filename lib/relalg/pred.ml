@@ -149,17 +149,20 @@ let rec pp ppf = function
 
 let to_string p = Fmt.str "%a" pp p
 
-let rec compare_pred a b = Stdlib.compare (rank a) (rank b) |> fun c ->
-  if c <> 0 then c
+let rec compare_pred a b =
+  if a == b then 0 (* hash-consed subterms short-circuit *)
   else
-    match a, b with
-    | True, True | False, False -> 0
-    | Atom x, Atom y -> compare_atom x y
-    | And (l1, r1), And (l2, r2) | Or (l1, r1), Or (l2, r2) ->
-      let c = compare_pred l1 l2 in
-      if c <> 0 then c else compare_pred r1 r2
-    | Not p, Not q -> compare_pred p q
-    | _ -> 0
+    Stdlib.compare (rank a) (rank b) |> fun c ->
+    if c <> 0 then c
+    else
+      match a, b with
+      | True, True | False, False -> 0
+      | Atom x, Atom y -> compare_atom x y
+      | And (l1, r1), And (l2, r2) | Or (l1, r1), Or (l2, r2) ->
+        let c = compare_pred l1 l2 in
+        if c <> 0 then c else compare_pred r1 r2
+      | Not p, Not q -> compare_pred p q
+      | _ -> 0
 
 and rank = function True -> 0 | False -> 1 | Atom _ -> 2 | And _ -> 3 | Or _ -> 4 | Not _ -> 5
 
@@ -187,4 +190,76 @@ and compare_atom x y =
   | Is_null _, _ -> -1
   | _, Is_null _ -> 1
 
-let equal a b = compare_pred a b = 0
+let equal a b = a == b || compare_pred a b = 0
+
+(* -- Hash-consing -------------------------------------------------
+
+   [compare_pred] treats [Int n] and [Float n.] as equal (numeric
+   comparison in [Value.compare]), so the hash must too: [Value.hash]
+   hashes integer-valued floats like the integer. Everything else in a
+   predicate is strings and constant constructors, where the
+   polymorphic hash agrees with the structural compare. *)
+
+let hash_combine h1 h2 = (h1 * 0x01000193) lxor h2
+
+let rec hash_scalar = function
+  | Expr.Col a -> hash_combine 3 (Hashtbl.hash a)
+  | Expr.Const v -> hash_combine 5 (Value.hash v)
+  | Expr.Binop (op, l, r) ->
+    hash_combine (hash_combine (hash_combine 7 (Hashtbl.hash op)) (hash_scalar l))
+      (hash_scalar r)
+
+let hash_atom = function
+  | Cmp (c, l, r) ->
+    hash_combine (hash_combine (hash_combine 11 (Hashtbl.hash c)) (hash_scalar l))
+      (hash_scalar r)
+  | Like (e, pat) -> hash_combine (hash_combine 13 (hash_scalar e)) (Hashtbl.hash pat)
+  | In (e, vs) ->
+    List.fold_left
+      (fun acc v -> hash_combine acc (Value.hash v))
+      (hash_combine 17 (hash_scalar e))
+      vs
+  | Is_null e -> hash_combine 19 (hash_scalar e)
+  | Not_null e -> hash_combine 23 (hash_scalar e)
+
+let rec hash = function
+  | True -> 1
+  | False -> 2
+  | Atom a -> hash_combine 29 (hash_atom a)
+  | And (l, r) -> hash_combine (hash_combine 31 (hash l)) (hash r)
+  | Or (l, r) -> hash_combine (hash_combine 37 (hash l)) (hash r)
+  | Not p -> hash_combine 41 (hash p)
+
+module Hc = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* Bottom-up interning: children are canonicalized first, so shared
+   subterms become physically equal and [compare_pred] on two
+   hash-consed predicates short-circuits at the first shared node. *)
+let rec hc p : Hc.node =
+  match p with
+  | True | False | Atom _ -> Hc.intern p
+  | And (l, r) ->
+    let l' = (hc l).node and r' = (hc r).node in
+    Hc.intern (if l' == l && r' == r then p else And (l', r'))
+  | Or (l, r) ->
+    let l' = (hc l).node and r' = (hc r).node in
+    Hc.intern (if l' == l && r' == r then p else Or (l', r'))
+  | Not q ->
+    let q' = (hc q).node in
+    Hc.intern (if q' == q then p else Not q')
+
+let hashcons p = (hc p).node
+
+(* Canonical node plus unique id, the key shape used by verdict
+   caches: two predicates imply the same cache slot iff they are
+   structurally equal. *)
+let intern p =
+  let n = hc p in
+  (n.node, n.id)
+
+let intern_stats () = (Hc.hits (), Hc.misses (), Hc.size ())

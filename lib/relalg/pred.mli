@@ -56,6 +56,22 @@ val compare_pred : t -> t -> int
 val compare_atom : atom -> atom -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Consistent with [compare_pred]; in particular [Int n] and
+    [Float n.] constants hash alike, as they compare equal. *)
+
+val hashcons : t -> t
+(** Canonical (maximally shared) representative: [equal p q] implies
+    [hashcons p == hashcons q], so structural equality of hash-consed
+    predicates is pointer equality. *)
+
+val intern : t -> t * int
+(** [hashcons] plus the canonical node's unique id — the cache-key
+    shape used by the policy verdict caches. *)
+
+val intern_stats : unit -> int * int * int
+(** [(hits, misses, size)] of the predicate intern table. *)
+
 val pp_atom : Format.formatter -> atom -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

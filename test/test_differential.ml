@@ -1,0 +1,174 @@
+(* Differential regression suite for the optimizer hot path.
+
+   The verdict cache (Policy.Implication, Policy.Evaluator) and the
+   memo's branch-and-bound pruning are pure accelerations: with them
+   enabled the optimizer must emit, for every E1 workload query under
+   every policy set, a plan with identical cost, identical compliance
+   verdict and identical executed rows as the uncached, unpruned
+   baseline. This suite locks that in by running both configurations
+   side by side. *)
+
+open Optimizer
+
+let cat = Tpch.Schema.catalog ()
+let data = Tpch.Datagen.generate ~sf:0.003 ()
+let db = Tpch.Datagen.load ~cat data
+
+let set_caches on =
+  Policy.Implication.set_cache_enabled on;
+  Policy.Evaluator.set_cache_enabled on
+
+let reset_caches () =
+  Policy.Implication.reset_cache ();
+  Policy.Evaluator.reset_cache ()
+
+(* Optimize [sql] in the uncached/unpruned baseline configuration and in
+   the default accelerated one, restoring global cache state after. *)
+let both ~cat ~policies sql =
+  set_caches false;
+  let baseline = Planner.optimize_sql ~prune:false ~cat ~policies sql in
+  set_caches true;
+  reset_caches ();
+  let fast = Planner.optimize_sql ~cat ~policies sql in
+  (baseline, fast)
+
+let plan_string = function
+  | Planner.Rejected reason -> "REJECTED: " ^ reason
+  | Planner.Planned p -> Exec.Pplan.to_string p.Planner.plan
+
+let sorted_rows rel =
+  Storage.Relation.rows rel |> Array.to_list
+  |> List.map Array.to_list
+  |> List.sort (List.compare Relalg.Value.compare)
+
+let canon_rows rows =
+  List.map
+    (List.map (fun v ->
+         match v with
+         | Relalg.Value.Float f -> Relalg.Value.Float (Float.round (f *. 1e4) /. 1e4)
+         | _ -> v))
+    rows
+
+let execute ~cat ~db plan =
+  (Exec.Interp.run ~network:(Catalog.network cat) ~db
+     ~table_cols:(Catalog.table_cols cat) plan)
+    .Exec.Interp.relation
+
+(* The heart of the suite: baseline and accelerated outcomes must agree
+   on verdict, cost, plan shape and — when planned — executed rows. *)
+let check_identical ~label ~cat ~db baseline fast =
+  (match (baseline, fast) with
+  | Planner.Rejected _, Planner.Rejected _ -> ()
+  | Planner.Planned b, Planner.Planned f ->
+    Alcotest.(check (float 1e-6))
+      (label ^ ": identical phase-1 cost")
+      b.Planner.phase1_cost f.Planner.phase1_cost;
+    Alcotest.(check bool)
+      (label ^ ": identical compliance verdict")
+      (b.Planner.violations = [])
+      (f.Planner.violations = []);
+    Alcotest.(check string)
+      (label ^ ": identical plan")
+      (Exec.Pplan.to_string b.Planner.plan)
+      (Exec.Pplan.to_string f.Planner.plan);
+    let rows_b = canon_rows (sorted_rows (execute ~cat ~db b.Planner.plan)) in
+    let rows_f = canon_rows (sorted_rows (execute ~cat ~db f.Planner.plan)) in
+    Alcotest.(check bool) (label ^ ": identical executed rows") true (rows_b = rows_f)
+  | _ ->
+    Alcotest.failf "%s: outcome mismatch: baseline %s vs fast %s" label
+      (plan_string baseline) (plan_string fast))
+
+let test_workload_grid () =
+  List.iter
+    (fun set ->
+      let policies = Tpch.Policies.catalog_of cat set in
+      List.iter
+        (fun (name, sql) ->
+          let label =
+            Printf.sprintf "%s under %s" name (Tpch.Policies.set_name_to_string set)
+          in
+          let baseline, fast = both ~cat ~policies sql in
+          check_identical ~label ~cat ~db baseline fast)
+        Tpch.Queries.all)
+    Tpch.Policies.all_sets;
+  set_caches true
+
+(* The extended workload exercises disjunctions, cross-column
+   comparisons and single-table rollups the E1 grid does not. *)
+let test_extended_workload () =
+  let policies = Tpch.Policies.catalog_of cat Tpch.Policies.CRA in
+  List.iter
+    (fun (name, sql) ->
+      let baseline, fast = both ~cat ~policies sql in
+      check_identical ~label:(name ^ " under CR+A") ~cat ~db baseline fast)
+    Tpch.Queries.extended;
+  set_caches true
+
+(* Partitioned scans produce unions of per-partition groups — the
+   static lower bound takes a different path there (per-placement
+   fractions), so pin the equivalence down separately. *)
+let test_partitioned_catalog () =
+  let pcat =
+    Tpch.Schema.catalog ~partition_tables:[ "customer"; "orders" ] ~partition_count:3 ()
+  in
+  let pdb = Tpch.Datagen.load ~cat:pcat data in
+  let policies =
+    Policy.Pcatalog.of_texts pcat
+      (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+  in
+  List.iter
+    (fun (name, sql) ->
+      let baseline, fast = both ~cat:pcat ~policies sql in
+      check_identical ~label:(name ^ " partitioned") ~cat:pcat ~db:pdb baseline fast)
+    [ ("q3", Tpch.Queries.q3); ("q10", Tpch.Queries.q10) ];
+  set_caches true
+
+(* Queries with no compliant plan must be rejected in both
+   configurations — pruning must never turn a rejection into a plan or
+   vice versa. *)
+let test_rejection_agreement () =
+  let policies = Policy.Pcatalog.make [] in
+  List.iter
+    (fun (name, sql) ->
+      let baseline, fast = both ~cat ~policies sql in
+      match (baseline, fast) with
+      | Planner.Rejected _, Planner.Rejected _ -> ()
+      | _ ->
+        Alcotest.failf "%s: rejection disagreement: baseline %s vs fast %s" name
+          (plan_string baseline) (plan_string fast))
+    Tpch.Queries.all;
+  set_caches true
+
+(* The accelerated run must actually exercise the machinery it claims
+   to: nonzero verdict-cache traffic and a finite branch-and-bound
+   bound. Guards against the suite silently comparing two baselines. *)
+let test_acceleration_engaged () =
+  let policies = Tpch.Policies.catalog_of cat Tpch.Policies.CR in
+  set_caches true;
+  reset_caches ();
+  let outcome = Planner.optimize_sql ~cat ~policies Tpch.Queries.q8 in
+  let ehits, emisses = Policy.Evaluator.cache_stats () in
+  Alcotest.(check bool) "evaluator cache consulted" true (ehits + emisses > 0);
+  (match outcome with
+  | Planner.Planned p ->
+    Alcotest.(check bool) "bound seeded" true
+      (p.Planner.prune_stats.Memo.bound < Float.infinity)
+  | Planner.Rejected r -> Alcotest.failf "q8 unexpectedly rejected: %s" r);
+  (* a second identical run hits the evaluator cache *)
+  let h0, _ = Policy.Evaluator.cache_stats () in
+  ignore (Planner.optimize_sql ~cat ~policies Tpch.Queries.q8);
+  let h1, _ = Policy.Evaluator.cache_stats () in
+  Alcotest.(check bool) "repeat run hits the cache" true (h1 > h0)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "optimizer hot path",
+        [
+          Alcotest.test_case "E1 workload x policy sets" `Slow test_workload_grid;
+          Alcotest.test_case "extended workload" `Slow test_extended_workload;
+          Alcotest.test_case "partitioned catalog" `Quick test_partitioned_catalog;
+          Alcotest.test_case "rejection agreement" `Quick test_rejection_agreement;
+          Alcotest.test_case "acceleration engaged" `Quick test_acceleration_engaged;
+        ] );
+    ]

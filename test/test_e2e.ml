@@ -127,6 +127,126 @@ let test_against_naive_oracle () =
         = canon_rows (sorted_rows optimized.Cgqp.relation)))
     Tpch.Queries.all_extended
 
+(* --- property: random small plans agree with the naive oracle ---
+
+   A qcheck generator for SPJG plans over the TPC-H schema: a join
+   chain along foreign keys, a random conjunction/disjunction of
+   range atoms, then either a projection or a group-by. Each plan is
+   optimized (caches and branch-and-bound at their defaults) and
+   executed; the result must match the naive one-site interpretation
+   of the same logical plan. This fuzzes exactly the machinery the
+   hot-path work touches: interned predicates, the verdict cache and
+   the pruned memo. *)
+
+(* join chains: scans, equi-join pairs linking scan i+1 into the
+   accumulated tree, and the integer columns usable in filters *)
+let chains =
+  [
+    ([ ("nation", "n") ], [], [ ("n", "nationkey"); ("n", "regionkey") ]);
+    ( [ ("region", "r"); ("nation", "n") ],
+      [ (("r", "regionkey"), ("n", "regionkey")) ],
+      [ ("r", "regionkey"); ("n", "nationkey") ] );
+    ( [ ("nation", "n"); ("customer", "c") ],
+      [ (("n", "nationkey"), ("c", "nationkey")) ],
+      [ ("n", "regionkey"); ("c", "custkey") ] );
+    ( [ ("customer", "c"); ("orders", "o") ],
+      [ (("c", "custkey"), ("o", "custkey")) ],
+      [ ("c", "nationkey"); ("o", "orderkey") ] );
+    ( [ ("orders", "o"); ("lineitem", "l") ],
+      [ (("o", "orderkey"), ("l", "orderkey")) ],
+      [ ("o", "custkey"); ("l", "quantity"); ("l", "suppkey") ] );
+    ( [ ("nation", "n"); ("supplier", "s") ],
+      [ (("n", "nationkey"), ("s", "nationkey")) ],
+      [ ("n", "regionkey"); ("s", "suppkey") ] );
+    ( [ ("region", "r"); ("nation", "n"); ("customer", "c") ],
+      [ (("r", "regionkey"), ("n", "regionkey")); (("n", "nationkey"), ("c", "nationkey")) ],
+      [ ("r", "regionkey"); ("c", "custkey"); ("c", "nationkey") ] );
+    ( [ ("customer", "c"); ("orders", "o"); ("lineitem", "l") ],
+      [ (("c", "custkey"), ("o", "custkey")); (("o", "orderkey"), ("l", "orderkey")) ],
+      [ ("c", "nationkey"); ("o", "orderkey"); ("l", "quantity") ] );
+  ]
+
+let qattr (rel, name) = Attr.make ~rel ~name
+let qcol rc = Expr.Col (qattr rc)
+
+let gen_plan =
+  let open QCheck.Gen in
+  let* scans, joins, cols = oneofl chains in
+  let base =
+    match scans with
+    | [] -> assert false
+    | (table, alias) :: rest ->
+      List.fold_left2
+        (fun acc (table, alias) (a, b) ->
+          Plan.Join
+            ( Pred.Atom (Pred.Cmp (Pred.Eq, qcol a, qcol b)),
+              acc,
+              Plan.Scan { table; alias } ))
+        (Plan.Scan { table; alias })
+        rest joins
+  in
+  let gen_atom =
+    let* rc = oneofl cols in
+    let* c = oneofl [ Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge; Pred.Ne ] in
+    let* v = int_range 0 300 in
+    return (Pred.Atom (Pred.Cmp (c, qcol rc, Expr.Const (Value.Int v))))
+  in
+  let* filtered =
+    frequency
+      [
+        (1, return base);
+        (2, map (fun p -> Plan.Select (p, base)) gen_atom);
+        ( 1,
+          map2 (fun p q -> Plan.Select (Pred.And (p, q), base)) gen_atom gen_atom );
+        ( 1,
+          map2 (fun p q -> Plan.Select (Pred.Or (p, q), base)) gen_atom gen_atom );
+      ]
+  in
+  frequency
+    [
+      ( 2,
+        (* projection of a random nonempty column subset *)
+        let* n = int_range 1 (List.length cols) in
+        let sub = List.filteri (fun i _ -> i < n) cols in
+        return (Plan.Project (List.map (fun rc -> (qcol rc, qattr rc)) sub, filtered)) );
+      ( 2,
+        (* group one column by another *)
+        let* key = oneofl cols in
+        let* arg = oneofl cols in
+        let* fn = oneofl [ Expr.Sum; Expr.Count; Expr.Min; Expr.Max ] in
+        return
+          (Plan.Aggregate
+             {
+               keys = [ qattr key ];
+               aggs = [ { Expr.fn; arg = qcol arg; alias = "v" } ];
+               input = filtered;
+             }) );
+    ]
+
+let prop_random_plan_equivalence =
+  let policies = Policy.Pcatalog.of_texts cat Tpch.Policies.unrestricted in
+  let table_cols = Catalog.table_cols cat in
+  let oracle_net = Catalog.Network.uniform ~locations:[ "oracle" ] ~alpha:0. ~beta:0. in
+  QCheck.Test.make ~name:"random plans: optimized = naive oracle" ~count:80
+    (QCheck.make gen_plan)
+    (fun lplan ->
+      let optimized =
+        match Optimizer.Planner.optimize ~cat ~policies lplan with
+        | Optimizer.Planner.Planned p ->
+          (Exec.Interp.run ~network:(Catalog.network cat) ~db ~table_cols
+             p.Optimizer.Planner.plan)
+            .Exec.Interp.relation
+        | Optimizer.Planner.Rejected r ->
+          QCheck.Test.fail_reportf "unrestricted plan rejected: %s" r
+      in
+      let pushed = Optimizer.Normalize.pushdown ~table_cols lplan in
+      let naive =
+        (Exec.Interp.run ~network:oracle_net ~db ~table_cols
+           (naive_physical ~table_cols pushed))
+          .Exec.Interp.relation
+      in
+      canon_rows (sorted_rows optimized) = canon_rows (sorted_rows naive))
+
 let test_carco_example_values () =
   (* hand-checkable CarCo-style instance: 2 customers, 3 orders, 4
      supply lines *)
@@ -305,6 +425,7 @@ let () =
           Alcotest.test_case "compliant = traditional results" `Slow test_semantics_preserved;
           Alcotest.test_case "carco hand-checked" `Quick test_carco_example_values;
           Alcotest.test_case "naive oracle agreement" `Slow test_against_naive_oracle;
+          QCheck_alcotest.to_alcotest prop_random_plan_equivalence;
           Alcotest.test_case "partitioned execution" `Quick test_partitioned_execution;
         ] );
       ( "api",

@@ -142,6 +142,38 @@ let prop_soundness =
       end
       else true)
 
+(* --- properties: the verdict cache and hash-consing are invisible --- *)
+
+let prop_cache_transparent =
+  QCheck.Test.make ~name:"cached implies = uncached implies" ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_atom_pred gen_atom_pred))
+    (fun (pq, pe) ->
+      I.set_cache_enabled true;
+      let cached = I.implies pq pe in
+      let uncached = I.implies_uncached pq pe in
+      (* and a second cached call (now certainly a hit) agrees too *)
+      cached = uncached && I.implies pq pe = uncached)
+
+let prop_intern_preserves_equality =
+  QCheck.Test.make ~name:"hashcons preserves equal/compare" ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_atom_pred gen_atom_pred))
+    (fun (p, q) ->
+      let p' = Pred.hashcons p and q' = Pred.hashcons q in
+      Pred.equal p p' && Pred.equal q q'
+      && Pred.compare_pred p' q' = Pred.compare_pred p q
+      (* structural equality becomes pointer equality after interning *)
+      && Pred.equal p q = (p' == q')
+      && Pred.hash p' = Pred.hash p)
+
+let prop_intern_stable_ids =
+  QCheck.Test.make ~name:"intern ids are stable and discriminating" ~count:1000
+    (QCheck.make QCheck.Gen.(pair gen_atom_pred gen_atom_pred))
+    (fun (p, q) ->
+      let _, idp = Pred.intern p in
+      let _, idq = Pred.intern q in
+      let _, idp2 = Pred.intern p in
+      idp = idp2 && Pred.equal p q = (idp = idq))
+
 let () =
   Alcotest.run "implication"
     [
@@ -156,5 +188,8 @@ let () =
           Alcotest.test_case "soundness boundaries" `Quick test_soundness_boundaries;
           Alcotest.test_case "dates and strings" `Quick test_dates_and_strings;
           QCheck_alcotest.to_alcotest prop_soundness;
+          QCheck_alcotest.to_alcotest prop_cache_transparent;
+          QCheck_alcotest.to_alcotest prop_intern_preserves_equality;
+          QCheck_alcotest.to_alcotest prop_intern_stable_ids;
         ] );
     ]

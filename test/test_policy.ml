@@ -327,6 +327,83 @@ let prop_evaluator_monotone =
       in
       Locset.subset (eval cat small query) (eval cat large query))
 
+(* property: interning policy expressions is semantically invisible —
+   equal/compare are preserved and equal expressions share one node *)
+let prop_expression_interning =
+  QCheck.Test.make ~name:"Expression.intern preserves equal/compare" ~count:200
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let cat = t1_catalog () in
+      let texts =
+        Storage.Prng.pick_k g
+          (1 + Storage.Prng.int g 4)
+          [
+            "ship a, b, c from t to l2, l3";
+            "ship a, b from t to l1, l2, l3, l4";
+            "ship a, d from t to l1, l3 where b > 10";
+            "ship f, g as aggregates sum, avg from t to l1, l2 group by e, c";
+            "ship c, d from t to l4";
+            "ship e from t to l1 where a < 100";
+          ]
+      in
+      List.for_all
+        (fun text ->
+          let e = Policy.Expression.parse cat text in
+          let e' = Policy.Expression.intern e in
+          Policy.Expression.equal e e'
+          && Policy.Expression.compare e e' = 0
+          && Policy.Expression.hash e' = Policy.Expression.hash e
+          (* re-parsing yields a structurally equal but physically
+             distinct value; interning must unify them *)
+          && Policy.Expression.intern (Policy.Expression.parse cat text) == e')
+        texts)
+
+(* property: the compliance-verdict cache is transparent — cached and
+   uncached evaluation agree on the location set and the η counter *)
+let prop_evaluator_cache_transparent =
+  QCheck.Test.make ~name:"cached locations_for = uncached" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Storage.Prng.create ~seed in
+      let cat = t1_catalog () in
+      let pols =
+        Policy.Pcatalog.of_texts cat
+          (Storage.Prng.pick_k g
+             (1 + Storage.Prng.int g 4)
+             [
+               "ship a, b, c from t to l2, l3";
+               "ship a, b from t to l1, l2, l3, l4";
+               "ship a, d from t to l1, l3 where b > 10";
+               "ship f, g as aggregates sum, avg from t to l1, l2 group by e, c";
+               "ship c, d from t to l4";
+             ])
+      in
+      let query =
+        let cols = Storage.Prng.pick_k g (1 + Storage.Prng.int g 4) [ "a"; "b"; "c"; "d"; "e" ] in
+        Plan.Project
+          (List.map (fun c -> (col c, attr c)) cols, Plan.Scan { table = "t"; alias = "t" })
+      in
+      let s = summarize cat query in
+      Policy.Evaluator.set_cache_enabled true;
+      let stats_miss = Policy.Evaluator.fresh_stats () in
+      let cached =
+        Policy.Evaluator.locations_for ~stats:stats_miss ~catalog:cat ~policies:pols s
+      in
+      (* second call: guaranteed cache hit, must replay the same stats *)
+      let stats_hit = Policy.Evaluator.fresh_stats () in
+      let hit =
+        Policy.Evaluator.locations_for ~stats:stats_hit ~catalog:cat ~policies:pols s
+      in
+      let stats_raw = Policy.Evaluator.fresh_stats () in
+      let uncached =
+        Policy.Evaluator.locations_for_uncached ~stats:stats_raw ~catalog:cat
+          ~policies:pols s
+      in
+      Locset.equal cached uncached && Locset.equal hit uncached
+      && stats_miss.Policy.Evaluator.eta = stats_raw.Policy.Evaluator.eta
+      && stats_hit.Policy.Evaluator.eta = stats_raw.Policy.Evaluator.eta)
+
 let () =
   Alcotest.run "policy"
     [
@@ -352,5 +429,7 @@ let () =
           Alcotest.test_case "binding" `Quick test_expression_binding;
           Alcotest.test_case "binding errors" `Quick test_expression_binding_errors;
           Alcotest.test_case "partitioned home" `Quick test_partitioned_home_excluded;
+          QCheck_alcotest.to_alcotest prop_expression_interning;
+          QCheck_alcotest.to_alcotest prop_evaluator_cache_transparent;
         ] );
     ]
