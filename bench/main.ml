@@ -631,7 +631,34 @@ let experiments =
     ("smoke", smoke);
   ]
 
+(* Observability export, for CI artifacts and local inspection:
+   CGQP_METRICS_OUT=<file> writes the metrics registry as JSON at exit;
+   CGQP_TRACE_OUT=<file> records a structured event trace of the whole
+   bench run and writes it as JSON lines. *)
+let setup_obs_export () =
+  (match Sys.getenv_opt "CGQP_TRACE_OUT" with
+  | None -> ()
+  | Some file ->
+    Obs.Trace.enable ();
+    at_exit (fun () ->
+        let oc = open_out file in
+        Obs.Trace.write_jsonl oc;
+        close_out oc;
+        Fmt.epr "trace: %d events written to %s@."
+          (List.length (Obs.Trace.events ()))
+          file));
+  match Sys.getenv_opt "CGQP_METRICS_OUT" with
+  | None -> ()
+  | Some file ->
+    at_exit (fun () ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Obs.Metrics.dump ()));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "metrics: registry dumped to %s@." file)
+
 let () =
+  setup_obs_export ();
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as picks) -> picks

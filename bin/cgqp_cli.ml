@@ -88,6 +88,43 @@ let make_session ~set ~file ~traditional ?sf () =
   | None -> ());
   session
 
+(* --- observability flags, shared by explain/run --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured event trace (optimizer, policy evaluator, executor) \
+           and write it to FILE as JSON lines.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics registry (counters, histograms, gauges) afterwards.")
+
+(* Run [f] with tracing enabled when requested; afterwards write the
+   jsonl trace and/or print the metrics table. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Trace.enable ();
+  let r = f () in
+  (match trace with
+  | Some file ->
+    let oc = open_out file in
+    Obs.Trace.write_jsonl oc;
+    close_out oc;
+    Fmt.epr "trace: %d events written to %s%s@."
+      (List.length (Obs.Trace.events ()))
+      file
+      (match Obs.Trace.dropped () with
+      | 0 -> ""
+      | n -> Printf.sprintf " (%d oldest dropped)" n)
+  | None -> ());
+  if metrics then Fmt.pr "@.-- metrics --@.%a" Obs.Metrics.render ();
+  r
+
 let dot_arg =
   Arg.(
     value & flag
@@ -99,14 +136,35 @@ let traits_arg =
     & info [ "traits" ]
         ~doc:"Also print the annotated phase-1 plan with each operator's execution trait.")
 
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "EXPLAIN ANALYZE: also execute the plan on generated TPC-H data (see \
+           $(b,--sf)) and annotate each operator with actual rows and SHIP bytes.")
+
 let explain_cmd =
-  let action set file traditional traits dot query =
-    let session = make_session ~set ~file ~traditional () in
-    match Cgqp.optimize session (resolve_query query) with
-    | Ok p ->
+  let action set file traditional traits dot analyze sf trace metrics query =
+    with_obs ~trace ~metrics @@ fun () ->
+    let session =
+      if analyze then make_session ~set ~file ~traditional ~sf ()
+      else make_session ~set ~file ~traditional ()
+    in
+    let sql = resolve_query query in
+    (* optimize (and, under --analyze, execute) exactly once *)
+    let outcome =
+      if analyze then
+        Result.map
+          (fun (r : Cgqp.run_result) -> (r.Cgqp.planned, Some r.Cgqp.interp))
+          (Cgqp.run session sql)
+      else Result.map (fun p -> (p, None)) (Cgqp.optimize session sql)
+    in
+    match outcome with
+    | Ok (p, interp) ->
       if dot then print_string (Exec.Pplan.to_dot p.Optimizer.Planner.plan)
       else begin
-        Fmt.pr "%a@." Optimizer.Planner.pp_outcome (Optimizer.Planner.Planned p);
+        print_string (Optimizer.Explain.render ?analyze:interp p);
         if traits then
           Fmt.pr "@.annotated plan (execution traits per operator):@.%a"
             (Optimizer.Memo.pp_anode ~indent:2)
@@ -116,17 +174,24 @@ let explain_cmd =
     | Error e -> `Error (false, Cgqp.error_to_string e)
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Optimize a query and print the plan")
+    (Cmd.info "explain" ~doc:"Optimize a query and print the annotated plan")
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ traits_arg
-       $ dot_arg $ query_arg))
+       $ dot_arg $ analyze_arg $ sf_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print the full result as CSV.")
 
+let run_explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Also print the EXPLAIN ANALYZE plan tree (actual rows, SHIP bytes).")
+
 let run_cmd =
-  let action set file traditional sf csv query =
+  let action set file traditional sf csv explain trace metrics query =
+    with_obs ~trace ~metrics @@ fun () ->
     let session = make_session ~set ~file ~traditional ~sf () in
     match Cgqp.run session (resolve_query query) with
     | Ok r ->
@@ -137,6 +202,11 @@ let run_cmd =
           (Storage.Relation.cardinality r.Cgqp.relation)
           r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms
       end;
+      if explain then begin
+        Fmt.pr "@.";
+        print_string
+          (Optimizer.Explain.render ~analyze:r.Cgqp.interp r.Cgqp.planned)
+      end;
       `Ok ()
     | Error e -> `Error (false, Cgqp.error_to_string e)
   in
@@ -145,7 +215,7 @@ let run_cmd =
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg $ csv_arg
-       $ query_arg))
+       $ run_explain_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let check_cmd =
   let action set file query =
@@ -308,9 +378,49 @@ let policies_cmd =
        ~doc:"Analyze a policy set: per-column coverage, redundancies, no-ops")
     Term.(ret (const action $ set_arg $ policy_file_arg))
 
+(* Default term: lets the common one-shot forms work without naming a
+   subcommand — [cgqp --explain Q3] is EXPLAIN ANALYZE, [cgqp Q3] is
+   run. *)
+let default_term =
+  let action set file traditional sf explain trace metrics query =
+    match query with
+    | None -> `Help (`Pager, None)
+    | Some q ->
+      with_obs ~trace ~metrics @@ fun () ->
+      let session = make_session ~set ~file ~traditional ~sf () in
+      let sql = resolve_query q in
+      if explain then (
+        match Cgqp.explain_analyze session sql with
+        | Ok text ->
+          print_string text;
+          `Ok ()
+        | Error e -> `Error (false, Cgqp.error_to_string e))
+      else (
+        match Cgqp.run session sql with
+        | Ok r ->
+          Fmt.pr "%a@." (Storage.Relation.pp ~max_rows:25) r.Cgqp.relation;
+          Fmt.pr "(%d rows; shipped %d bytes; simulated transfer cost %.2f ms)@."
+            (Storage.Relation.cardinality r.Cgqp.relation)
+            r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms;
+          `Ok ()
+        | Error e -> `Error (false, Cgqp.error_to_string e))
+  in
+  let opt_query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"SQL text, or one of the built-in names Q2, Q3, Q5, Q8, Q9, Q10.")
+  in
+  Term.(
+    ret
+      (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg
+     $ run_explain_arg $ trace_arg $ metrics_arg $ opt_query))
+
 let () =
   let doc = "compliant geo-distributed query processing" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "cgqp" ~doc ~version:"1.0.0")
+       (Cmd.group ~default:default_term
+          (Cmd.info "cgqp" ~doc ~version:"1.0.0")
           [ explain_cmd; run_cmd; check_cmd; catalog_cmd; policies_cmd; repl_cmd ]))

@@ -36,6 +36,7 @@ type run_result = {
   shipped_bytes : int;
   makespan_ms : float;  (** simulated response time (critical path) *)
   planned : Optimizer.Planner.planned;
+  interp : Exec.Interp.result;  (** raw executor output incl. per-node profile *)
 }
 
 let create ?database ~catalog () =
@@ -120,13 +121,14 @@ let run session sql : (run_result, error) result =
       match session.database with
       | None -> Error (`Rejected "no database attached to the session")
       | Some db ->
-        let { Exec.Interp.relation; stats; makespan_ms } =
+        let interp =
           Exec.Interp.run
             ~network:(Catalog.network session.catalog)
             ~db
             ~table_cols:(Catalog.table_cols session.catalog)
             planned.Optimizer.Planner.plan
         in
+        let { Exec.Interp.relation; stats; makespan_ms; profile = _ } = interp in
         (* ORDER BY is enforced inside the plan (Sort enforcer); only
            LIMIT remains a result decoration *)
         ignore order_by;
@@ -141,7 +143,18 @@ let run session sql : (run_result, error) result =
             shipped_bytes = Exec.Interp.total_ship_bytes stats;
             makespan_ms;
             planned;
+            interp;
           }))
+
+(* EXPLAIN: optimize only, render the annotated plan tree. *)
+let explain session sql : (string, error) result =
+  Result.map Optimizer.Explain.render (optimize session sql)
+
+(* EXPLAIN ANALYZE: optimize, execute, render with actual rows/bytes
+   per operator. Requires an attached database. *)
+let explain_analyze session sql : (string, error) result =
+  Result.map (fun r -> Optimizer.Explain.render ~analyze:r.interp r.planned)
+    (run session sql)
 
 let pp_error ppf = function
   | `Parse m -> Fmt.pf ppf "syntax error: %s" m

@@ -32,6 +32,9 @@ type run_result = {
   shipped_bytes : int;
   makespan_ms : float;  (** simulated response time (critical path) *)
   planned : Optimizer.Planner.planned;  (** full optimizer output *)
+  interp : Exec.Interp.result;
+      (** raw executor output, including the per-node profile that
+          {!explain_analyze} renders *)
 }
 
 val create : ?database:Storage.Database.t -> catalog:Catalog.t -> unit -> session
@@ -66,6 +69,16 @@ val is_legal : session -> string -> bool
 
 val run : session -> string -> (run_result, error) result
 (** Optimize and execute. Requires an attached database. *)
+
+val explain : session -> string -> (string, error) result
+(** Optimize only and render the {!Optimizer.Explain} plan tree —
+    execution sites, estimated rows, SHIP sizes and compliance
+    verdicts. *)
+
+val explain_analyze : session -> string -> (string, error) result
+(** Optimize, execute, and render the plan tree annotated with actual
+    per-operator row counts, SHIP bytes and simulated transfer costs.
+    Requires an attached database. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

@@ -18,14 +18,31 @@ type stats = {
   mutable rows_processed : int;
 }
 
+(* Per-operator execution profile, keyed by the node's position in the
+   plan tree (root-to-node child indices) so EXPLAIN ANALYZE can match
+   actuals back to plan nodes without identity tricks. *)
+type node_profile = {
+  path : int list;
+  label : string;
+  actual_rows : int;
+  actual_bytes : int;
+  ship : ship_record option;
+}
+
 type result = {
   relation : Storage.Relation.t;
   stats : stats;
+  profile : node_profile list;  (* execution (post-) order *)
   makespan_ms : float;
       (* simulated response time: sibling subtrees proceed in parallel,
          transfers follow the message cost model, local processing is
          charged per materialized row *)
 }
+
+let c_rows = Obs.Metrics.counter "cgqp_exec_rows_processed_total"
+let c_ships = Obs.Metrics.counter "cgqp_exec_ships_total"
+let c_ship_bytes = Obs.Metrics.counter "cgqp_exec_ship_bytes_total"
+let h_ship_cost_ms = Obs.Metrics.histogram "cgqp_exec_ship_cost_ms"
 
 (* Simulated per-row local processing cost (ms); only relative
    magnitudes matter. *)
@@ -85,6 +102,7 @@ module Row_tbl = Hashtbl.Make (Row_key)
 let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
     ~(table_cols : string -> string list) (plan : Pplan.t) : result =
   let stats = { ships = []; rows_processed = 0 } in
+  let profile = ref [] in
   (* completion time of each subtree, for the makespan *)
   let done_at : (Pplan.t, float) Hashtbl.t = Hashtbl.create 64 in
   let child_finish p =
@@ -92,7 +110,10 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
       (fun acc c -> Float.max acc (try Hashtbl.find done_at c with Not_found -> 0.))
       0. p.Pplan.children
   in
-  let rec exec (p : Pplan.t) : Storage.Relation.t =
+  (* [rpath] is the node's root-to-node child-index path, reversed. *)
+  let rec exec (rpath : int list) (p : Pplan.t) : Storage.Relation.t =
+    let exec1 c = exec (0 :: rpath) c in
+    let exec2 l r = (exec (0 :: rpath) l, exec (1 :: rpath) r) in
     let rel =
       match p.Pplan.node, p.Pplan.children with
       | Pplan.Table_scan { table; alias; partition }, [] ->
@@ -105,7 +126,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         in
         Storage.Relation.make ~schema ~rows:(Storage.Relation.rows r)
       | Pplan.Filter pred, [ c ] ->
-        let r = exec c in
+        let r = exec1 c in
         let look = Storage.Relation.lookup_fn r in
         let rows =
           Array.of_seq
@@ -115,7 +136,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         in
         Storage.Relation.make ~schema:(Storage.Relation.schema r) ~rows
       | Pplan.Project items, [ c ] ->
-        let r = exec c in
+        let r = exec1 c in
         let look = Storage.Relation.lookup_fn r in
         let schema = List.map snd items in
         let exprs = Array.of_list (List.map fst items) in
@@ -126,7 +147,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         in
         Storage.Relation.make ~schema ~rows
       | Pplan.Hash_join { keys; residual }, [ l; r ] ->
-        let lrel = exec l and rrel = exec r in
+        let lrel, rrel = exec2 l r in
         let llook = Storage.Relation.lookup_fn lrel
         and rlook = Storage.Relation.lookup_fn rrel in
         let lkeys = List.map fst keys and rkeys = List.map snd keys in
@@ -158,7 +179,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
           (Storage.Relation.rows lrel);
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Nl_join pred, [ l; r ] ->
-        let lrel = exec l and rrel = exec r in
+        let lrel, rrel = exec2 l r in
         let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
         let probe = Storage.Relation.make ~schema ~rows:[||] in
         let look = Storage.Relation.lookup_fn probe in
@@ -173,7 +194,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
           (Storage.Relation.rows lrel);
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Hash_agg { keys; aggs }, [ c ] ->
-        let r = exec c in
+        let r = exec1 c in
         let look = Storage.Relation.lookup_fn r in
         let groups : (Value.t array * acc array) Row_tbl.t = Row_tbl.create 64 in
         let order = ref [] in
@@ -215,11 +236,11 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         in
         Storage.Relation.make ~schema ~rows
       | Pplan.Sort keys, [ c ] ->
-        let r = exec c in
+        let r = exec1 c in
         Storage.Relation.order_by r keys
       | Pplan.Merge_join { keys; residual }, [ l; r ] ->
         (* inputs arrive sorted ascending on their key columns *)
-        let lrel = exec l and rrel = exec r in
+        let lrel, rrel = exec2 l r in
         let llook = Storage.Relation.lookup_fn lrel
         and rlook = Storage.Relation.lookup_fn rrel in
         let lkeys = List.map fst keys and rkeys = List.map snd keys in
@@ -266,12 +287,12 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         done;
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Union_all, (_ :: _ as children) ->
-        let rels = List.map exec children in
+        let rels = List.mapi (fun i c -> exec (i :: rpath) c) children in
         let schema = Storage.Relation.schema (List.hd rels) in
         let rows = Array.concat (List.map Storage.Relation.rows rels) in
         Storage.Relation.make ~schema ~rows
       | Pplan.Ship { from_loc; to_loc }, [ c ] ->
-        let r = exec c in
+        let r = exec1 c in
         let bytes = Storage.Relation.byte_size r in
         let cost_ms =
           Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
@@ -279,21 +300,53 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
         stats.ships <-
           { from_loc; to_loc; bytes; rows = Storage.Relation.cardinality r; cost_ms }
           :: stats.ships;
+        Obs.Metrics.inc c_ships;
+        Obs.Metrics.inc ~by:bytes c_ship_bytes;
+        Obs.Metrics.observe h_ship_cost_ms cost_ms;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant "exec.ship"
+            [
+              ("from", Obs.Json.Str from_loc);
+              ("to", Obs.Json.Str to_loc);
+              ("bytes", Obs.Json.Num (float_of_int bytes));
+              ("rows", Obs.Json.Num (float_of_int (Storage.Relation.cardinality r)));
+              ("cost_ms", Obs.Json.Num cost_ms);
+            ];
         r
       | node, children ->
         fail "malformed plan: %s with %d children" (Pplan.node_label node)
           (List.length children)
     in
-    stats.rows_processed <- stats.rows_processed + Storage.Relation.cardinality rel;
+    let card = Storage.Relation.cardinality rel in
+    stats.rows_processed <- stats.rows_processed + card;
+    Obs.Metrics.inc ~by:card c_rows;
+    let ship =
+      match p.Pplan.node with
+      | Pplan.Ship _ -> ( match stats.ships with s :: _ -> Some s | [] -> None)
+      | _ -> None
+    in
+    let label = Pplan.node_label p.Pplan.node in
+    profile :=
+      { path = List.rev rpath; label; actual_rows = card;
+        actual_bytes = Storage.Relation.byte_size rel; ship }
+      :: !profile;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant "exec.op"
+        [
+          ("op", Obs.Json.Str label);
+          ("loc", Obs.Json.Str p.Pplan.loc);
+          ("rows", Obs.Json.Num (float_of_int card));
+        ];
     let own_time =
       match p.Pplan.node with
       | Pplan.Ship _ ->
         (* the transfer cost was just recorded as the head of ships *)
         (match stats.ships with s :: _ -> s.cost_ms | [] -> 0.)
-      | _ -> float_of_int (Storage.Relation.cardinality rel) *. row_cost_ms
+      | _ -> float_of_int card *. row_cost_ms
     in
     Hashtbl.replace done_at p (child_finish p +. own_time);
     rel
   in
-  let relation = exec plan in
-  { relation; stats; makespan_ms = (try Hashtbl.find done_at plan with Not_found -> 0.) }
+  let relation = Obs.Trace.span "exec.run" (fun () -> exec [] plan) in
+  { relation; stats; profile = List.rev !profile;
+    makespan_ms = (try Hashtbl.find done_at plan with Not_found -> 0.) }

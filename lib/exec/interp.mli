@@ -7,19 +7,33 @@
 type ship_record = {
   from_loc : Catalog.Location.t;
   to_loc : Catalog.Location.t;
-  bytes : int;
+  bytes : int;  (** serialized size of the shipped relation *)
   rows : int;
-  cost_ms : float;
+  cost_ms : float;  (** simulated transfer time under the message cost model *)
 }
+(** One executed SHIP: an intermediate result crossing sites. *)
 
 type stats = {
   mutable ships : ship_record list;
   mutable rows_processed : int;  (** total rows materialized, all operators *)
 }
 
+(** Per-operator execution profile. [path] is the node's position in
+    the plan tree as the list of child indices from the root (the root
+    itself is [[]]), which is how [Optimizer.Explain] matches actuals
+    back to plan nodes for EXPLAIN ANALYZE. *)
+type node_profile = {
+  path : int list;
+  label : string;  (** {!Pplan.node_label} of the operator *)
+  actual_rows : int;
+  actual_bytes : int;  (** materialized output size *)
+  ship : ship_record option;  (** set iff the operator is a SHIP *)
+}
+
 type result = {
   relation : Storage.Relation.t;
   stats : stats;
+  profile : node_profile list;  (** execution (post-) order *)
   makespan_ms : float;
       (** simulated response time: sibling subtrees proceed in parallel,
           transfers follow the message cost model, local processing is
@@ -30,7 +44,11 @@ val row_cost_ms : float
 (** Simulated local processing cost per materialized row (ms). *)
 
 val total_ship_cost : stats -> float
+(** Sum of {!ship_record.cost_ms} over all ships (the total-cost
+    objective's measured counterpart; compare [result.makespan_ms]). *)
+
 val total_ship_bytes : stats -> int
+(** Sum of {!ship_record.bytes} over all ships. *)
 
 exception Runtime_error of string
 (** Malformed plans (wrong arity, missing relations). *)
@@ -41,3 +59,8 @@ val run :
   table_cols:(string -> string list) ->
   Pplan.t ->
   result
+(** Execute a placed plan bottom-up, materializing every operator.
+    [table_cols] resolves a table's stored column order, used to
+    re-qualify scan schemas with the query alias. Emits trace events
+    and metrics per operator and per SHIP (see [docs/TRACING.md]);
+    raises {!Runtime_error} on malformed plans. *)

@@ -8,6 +8,8 @@
 open Relalg
 
 type est = { est_rows : float; est_width : float }
+(** Optimizer estimate of an operator's output: rows and average row
+    width in bytes. *)
 
 type node =
   | Table_scan of { table : string; alias : string; partition : int }
@@ -31,15 +33,28 @@ type t = {
 }
 
 val make : ?est:est -> loc:Catalog.Location.t -> node -> t list -> t
+(** Build a node; [est] defaults to zero (callers that price plans
+    always supply it). *)
+
 val est_bytes : t -> float
+(** [est_rows *. est_width] — the size the cost model charges a SHIP
+    of this node's output. *)
 
 val ships : t -> (Catalog.Location.t * Catalog.Location.t * t) list
 (** All SHIP operators in the tree with their endpoints. *)
 
 val node_label : node -> string
+(** Short operator label, e.g. ["HashJoin [l.orderkey=o.orderkey]"]
+    (may wrap across lines for long predicate/projection lists). *)
+
 val pp : ?indent:int -> Format.formatter -> t -> unit
+(** Indented tree rendering with per-node locations. *)
+
 val to_string : t -> string
+(** {!pp} to a string. *)
+
 val count_ops : t -> int
+(** Number of operators in the tree, SHIPs included. *)
 
 val to_dot : t -> string
 (** Graphviz rendering, operators clustered by execution site and SHIP

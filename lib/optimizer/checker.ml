@@ -10,6 +10,12 @@
 open Relalg
 module Locset = Catalog.Location.Set
 
+let c_ship_ok =
+  Obs.Metrics.counter ~labels:[ ("verdict", "ok") ] "cgqp_checker_ships_total"
+
+let c_ship_violation =
+  Obs.Metrics.counter ~labels:[ ("verdict", "violation") ] "cgqp_checker_ships_total"
+
 type violation = {
   at : string;  (* pretty-printed operator *)
   from_loc : Catalog.Location.t;
@@ -82,7 +88,17 @@ let certify ~(cat : Catalog.t) ~(policies : Policy.Pcatalog.t) (plan : Exec.Ppla
     | Exec.Pplan.Ship { from_loc; to_loc } ->
       let child = List.hd p.children in
       let s = walk child in
-      if not (Locset.mem to_loc s) then
+      let ok = Locset.mem to_loc s in
+      Obs.Metrics.inc (if ok then c_ship_ok else c_ship_violation);
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "checker.ship"
+          [
+            ("op", Obs.Json.Str (Exec.Pplan.node_label child.node));
+            ("from", Obs.Json.Str from_loc);
+            ("to", Obs.Json.Str to_loc);
+            ("ok", Obs.Json.Bool ok);
+          ];
+      if not ok then
         violations :=
           { at = Exec.Pplan.node_label child.node; from_loc; to_loc; allowed = s }
           :: !violations;

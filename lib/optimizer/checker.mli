@@ -17,6 +17,8 @@ type violation = {
 }
 
 val pp_violation : Format.formatter -> violation -> unit
+(** One-line human-readable rendering (also used by the CLI and the
+    EXPLAIN annotations). *)
 
 val logical_of : Exec.Pplan.t -> Plan.t
 (** Reconstruct the logical expression of a physical subtree (SHIP

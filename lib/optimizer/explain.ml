@@ -1,0 +1,125 @@
+(* EXPLAIN / EXPLAIN ANALYZE rendering. A pure function of the
+   optimizer output (plus, optionally, the executor's per-node
+   profile): no clocks, no global state — the same plan always renders
+   the same text, which the golden tests lock in. *)
+
+(* Operator labels come from [Fmt] and may contain line breaks when a
+   predicate or projection list is long; EXPLAIN is strictly one line
+   per node, so flatten them. *)
+let label node =
+  String.map (fun c -> if c = '\n' then ' ' else c) (Exec.Pplan.node_label node)
+
+let fmt_bytes b =
+  if b < 1024. then Printf.sprintf "%.0f B" b
+  else if b < 1024. *. 1024. then Printf.sprintf "%.1f KiB" (b /. 1024.)
+  else Printf.sprintf "%.1f MiB" (b /. (1024. *. 1024.))
+
+(* Actual rows/bytes per plan position, from the interpreter profile. *)
+let profile_index (r : Exec.Interp.result) =
+  let tbl : (int list, Exec.Interp.node_profile) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (p : Exec.Interp.node_profile) -> Hashtbl.replace tbl p.path p) r.profile;
+  tbl
+
+(* The checker reports a violation as (shipped operator, endpoints);
+   match each SHIP node against the not-yet-consumed violations so two
+   identical ships with one violation do not both get flagged. *)
+let take_violation pending ~from_loc ~to_loc ~at =
+  let rec go acc = function
+    | [] -> None
+    | (v : Checker.violation) :: rest ->
+      if
+        String.equal v.from_loc from_loc
+        && String.equal v.to_loc to_loc
+        && String.equal v.at at
+      then begin
+        pending := List.rev_append acc rest;
+        Some v
+      end
+      else go (v :: acc) rest
+  in
+  go [] !pending
+
+let render ?analyze (p : Planner.planned) : string =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* --- header --- *)
+  (match p.violations with
+  | [] -> pr "compliant plan\n"
+  | vs ->
+    pr "NON-COMPLIANT plan (%d violation%s)\n" (List.length vs)
+      (if List.length vs = 1 then "" else "s"));
+  pr "phase-1 cost %.0f | est. ship cost %.2f ms | memo groups %d\n" p.phase1_cost
+    p.ship_cost p.groups;
+  pr "policy evaluation: eta %d, implication tests %d\n"
+    p.eval_stats.Policy.Evaluator.eta p.eval_stats.Policy.Evaluator.implication_tests;
+  let ps = p.prune_stats in
+  if ps.Memo.bound < Float.infinity then
+    pr "pruning: bound %.0f, pruned %d groups / %d entries / %d combos\n"
+      ps.Memo.bound ps.Memo.groups_pruned ps.Memo.entries_pruned ps.Memo.combos_pruned
+  else pr "pruning: bound not seeded\n";
+  pr "\n";
+  (* --- operator tree --- *)
+  let profiles = Option.map profile_index analyze in
+  let actual path = Option.bind profiles (fun t -> Hashtbl.find_opt t path) in
+  let pending = ref p.violations in
+  let rec walk ~prefix ~connector ~path (n : Exec.Pplan.t) =
+    let act = actual (List.rev path) in
+    let annot =
+      match n.Exec.Pplan.node with
+      | Exec.Pplan.Ship { from_loc; to_loc } ->
+        let est = Printf.sprintf "est %s" (fmt_bytes (Exec.Pplan.est_bytes n)) in
+        let act_part =
+          match act with
+          | Some { Exec.Interp.ship = Some s; _ } ->
+            Printf.sprintf "; act %d rows, %s, %.2f ms" s.Exec.Interp.rows
+              (fmt_bytes (float_of_int s.Exec.Interp.bytes))
+              s.Exec.Interp.cost_ms
+          | Some _ | None -> ""
+        in
+        let at =
+          match n.Exec.Pplan.children with
+          | c :: _ -> Exec.Pplan.node_label c.Exec.Pplan.node
+          | [] -> ""
+        in
+        let verdict =
+          match take_violation pending ~from_loc ~to_loc ~at with
+          | Some v ->
+            Printf.sprintf "  [VIOLATION: allowed {%s}]"
+              (String.concat ", " (Catalog.Location.Set.elements v.Checker.allowed))
+          | None -> "  [ok]"
+        in
+        Printf.sprintf "  (%s%s)%s" est act_part verdict
+      | _ ->
+        let est = Printf.sprintf "est %.0f rows" n.Exec.Pplan.est.Exec.Pplan.est_rows in
+        let act_part =
+          match act with
+          | Some a -> Printf.sprintf ", act %d rows" a.Exec.Interp.actual_rows
+          | None -> ""
+        in
+        Printf.sprintf " @ %s  (%s%s)" n.Exec.Pplan.loc est act_part
+    in
+    pr "%s%s%s%s\n" prefix connector (label n.Exec.Pplan.node) annot;
+    let child_prefix =
+      if connector = "" then prefix
+      else prefix ^ if connector = "└─ " then "   " else "│  "
+    in
+    let last = List.length n.Exec.Pplan.children - 1 in
+    List.iteri
+      (fun i c ->
+        walk ~prefix:child_prefix
+          ~connector:(if i = last then "└─ " else "├─ ")
+          ~path:(i :: path) c)
+      n.Exec.Pplan.children
+  in
+  walk ~prefix:"" ~connector:"" ~path:[] p.plan;
+  (* --- analyze footer --- *)
+  (match analyze with
+  | None -> ()
+  | Some (r : Exec.Interp.result) ->
+    pr "\n";
+    pr "execution: %d rows processed, %d ships, %s shipped, makespan %.2f ms\n"
+      r.stats.Exec.Interp.rows_processed
+      (List.length r.stats.Exec.Interp.ships)
+      (fmt_bytes (float_of_int (Exec.Interp.total_ship_bytes r.stats)))
+      r.makespan_ms);
+  Buffer.contents buf

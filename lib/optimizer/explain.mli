@@ -1,0 +1,22 @@
+(** EXPLAIN / EXPLAIN ANALYZE rendering of optimizer output.
+
+    Pretty-prints a {!Planner.planned} as an annotated operator tree:
+    every node shows its execution site and estimated cardinality,
+    every SHIP shows its endpoints, estimated transfer size and
+    compliance verdict ([\[ok\]], or the allowed destinations when the
+    checker flagged it). A header summarizes the optimizer's work —
+    phase-1 cost, estimated ship cost, memo size, policy-evaluation
+    effort (η, implication tests) and branch-and-bound statistics.
+
+    When an executor {!Exec.Interp.result} is supplied ([?analyze]),
+    each node is additionally annotated with its {e actual} row count,
+    SHIPs with actual bytes and simulated transfer cost, and a footer
+    reports totals and the simulated makespan — the EXPLAIN ANALYZE
+    form surfaced by [cgqp_cli --explain] / [explain --analyze].
+
+    Output is deterministic for a given plan (no wall-clock values),
+    which is what the golden tests in [test/test_obs.ml] rely on. *)
+
+val render : ?analyze:Exec.Interp.result -> Planner.planned -> string
+(** [render ?analyze planned] is the full EXPLAIN (ANALYZE) text,
+    newline-terminated. *)

@@ -21,6 +21,27 @@
 open Relalg
 module Locset = Catalog.Location.Set
 
+(* Observability: process-wide memo counters (cheap, unconditional) and
+   trace events (guarded on [Obs.Trace.enabled], so the optimizer hot
+   path pays one load per site when tracing is off). *)
+let c_groups = Obs.Metrics.counter "cgqp_optimizer_memo_groups_total"
+let c_exprs = Obs.Metrics.counter "cgqp_optimizer_memo_exprs_total"
+
+let c_rule rule =
+  Obs.Metrics.counter ~labels:[ ("rule", rule) ] "cgqp_optimizer_rule_firings_total"
+
+let c_rule_commute = c_rule "join_commute"
+let c_rule_associate = c_rule "join_associate"
+let c_rule_eager_agg = c_rule "eager_aggregation"
+let c_rule_union_pushdown = c_rule "union_pushdown"
+
+let c_pruned kind =
+  Obs.Metrics.counter ~labels:[ ("kind", kind) ] "cgqp_optimizer_pruned_total"
+
+let c_pruned_group = c_pruned "group"
+let c_pruned_entry = c_pruned "entry"
+let c_pruned_combo = c_pruned "combo"
+
 type gid = int
 
 type mexpr =
@@ -235,6 +256,16 @@ let new_group m ~repr ~partition ~est (expr_of_group : gid -> mexpr list) : gid 
   m.groups <- g :: m.groups;
   Hashtbl.replace m.by_key (group_key repr ~partition) id;
   g.exprs <- expr_of_group id;
+  Obs.Metrics.inc c_groups;
+  Obs.Metrics.inc ~by:(List.length g.exprs) c_exprs;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "memo.group"
+      [
+        ("gid", Obs.Json.Num (float_of_int id));
+        ("repr", Obs.Json.Str (Plan.to_string repr));
+        ("partition", Obs.Json.Num (float_of_int partition));
+        ("est_rows", Obs.Json.Num est.Stats.rows);
+      ];
   id
 
 (* --- m-expr structural equality (children by gid) --- *)
@@ -273,6 +304,7 @@ let add_expr (g : group) (e : mexpr) : bool =
   if List.exists (mexpr_equal e) g.exprs then false
   else begin
     g.exprs <- g.exprs @ [ e ];
+    Obs.Metrics.inc c_exprs;
     true
   end
 
@@ -518,6 +550,8 @@ let rec apply_rules m (_g : group) (e : mexpr) : mexpr list =
           | E_scan _ | E_filter _ | E_project _ | E_agg _ | E_union _ -> None)
         (group m gl).exprs
     in
+    Obs.Metrics.inc ~by:(List.length commuted) c_rule_commute;
+    Obs.Metrics.inc ~by:(List.length assoc) c_rule_associate;
     commuted @ assoc
   | E_agg (keys, aggs, gi) ->
     (* The aggregate-past-join rewrite is the extra rule the paper's
@@ -527,35 +561,47 @@ let rec apply_rules m (_g : group) (e : mexpr) : mexpr list =
     if m.mode = Traditional || not m.rules.eager_aggregation then []
     else begin
       explore m (group m gi);
-      List.filter_map
-        (fun ie ->
-          match ie with
-          | E_join (p, gl, gr) -> try_eager_agg m ~keys ~aggs ~pred:p ~gl ~gr
-          | E_scan _ | E_filter _ | E_project _ | E_agg _ | E_union _ -> None)
-        (group m gi).exprs
+      let fired =
+        List.filter_map
+          (fun ie ->
+            match ie with
+            | E_join (p, gl, gr) -> try_eager_agg m ~keys ~aggs ~pred:p ~gl ~gr
+            | E_scan _ | E_filter _ | E_project _ | E_agg _ | E_union _ -> None)
+          (group m gi).exprs
+      in
+      Obs.Metrics.inc ~by:(List.length fired) c_rule_eager_agg;
+      fired
     end
   | E_filter (p, gi) when m.rules.union_pushdown ->
     (* distribute a filter over a union of partition scans so each
        branch stays a single-partition (single-database) subquery that
        AR4 can evaluate *)
     explore m (group m gi);
-    List.filter_map
-      (fun ie ->
-        match ie with
-        | E_union branches ->
-          Some (E_union (List.map (fun b -> group_of_expr m (E_filter (p, b))) branches))
-        | E_scan _ | E_filter _ | E_project _ | E_join _ | E_agg _ -> None)
-      (group m gi).exprs
+    let fired =
+      List.filter_map
+        (fun ie ->
+          match ie with
+          | E_union branches ->
+            Some (E_union (List.map (fun b -> group_of_expr m (E_filter (p, b))) branches))
+          | E_scan _ | E_filter _ | E_project _ | E_join _ | E_agg _ -> None)
+        (group m gi).exprs
+    in
+    Obs.Metrics.inc ~by:(List.length fired) c_rule_union_pushdown;
+    fired
   | E_project (items, gi) when m.rules.union_pushdown ->
     explore m (group m gi);
-    List.filter_map
-      (fun ie ->
-        match ie with
-        | E_union branches ->
-          Some
-            (E_union (List.map (fun b -> group_of_expr m (E_project (items, b))) branches))
-        | E_scan _ | E_filter _ | E_project _ | E_join _ | E_agg _ -> None)
-      (group m gi).exprs
+    let fired =
+      List.filter_map
+        (fun ie ->
+          match ie with
+          | E_union branches ->
+            Some
+              (E_union (List.map (fun b -> group_of_expr m (E_project (items, b))) branches))
+          | E_scan _ | E_filter _ | E_project _ | E_join _ | E_agg _ -> None)
+        (group m gi).exprs
+    in
+    Obs.Metrics.inc ~by:(List.length fired) c_rule_union_pushdown;
+    fired
   | E_scan _ | E_filter _ | E_project _ | E_union _ -> []
 
 and explore m (g : group) : unit =
@@ -670,6 +716,15 @@ let rec entries_of m (g : group) : entry list =
        the final plan — skip its exploration and annotation outright. *)
     if (not m.naive) && m.prune && g.lb > m.bound then begin
       m.groups_pruned <- m.groups_pruned + 1;
+      Obs.Metrics.inc c_pruned_group;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "memo.prune"
+          [
+            ("kind", Obs.Json.Str "group");
+            ("gid", Obs.Json.Num (float_of_int g.id));
+            ("lb", Obs.Json.Num g.lb);
+            ("bound", Obs.Json.Num m.bound);
+          ];
       g.entries <- Some [];
       []
     end
@@ -686,7 +741,17 @@ let rec entries_of m (g : group) : entry list =
         if (not m.naive) && m.prune && m.bound < Float.infinity then begin
           let n0 = List.length candidates in
           let kept = List.filter (fun e -> e.cost <= m.bound) candidates in
-          m.entries_pruned <- m.entries_pruned + (n0 - List.length kept);
+          let dropped = n0 - List.length kept in
+          m.entries_pruned <- m.entries_pruned + dropped;
+          Obs.Metrics.inc ~by:dropped c_pruned_entry;
+          if dropped > 0 && Obs.Trace.enabled () then
+            Obs.Trace.instant "memo.prune"
+              [
+                ("kind", Obs.Json.Str "entry");
+                ("gid", Obs.Json.Num (float_of_int g.id));
+                ("dropped", Obs.Json.Num (float_of_int dropped));
+                ("bound", Obs.Json.Num m.bound);
+              ];
           kept
         end
         else candidates
@@ -745,6 +810,7 @@ and entry_candidates m (g : group) (e : mexpr) : entry list =
                physical alternative of this combo is dead *)
             if m.prune && le.cost +. re.cost > m.bound then begin
               m.combos_pruned <- m.combos_pruned + 1;
+              Obs.Metrics.inc c_pruned_combo;
               []
             end
             else
@@ -837,6 +903,8 @@ let extract ?(required_order = []) m (root_gid : gid) : (anode * float) option =
     | es ->
       m.bound <- List.fold_left (fun acc e -> Float.min acc (final_cost e)) Float.infinity es);
     m.naive <- false;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant "memo.bound_seeded" [ ("bound", Obs.Json.Num m.bound) ];
     (* forget the naive frontiers; phase B recomputes them in full *)
     Hashtbl.iter (fun _ gr -> gr.entries <- None) m.arr
   end;

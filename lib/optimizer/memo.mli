@@ -88,6 +88,7 @@ type rules = {
 (** Transformation-rule toggles, for the ablation experiments. *)
 
 val default_rules : rules
+(** All rules enabled. *)
 
 type prune_stats = {
   bound : float;  (** the branch-and-bound upper bound U; infinite = never seeded *)
@@ -116,9 +117,15 @@ val create :
     alternatives are discarded. *)
 
 val prune_stats : t -> prune_stats
+(** Branch-and-bound counters accumulated so far (zeros when [prune]
+    is off or {!extract} has not run). *)
 
 val group : t -> gid -> group
+(** Look up a group by id (raises [Not_found] on an unknown id). *)
+
 val group_count : t -> int
+(** Number of groups — the plan-space size the §7.3 experiments
+    report. *)
 
 val ingest : t -> Plan.t -> gid
 (** Insert a (normalized) logical plan, expanding partitioned scans into

@@ -9,7 +9,13 @@
 open Relalg
 
 val pushdown : table_cols:(string -> string list) -> Plan.t -> Plan.t
+(** Distribute each WHERE conjunct to the deepest operator whose
+    schema covers it. [table_cols] resolves a table's column list (the
+    catalog's view, for expanding [*]). *)
+
 val prune_columns : table_cols:(string -> string list) -> Plan.t -> Plan.t
+(** Wrap every scan in a projection keeping only the columns the plan
+    references above it. *)
 
 val normalize : table_cols:(string -> string list) -> Plan.t -> Plan.t
 (** [pushdown] followed by [prune_columns]. *)

@@ -10,6 +10,34 @@ let src = Logs.Src.create "cgqp.optimizer" ~doc:"compliance-based query optimize
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let c_planned =
+  Obs.Metrics.counter ~labels:[ ("outcome", "planned") ] "cgqp_optimizer_queries_total"
+
+let c_rejected =
+  Obs.Metrics.counter ~labels:[ ("outcome", "rejected") ] "cgqp_optimizer_queries_total"
+
+let h_optimize_ms = Obs.Metrics.histogram "cgqp_optimizer_time_ms"
+
+(* Intern-pool gauges: Planner is linked into every executable (CLI,
+   bench, tests), so registering here guarantees the pools show up in
+   any metrics dump without forcing a dependency from [obs] on the
+   pools themselves. *)
+let () =
+  let register pool stats =
+    let labels = [ ("pool", pool) ] in
+    Obs.Metrics.gauge ~labels "cgqp_intern_pool_size" (fun () ->
+        let size, _, _ = stats () in
+        float_of_int size);
+    Obs.Metrics.gauge ~labels "cgqp_intern_pool_hits" (fun () ->
+        let _, hits, _ = stats () in
+        float_of_int hits);
+    Obs.Metrics.gauge ~labels "cgqp_intern_pool_misses" (fun () ->
+        let _, _, misses = stats () in
+        float_of_int misses)
+  in
+  register "pred" Pred.intern_stats;
+  register "policy_expression" Policy.Expression.intern_stats
+
 type planned = {
   plan : Exec.Pplan.t;
   annotated : Memo.anode;  (* phase-1 plan with execution traits *)
@@ -29,12 +57,29 @@ let is_compliant = function
 
 let optimize ?(mode = Memo.Compliant) ?prune ?rules ?objective ?required_order
     ~(cat : Catalog.t) ~(policies : Policy.Pcatalog.t) (lplan : Plan.t) : outcome =
+  let t0 = Obs.Trace.now_ms () in
+  let finish outcome =
+    Obs.Metrics.observe h_optimize_ms (Obs.Trace.now_ms () -. t0);
+    (match outcome with
+    | Planned _ -> Obs.Metrics.inc c_planned
+    | Rejected _ -> Obs.Metrics.inc c_rejected);
+    outcome
+  in
+  Obs.Trace.span "optimizer.optimize" @@ fun () ->
+  finish
+  @@
   let table_cols = Catalog.table_cols cat in
-  let nplan = Normalize.normalize ~table_cols lplan in
+  let nplan =
+    Obs.Trace.span "optimizer.normalize" (fun () ->
+        Normalize.normalize ~table_cols lplan)
+  in
   let eval_stats = Policy.Evaluator.fresh_stats () in
   let m = Memo.create ?prune ?rules ~eval_stats ~mode ~cat ~policies () in
-  let gid = Memo.ingest m nplan in
-  match Memo.extract ?required_order m gid with
+  let gid = Obs.Trace.span "optimizer.phase1.ingest" (fun () -> Memo.ingest m nplan) in
+  match
+    Obs.Trace.span "optimizer.phase1.extract" (fun () ->
+        Memo.extract ?required_order m gid)
+  with
   | None ->
     Log.info (fun f -> f "query rejected: no compliant plan in the explored space");
     Rejected "no compliant execution plan exists in the explored space"
@@ -42,10 +87,15 @@ let optimize ?(mode = Memo.Compliant) ?prune ?rules ?objective ?required_order
     Log.debug (fun f ->
         f "phase 1 done: %d memo groups, best cost %.0f, eta=%d"
           (Memo.group_count m) phase1_cost eval_stats.Policy.Evaluator.eta);
-    match Site_selector.select ?objective ~network:(Catalog.network cat) anode with
+    match
+      Obs.Trace.span "optimizer.phase2.place" (fun () ->
+          Site_selector.select ?objective ~network:(Catalog.network cat) anode)
+    with
     | None -> Rejected "site selection found no feasible placement"
     | Some { plan; cost } ->
-      let violations = Checker.certify ~cat ~policies plan in
+      let violations =
+        Obs.Trace.span "optimizer.certify" (fun () -> Checker.certify ~cat ~policies plan)
+      in
       Log.debug (fun f ->
           f "phase 2 done: ship cost %.2f ms, %d operators, %s" cost
             (Exec.Pplan.count_ops plan)

@@ -87,6 +87,15 @@ let select ?(objective = `Total) ~(network : Catalog.Network.t) (root : Memo.ano
   match best with
   | None -> None
   | Some (root_loc, total) ->
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant "site_selector.placed"
+        [
+          ("root_loc", Obs.Json.Str root_loc);
+          ("ship_cost_ms", Obs.Json.Num total);
+          ("objective",
+           Obs.Json.Str
+             (match objective with `Total -> "total" | `Response_time -> "response_time"));
+        ];
     let rec build (n : Memo.anode) (l : Catalog.Location.t) : Exec.Pplan.t =
       let child_locs =
         match Hashtbl.find_opt choice (n.uid, l) with Some ls -> ls | None -> []

@@ -5,6 +5,8 @@
     programming. *)
 
 type placement = { plan : Exec.Pplan.t; cost : float }
+(** A fully-placed physical plan and its shipping cost in simulated
+    milliseconds (total or critical-path, per {!objective}). *)
 
 type objective = [ `Total | `Response_time ]
 (** [`Total] minimizes the sum of all transfers (the paper's default

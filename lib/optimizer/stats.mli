@@ -5,13 +5,16 @@
 open Relalg
 
 type col_info = {
-  distinct : float;
-  width : float;
-  lo : float option;
-  hi : float option;
+  distinct : float;  (** estimated distinct values *)
+  width : float;  (** average value width, bytes *)
+  lo : float option;  (** numeric minimum, when known *)
+  hi : float option;  (** numeric maximum, when known *)
 }
+(** Per-column statistics, seeded from the catalog at the scans and
+    propagated (and capped) through the operators above. *)
 
 type node_est = { rows : float; cols : (Attr.t * col_info) list }
+(** Estimated output of one logical operator. *)
 
 val width_of : node_est -> float
 (** Estimated row width in bytes. *)
@@ -20,8 +23,12 @@ val find_col : node_est -> Attr.t -> col_info
 (** Exact match, then unique bare-name match, then a default. *)
 
 val selectivity : node_est -> Pred.t -> float
+(** Fraction of input rows satisfying the predicate (System-R
+    defaults: [1/distinct] for equality, range interpolation from
+    [lo]/[hi], independence across conjuncts). *)
 
 val estimate : Catalog.t -> Plan.t -> node_est
+(** Bottom-up estimate of a whole logical plan. *)
 
 val scan_est : Catalog.t -> table:string -> alias:string -> fraction:float -> node_est
 (** Estimate for one partition of a table ([fraction] of its rows). *)

@@ -28,6 +28,23 @@ type stats = { mutable eta : int; mutable implication_tests : int }
 
 let fresh_stats () = { eta = 0; implication_tests = 0 }
 
+(* Global observability instruments. Unlike the per-run [stats] record,
+   these accumulate across the whole process and feed the metrics
+   registry ([--metrics], CGQP_METRICS_OUT); cache hits replay their
+   recorded increments so η stays exact either way. *)
+let c_eta = Obs.Metrics.counter "cgqp_policy_eta_total"
+let c_impl_tests = Obs.Metrics.counter "cgqp_policy_implication_tests_total"
+
+let c_cache_hit =
+  Obs.Metrics.counter
+    ~labels:[ ("cache", "evaluator"); ("outcome", "hit") ]
+    "cgqp_policy_cache_total"
+
+let c_cache_miss =
+  Obs.Metrics.counter
+    ~labels:[ ("cache", "evaluator"); ("outcome", "miss") ]
+    "cgqp_policy_cache_total"
+
 (* One per-attribute obligation extracted from the query summary. *)
 type requirement = {
   col : Summary.base_col;
@@ -158,8 +175,19 @@ let locations_for_uncached ?stats ?(include_home = true) ~(catalog : Catalog.t)
                 (match stats with
                 | Some st -> st.implication_tests <- st.implication_tests + 1
                 | None -> ());
+                Obs.Metrics.inc c_impl_tests;
                 let holds = Implication.implies s.pred e.Expression.pred in
-                if holds then Option.iter (fun st -> st.eta <- st.eta + 1) stats;
+                if holds then begin
+                  Option.iter (fun st -> st.eta <- st.eta + 1) stats;
+                  Obs.Metrics.inc c_eta
+                end;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant "policy.verdict"
+                    [
+                      ("table", Obs.Json.Str e.Expression.table);
+                      ("expr", Obs.Json.Str e.Expression.text);
+                      ("holds", Obs.Json.Bool holds);
+                    ];
                 applicable := (e, holds) :: !applicable
               end
               else applicable := (e, false) :: !applicable)
@@ -230,10 +258,16 @@ let locations_for ?stats ?(include_home = true) ~(catalog : Catalog.t)
     match Hashtbl.find_opt cache key with
     | Some v ->
       incr hits;
+      Obs.Metrics.inc c_cache_hit;
+      (* replay the recorded increments into the registry too, so the
+         global η counter is cache-transparent like the stats record *)
+      Obs.Metrics.inc ~by:v.d_eta c_eta;
+      Obs.Metrics.inc ~by:v.d_tests c_impl_tests;
       replay stats ~d_eta:v.d_eta ~d_tests:v.d_tests;
       v.locs
     | None ->
       incr misses;
+      Obs.Metrics.inc c_cache_miss;
       if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
       let local = fresh_stats () in
       let locs = locations_for_uncached ~stats:local ~include_home ~catalog ~policies s in

@@ -261,6 +261,20 @@ let hits = ref 0
 let misses = ref 0
 let max_entries = 1 lsl 18
 
+(* Registry counterparts of the bespoke hit/miss refs above: monotone
+   process-wide counters for the metrics export. The refs stay — their
+   reset semantics anchor the differential suite and the e11 bench
+   windows — but the registry is the reporting surface. *)
+let c_cache_hit =
+  Obs.Metrics.counter
+    ~labels:[ ("cache", "implication"); ("outcome", "hit") ]
+    "cgqp_policy_cache_total"
+
+let c_cache_miss =
+  Obs.Metrics.counter
+    ~labels:[ ("cache", "implication"); ("outcome", "miss") ]
+    "cgqp_policy_cache_total"
+
 let set_cache_enabled b = enabled := b
 let cache_stats () = (!hits, !misses)
 
@@ -277,9 +291,11 @@ let implies (pq : Pred.t) (pe : Pred.t) : bool =
     match Hashtbl.find_opt cache (qid, eid) with
     | Some v ->
       incr hits;
+      Obs.Metrics.inc c_cache_hit;
       v
     | None ->
       incr misses;
+      Obs.Metrics.inc c_cache_miss;
       if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
       let v = implies_uncached pq pe in
       Hashtbl.add cache (qid, eid) v;
