@@ -24,6 +24,12 @@
 
 let queries = Tpch.Queries.all
 
+(* One CGQP_SEED value reseeds every generator in the harness; without
+   it each experiment keeps its historical fixed seed, so the numbers
+   recorded in EXPERIMENTS.md stay reproducible verbatim. *)
+let seed ~default =
+  match Storage.Seed.override () with Some s -> s | None -> default
+
 let time_ms f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -109,7 +115,7 @@ let e2 () =
 let e3 ?(n = 400) () =
   header "E3 / Fig. 6(a): fraction of ad-hoc queries with a compliant QEP";
   let cat = Tpch.Schema.catalog () in
-  let adhoc = Tpch.Workload.gen_queries ~seed:2026 ~n in
+  let adhoc = Tpch.Workload.gen_queries ~seed:(seed ~default:2026) ~n () in
   (* the 400 queries are divided equally among the four sets (§7.2) *)
   let tagged = List.mapi (fun i q -> (i * 4 / n, q)) adhoc in
   let quarters =
@@ -120,7 +126,7 @@ let e3 ?(n = 400) () =
   List.iteri
     (fun i set ->
       let n_expr = match set with Tpch.Policies.T -> 8 | _ -> 50 in
-      let texts = Tpch.Workload.gen_expressions ~seed:11 ~template:set ~n:n_expr () in
+      let texts = Tpch.Workload.gen_expressions ~seed:(seed ~default:11) ~template:set ~n:n_expr () in
       let policies = Policy.Pcatalog.of_texts cat texts in
       let qs = List.nth quarters i in
       let total = List.length qs in
@@ -238,7 +244,7 @@ let e7 () =
       List.iter
         (fun n ->
           let texts =
-            Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n ()
+            Tpch.Workload.gen_expressions ~seed:(seed ~default:11) ~template:Tpch.Policies.CRA ~n ()
           in
           let policies = Policy.Pcatalog.of_texts cat texts in
           let eta = ref 0 in
@@ -276,7 +282,7 @@ let e8 () =
              partitioned `orders` table illegal to reunite) *)
           let policies =
             Policy.Pcatalog.of_texts cat
-              (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+              (Tpch.Workload.gen_expressions ~seed:(seed ~default:11) ~template:Tpch.Policies.CRA ~n:10 ())
           in
           let groups = ref 0 in
           let mean, se =
@@ -306,7 +312,7 @@ let e9 () =
       List.iter
         (fun n ->
           let texts =
-            Tpch.Workload.gen_expressions ~seed:13 ~template:Tpch.Policies.T ~n:8
+            Tpch.Workload.gen_expressions ~seed:(seed ~default:13) ~template:Tpch.Policies.T ~n:8
               ~locations ~locs_per_expr:n ()
           in
           let policies = Policy.Pcatalog.of_texts cat texts in
@@ -606,7 +612,7 @@ let ablation () =
   in
   let ppol =
     Policy.Pcatalog.of_texts pcat
-      (Tpch.Workload.gen_expressions ~seed:11 ~template:Tpch.Policies.CRA ~n:10 ())
+      (Tpch.Workload.gen_expressions ~seed:(seed ~default:11) ~template:Tpch.Policies.CRA ~n:10 ())
   in
   show "all rules"
     (Optimizer.Planner.optimize_sql ~mode:Optimizer.Memo.Compliant ~cat:pcat
@@ -659,6 +665,10 @@ let setup_obs_export () =
 
 let () =
   setup_obs_export ();
+  (match Storage.Seed.override () with
+  | Some s -> Fmt.pr "seed: %d (CGQP_SEED override; all generators reseeded)@." s
+  | None ->
+    Fmt.pr "seed: per-experiment defaults (set CGQP_SEED=N to reseed every generator)@.");
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as picks) -> picks

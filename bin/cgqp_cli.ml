@@ -45,6 +45,49 @@ let sf_arg =
     value & opt float 0.01
     & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor for generated data.")
 
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Deterministic seed for the data generator and the fault scheduler. \
+           Defaults to the CGQP_SEED environment variable, else 42.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Inject the fault schedule in FILE (one statement per line: seed N, \
+           link-down A B, site-down A, drop A B P, slow A B F; # comments). \
+           Execution retries transient drops and fails over to a compliant \
+           alternative plan on permanent failures.")
+
+let read_file f =
+  let ic = open_in_bin f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* An explicit seed (--seed flag or CGQP_SEED) re-seeds the schedule so
+   one knob reproduces the whole run; otherwise the file's own [seed N]
+   statement stands. *)
+let load_faults ~cli_seed = function
+  | None -> Ok None
+  | Some file -> (
+    match Catalog.Network.Fault.parse (read_file file) with
+    | Error m -> Error (Printf.sprintf "%s: %s" file m)
+    | Ok sched -> (
+      match
+        (match cli_seed with Some s -> Some s | None -> Storage.Seed.override ())
+      with
+      | Some seed ->
+        Ok (Some (Catalog.Network.Fault.make ~seed (Catalog.Network.Fault.events sched)))
+      | None -> Ok (Some sched)))
+
 let query_arg =
   Arg.(
     required
@@ -76,16 +119,17 @@ let load_policies session set file =
   in
   Cgqp.add_policies session texts
 
-let make_session ~set ~file ~traditional ?sf () =
+let make_session ~set ~file ~traditional ?sf ?seed ?faults () =
   let cat = Tpch.Schema.catalog ~sf:10.0 () in
   let session = Cgqp.create ~catalog:cat () in
   load_policies session set file;
   if traditional then Cgqp.set_mode session Optimizer.Memo.Traditional;
   (match sf with
   | Some sf ->
-    let data = Tpch.Datagen.generate ~sf () in
+    let data = Tpch.Datagen.generate ?seed ~sf () in
     Cgqp.attach_database session (Tpch.Datagen.load ~cat data)
   | None -> ());
+  Option.iter (Cgqp.set_faults session) faults;
   session
 
 (* --- observability flags, shared by explain/run --- *)
@@ -145,26 +189,34 @@ let analyze_arg =
            $(b,--sf)) and annotate each operator with actual rows and SHIP bytes.")
 
 let explain_cmd =
-  let action set file traditional traits dot analyze sf trace metrics query =
+  let action set file traditional traits dot analyze sf seed faults trace metrics
+      query =
     with_obs ~trace ~metrics @@ fun () ->
+    match load_faults ~cli_seed:seed faults with
+    | Error m -> `Error (false, m)
+    | Ok faults ->
     let session =
-      if analyze then make_session ~set ~file ~traditional ~sf ()
-      else make_session ~set ~file ~traditional ()
+      if analyze then make_session ~set ~file ~traditional ~sf ?seed ?faults ()
+      else make_session ~set ~file ~traditional ?seed ?faults ()
     in
     let sql = resolve_query query in
     (* optimize (and, under --analyze, execute) exactly once *)
     let outcome =
       if analyze then
         Result.map
-          (fun (r : Cgqp.run_result) -> (r.Cgqp.planned, Some r.Cgqp.interp))
+          (fun (r : Cgqp.run_result) ->
+            (r.Cgqp.planned, Some r.Cgqp.interp, r.Cgqp.recovery))
           (Cgqp.run session sql)
-      else Result.map (fun p -> (p, None)) (Cgqp.optimize session sql)
+      else
+        Result.map
+          (fun p -> (p, None, Optimizer.Explain.no_recovery))
+          (Cgqp.optimize session sql)
     in
     match outcome with
-    | Ok (p, interp) ->
+    | Ok (p, interp, recovery) ->
       if dot then print_string (Exec.Pplan.to_dot p.Optimizer.Planner.plan)
       else begin
-        print_string (Optimizer.Explain.render ?analyze:interp p);
+        print_string (Optimizer.Explain.render ?analyze:interp ~recovery p);
         if traits then
           Fmt.pr "@.annotated plan (execution traits per operator):@.%a"
             (Optimizer.Memo.pp_anode ~indent:2)
@@ -178,7 +230,8 @@ let explain_cmd =
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ traits_arg
-       $ dot_arg $ analyze_arg $ sf_arg $ trace_arg $ metrics_arg $ query_arg))
+       $ dot_arg $ analyze_arg $ sf_arg $ seed_arg $ faults_arg $ trace_arg
+       $ metrics_arg $ query_arg))
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print the full result as CSV.")
@@ -190,9 +243,20 @@ let run_explain_arg =
         ~doc:"Also print the EXPLAIN ANALYZE plan tree (actual rows, SHIP bytes).")
 
 let run_cmd =
-  let action set file traditional sf csv explain trace metrics query =
+  let action set file traditional sf seed faults csv explain trace metrics query =
     with_obs ~trace ~metrics @@ fun () ->
-    let session = make_session ~set ~file ~traditional ~sf () in
+    match load_faults ~cli_seed:seed faults with
+    | Error m -> `Error (false, m)
+    | Ok faults ->
+    let session = make_session ~set ~file ~traditional ~sf ?seed ?faults () in
+    (* the effective seed makes every run replayable: data generation
+       and the fault scheduler both derive from it *)
+    if faults <> None || seed <> None then begin
+      Fmt.epr "seed: %d@." (Storage.Seed.resolve ?cli:seed ());
+      Option.iter
+        (fun f -> Fmt.epr "fault seed: %d@." (Catalog.Network.Fault.seed f))
+        faults
+    end;
     match Cgqp.run session (resolve_query query) with
     | Ok r ->
       if csv then print_string (Storage.Relation.to_csv r.Cgqp.relation)
@@ -200,12 +264,19 @@ let run_cmd =
         Fmt.pr "%a@." (Storage.Relation.pp ~max_rows:25) r.Cgqp.relation;
         Fmt.pr "(%d rows; shipped %d bytes; simulated transfer cost %.2f ms)@."
           (Storage.Relation.cardinality r.Cgqp.relation)
-          r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms
+          r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms;
+        let rc = r.Cgqp.recovery in
+        if rc.Cgqp.failovers > 0 then
+          Fmt.pr "(degraded: %d failover re-plan%s; %d ship retries)@."
+            rc.Cgqp.failovers
+            (if rc.Cgqp.failovers = 1 then "" else "s")
+            r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ship_retries
       end;
       if explain then begin
         Fmt.pr "@.";
         print_string
-          (Optimizer.Explain.render ~analyze:r.Cgqp.interp r.Cgqp.planned)
+          (Optimizer.Explain.render ~analyze:r.Cgqp.interp
+             ~recovery:r.Cgqp.recovery r.Cgqp.planned)
       end;
       `Ok ()
     | Error e -> `Error (false, Cgqp.error_to_string e)
@@ -214,7 +285,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Optimize and execute a query on generated TPC-H data")
     Term.(
       ret
-        (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg $ csv_arg
+        (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg
+       $ seed_arg $ faults_arg $ csv_arg
        $ run_explain_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let check_cmd =

@@ -8,7 +8,7 @@
 let () =
   let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 40 in
   let cat = Tpch.Schema.catalog ~sf:10.0 () in
-  let queries = Tpch.Workload.gen_queries ~seed:2026 ~n in
+  let queries = Tpch.Workload.gen_queries ~seed:2026 ~n () in
   Fmt.pr "Generated %d ad-hoc queries; first three:@." n;
   List.iteri (fun i q -> if i < 3 then Fmt.pr "  %s@." q) queries;
   Fmt.pr "@.%-9s %-22s %-22s@." "template" "traditional compliant" "compliance-based";

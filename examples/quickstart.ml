@@ -52,6 +52,7 @@ let carco_catalog () =
           ("NorthAmerica", "Asia", 180., 2.2e-6);
           ("Europe", "Asia", 240., 2.9e-6);
         ]
+      ()
   in
   Catalog.make ~network
     [

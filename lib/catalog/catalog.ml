@@ -46,6 +46,12 @@ let make ~network tables =
 let stamp t = t.stamp
 
 let network t = t.network
+
+(* Swap the network (e.g. for a fault-masked copy during degraded
+   re-planning). The stamp is kept: policy verdicts depend on tables,
+   policies and the location list — all unchanged — so caches keyed by
+   the stamp stay sound across the swap. *)
+let with_network t network = { t with network }
 let locations t = Network.locations t.network
 
 let find_table t name = String_map.find_opt (String.lowercase_ascii name) t.tables

@@ -27,7 +27,78 @@ end
 module Network : sig
   (** Simulated wide-area network following the paper's message cost
       model (§7.4): shipping [b] bytes from site [i] to [j] costs
-      [alpha i j + beta i j * b] milliseconds. *)
+      [alpha i j + beta i j * b] milliseconds.
+
+      A network optionally carries a deterministic {!Fault.schedule}
+      (attached with {!with_faults}): down links cost [infinity], slow
+      links are inflated, and the {!site_up}/{!link_up} predicates let
+      the site selector mask failed topology during degraded
+      re-planning. *)
+
+  exception Unknown_link of Location.t * Location.t
+  (** Raised on a cost lookup for a link pair absent from the network
+      when no explicit default was given to {!make} — unknown links are
+      a configuration error, never a silent fallback cost. *)
+
+  (** Seeded, fully deterministic fault schedules for chaos testing.
+      The grammar, semantics and replay guarantees are documented in
+      [docs/FAULTS.md]. *)
+  module Fault : sig
+    type event =
+      | Link_down of Location.t * Location.t
+          (** undirected: the link is dead in both directions *)
+      | Site_down of Location.t
+          (** every link touching the site is dead *)
+      | Transient_drop of { from_loc : Location.t; to_loc : Location.t; p : float }
+          (** each transfer attempt over the link is dropped with
+              probability [p], decided deterministically from the
+              schedule seed *)
+      | Latency_mult of { from_loc : Location.t; to_loc : Location.t; factor : float }
+          (** [alpha] and [beta] of the link are multiplied by [factor] *)
+
+    type schedule
+
+    val empty : schedule
+    val make : ?seed:int -> event list -> schedule
+    val is_empty : schedule -> bool
+    val seed : schedule -> int
+    val events : schedule -> event list
+
+    val site_down : schedule -> Location.t -> bool
+
+    val link_down : schedule -> from_loc:Location.t -> to_loc:Location.t -> bool
+    (** Permanently impossible transfer (a [Link_down] event, or either
+        endpoint [Site_down]). Local transfers are never down. *)
+
+    val latency_factor : schedule -> from_loc:Location.t -> to_loc:Location.t -> float
+    (** Product of every matching [Latency_mult] (1.0 when none). *)
+
+    val drop_probability : schedule -> from_loc:Location.t -> to_loc:Location.t -> float
+    (** Per-attempt drop probability of the link: the complement of
+        every matching [Transient_drop] letting the attempt through. *)
+
+    val drops :
+      schedule ->
+      from_loc:Location.t ->
+      to_loc:Location.t ->
+      ship:int ->
+      attempt:int ->
+      bool
+    (** Is the [attempt]-th try of the [ship]-th SHIP of a run dropped?
+        A pure function of (seed, link, ship, attempt) — chaos runs
+        replay bit-for-bit from the schedule alone. *)
+
+    val parse : string -> (schedule, string) result
+    (** Parse the fault-schedule DSL: one statement per line, [#]
+        comments; statements are [seed N], [link-down A B],
+        [site-down A], [drop A B P], [slow A B F]. *)
+
+    val to_string : schedule -> string
+    (** Render in the {!parse} grammar (round-trips). *)
+
+    val pp : Format.formatter -> schedule -> unit
+    val pp_event : Format.formatter -> event -> unit
+  end
 
   type t
 
@@ -36,14 +107,21 @@ module Network : sig
   val beta : t -> Location.t -> Location.t -> float
 
   val ship_cost : t -> from_loc:Location.t -> to_loc:Location.t -> bytes:float -> float
-  (** Local moves are free. *)
+  (** Local moves are free. Links the attached fault schedule marks
+      down cost [infinity]; latency multipliers inflate the healthy
+      cost. Raises {!Unknown_link} for a pair absent from the network
+      when {!make} was given no [default]. *)
 
   val make :
+    ?default:float * float ->
     locations:Location.t list ->
     links:(Location.t * Location.t * float * float) list ->
+    unit ->
     t
   (** [(i, j, alpha, beta)] link parameters; links are symmetric unless
-      both directions are listed. Unlisted pairs fall back to defaults. *)
+      both directions are listed. [default] is the explicit
+      [(alpha, beta)] fallback for unlisted pairs; without it a lookup
+      miss raises {!Unknown_link}. *)
 
   val uniform : locations:Location.t list -> alpha:float -> beta:float -> t
   (** Fully connected with uniform link parameters. *)
@@ -52,6 +130,17 @@ module Network : sig
   (** The paper's five regions (Europe, Africa, Asia, North America,
       Middle East as L1–L5) with representative ping/throughput-derived
       parameters. *)
+
+  val faults : t -> Fault.schedule
+  (** The attached fault schedule ({!Fault.empty} unless
+      {!with_faults} was used). *)
+
+  val with_faults : t -> Fault.schedule -> t
+  (** A copy of the network with [schedule] attached — the masked
+      topology the degradation path re-plans against. *)
+
+  val site_up : t -> Location.t -> bool
+  val link_up : t -> from_loc:Location.t -> to_loc:Location.t -> bool
 end
 
 module Table_def : sig
@@ -117,6 +206,12 @@ val make : network:Network.t -> (Table_def.t * placement list) list -> t
 
 val network : t -> Network.t
 val locations : t -> Location.t list
+
+val with_network : t -> Network.t -> t
+(** The same catalog over a different network — used by the
+    degradation path to re-plan against a fault-masked topology. The
+    stamp is preserved: policy verdicts do not depend on link costs,
+    so stamp-keyed caches remain sound. *)
 
 val stamp : t -> int
 (** Unique id assigned at [make] time. Catalogs are immutable, so the

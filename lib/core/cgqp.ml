@@ -21,13 +21,24 @@ type session = {
   mutable policies : Policy.Pcatalog.t;
   mutable database : Storage.Database.t option;
   mutable mode : Optimizer.Memo.mode;
+  mutable faults : Catalog.Network.Fault.schedule;
+  mutable retry : Exec.Interp.retry_policy;
 }
 
 type error =
   [ `Parse of string  (** SQL or policy syntax error *)
   | `Bind of string  (** unknown table/column, ambiguity *)
   | `Rejected of string  (** no compliant plan exists (Figure 2 "reject") *)
+  | `Unsatisfiable of string
+    (** a compliant plan existed but no compliant alternative survives
+        the failures encountered at execution time *)
   ]
+
+type recovery = Optimizer.Explain.recovery = {
+  failovers : int;
+  masked_links : (Catalog.Location.t * Catalog.Location.t) list;
+  masked_sites : Catalog.Location.t list;
+}
 
 type run_result = {
   relation : Storage.Relation.t;
@@ -37,14 +48,38 @@ type run_result = {
   makespan_ms : float;  (** simulated response time (critical path) *)
   planned : Optimizer.Planner.planned;
   interp : Exec.Interp.result;  (** raw executor output incl. per-node profile *)
+  recovery : recovery;  (** what the degradation path did, if anything *)
 }
 
+(* Failover re-plans triggered by permanent SHIP failures. *)
+let c_failovers = Obs.Metrics.counter "cgqp_exec_ship_failovers_total"
+
+(* Runs that needed at least one failover (or aborted as unsatisfiable
+   after one) — exposed as a sampled gauge so dashboards can alert on
+   "the system is currently degrading queries". *)
+let degraded_runs = ref 0
+
+let () =
+  Obs.Metrics.gauge "cgqp_session_degraded_runs" (fun () ->
+      float_of_int !degraded_runs)
+
 let create ?database ~catalog () =
-  { catalog; policies = Policy.Pcatalog.empty; database; mode = Optimizer.Memo.Compliant }
+  {
+    catalog;
+    policies = Policy.Pcatalog.empty;
+    database;
+    mode = Optimizer.Memo.Compliant;
+    faults = Catalog.Network.Fault.empty;
+    retry = Exec.Interp.default_retry;
+  }
 
 let set_mode session mode = session.mode <- mode
 let catalog session = session.catalog
 let policies session = session.policies
+let set_faults session sched = session.faults <- sched
+let faults session = session.faults
+let set_retry session policy = session.retry <- policy
+let retry session = session.retry
 
 (* Install the physical data the engine executes against. *)
 let attach_database session db = session.database <- Some db
@@ -110,41 +145,145 @@ let optimize session sql : (Optimizer.Planner.planned, error) result =
 let is_legal session sql =
   match optimize session sql with Ok _ -> true | Error _ -> false
 
-(* Optimize and execute; ORDER BY / LIMIT are applied to the result. *)
+(* Mask the failed topology element. The masks are the degradation
+   path's accumulated knowledge: every failover adds a link or site the
+   planner must avoid, so the loop strictly shrinks the search space
+   and terminates (a repeated failure on an already-masked element
+   would be a planner bug, reported as unsatisfiable rather than
+   looping). *)
+let extend_masks (recovery : recovery) (f : exn) =
+  match f with
+  | Exec.Interp.Ship_failed { from_loc; to_loc; reason; _ } -> (
+    match reason with
+    | `Site_down l ->
+      if List.mem l recovery.masked_sites then Error "already-masked site failed again"
+      else
+        Ok
+          {
+            recovery with
+            failovers = recovery.failovers + 1;
+            masked_sites = recovery.masked_sites @ [ l ];
+          }
+    | `Link_down | `Attempts_exhausted | `Budget_exhausted ->
+      let pair =
+        if String.compare from_loc to_loc <= 0 then (from_loc, to_loc)
+        else (to_loc, from_loc)
+      in
+      if List.mem pair recovery.masked_links then
+        Error "already-masked link failed again"
+      else
+        Ok
+          {
+            recovery with
+            failovers = recovery.failovers + 1;
+            masked_links = recovery.masked_links @ [ pair ];
+          })
+  | _ -> invalid_arg "extend_masks: not a Ship_failed exception"
+
+(* A network masked by everything the degradation path has learned so
+   far. [Catalog.with_network] keeps the catalog stamp: policy verdicts
+   do not depend on link costs, so the optimizer's caches stay valid. *)
+let masked_catalog session (recovery : recovery) =
+  let events =
+    List.map
+      (fun (a, b) -> Catalog.Network.Fault.Link_down (a, b))
+      recovery.masked_links
+    @ List.map (fun l -> Catalog.Network.Fault.Site_down l) recovery.masked_sites
+  in
+  let mask =
+    Catalog.Network.Fault.make
+      ~seed:(Catalog.Network.Fault.seed session.faults)
+      events
+  in
+  Catalog.with_network session.catalog
+    (Catalog.Network.with_faults (Catalog.network session.catalog) mask)
+
+(* Optimize and execute; ORDER BY / LIMIT are applied to the result.
+
+   Execution runs under the session's fault schedule. When a SHIP fails
+   permanently (link/site down, retries or budget exhausted) the
+   degradation path masks the failed element and re-invokes the full
+   compliance-based optimizer against the masked network — so a
+   failover lands on the cheapest alternative plan that is still
+   compliant, never on a merely-cheap one. If no compliant plan
+   survives, the run aborts with [`Unsatisfiable]: degraded execution
+   must not become an exfiltration channel (see docs/FAULTS.md). *)
 let run session sql : (run_result, error) result =
   match parse_and_bind session sql with
   | Error e -> Error e
-  | Ok (_, order_by, limit) -> (
-    match optimize session sql with
-    | Error e -> Error e
-    | Ok planned -> (
+  | Ok (lplan, order_by, limit) -> (
+    let optimize_against cat =
+      Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by ~cat
+        ~policies:session.policies lplan
+    in
+    match optimize_against session.catalog with
+    | Optimizer.Planner.Rejected reason -> Error (`Rejected reason)
+    | Optimizer.Planner.Planned planned -> (
       match session.database with
       | None -> Error (`Rejected "no database attached to the session")
       | Some db ->
-        let interp =
-          Exec.Interp.run
-            ~network:(Catalog.network session.catalog)
-            ~db
-            ~table_cols:(Catalog.table_cols session.catalog)
-            planned.Optimizer.Planner.plan
+        let network = Catalog.network session.catalog in
+        let table_cols = Catalog.table_cols session.catalog in
+        let rec attempt (recovery : recovery) (planned : Optimizer.Planner.planned)
+            =
+          match
+            Exec.Interp.run ~faults:session.faults ~retry:session.retry ~network
+              ~db ~table_cols planned.Optimizer.Planner.plan
+          with
+          | interp -> Ok (planned, interp, recovery)
+          | exception
+              (Exec.Interp.Ship_failed { from_loc; to_loc; attempts; reason } as
+               exn) -> (
+            Obs.Metrics.inc c_failovers;
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant "session.ship_failover"
+                [
+                  ("from", Obs.Json.Str from_loc);
+                  ("to", Obs.Json.Str to_loc);
+                  ( "reason",
+                    Obs.Json.Str (Exec.Interp.ship_failure_to_string reason) );
+                  ("attempts", Obs.Json.Num (float_of_int attempts));
+                ];
+            match extend_masks recovery exn with
+            | Error why -> Error (`Unsatisfiable why)
+            | Ok recovery -> (
+              match optimize_against (masked_catalog session recovery) with
+              | Optimizer.Planner.Rejected reason' ->
+                Error
+                  (`Unsatisfiable
+                    (Printf.sprintf
+                       "no compliant plan survives the failure of %s -> %s (%s): %s"
+                       from_loc to_loc
+                       (Exec.Interp.ship_failure_to_string reason)
+                       reason'))
+              | Optimizer.Planner.Planned planned -> attempt recovery planned))
         in
-        let { Exec.Interp.relation; stats; makespan_ms; profile = _ } = interp in
-        (* ORDER BY is enforced inside the plan (Sort enforcer); only
-           LIMIT remains a result decoration *)
-        ignore order_by;
-        let relation =
-          match limit with None -> relation | Some n -> Storage.Relation.take relation n
-        in
-        Ok
-          {
-            relation;
-            plan = planned.Optimizer.Planner.plan;
-            ship_cost_ms = Exec.Interp.total_ship_cost stats;
-            shipped_bytes = Exec.Interp.total_ship_bytes stats;
-            makespan_ms;
-            planned;
-            interp;
-          }))
+        (match attempt Optimizer.Explain.no_recovery planned with
+        | Error e ->
+          incr degraded_runs;
+          Error e
+        | Ok (planned, interp, recovery) ->
+          if recovery.failovers > 0 then incr degraded_runs;
+          let { Exec.Interp.relation; stats; makespan_ms; profile = _ } = interp in
+          (* ORDER BY is enforced inside the plan (Sort enforcer); only
+             LIMIT remains a result decoration *)
+          ignore order_by;
+          let relation =
+            match limit with
+            | None -> relation
+            | Some n -> Storage.Relation.take relation n
+          in
+          Ok
+            {
+              relation;
+              plan = planned.Optimizer.Planner.plan;
+              ship_cost_ms = Exec.Interp.total_ship_cost stats;
+              shipped_bytes = Exec.Interp.total_ship_bytes stats;
+              makespan_ms;
+              planned;
+              interp;
+              recovery;
+            })))
 
 (* EXPLAIN: optimize only, render the annotated plan tree. *)
 let explain session sql : (string, error) result =
@@ -153,12 +292,15 @@ let explain session sql : (string, error) result =
 (* EXPLAIN ANALYZE: optimize, execute, render with actual rows/bytes
    per operator. Requires an attached database. *)
 let explain_analyze session sql : (string, error) result =
-  Result.map (fun r -> Optimizer.Explain.render ~analyze:r.interp r.planned)
+  Result.map
+    (fun r ->
+      Optimizer.Explain.render ~analyze:r.interp ~recovery:r.recovery r.planned)
     (run session sql)
 
 let pp_error ppf = function
   | `Parse m -> Fmt.pf ppf "syntax error: %s" m
   | `Bind m -> Fmt.pf ppf "binding error: %s" m
   | `Rejected m -> Fmt.pf ppf "rejected: %s" m
+  | `Unsatisfiable m -> Fmt.pf ppf "unsatisfiable under failures: %s" m
 
 let error_to_string e = Fmt.str "%a" pp_error e

@@ -23,7 +23,21 @@ type error =
   [ `Parse of string  (** SQL or policy syntax error *)
   | `Bind of string  (** unknown table/column, ambiguity *)
   | `Rejected of string
-    (** no compliant plan exists — the "reject" arrow of Figure 2 *) ]
+    (** no compliant plan exists — the "reject" arrow of Figure 2 *)
+  | `Unsatisfiable of string
+    (** a compliant plan existed, but no compliant alternative survives
+        the permanent failures encountered at execution time. The
+        degradation path never falls back to a non-compliant plan: it
+        aborts instead. *) ]
+
+type recovery = Optimizer.Explain.recovery = {
+  failovers : int;  (** failover re-plans performed during the run *)
+  masked_links : (Catalog.Location.t * Catalog.Location.t) list;
+      (** undirected links masked as down while re-planning *)
+  masked_sites : Catalog.Location.t list;
+}
+(** What the degradation path did to complete a run (all zero/empty on
+    a healthy run). *)
 
 type run_result = {
   relation : Storage.Relation.t;  (** the query's answer *)
@@ -35,6 +49,7 @@ type run_result = {
   interp : Exec.Interp.result;
       (** raw executor output, including the per-node profile that
           {!explain_analyze} renders *)
+  recovery : recovery;
 }
 
 val create : ?database:Storage.Database.t -> catalog:Catalog.t -> unit -> session
@@ -45,6 +60,19 @@ val set_mode : session -> Optimizer.Memo.mode -> unit
 
 val catalog : session -> Catalog.t
 val policies : session -> Policy.Pcatalog.t
+
+val set_faults : session -> Catalog.Network.Fault.schedule -> unit
+(** Install the fault schedule {!run} executes under (default empty —
+    and an empty schedule makes {!run} byte-identical to a session that
+    never heard of faults). The planner stays oblivious: faults are
+    runtime surprises, handled by retries and compliant failover. *)
+
+val faults : session -> Catalog.Network.Fault.schedule
+
+val set_retry : session -> Exec.Interp.retry_policy -> unit
+(** Tune SHIP retry/backoff (default {!Exec.Interp.default_retry}). *)
+
+val retry : session -> Exec.Interp.retry_policy
 
 val attach_database : session -> Storage.Database.t -> unit
 
@@ -68,7 +96,17 @@ val is_legal : session -> string -> bool
     the session's policies? *)
 
 val run : session -> string -> (run_result, error) result
-(** Optimize and execute. Requires an attached database. *)
+(** Optimize and execute. Requires an attached database.
+
+    Execution runs under the session's fault schedule ({!set_faults}).
+    Transient drops and timeouts are retried per {!retry}; when a SHIP
+    fails permanently, the session masks the failed link or site,
+    re-invokes the full compliance-based optimizer against the masked
+    network, and fails over to the cheapest plan that is still
+    compliant. Each failover increments
+    [cgqp_exec_ship_failovers_total] and is recorded in
+    [run_result.recovery]; if no compliant alternative exists the run
+    returns [`Unsatisfiable] rather than ship data a policy forbids. *)
 
 val explain : session -> string -> (string, error) result
 (** Optimize only and render the {!Optimizer.Explain} plan tree —

@@ -1,7 +1,13 @@
 (* Materialized interpreter for physical plans. Executes bottom-up
    against a [Storage.Database.t] and accounts the bytes and simulated
    cost of every SHIP operator (the paper's message cost model,
-   §7.4). *)
+   §7.4).
+
+   SHIPs run under an optional fault schedule: transient drops and
+   per-attempt timeouts are retried with capped exponential backoff on
+   the simulated clock, and permanent link/site outages (or exhausted
+   retry budgets) raise [Ship_failed], which the session layer turns
+   into a compliant failover re-plan (see [Cgqp.run]). *)
 
 open Relalg
 
@@ -11,12 +17,61 @@ type ship_record = {
   bytes : int;
   rows : int;
   cost_ms : float;
+  attempts : int;
 }
 
 type stats = {
   mutable ships : ship_record list;
   mutable rows_processed : int;
+  mutable ship_retries : int;
 }
+
+type retry_policy = {
+  max_attempts : int;  (* total tries per SHIP, >= 1 *)
+  base_backoff_ms : float;  (* backoff before retry k: base * 2^(k-1), capped *)
+  max_backoff_ms : float;
+  attempt_timeout_ms : float;
+      (* an attempt whose simulated transfer time exceeds this is
+         abandoned (and charged the timeout) *)
+  budget_ms : float;  (* simulated-clock budget per SHIP, backoffs included *)
+}
+
+let default_retry =
+  {
+    max_attempts = 4;
+    base_backoff_ms = 50.;
+    max_backoff_ms = 1600.;
+    attempt_timeout_ms = Float.infinity;
+    budget_ms = Float.infinity;
+  }
+
+type ship_failure =
+  [ `Link_down
+  | `Site_down of Catalog.Location.t
+  | `Attempts_exhausted
+  | `Budget_exhausted ]
+
+exception
+  Ship_failed of {
+    from_loc : Catalog.Location.t;
+    to_loc : Catalog.Location.t;
+    attempts : int;
+    reason : ship_failure;
+  }
+
+let ship_failure_to_string : ship_failure -> string = function
+  | `Link_down -> "link down"
+  | `Site_down l -> "site " ^ l ^ " down"
+  | `Attempts_exhausted -> "retry attempts exhausted"
+  | `Budget_exhausted -> "simulated-clock budget exhausted"
+
+let () =
+  Printexc.register_printer (function
+    | Ship_failed { from_loc; to_loc; attempts; reason } ->
+      Some
+        (Printf.sprintf "Exec.Interp.Ship_failed(%s -> %s after %d attempts: %s)"
+           from_loc to_loc attempts (ship_failure_to_string reason))
+    | _ -> None)
 
 (* Per-operator execution profile, keyed by the node's position in the
    plan tree (root-to-node child indices) so EXPLAIN ANALYZE can match
@@ -42,6 +97,8 @@ type result = {
 let c_rows = Obs.Metrics.counter "cgqp_exec_rows_processed_total"
 let c_ships = Obs.Metrics.counter "cgqp_exec_ships_total"
 let c_ship_bytes = Obs.Metrics.counter "cgqp_exec_ship_bytes_total"
+let c_ship_retries = Obs.Metrics.counter "cgqp_exec_ship_retries_total"
+let c_ship_retry_bytes = Obs.Metrics.counter "cgqp_exec_ship_retry_bytes_total"
 let h_ship_cost_ms = Obs.Metrics.histogram "cgqp_exec_ship_cost_ms"
 
 (* Simulated per-row local processing cost (ms); only relative
@@ -50,6 +107,11 @@ let row_cost_ms = 1e-5
 
 let total_ship_cost stats = List.fold_left (fun a s -> a +. s.cost_ms) 0. stats.ships
 let total_ship_bytes stats = List.fold_left (fun a s -> a + s.bytes) 0 stats.ships
+
+(* Bytes the network actually carried: a retried payload crosses the
+   link once per attempt, but counts only once toward the result. *)
+let total_traffic_bytes stats =
+  List.fold_left (fun a s -> a + (s.bytes * s.attempts)) 0 stats.ships
 
 exception Runtime_error of string
 
@@ -99,9 +161,10 @@ end
 
 module Row_tbl = Hashtbl.Make (Row_key)
 
-let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
+let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
+    ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
     ~(table_cols : string -> string list) (plan : Pplan.t) : result =
-  let stats = { ships = []; rows_processed = 0 } in
+  let stats = { ships = []; rows_processed = 0; ship_retries = 0 } in
   let profile = ref [] in
   (* completion time of each subtree, for the makespan *)
   let done_at : (Pplan.t, float) Hashtbl.t = Hashtbl.create 64 in
@@ -294,14 +357,69 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
       | Pplan.Ship { from_loc; to_loc }, [ c ] ->
         let r = exec1 c in
         let bytes = Storage.Relation.byte_size r in
-        let cost_ms =
-          Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
+        let ship_idx = List.length stats.ships in
+        let fail ~attempts reason =
+          raise (Ship_failed { from_loc; to_loc; attempts; reason })
         in
+        (* permanent topology failures discovered at transfer time *)
+        if Catalog.Network.Fault.site_down faults from_loc then
+          fail ~attempts:0 (`Site_down from_loc);
+        if Catalog.Network.Fault.site_down faults to_loc then
+          fail ~attempts:0 (`Site_down to_loc);
+        if Catalog.Network.Fault.link_down faults ~from_loc ~to_loc then
+          fail ~attempts:0 `Link_down;
+        (* Healthy transfer time, inflated by any latency fault. The
+           schedule is applied here, on top of the network's own — run
+           with a healthy network plus an explicit schedule, or with a
+           pre-masked network and no schedule, never both. *)
+        let attempt_cost =
+          Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
+          *. Catalog.Network.Fault.latency_factor faults ~from_loc ~to_loc
+        in
+        (* Retry loop on the simulated clock: a dropped or timed-out
+           attempt consumes the link (bytes crossed, result lost), then
+           backs off exponentially with a cap. *)
+        let rec go ~attempt ~elapsed =
+          if attempt > retry.max_attempts then
+            fail ~attempts:(attempt - 1) `Attempts_exhausted;
+          if elapsed +. attempt_cost > retry.budget_ms then
+            fail ~attempts:(attempt - 1) `Budget_exhausted;
+          let timed_out = attempt_cost > retry.attempt_timeout_ms in
+          if
+            timed_out
+            || Catalog.Network.Fault.drops faults ~from_loc ~to_loc ~ship:ship_idx
+                 ~attempt
+          then begin
+            let charged = Float.min attempt_cost retry.attempt_timeout_ms in
+            let backoff =
+              Float.min retry.max_backoff_ms
+                (retry.base_backoff_ms *. (2. ** float_of_int (attempt - 1)))
+            in
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant "exec.ship_retry"
+                [
+                  ("from", Obs.Json.Str from_loc);
+                  ("to", Obs.Json.Str to_loc);
+                  ("attempt", Obs.Json.Num (float_of_int attempt));
+                  ("cause", Obs.Json.Str (if timed_out then "timeout" else "drop"));
+                  ("backoff_ms", Obs.Json.Num backoff);
+                ];
+            go ~attempt:(attempt + 1) ~elapsed:(elapsed +. charged +. backoff)
+          end
+          else (attempt, elapsed +. attempt_cost)
+        in
+        let attempts, cost_ms = go ~attempt:1 ~elapsed:0. in
         stats.ships <-
-          { from_loc; to_loc; bytes; rows = Storage.Relation.cardinality r; cost_ms }
+          { from_loc; to_loc; bytes; rows = Storage.Relation.cardinality r; cost_ms;
+            attempts }
           :: stats.ships;
+        stats.ship_retries <- stats.ship_retries + (attempts - 1);
         Obs.Metrics.inc c_ships;
         Obs.Metrics.inc ~by:bytes c_ship_bytes;
+        if attempts > 1 then begin
+          Obs.Metrics.inc ~by:(attempts - 1) c_ship_retries;
+          Obs.Metrics.inc ~by:(bytes * (attempts - 1)) c_ship_retry_bytes
+        end;
         Obs.Metrics.observe h_ship_cost_ms cost_ms;
         if Obs.Trace.enabled () then
           Obs.Trace.instant "exec.ship"
@@ -311,6 +429,7 @@ let run ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
               ("bytes", Obs.Json.Num (float_of_int bytes));
               ("rows", Obs.Json.Num (float_of_int (Storage.Relation.cardinality r)));
               ("cost_ms", Obs.Json.Num cost_ms);
+              ("attempts", Obs.Json.Num (float_of_int attempts));
             ];
         r
       | node, children ->

@@ -2,21 +2,68 @@
 
     Executes bottom-up against a {!Storage.Database.t} and accounts the
     bytes, rows and simulated cost of every SHIP operator under the
-    message cost model (§7.4 of the paper). *)
+    message cost model (§7.4 of the paper).
+
+    SHIPs optionally run under a deterministic
+    {!Catalog.Network.Fault.schedule}: transient drops and per-attempt
+    timeouts are retried with capped exponential backoff on the
+    simulated clock; permanent link/site outages (or exhausted retry
+    budgets) raise {!Ship_failed}, which the session layer turns into a
+    compliant failover re-plan (see [Cgqp.run] and [docs/FAULTS.md]). *)
 
 type ship_record = {
   from_loc : Catalog.Location.t;
   to_loc : Catalog.Location.t;
   bytes : int;  (** serialized size of the shipped relation *)
   rows : int;
-  cost_ms : float;  (** simulated transfer time under the message cost model *)
+  cost_ms : float;
+      (** simulated transfer time under the message cost model,
+          including failed attempts and backoff waits *)
+  attempts : int;  (** 1 = first try succeeded; [n > 1] means [n-1] retries *)
 }
 (** One executed SHIP: an intermediate result crossing sites. *)
 
 type stats = {
   mutable ships : ship_record list;
   mutable rows_processed : int;  (** total rows materialized, all operators *)
+  mutable ship_retries : int;  (** total retried attempts across all ships *)
 }
+
+type retry_policy = {
+  max_attempts : int;  (** total tries per SHIP (>= 1) *)
+  base_backoff_ms : float;
+      (** backoff before retry [k] is [base * 2^(k-1)], capped below *)
+  max_backoff_ms : float;
+  attempt_timeout_ms : float;
+      (** an attempt whose simulated transfer time exceeds this is
+          abandoned (charged the timeout) and retried *)
+  budget_ms : float;
+      (** simulated-clock budget per SHIP, backoffs included; exceeding
+          it raises {!Ship_failed} with [`Budget_exhausted] *)
+}
+
+val default_retry : retry_policy
+(** 4 attempts, 50 ms base backoff capped at 1600 ms, no per-attempt
+    timeout, unlimited budget. *)
+
+type ship_failure =
+  [ `Link_down  (** the schedule marks the link permanently down *)
+  | `Site_down of Catalog.Location.t  (** one endpoint site is down *)
+  | `Attempts_exhausted  (** every allowed attempt dropped or timed out *)
+  | `Budget_exhausted  (** the SHIP's simulated-clock budget ran out *) ]
+
+exception
+  Ship_failed of {
+    from_loc : Catalog.Location.t;
+    to_loc : Catalog.Location.t;
+    attempts : int;
+    reason : ship_failure;
+  }
+(** A SHIP could not complete under the fault schedule. The degradation
+    path masks the link (or site) and re-plans; plain callers see the
+    exception. *)
+
+val ship_failure_to_string : ship_failure -> string
 
 (** Per-operator execution profile. [path] is the node's position in
     the plan tree as the list of child indices from the root (the root
@@ -48,12 +95,19 @@ val total_ship_cost : stats -> float
     objective's measured counterpart; compare [result.makespan_ms]). *)
 
 val total_ship_bytes : stats -> int
-(** Sum of {!ship_record.bytes} over all ships. *)
+(** Sum of {!ship_record.bytes} over all ships — payload bytes, each
+    counted once regardless of retries. *)
+
+val total_traffic_bytes : stats -> int
+(** Bytes the network actually carried: each ship's payload times its
+    attempt count. Equals {!total_ship_bytes} on a retry-free run. *)
 
 exception Runtime_error of string
 (** Malformed plans (wrong arity, missing relations). *)
 
 val run :
+  ?faults:Catalog.Network.Fault.schedule ->
+  ?retry:retry_policy ->
   network:Catalog.Network.t ->
   db:Storage.Database.t ->
   table_cols:(string -> string list) ->
@@ -61,6 +115,11 @@ val run :
   result
 (** Execute a placed plan bottom-up, materializing every operator.
     [table_cols] resolves a table's stored column order, used to
-    re-qualify scan schemas with the query alias. Emits trace events
-    and metrics per operator and per SHIP (see [docs/TRACING.md]);
-    raises {!Runtime_error} on malformed plans. *)
+    re-qualify scan schemas with the query alias. [faults] (default
+    empty — a fault-free run is byte-identical to one without the
+    parameter) injects deterministic failures per SHIP attempt, applied
+    {e on top of} the network's own schedule: pass a healthy network
+    plus an explicit schedule, or a pre-masked network and no schedule,
+    never both. Emits trace events and metrics per operator and per
+    SHIP (see [docs/TRACING.md]); raises {!Runtime_error} on malformed
+    plans and {!Ship_failed} on permanent transfer failures. *)

@@ -244,7 +244,7 @@ let parse_catalog (text : string) : Catalog.t =
               doc.locations)
           doc.locations
       in
-      Catalog.Network.make ~locations:doc.locations ~links:all_pairs
+      Catalog.Network.make ~locations:doc.locations ~links:all_pairs ()
     end
   in
   Catalog.make ~network doc.tables

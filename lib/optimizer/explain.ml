@@ -39,7 +39,19 @@ let take_violation pending ~from_loc ~to_loc ~at =
   in
   go [] !pending
 
-let render ?analyze (p : Planner.planned) : string =
+(* What the degradation path did to finish a run: how many times the
+   session re-planned around a permanent failure, and which topology it
+   masked while doing so. Rendered as a footer only when non-trivial so
+   healthy-run goldens are unaffected. *)
+type recovery = {
+  failovers : int;
+  masked_links : (Catalog.Location.t * Catalog.Location.t) list;
+  masked_sites : Catalog.Location.t list;
+}
+
+let no_recovery = { failovers = 0; masked_links = []; masked_sites = [] }
+
+let render ?analyze ?(recovery = no_recovery) (p : Planner.planned) : string =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* --- header --- *)
@@ -71,9 +83,16 @@ let render ?analyze (p : Planner.planned) : string =
         let act_part =
           match act with
           | Some { Exec.Interp.ship = Some s; _ } ->
-            Printf.sprintf "; act %d rows, %s, %.2f ms" s.Exec.Interp.rows
+            (* the attempts note only appears on retried ships, so
+               fault-free transcripts render exactly as before *)
+            let retried =
+              if s.Exec.Interp.attempts > 1 then
+                Printf.sprintf ", %d attempts" s.Exec.Interp.attempts
+              else ""
+            in
+            Printf.sprintf "; act %d rows, %s, %.2f ms%s" s.Exec.Interp.rows
               (fmt_bytes (float_of_int s.Exec.Interp.bytes))
-              s.Exec.Interp.cost_ms
+              s.Exec.Interp.cost_ms retried
           | Some _ | None -> ""
         in
         let at =
@@ -121,5 +140,27 @@ let render ?analyze (p : Planner.planned) : string =
       r.stats.Exec.Interp.rows_processed
       (List.length r.stats.Exec.Interp.ships)
       (fmt_bytes (float_of_int (Exec.Interp.total_ship_bytes r.stats)))
-      r.makespan_ms);
+      r.makespan_ms;
+    if r.stats.Exec.Interp.ship_retries > 0 then
+      pr "retries: %d retried SHIP attempts, %s carried on the wire\n"
+        r.stats.Exec.Interp.ship_retries
+        (fmt_bytes (float_of_int (Exec.Interp.total_traffic_bytes r.stats))));
+  if recovery.failovers > 0 then begin
+    let masked =
+      (match recovery.masked_links with
+      | [] -> []
+      | ls ->
+        [
+          "links "
+          ^ String.concat ", " (List.map (fun (a, b) -> a ^ "<->" ^ b) ls);
+        ])
+      @
+      match recovery.masked_sites with
+      | [] -> []
+      | ss -> [ "sites " ^ String.concat ", " ss ]
+    in
+    pr "degraded: %d failover re-plan%s (masked %s)\n" recovery.failovers
+      (if recovery.failovers = 1 then "" else "s")
+      (String.concat "; " masked)
+  end;
   Buffer.contents buf

@@ -15,8 +15,24 @@
     form surfaced by [cgqp_cli --explain] / [explain --analyze].
 
     Output is deterministic for a given plan (no wall-clock values),
-    which is what the golden tests in [test/test_obs.ml] rely on. *)
+    which is what the golden tests in [test/test_obs.ml] rely on: the
+    recovery footer, retry footer and per-ship attempt counts are
+    emitted only when non-zero, so a fault-free run renders exactly as
+    it did before fault injection existed. *)
 
-val render : ?analyze:Exec.Interp.result -> Planner.planned -> string
-(** [render ?analyze planned] is the full EXPLAIN (ANALYZE) text,
-    newline-terminated. *)
+type recovery = {
+  failovers : int;  (** failover re-plans the session performed *)
+  masked_links : (Catalog.Location.t * Catalog.Location.t) list;
+      (** links masked as permanently down during degradation *)
+  masked_sites : Catalog.Location.t list;  (** sites masked as down *)
+}
+(** What the degradation path ([Cgqp.run]) did to finish a run. *)
+
+val no_recovery : recovery
+(** Zero failovers, nothing masked — renders nothing. *)
+
+val render :
+  ?analyze:Exec.Interp.result -> ?recovery:recovery -> Planner.planned -> string
+(** [render ?analyze ?recovery planned] is the full EXPLAIN (ANALYZE)
+    text, newline-terminated. [recovery] (default {!no_recovery}) adds a
+    [degraded: ...] footer when the run failed over. *)

@@ -31,6 +31,11 @@ let select ?(objective = `Total) ~(network : Catalog.Network.t) (root : Memo.ano
     | Some c -> c
     | None ->
       let c =
+        (* a site the network's fault schedule marks down cannot host
+           any operator — this is how degraded re-planning masks failed
+           topology without touching the traits *)
+        if not (Catalog.Network.site_up network l) then infinity_cost
+        else
         match n.children with
         | [] ->
           (* base case: a table scan is free at the table's location and
@@ -50,9 +55,12 @@ let select ?(objective = `Total) ~(network : Catalog.Network.t) (root : Memo.ano
                         c'
                         +. Catalog.Network.ship_cost network ~from_loc:l' ~to_loc:l ~bytes
                       in
-                      match best with
-                      | Some (_, bc) when bc <= total -> best
-                      | _ -> Some (l', total))
+                      (* a down link ships at infinite cost: infeasible *)
+                      if total >= infinity_cost then best
+                      else
+                        match best with
+                        | Some (_, bc) when bc <= total -> best
+                        | _ -> Some (l', total))
                   child.exec None)
               children
           in
@@ -114,13 +122,16 @@ let select ?(objective = `Total) ~(network : Catalog.Network.t) (root : Memo.ano
 (* Exhaustive reference implementation used by the tests to validate the
    DP: enumerates every assignment of locations (exponential). *)
 let brute_force ~(network : Catalog.Network.t) (root : Memo.anode) : float option =
+  let up = Catalog.Network.site_up network in
   let rec go (n : Memo.anode) : (Catalog.Location.t * float) list =
     match n.children with
-    | [] -> Locset.fold (fun l acc -> (l, 0.) :: acc) n.exec []
+    | [] -> Locset.fold (fun l acc -> if up l then (l, 0.) :: acc else acc) n.exec []
     | children ->
       let child_choices = List.map go children in
       Locset.fold
         (fun l acc ->
+          if not (up l) then acc
+          else
           let cost =
             List.fold_left2
               (fun acc (child : Memo.anode) choices ->

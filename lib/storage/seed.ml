@@ -1,0 +1,14 @@
+(* The one deterministic seed: explicit argument > CGQP_SEED > 42. *)
+
+let env_var = "CGQP_SEED"
+let default = 42
+
+let override () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let resolve ?cli () =
+  match cli with
+  | Some s -> s
+  | None -> ( match override () with Some s -> s | None -> default)

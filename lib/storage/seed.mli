@@ -1,0 +1,30 @@
+(** The one deterministic seed of the system.
+
+    Every source of randomness — the TPC-H data generator, the workload
+    generators, the chaos fault scheduler, property-test runners — draws
+    its seed through {!resolve}, so a single knob reproduces a whole
+    run:
+
+    - an explicit argument (e.g. the [--seed] CLI flag) wins,
+    - else the [CGQP_SEED] environment variable,
+    - else the historical default [42].
+
+    Tools print the effective seed in their output so a failing run can
+    always be replayed (see docs/FAULTS.md). *)
+
+val env_var : string
+(** ["CGQP_SEED"]. *)
+
+val default : int
+(** [42] — the seed everything used before this module existed. *)
+
+val override : unit -> int option
+(** The [CGQP_SEED] environment override alone, if set to a valid
+    integer (a malformed value is treated as unset). Use this when a
+    caller has its own historical per-call default that the environment
+    should trump — e.g. the bench harness's fixed per-experiment
+    seeds. *)
+
+val resolve : ?cli:int -> unit -> int
+(** [resolve ?cli ()] is the effective seed: [cli] if given, else the
+    environment override, else {!default}. *)

@@ -50,8 +50,8 @@ type tables = {
   lineitem : Value.t array array;
 }
 
-let generate ?(seed = 42) ~sf () : tables =
-  let g = Prng.create ~seed in
+let generate ?seed ~sf () : tables =
+  let g = Prng.create ~seed:(Storage.Seed.resolve ?cli:seed ()) in
   let n_supp = Schema.rows_at sf "supplier" in
   let n_cust = Schema.rows_at sf "customer" in
   let n_part = Schema.rows_at sf "part" in

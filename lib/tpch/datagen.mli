@@ -30,8 +30,9 @@ type tables = {
 
 val generate : ?seed:int -> sf:float -> unit -> tables
 (** Rows for all eight tables at scale factor [sf], deterministic in
-    [seed] (default 42). Referential integrity holds across the
-    tables. *)
+    [seed] (default {!Storage.Seed.resolve}: the [CGQP_SEED]
+    environment variable, else 42). Referential integrity holds across
+    the tables. *)
 
 val load : cat:Catalog.t -> tables -> Storage.Database.t
 (** Load the rows into a database, splitting partitioned tables

@@ -198,8 +198,8 @@ let rec gen_query (g : Prng.t) : string =
       where group
   end
 
-let gen_queries ~seed ~n : string list =
-  let g = Prng.create ~seed in
+let gen_queries ?seed ~n () : string list =
+  let g = Prng.create ~seed:(Storage.Seed.resolve ?cli:seed ()) in
   List.init n (fun _ -> gen_query g)
 
 (* --- policy-expression generation --- *)
@@ -210,9 +210,9 @@ let gen_queries ~seed ~n : string list =
    paper's generator instantiating templates against the schema and
    property file. [locs_per_expr] overrides the number of `to`
    locations (Fig. 8). *)
-let gen_expressions ~seed ~(template : Policies.set_name) ~n
+let gen_expressions ?seed ~(template : Policies.set_name) ~n
     ?(locations = [ "L1"; "L2"; "L3"; "L4"; "L5" ]) ?locs_per_expr () : string list =
-  let g = Prng.create ~seed in
+  let g = Prng.create ~seed:(Storage.Seed.resolve ?cli:seed ()) in
   let tables = List.map (fun (t, db, _) -> (t, db)) Schema.distribution in
   let pick_locs () =
     match locs_per_expr with

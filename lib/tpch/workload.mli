@@ -12,13 +12,15 @@ val groupable : string -> string list
 val location_of : string -> Catalog.Location.t
 (** Home location of a table under the Table 2 distribution. *)
 
-val gen_queries : seed:int -> n:int -> string list
+val gen_queries : ?seed:int -> n:int -> unit -> string list
 (** [n] random ad-hoc queries as SQL text: 55% over two tables, 35%
     three, 10% four; ~30% aggregation queries; 3–4 non-join predicates
-    each; always spanning at least two locations. *)
+    each; always spanning at least two locations. [seed] defaults to
+    {!Storage.Seed.resolve} (the [CGQP_SEED] environment variable,
+    else 42). *)
 
 val gen_expressions :
-  seed:int ->
+  ?seed:int ->
   template:Policies.set_name ->
   n:int ->
   ?locations:Catalog.Location.t list ->

@@ -1,0 +1,331 @@
+(* Chaos harness: seeded fault schedules against the full stack.
+
+   The headline properties (see docs/FAULTS.md):
+   - under ANY fault schedule, no executed SHIP traverses a link the
+     policy evaluator rejects — runs either complete compliantly or
+     abort as `Unsatisfiable;
+   - retry accounting replays bit-for-bit: same schedule, same seed,
+     same attempt counts, same byte totals;
+   - an empty schedule is byte-identical to an executor that never
+     heard of faults.
+
+   The qcheck cases are deterministic: the generator PRNG is seeded
+   from CGQP_SEED (default 42), echoed below, so a CI failure replays
+   locally with the same environment variable. *)
+
+open Relalg
+module Fault = Catalog.Network.Fault
+module P = Exec.Pplan
+
+let chaos_seed = Storage.Seed.resolve ()
+
+(* ---------------- fault-schedule DSL ---------------- *)
+
+let dsl_text =
+  "# two permanent failures, one flaky link, one slow link\n\
+   seed 9\n\
+   link-down NA EU\n\
+   site-down AS\n\
+   drop NA AS 0.25\n\
+   slow EU AS 2.5\n"
+
+let test_dsl_parse () =
+  match Fault.parse dsl_text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok s ->
+    Alcotest.(check int) "seed" 9 (Fault.seed s);
+    Alcotest.(check int) "four events" 4 (List.length (Fault.events s));
+    Alcotest.(check bool) "link down" true
+      (Fault.link_down s ~from_loc:"EU" ~to_loc:"NA");
+    Alcotest.(check bool) "site down kills its links" true
+      (Fault.link_down s ~from_loc:"EU" ~to_loc:"AS");
+    Alcotest.(check bool) "site down" true (Fault.site_down s "AS");
+    Alcotest.(check (float 1e-9)) "drop p" 0.25
+      (Fault.drop_probability s ~from_loc:"AS" ~to_loc:"NA");
+    Alcotest.(check (float 1e-9)) "latency factor" 2.5
+      (Fault.latency_factor s ~from_loc:"EU" ~to_loc:"AS");
+    Alcotest.(check (float 1e-9)) "unrelated link untouched" 1.0
+      (Fault.latency_factor s ~from_loc:"NA" ~to_loc:"AS")
+
+let test_dsl_round_trip () =
+  match Fault.parse dsl_text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok s -> (
+    match Fault.parse (Fault.to_string s) with
+    | Error m -> Alcotest.failf "re-parse failed: %s" m
+    | Ok s' ->
+      Alcotest.(check string) "round trip" (Fault.to_string s) (Fault.to_string s'))
+
+let test_dsl_errors () =
+  let expect_line n text =
+    match Fault.parse text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error m ->
+      let prefix = Printf.sprintf "line %d:" n in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names line %d" m n)
+        true
+        (String.length m >= String.length prefix
+        && String.sub m 0 (String.length prefix) = prefix)
+  in
+  expect_line 1 "nonsense A B";
+  expect_line 2 "seed 3\nlink-down OnlyOne";
+  expect_line 1 "drop A B not-a-number";
+  expect_line 3 "# fine\nseed 1\nslow A B"
+
+(* ---------------- deterministic drop stream ---------------- *)
+
+let test_drops_deterministic () =
+  let s = Fault.make ~seed:11 [ Fault.Transient_drop { from_loc = "x"; to_loc = "y"; p = 0.5 } ] in
+  let stream () =
+    List.init 64 (fun i ->
+        Fault.drops s ~from_loc:"x" ~to_loc:"y" ~ship:(i / 4) ~attempt:(i mod 4))
+  in
+  Alcotest.(check (list bool)) "pure function of (seed, link, ship, attempt)"
+    (stream ()) (stream ());
+  (* both directions of the undirected link share one fate stream *)
+  Alcotest.(check bool) "direction-independent" true
+    (List.for_all
+       (fun i ->
+         Fault.drops s ~from_loc:"x" ~to_loc:"y" ~ship:i ~attempt:1
+         = Fault.drops s ~from_loc:"y" ~to_loc:"x" ~ship:i ~attempt:1)
+       (List.init 32 Fun.id));
+  let other = Fault.make ~seed:12 [ Fault.Transient_drop { from_loc = "x"; to_loc = "y"; p = 0.5 } ] in
+  Alcotest.(check bool) "seed matters" true
+    (stream ()
+    <> List.init 64 (fun i ->
+           Fault.drops other ~from_loc:"x" ~to_loc:"y" ~ship:(i / 4) ~attempt:(i mod 4)))
+
+(* ---------------- property: compliance under any schedule ------------- *)
+
+let gen_loc = QCheck.Gen.oneofl Fixture.locations
+let gen_pair = QCheck.Gen.pair gen_loc gen_loc
+
+let gen_event =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun (a, b) -> Fault.Link_down (a, b)) gen_pair;
+      QCheck.Gen.map (fun l -> Fault.Site_down l) gen_loc;
+      QCheck.Gen.map2
+        (fun (a, b) p -> Fault.Transient_drop { from_loc = a; to_loc = b; p })
+        gen_pair
+        (QCheck.Gen.float_bound_inclusive 1.0);
+      QCheck.Gen.map2
+        (fun (a, b) f -> Fault.Latency_mult { from_loc = a; to_loc = b; factor = f })
+        gen_pair
+        (QCheck.Gen.float_range 0.25 4.0);
+    ]
+
+let gen_schedule =
+  QCheck.Gen.map2
+    (fun seed events -> Fault.make ~seed events)
+    (QCheck.Gen.int_bound 1_000_000)
+    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4) gen_event)
+
+let arb_schedule = QCheck.make ~print:Fault.to_string gen_schedule
+
+let baseline_rows =
+  lazy
+    (let s = Fixture.session () in
+     match Cgqp.run s Fixture.q with
+     | Ok r -> Fixture.canon r.Cgqp.relation
+     | Error e -> failwith ("fault-free baseline failed: " ^ Cgqp.error_to_string e))
+
+let prop_no_illegal_ship =
+  QCheck.Test.make ~count:500 ~name:"no SHIP over a policy-rejected link, any schedule"
+    arb_schedule (fun sched ->
+      let s = Fixture.session () in
+      Cgqp.set_faults s sched;
+      match Cgqp.run s Fixture.q with
+      | Error (`Unsatisfiable _) ->
+        (* acceptable degradation: the run aborted, nothing shipped
+           outside policy *)
+        true
+      | Error e ->
+        QCheck.Test.fail_reportf "unexpected error: %s" (Cgqp.error_to_string e)
+      | Ok r ->
+        let cat = Cgqp.catalog s in
+        (match
+           Optimizer.Checker.certify ~cat ~policies:(Cgqp.policies s) r.Cgqp.plan
+         with
+        | [] -> ()
+        | v :: _ ->
+          QCheck.Test.fail_reportf "executed plan violates policy: %s"
+            (Fmt.str "%a" Optimizer.Checker.pp_violation v));
+        (* the executor can only have completed over live links *)
+        List.for_all
+          (fun (sr : Exec.Interp.ship_record) ->
+            not (Fault.link_down sched ~from_loc:sr.from_loc ~to_loc:sr.to_loc))
+          r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ships
+        (* and degraded answers are still the right answers *)
+        && Fixture.canon r.Cgqp.relation = Lazy.force baseline_rows)
+
+(* ---------------- property: retry accounting replays ---------------- *)
+
+(* A bare executor fixture: one SHIP y -> x over a uniform network, so
+   every accounting quantity has a closed form. *)
+let uni = Catalog.Network.uniform ~locations:[ "x"; "y" ] ~alpha:10. ~beta:1.0
+
+let exec_db () =
+  let db = Storage.Database.create () in
+  let schema = [ Attr.make ~rel:"r" ~name:"a"; Attr.make ~rel:"r" ~name:"b" ] in
+  Storage.Database.add db ~table:"r"
+    (Storage.Relation.make ~schema
+       ~rows:
+         (Array.init 8 (fun i -> [| Value.Int i; Value.Str (string_of_int (i * i)) |])));
+  db
+
+let exec_table_cols = function
+  | "r" -> [ "a"; "b" ]
+  | t -> Alcotest.failf "unknown table %s" t
+
+let ship_plan =
+  let est = { P.est_rows = 8.; est_width = 16. } in
+  {
+    P.node = P.Ship { from_loc = "y"; to_loc = "x" };
+    loc = "x";
+    children =
+      [
+        {
+          P.node = P.Table_scan { table = "r"; alias = "r"; partition = 0 };
+          loc = "y";
+          children = [];
+          est;
+        };
+      ];
+    est;
+  }
+
+let run_exec ?faults ?retry () =
+  let db = exec_db () in
+  match Exec.Interp.run ?faults ?retry ~network:uni ~db ~table_cols:exec_table_cols ship_plan with
+  | r ->
+    Ok
+      ( Storage.Relation.to_csv r.Exec.Interp.relation,
+        List.map
+          (fun (s : Exec.Interp.ship_record) -> (s.bytes, s.attempts, s.cost_ms))
+          r.Exec.Interp.stats.Exec.Interp.ships,
+        Exec.Interp.total_traffic_bytes r.Exec.Interp.stats,
+        Exec.Interp.total_ship_bytes r.Exec.Interp.stats )
+  | exception Exec.Interp.Ship_failed { attempts; reason; _ } ->
+    Error (attempts, Exec.Interp.ship_failure_to_string reason)
+
+(* Simulated cost of a SHIP that needed [n] attempts under the default
+   retry policy: n transfers plus the backoffs after the n-1 failures. *)
+let closed_form_cost ~attempt_cost n =
+  let rp = Exec.Interp.default_retry in
+  let rec go k acc =
+    if k >= n then acc +. attempt_cost
+    else
+      go (k + 1)
+        (acc +. attempt_cost
+        +. Float.min rp.Exec.Interp.max_backoff_ms
+             (rp.Exec.Interp.base_backoff_ms *. (2. ** float_of_int (k - 1))))
+  in
+  go 1 0.
+
+let arb_drop_schedule =
+  QCheck.make
+    ~print:(fun s -> Fault.to_string s)
+    (QCheck.Gen.map2
+       (fun seed p ->
+         Fault.make ~seed [ Fault.Transient_drop { from_loc = "x"; to_loc = "y"; p } ])
+       (QCheck.Gen.int_bound 1_000_000)
+       (QCheck.Gen.float_bound_inclusive 1.0))
+
+let prop_retry_accounting =
+  QCheck.Test.make ~count:500 ~name:"retry accounting replays to exact byte totals"
+    arb_drop_schedule (fun sched ->
+      let once = run_exec ~faults:sched () in
+      let again = run_exec ~faults:sched () in
+      if once <> again then QCheck.Test.fail_report "chaos run did not replay";
+      match once with
+      | Error (attempts, _) ->
+        (* exhausted: the default policy allows exactly 4 tries *)
+        attempts = Exec.Interp.default_retry.Exec.Interp.max_attempts
+      | Ok (_, ships, traffic, payload) ->
+        List.for_all
+          (fun (bytes, attempts, cost_ms) ->
+            let attempt_cost =
+              Catalog.Network.ship_cost uni ~from_loc:"y" ~to_loc:"x"
+                ~bytes:(float_of_int bytes)
+            in
+            attempts >= 1
+            && attempts <= Exec.Interp.default_retry.Exec.Interp.max_attempts
+            && Float.abs (cost_ms -. closed_form_cost ~attempt_cost attempts) < 1e-6)
+          ships
+        && traffic = List.fold_left (fun a (b, n, _) -> a + (b * n)) 0 ships
+        && payload = List.fold_left (fun a (b, _, _) -> a + b) 0 ships)
+
+(* ---------------- fault-free differential ---------------- *)
+
+let test_fault_free_differential () =
+  (* executor level: an empty schedule vs never passing one *)
+  let plain = run_exec () in
+  let empty = run_exec ~faults:Fault.empty () in
+  let explicit_empty = run_exec ~faults:(Fault.make ~seed:12345 []) () in
+  Alcotest.(check bool) "empty schedule is byte-identical" true (plain = empty);
+  Alcotest.(check bool) "seeded empty schedule too" true (plain = explicit_empty);
+  (* session level: same relation, same ship totals, no recovery *)
+  let s0 = Fixture.session () in
+  let s1 = Fixture.session () in
+  Cgqp.set_faults s1 (Fault.make ~seed:99 []);
+  match (Cgqp.run s0 Fixture.q, Cgqp.run s1 Fixture.q) with
+  | Ok r0, Ok r1 ->
+    Alcotest.(check bool) "same rows" true
+      (Fixture.canon r0.Cgqp.relation = Fixture.canon r1.Cgqp.relation);
+    Alcotest.(check int) "same shipped bytes" r0.Cgqp.shipped_bytes r1.Cgqp.shipped_bytes;
+    Alcotest.(check (float 1e-9)) "same ship cost" r0.Cgqp.ship_cost_ms r1.Cgqp.ship_cost_ms;
+    Alcotest.(check (float 1e-9)) "same makespan" r0.Cgqp.makespan_ms r1.Cgqp.makespan_ms;
+    Alcotest.(check int) "no failovers" 0 r1.Cgqp.recovery.Cgqp.failovers;
+    Alcotest.(check int) "no retries" 0
+      r1.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ship_retries
+  | _ -> Alcotest.fail "fault-free runs must succeed"
+
+(* ---------------- latency faults ---------------- *)
+
+let test_latency_multiplier () =
+  let sched = Fault.make ~seed:1 [ Fault.Latency_mult { from_loc = "x"; to_loc = "y"; factor = 2.0 } ] in
+  match (run_exec (), run_exec ~faults:sched ()) with
+  | Ok (csv0, [ (b0, a0, c0) ], _, _), Ok (csv1, [ (b1, a1, c1) ], _, _) ->
+    Alcotest.(check string) "same result" csv0 csv1;
+    Alcotest.(check int) "same bytes" b0 b1;
+    Alcotest.(check int) "one attempt each" a0 a1;
+    Alcotest.(check (float 1e-9)) "cost doubled" (2. *. c0) c1
+  | _ -> Alcotest.fail "latency-only schedules must not fail"
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  (* CI artifact hook: with CGQP_CHAOS_TRACE_OUT set, record the full
+     structured trace of the chaos run and write it as JSON lines. *)
+  (match Sys.getenv_opt "CGQP_CHAOS_TRACE_OUT" with
+  | None -> ()
+  | Some file ->
+    Obs.Trace.enable ();
+    at_exit (fun () ->
+        let oc = open_out file in
+        Obs.Trace.write_jsonl oc;
+        close_out oc));
+  Fmt.epr "chaos seed: %d (set %s to replay)@." chaos_seed Storage.Seed.env_var;
+  let rand = Random.State.make [| chaos_seed |] in
+  Alcotest.run "chaos"
+    [
+      ( "dsl",
+        [
+          Alcotest.test_case "parse" `Quick test_dsl_parse;
+          Alcotest.test_case "round trip" `Quick test_dsl_round_trip;
+          Alcotest.test_case "errors name the line" `Quick test_dsl_errors;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "drop stream" `Quick test_drops_deterministic;
+          Alcotest.test_case "fault-free differential" `Quick test_fault_free_differential;
+          Alcotest.test_case "latency multiplier" `Quick test_latency_multiplier;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest ~rand prop_no_illegal_ship;
+          QCheck_alcotest.to_alcotest ~rand prop_retry_accounting;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Compliance-preserving degradation: permanent failures either fail
+   over to the cheapest *compliant* alternative or abort with
+   [`Unsatisfiable] — never a silent non-compliant ship. Scenarios are
+   fully deterministic, so the degraded EXPLAIN ANALYZE transcript is a
+   golden. *)
+
+module Fault = Catalog.Network.Fault
+
+let counter_value name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+(* -------- failover to a compliant alternative -------- *)
+
+let test_failover_success () =
+  let before = counter_value "cgqp_exec_ship_failovers_total" in
+  let s = Fixture.session () in
+  let baseline =
+    match Cgqp.run (Fixture.session ()) Fixture.q with
+    | Ok r -> Fixture.canon r.Cgqp.relation
+    | Error e -> Alcotest.failf "baseline: %s" (Cgqp.error_to_string e)
+  in
+  Cgqp.set_faults s (Fault.make ~seed:3 [ Fault.Link_down ("NA", "EU") ]);
+  match Cgqp.run s Fixture.q with
+  | Error e -> Alcotest.failf "expected failover, got: %s" (Cgqp.error_to_string e)
+  | Ok r ->
+    Alcotest.(check int) "one failover" 1 r.Cgqp.recovery.Cgqp.failovers;
+    Alcotest.(check (list (pair string string))) "masked link"
+      [ ("EU", "NA") ]
+      r.Cgqp.recovery.Cgqp.masked_links;
+    Alcotest.(check (list string)) "no masked site" []
+      r.Cgqp.recovery.Cgqp.masked_sites;
+    Alcotest.(check bool) "degraded answer equals healthy answer" true
+      (Fixture.canon r.Cgqp.relation = baseline);
+    (* the executed plan is certified compliant even after re-planning *)
+    Alcotest.(check int) "certified clean" 0
+      (List.length
+         (Optimizer.Checker.certify ~cat:(Cgqp.catalog s)
+            ~policies:(Cgqp.policies s) r.Cgqp.plan));
+    (* no executed SHIP uses the dead link *)
+    List.iter
+      (fun (sr : Exec.Interp.ship_record) ->
+        if
+          Fault.link_down (Cgqp.faults s) ~from_loc:sr.Exec.Interp.from_loc
+            ~to_loc:sr.Exec.Interp.to_loc
+        then Alcotest.fail "shipped over the dead link")
+      r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ships;
+    Alcotest.(check bool) "failover counter incremented" true
+      (counter_value "cgqp_exec_ship_failovers_total" > before)
+
+(* -------- topology change makes the only compliant route dead ------- *)
+
+let expect_unsatisfiable ~msg_fragment s =
+  match Cgqp.run s Fixture.q with
+  | Ok _ -> Alcotest.fail "expected `Unsatisfiable, run succeeded"
+  | Error (`Unsatisfiable m) ->
+    let lower = String.lowercase_ascii m in
+    let frag = String.lowercase_ascii msg_fragment in
+    let contains hay needle =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      ln = 0 || go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" m msg_fragment)
+      true (contains lower frag)
+  | Error e ->
+    Alcotest.failf "expected `Unsatisfiable, got: %s" (Cgqp.error_to_string e)
+
+let test_unsatisfiable_link_down () =
+  (* Satellite 4: the strict policy admits exactly one route
+     (customer NA -> EU). The plan is compliant pre-failure; once NA-EU
+     dies the only alternatives are non-compliant, so the session must
+     abort — a silent ship to AS or NA would violate the policy. *)
+  let s = Fixture.session ~policies:Fixture.strict_policies () in
+  Alcotest.(check bool) "query is legal pre-failure" true (Cgqp.is_legal s Fixture.q);
+  Cgqp.set_faults s (Fault.make ~seed:3 [ Fault.Link_down ("NA", "EU") ]);
+  expect_unsatisfiable ~msg_fragment:"link down" s
+
+let test_unsatisfiable_attempts_exhausted () =
+  let s = Fixture.session ~policies:Fixture.strict_policies () in
+  Cgqp.set_faults s
+    (Fault.make ~seed:3
+       [ Fault.Transient_drop { from_loc = "NA"; to_loc = "EU"; p = 1.0 } ]);
+  expect_unsatisfiable ~msg_fragment:"attempts exhausted" s
+
+let test_unsatisfiable_budget_exhausted () =
+  let s = Fixture.session ~policies:Fixture.strict_policies () in
+  Cgqp.set_faults s (Fault.make ~seed:3 []);
+  Cgqp.set_retry s { Exec.Interp.default_retry with Exec.Interp.budget_ms = 0.5 };
+  expect_unsatisfiable ~msg_fragment:"budget" s
+
+let test_site_down_masks_site () =
+  (* A topology where AS is the cheap rendezvous: the healthy plan
+     ships both inputs there. AS stores nothing, so when it dies the
+     run degrades and records a masked *site*, falling back to a join
+     at NA or EU over the expensive direct link. (Killing a site that
+     holds the only replica of a table is correctly `Unsatisfiable
+     instead: there is nothing to fail over to.) *)
+  let s =
+    Fixture.session
+      ~links:[ ("NA", "EU", 500., 1e-3); ("NA", "AS", 10., 1e-4); ("EU", "AS", 10., 1e-4) ]
+      ()
+  in
+  Cgqp.set_faults s (Fault.make ~seed:3 [ Fault.Site_down "AS" ]);
+  match Cgqp.run s Fixture.q with
+  | Error e -> Alcotest.failf "expected failover, got: %s" (Cgqp.error_to_string e)
+  | Ok r ->
+    Alcotest.(check (list string)) "masked site" [ "AS" ]
+      r.Cgqp.recovery.Cgqp.masked_sites;
+    List.iter
+      (fun (sr : Exec.Interp.ship_record) ->
+        if sr.Exec.Interp.from_loc = "AS" || sr.Exec.Interp.to_loc = "AS" then
+          Alcotest.fail "shipped through the dead site")
+      r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ships
+
+(* -------- degraded-run gauge -------- *)
+
+let test_degraded_gauge () =
+  let s = Fixture.session () in
+  Cgqp.set_faults s (Fault.make ~seed:3 [ Fault.Link_down ("NA", "EU") ]);
+  (match Cgqp.run s Fixture.q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "failover run failed: %s" (Cgqp.error_to_string e));
+  let dump = Fmt.str "%a" Obs.Metrics.render () in
+  let has_line =
+    String.split_on_char '\n' dump
+    |> List.exists (fun l ->
+           match String.index_opt l ' ' with
+           | Some i when String.sub l 0 i = "cgqp_session_degraded_runs" ->
+             (try int_of_string (String.trim (String.sub l i (String.length l - i))) > 0
+              with _ -> false)
+           | _ -> false)
+  in
+  Alcotest.(check bool) "cgqp_session_degraded_runs > 0" true has_line
+
+(* -------- golden degraded EXPLAIN ANALYZE transcript -------- *)
+
+let golden_degraded_explain =
+  "compliant plan\n\
+   phase-1 cost 380 | est. ship cost 141.28 ms | memo groups 9\n\
+   policy evaluation: eta 5, implication tests 5\n\
+   pruning: bound 460, pruned 0 groups / 4 entries / 0 combos\n\
+   \n\
+   Project [c.name, sum_totprice] @ AS  (est 20 rows, act 20 rows)\n\
+   \xE2\x94\x94\xE2\x94\x80 HashAgg [keys: c.name; aggs: sum(sum_totprice__p) AS \
+   sum_totprice] @ AS  (est 20 rows, act 20 rows)\n\
+   \x20  \xE2\x94\x94\xE2\x94\x80 HashJoin [c.custkey=o.custkey] @ AS  (est 20 rows, \
+   act 20 rows)\n\
+   \x20     \xE2\x94\x9C\xE2\x94\x80 SHIP NA -> AS  (est 400 B; act 20 rows, 300 B, \
+   80.60 ms)  [ok]\n\
+   \x20     \xE2\x94\x82  \xE2\x94\x94\xE2\x94\x80 Project [c.custkey, c.name] @ NA  \
+   (est 20 rows, act 20 rows)\n\
+   \x20     \xE2\x94\x82     \xE2\x94\x94\xE2\x94\x80 Scan customer as c [p0] @ NA  \
+   (est 20 rows, act 20 rows)\n\
+   \x20     \xE2\x94\x94\xE2\x94\x80 SHIP EU -> AS  (est 320 B; act 20 rows, 320 B, \
+   60.48 ms)  [ok]\n\
+   \x20        \xE2\x94\x94\xE2\x94\x80 HashAgg [keys: o.custkey; aggs: sum(o.totprice) \
+   AS sum_totprice__p] @ EU  (est 20 rows, act 20 rows)\n\
+   \x20           \xE2\x94\x94\xE2\x94\x80 Project [o.custkey, o.totprice] @ EU  (est \
+   60 rows, act 60 rows)\n\
+   \x20              \xE2\x94\x94\xE2\x94\x80 Scan orders as o [p0] @ EU  (est 60 rows, \
+   act 60 rows)\n\
+   \n\
+   execution: 280 rows processed, 2 ships, 620 B shipped, makespan 80.60 ms\n\
+   degraded: 1 failover re-plan (masked links EU<->NA)\n"
+
+let test_golden_degraded_explain () =
+  let s = Fixture.session () in
+  Cgqp.set_faults s (Fault.make ~seed:3 [ Fault.Link_down ("NA", "EU") ]);
+  match Cgqp.explain_analyze s Fixture.q with
+  | Error e -> Alcotest.failf "explain analyze failed: %s" (Cgqp.error_to_string e)
+  | Ok text ->
+    if Sys.getenv_opt "CGQP_GOLDEN_CAPTURE" <> None then (
+      print_string text;
+      Alcotest.fail "capture mode: transcript printed above")
+    else Alcotest.(check string) "degraded transcript" golden_degraded_explain text
+
+let () =
+  Alcotest.run "degradation"
+    [
+      ( "failover",
+        [
+          Alcotest.test_case "re-plans compliantly around a dead link" `Quick
+            test_failover_success;
+          Alcotest.test_case "masks a dead site" `Quick test_site_down_masks_site;
+        ] );
+      ( "unsatisfiable",
+        [
+          Alcotest.test_case "dead link on the only compliant route" `Quick
+            test_unsatisfiable_link_down;
+          Alcotest.test_case "retry attempts exhausted" `Quick
+            test_unsatisfiable_attempts_exhausted;
+          Alcotest.test_case "simulated-clock budget exhausted" `Quick
+            test_unsatisfiable_budget_exhausted;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "degraded-run gauge" `Quick test_degraded_gauge;
+          Alcotest.test_case "golden degraded EXPLAIN ANALYZE" `Quick
+            test_golden_degraded_explain;
+        ] );
+    ]

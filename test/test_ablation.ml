@@ -113,7 +113,7 @@ let prop_random_queries_agree =
   QCheck.Test.make ~name:"random queries: compliant = traditional answers" ~count:40
     QCheck.(int_range 0 100_000)
     (fun seed ->
-      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1) in
+      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1 ()) in
       let exec mode =
         match Optimizer.Planner.optimize_sql ~mode ~cat ~policies sql with
         | Optimizer.Planner.Planned p ->

@@ -1,6 +1,6 @@
 let test_network_ship_cost () =
   let n =
-    Catalog.Network.make ~locations:[ "a"; "b" ] ~links:[ ("a", "b", 100., 0.001) ]
+    Catalog.Network.make ~locations:[ "a"; "b" ] ~links:[ ("a", "b", 100., 0.001) ] ()
   in
   Alcotest.(check (float 1e-9)) "local is free" 0.
     (Catalog.Network.ship_cost n ~from_loc:"a" ~to_loc:"a" ~bytes:1e9);
@@ -15,6 +15,27 @@ let test_network_uniform () =
   Alcotest.(check int) "three locations" 3 (List.length (Catalog.Network.locations n));
   Alcotest.(check (float 1e-9)) "pairwise" 15.
     (Catalog.Network.ship_cost n ~from_loc:"x" ~to_loc:"z" ~bytes:10.)
+
+let test_network_unknown_link () =
+  (* Satellite of the chaos PR: a missing link is a hard error unless
+     the caller opted into a default, so a silently-mispriced SHIP can
+     never hide a topology mistake (or a chaos mask). *)
+  let n =
+    Catalog.Network.make ~locations:[ "a"; "b"; "c" ]
+      ~links:[ ("a", "b", 100., 0.001) ] ()
+  in
+  Alcotest.check_raises "miss raises" (Catalog.Network.Unknown_link ("a", "c"))
+    (fun () -> ignore (Catalog.Network.ship_cost n ~from_loc:"a" ~to_loc:"c" ~bytes:1.));
+  let n' =
+    Catalog.Network.make ~default:(150., 0.002) ~locations:[ "a"; "b"; "c" ]
+      ~links:[ ("a", "b", 100., 0.001) ] ()
+  in
+  Alcotest.(check (float 1e-6)) "explicit default fills the miss"
+    (150. +. (0.002 *. 1e3))
+    (Catalog.Network.ship_cost n' ~from_loc:"a" ~to_loc:"c" ~bytes:1e3);
+  Alcotest.(check (float 1e-6)) "listed links unaffected by the default"
+    (100. +. (0.001 *. 1e3))
+    (Catalog.Network.ship_cost n' ~from_loc:"b" ~to_loc:"a" ~bytes:1e3)
 
 let test_paper_network () =
   let n = Catalog.Network.paper_default () in
@@ -82,6 +103,7 @@ let () =
         [
           Alcotest.test_case "ship cost" `Quick test_network_ship_cost;
           Alcotest.test_case "uniform" `Quick test_network_uniform;
+          Alcotest.test_case "unknown link" `Quick test_network_unknown_link;
           Alcotest.test_case "paper default" `Quick test_paper_network;
         ] );
       ( "catalog",

@@ -261,6 +261,97 @@ let test_ship_accounting () =
   Alcotest.(check (float 1e-6)) "cost model" (10. +. float_of_int s.Exec.Interp.bytes)
     s.Exec.Interp.cost_ms
 
+let test_multisite_join_accounting () =
+  (* Both join inputs cross the wire: every per-operator figure in the
+     Obs profile must agree with the stats block and with the network
+     cost model. *)
+  let plan =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [
+        node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "r" ];
+        node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "s" ];
+      ]
+  in
+  let r = run plan in
+  let ships = r.stats.Exec.Interp.ships in
+  Alcotest.(check int) "two ships" 2 (List.length ships);
+  List.iter
+    (fun (s : Exec.Interp.ship_record) ->
+      Alcotest.(check (float 1e-6)) "cost model per ship"
+        (Catalog.Network.ship_cost network ~from_loc:s.from_loc ~to_loc:s.to_loc
+           ~bytes:(float_of_int s.bytes))
+        s.cost_ms;
+      Alcotest.(check int) "single attempt" 1 s.attempts)
+    ships;
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 ships in
+  Alcotest.(check int) "payload total"
+    (sum (fun (s : Exec.Interp.ship_record) -> s.bytes))
+    (Exec.Interp.total_ship_bytes r.stats);
+  Alcotest.(check int) "retry-free traffic equals payload"
+    (Exec.Interp.total_ship_bytes r.stats)
+    (Exec.Interp.total_traffic_bytes r.stats);
+  (* profile cross-check: the SHIP operators' profile entries carry the
+     same records, and their actual rows/bytes are the shipped ones *)
+  let profiled =
+    List.filter_map (fun (p : Exec.Interp.node_profile) -> Option.map (fun s -> (p, s)) p.ship)
+      r.profile
+  in
+  Alcotest.(check int) "profiled ships" 2 (List.length profiled);
+  List.iter
+    (fun ((p : Exec.Interp.node_profile), (s : Exec.Interp.ship_record)) ->
+      Alcotest.(check bool) "profile record is the stats record" true
+        (List.mem s ships);
+      Alcotest.(check int) "profile rows" s.rows p.actual_rows;
+      Alcotest.(check int) "profile bytes" s.bytes p.actual_bytes)
+    profiled;
+  (* the r-side ship moved 3 rows, the s-side 4 *)
+  Alcotest.(check (list int)) "row counts" [ 3; 4 ]
+    (List.sort compare (List.map (fun (s : Exec.Interp.ship_record) -> s.rows) ships))
+
+let test_retry_accounting_totals () =
+  (* Under a flaky link, retried bytes count once toward the payload
+     totals (the result is delivered once) and [attempts] times toward
+     the traffic the wire actually carried. Drop fates are a pure
+     function of the schedule seed, so scan seeds until one yields a
+     completed run that did retry — the pick is then deterministic
+     forever. *)
+  let plan = node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "r" ] in
+  let flaky seed =
+    Catalog.Network.Fault.make ~seed
+      [ Catalog.Network.Fault.Transient_drop { from_loc = "x"; to_loc = "y"; p = 0.5 } ]
+  in
+  let rec find seed =
+    if seed > 1000 then Alcotest.fail "no seed in 0..1000 yields a retried success"
+    else
+      match Exec.Interp.run ~faults:(flaky seed) ~network ~db:(default_db ()) ~table_cols plan with
+      | r when r.Exec.Interp.stats.Exec.Interp.ship_retries > 0 -> (seed, r)
+      | _ | (exception Exec.Interp.Ship_failed _) -> find (seed + 1)
+  in
+  let _seed, r = find 0 in
+  let s = List.hd r.Exec.Interp.stats.Exec.Interp.ships in
+  Alcotest.(check int) "retries = attempts - 1"
+    (s.Exec.Interp.attempts - 1)
+    r.Exec.Interp.stats.Exec.Interp.ship_retries;
+  Alcotest.(check int) "payload counted once" s.Exec.Interp.bytes
+    (Exec.Interp.total_ship_bytes r.Exec.Interp.stats);
+  Alcotest.(check int) "traffic counted per attempt"
+    (s.Exec.Interp.bytes * s.Exec.Interp.attempts)
+    (Exec.Interp.total_traffic_bytes r.Exec.Interp.stats);
+  (* the delivered relation is the same as a fault-free run's *)
+  let clean = run plan in
+  Alcotest.(check string) "same delivered bytes"
+    (Storage.Relation.to_csv clean.Exec.Interp.relation)
+    (Storage.Relation.to_csv r.Exec.Interp.relation);
+  (* each failed attempt also pays its transfer before backing off *)
+  let one_try =
+    Catalog.Network.ship_cost network ~from_loc:"y" ~to_loc:"x"
+      ~bytes:(float_of_int s.Exec.Interp.bytes)
+  in
+  Alcotest.(check bool) "cost exceeds attempts * transfer" true
+    (s.Exec.Interp.cost_ms
+    >= (float_of_int s.Exec.Interp.attempts *. one_try) -. 1e-9)
+
 let test_with_ships () =
   let j =
     node ~loc:"x"
@@ -348,6 +439,10 @@ let () =
       ( "ships",
         [
           Alcotest.test_case "ship accounting" `Quick test_ship_accounting;
+          Alcotest.test_case "multi-site join accounting" `Quick
+            test_multisite_join_accounting;
+          Alcotest.test_case "retry accounting totals" `Quick
+            test_retry_accounting_totals;
           Alcotest.test_case "with_ships" `Quick test_with_ships;
           Alcotest.test_case "malformed" `Quick test_malformed_plan;
           Alcotest.test_case "makespan parallelism" `Quick test_makespan_parallel_branches;

@@ -143,7 +143,7 @@ let prop_theorem_1 =
     QCheck.(int_range 0 10_000)
     (fun seed ->
       let g = Storage.Prng.create ~seed in
-      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1) in
+      let sql = List.hd (Tpch.Workload.gen_queries ~seed ~n:1 ()) in
       (* random, possibly very restrictive policy set: no backbone *)
       let n_expr = 2 + Storage.Prng.int g 10 in
       let template = Storage.Prng.pick g Tpch.Policies.all_sets in

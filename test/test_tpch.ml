@@ -157,7 +157,7 @@ let test_policy_sets_parse () =
   Alcotest.(check int) "CR has 10" 10 (List.length Tpch.Policies.set_cr)
 
 let test_workload_queries_valid () =
-  let queries = Tpch.Workload.gen_queries ~seed:99 ~n:100 in
+  let queries = Tpch.Workload.gen_queries ~seed:99 ~n:100 () in
   Alcotest.(check int) "100 queries" 100 (List.length queries);
   List.iter
     (fun sql ->
@@ -174,7 +174,7 @@ let test_workload_queries_valid () =
     queries
 
 let test_workload_aggregate_share () =
-  let queries = Tpch.Workload.gen_queries ~seed:7 ~n:200 in
+  let queries = Tpch.Workload.gen_queries ~seed:7 ~n:200 () in
   let n_agg =
     List.length
       (List.filter
