@@ -18,6 +18,8 @@
      e8  Fig. 7(d,e) scalability vs number of table locations
      e9  Fig. 8      impact of locations per policy expression
      e11 (extension) optimizer fast path: verdict caches + branch-and-bound
+     serve (extension) serving layer: plan cache hit rate + admission
+                     under a multi-session mix, cache-on/off differential
      t1  Table 1     policy evaluator worked example
      smoke           quick CI subset (t1 + e11 with fewer repetitions)
 *)
@@ -624,6 +626,118 @@ let ablation () =
        ~cat:pcat ~policies:ppol Tpch.Queries.q3)
 
 (* ------------------------------------------------------------------ *)
+(* serve -- serving layer: plan cache + admission under a session mix *)
+
+let resolve_query q =
+  match List.assoc_opt (String.uppercase_ascii q) Tpch.Queries.all_extended with
+  | Some sql -> sql
+  | None -> q
+
+let resolve_policy_set name =
+  match String.lowercase_ascii name with
+  | "t" -> Some (Tpch.Policies.texts Tpch.Policies.T)
+  | "c" -> Some (Tpch.Policies.texts Tpch.Policies.C)
+  | "cr" -> Some (Tpch.Policies.texts Tpch.Policies.CR)
+  | "cra" | "cr+a" -> Some (Tpch.Policies.texts Tpch.Policies.CRA)
+  | _ -> None
+
+(* A closed-loop TPC-H session mix: [sessions] sessions across two
+   tenants (one rate-limited, one unlimited), each cycling through the
+   built-in queries with policy churn on one session mid-stream. The
+   repeats inside and across sessions are what the plan cache feeds on;
+   the churn is what the epoch machinery must catch. *)
+let serve_script ~sessions ~statements =
+  let open Service in
+  let qnames = [| "Q3"; "Q5"; "Q10"; "Q3"; "Q9"; "Q3"; "Q5"; "Q8" |] in
+  let interactive =
+    {
+      Admission.max_in_flight = Some 3;
+      ship_budget_bytes = None;
+      window_ms = 1000.;
+      on_deny = Admission.Queue;
+    }
+  in
+  let session i =
+    let tenant = if i mod 2 = 0 then "interactive" else "batch" in
+    let submits =
+      List.concat
+        (List.init statements (fun j ->
+             let q = Script.Submit qnames.((i + (2 * j)) mod Array.length qnames) in
+             (* session 0 swaps its policy set halfway: every cached plan
+                keyed against the old policies must be re-optimized *)
+             if i = 0 && j = statements / 2 then [ Script.Set_policy_set "C"; q ]
+             else [ q ]))
+    in
+    { Script.sid = Printf.sprintf "s%d" i; tenant; actions = Script.Set_policy_set "CR" :: submits }
+  in
+  {
+    Script.seed = None;
+    tenants = [ ("interactive", interactive); ("batch", Admission.unlimited) ];
+    sessions = List.init sessions session;
+  }
+
+let serve_bench ?(sessions = 8) ?(statements = 12) () =
+  header "SERVE: plan cache + admission control under a TPC-H session mix";
+  let cat = Tpch.Schema.catalog () in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf:0.005 ()) in
+  let sd = seed ~default:2027 in
+  let script = serve_script ~sessions ~statements in
+  let run_with cache =
+    let env =
+      Service.Scheduler.env ~catalog:cat ~database:db ?cache ~resolve_query
+        ~resolve_policy_set ()
+    in
+    Service.Scheduler.run ~env ~seed:sd script
+  in
+  let cached, wall_cached =
+    time_ms (fun () -> run_with (Some (Cgqp.Plan_cache.create ())))
+  in
+  let uncached, wall_uncached = time_ms (fun () -> run_with None) in
+  Fmt.pr "seed %d: %d sessions x %d statements (2 tenants, policy churn on s0)@."
+    cached.Service.Scheduler.seed sessions statements;
+  (* differential: align per (sid, seq); the cache stores optimizer
+     outcomes only, so plans AND results must be byte-identical *)
+  let key (s : Service.Scheduler.stmt_record) = (s.Service.Scheduler.sid, s.Service.Scheduler.seq) in
+  let sig_of (s : Service.Scheduler.stmt_record) =
+    match s.Service.Scheduler.outcome with
+    | Service.Scheduler.Done { plan_sig; result_sig; rows; shipped_bytes; _ } ->
+      Printf.sprintf "done %s %s %d %d" plan_sig result_sig rows shipped_bytes
+    | Service.Scheduler.Failed e -> "failed " ^ Cgqp.error_to_string e
+    | Service.Scheduler.Denied { reason; _ } ->
+      "denied " ^ Service.Admission.reason_to_string reason
+  in
+  let base = List.map (fun s -> (key s, sig_of s)) uncached.Service.Scheduler.statements in
+  let mismatches =
+    List.fold_left
+      (fun acc s ->
+        match List.assoc_opt (key s) base with
+        | Some sg when String.equal sg (sig_of s) -> acc
+        | _ -> acc + 1)
+      0 cached.Service.Scheduler.statements
+  in
+  let total = List.length cached.Service.Scheduler.statements in
+  Fmt.pr "  %-12s %10s %10s %10s %10s %12s@." "" "ok" "denied" "p50 (ms)" "p95 (ms)"
+    "wall (ms)";
+  let row label (r : Service.Scheduler.report) wall =
+    Fmt.pr "  %-12s %10d %10d %10.2f %10.2f %12.1f@." label r.Service.Scheduler.ok
+      r.Service.Scheduler.denied r.Service.Scheduler.p50_ms r.Service.Scheduler.p95_ms wall
+  in
+  row "cache-off" uncached wall_uncached;
+  row "cache-on" cached wall_cached;
+  (match cached.Service.Scheduler.cache with
+  | Some st ->
+    Fmt.pr "cache hit rate: %.1f%% (%d hits, %d misses, %d invalidations, %d evictions)@."
+      (100. *. Service.Scheduler.hit_rate cached)
+      st.Cgqp.Plan_cache.hits st.Cgqp.Plan_cache.misses st.Cgqp.Plan_cache.invalidations
+      st.Cgqp.Plan_cache.evictions
+  | None -> ());
+  Fmt.pr "latency p50 %.2f ms, p95 %.2f ms (simulated, cache-on)@."
+    cached.Service.Scheduler.p50_ms cached.Service.Scheduler.p95_ms;
+  Fmt.pr "differential mismatches: %d (over %d statements)@." mismatches total;
+  Fmt.pr "(the cache stores optimizer outcomes, never results: a nonzero mismatch@.";
+  Fmt.pr " count means a stale plan escaped the policy-epoch invalidation)@."
+
+(* ------------------------------------------------------------------ *)
 
 let smoke () =
   t1 ();
@@ -633,8 +747,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", fun () -> e3 ()); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", fun () -> e11 ()); ("t1", t1); ("ablation", ablation); ("micro", micro);
-    ("smoke", smoke);
+    ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ()); ("t1", t1);
+    ("ablation", ablation); ("micro", micro); ("smoke", smoke);
   ]
 
 (* Observability export, for CI artifacts and local inspection:

@@ -4,11 +4,45 @@
    Subcommands:
      explain   optimize a query and print the (compliant) plan
      run       optimize + execute against generated TPC-H data
+     serve     execute a multi-session workload script (plan cache,
+               admission control, deterministic scheduler)
      check     report whether a query is legal under the policies
      catalog   print the geo-distributed catalog and policy sets
+
+   Exit codes (beyond cmdliner's defaults): 3 = the query was rejected
+   (no compliant plan), 4 = unsatisfiable under failures, 5 = a serve
+   statement was denied by admission control (--strict).
 *)
 
 open Cmdliner
+
+let exit_rejected = 3
+let exit_unsatisfiable = 4
+let exit_denied = 5
+
+let compliance_exits =
+  [
+    Cmd.Exit.info exit_rejected
+      ~doc:"the query has no compliant plan under the installed policies (rejected).";
+    Cmd.Exit.info exit_unsatisfiable
+      ~doc:
+        "a compliant plan existed, but no compliant alternative survives the \
+         failures encountered at execution time (unsatisfiable).";
+  ]
+
+(* Rejections and unsatisfiable runs get distinct exit codes so scripts
+   can tell "the policies forbid this" from "the network killed this"
+   without parsing stderr; other errors keep cmdliner's conventions. *)
+let fail_with_code (e : Cgqp.error) =
+  (match e with
+  | `Rejected _ ->
+    Fmt.epr "cgqp: %s@." (Cgqp.error_to_string e);
+    Stdlib.exit exit_rejected
+  | `Unsatisfiable _ ->
+    Fmt.epr "cgqp: %s@." (Cgqp.error_to_string e);
+    Stdlib.exit exit_unsatisfiable
+  | _ -> ());
+  `Error (false, Cgqp.error_to_string e)
 
 let policy_set_conv =
   let parse s =
@@ -223,10 +257,11 @@ let explain_cmd =
             p.Optimizer.Planner.annotated
       end;
       `Ok ()
-    | Error e -> `Error (false, Cgqp.error_to_string e)
+    | Error e -> fail_with_code e
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Optimize a query and print the annotated plan")
+    (Cmd.info "explain" ~exits:(Cmd.Exit.defaults @ compliance_exits)
+       ~doc:"Optimize a query and print the annotated plan")
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ traits_arg
@@ -279,10 +314,11 @@ let run_cmd =
              ~recovery:r.Cgqp.recovery r.Cgqp.planned)
       end;
       `Ok ()
-    | Error e -> `Error (false, Cgqp.error_to_string e)
+    | Error e -> fail_with_code e
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Optimize and execute a query on generated TPC-H data")
+    (Cmd.info "run" ~exits:(Cmd.Exit.defaults @ compliance_exits)
+       ~doc:"Optimize and execute a query on generated TPC-H data")
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg
@@ -450,6 +486,119 @@ let policies_cmd =
        ~doc:"Analyze a policy set: per-column coverage, redundancies, no-ops")
     Term.(ret (const action $ set_arg $ policy_file_arg))
 
+(* --- serve: multi-session workload scripts --- *)
+
+let script_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "script" ] ~docv:"FILE"
+        ~doc:
+          "Workload script: tenants, sessions and the statements each session \
+           submits (grammar in docs/SERVICE.md). Required.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the plan cache (every submit re-runs the optimizer).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Plan cache capacity in entries (LRU eviction beyond this).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero when any statement was denied by admission control \
+           (code 5), unsatisfiable under failures (4) or rejected (3); \
+           admission denials take precedence.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the report as JSON instead of the text summary.")
+
+let resolve_policy_set name =
+  match String.lowercase_ascii name with
+  | "t" -> Some (Tpch.Policies.texts Tpch.Policies.T)
+  | "c" -> Some (Tpch.Policies.texts Tpch.Policies.C)
+  | "cr" -> Some (Tpch.Policies.texts Tpch.Policies.CR)
+  | "cra" | "cr+a" -> Some (Tpch.Policies.texts Tpch.Policies.CRA)
+  | _ -> None
+
+let serve_cmd =
+  let action sf seed faults no_cache capacity strict json trace metrics script =
+    with_obs ~trace ~metrics @@ fun () ->
+    match Service.Script.parse_file script with
+    | Error m -> `Error (false, Printf.sprintf "%s: %s" script m)
+    | Ok wl -> (
+      match load_faults ~cli_seed:seed faults with
+      | Error m -> `Error (false, m)
+      | Ok faults ->
+        let cat = Tpch.Schema.catalog ~sf:10.0 () in
+        let database =
+          Tpch.Datagen.load ~cat (Tpch.Datagen.generate ?seed ~sf ())
+        in
+        let cache =
+          if no_cache then None else Some (Cgqp.Plan_cache.create ~capacity ())
+        in
+        let env =
+          Service.Scheduler.env ~catalog:cat ~database ?cache ?faults
+            ~resolve_query ~resolve_policy_set ()
+        in
+        match Service.Scheduler.run ~env ?seed wl with
+        | exception Invalid_argument m ->
+          `Error (false, Printf.sprintf "%s: %s" script m)
+        | report ->
+        if json then
+          print_endline (Obs.Json.to_string (Service.Scheduler.report_to_json report))
+        else Fmt.pr "%a@." Service.Scheduler.pp_report report;
+        if strict then
+          if report.Service.Scheduler.denied > 0 then Stdlib.exit exit_denied
+          else if report.Service.Scheduler.unsatisfiable > 0 then
+            Stdlib.exit exit_unsatisfiable
+          else if report.Service.Scheduler.rejected > 0 then
+            Stdlib.exit exit_rejected;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~exits:
+         (Cmd.Exit.defaults @ compliance_exits
+         @ [
+             Cmd.Exit.info exit_denied
+               ~doc:
+                 "with $(b,--strict): at least one statement was denied by \
+                  admission control.";
+           ])
+       ~doc:"Execute a multi-session workload script"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays a workload script against the built-in geo-distributed \
+              TPC-H setup: sessions run closed-loop on a deterministic \
+              simulated clock, statements pass per-tenant admission control, \
+              and optimizer outcomes are served from a policy-epoch plan \
+              cache shared by all sessions. Any policy mutation (or failover \
+              re-plan mask) invalidates affected entries, so cached runs are \
+              byte-identical to uncached ones.";
+           `P
+             "The report lists every statement with its simulated latency and \
+              cache flag (hit/miss), then aggregates: counts by outcome, \
+              cache hit rate, p50/p95 latency.";
+         ])
+    Term.(
+      ret
+        (const action $ sf_arg $ seed_arg $ faults_arg $ no_cache_arg
+       $ cache_capacity_arg $ strict_arg $ json_arg $ trace_arg $ metrics_arg
+       $ script_arg))
+
 (* Default term: lets the common one-shot forms work without naming a
    subcommand — [cgqp --explain Q3] is EXPLAIN ANALYZE, [cgqp Q3] is
    run. *)
@@ -466,7 +615,7 @@ let default_term =
         | Ok text ->
           print_string text;
           `Ok ()
-        | Error e -> `Error (false, Cgqp.error_to_string e))
+        | Error e -> fail_with_code e)
       else (
         match Cgqp.run session sql with
         | Ok r ->
@@ -475,7 +624,7 @@ let default_term =
             (Storage.Relation.cardinality r.Cgqp.relation)
             r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms;
           `Ok ()
-        | Error e -> `Error (false, Cgqp.error_to_string e))
+        | Error e -> fail_with_code e)
   in
   let opt_query =
     Arg.(
@@ -495,4 +644,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term
           (Cmd.info "cgqp" ~doc ~version:"1.0.0")
-          [ explain_cmd; run_cmd; check_cmd; catalog_cmd; policies_cmd; repl_cmd ]))
+          [ explain_cmd; run_cmd; serve_cmd; check_cmd; catalog_cmd; policies_cmd; repl_cmd ]))

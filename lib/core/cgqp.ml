@@ -16,6 +16,8 @@
      | Error (`Rejected reason) -> ...
    ]} *)
 
+module Plan_cache = Plan_cache
+
 type session = {
   catalog : Catalog.t;
   mutable policies : Policy.Pcatalog.t;
@@ -23,6 +25,10 @@ type session = {
   mutable mode : Optimizer.Memo.mode;
   mutable faults : Catalog.Network.Fault.schedule;
   mutable retry : Exec.Interp.retry_policy;
+  mutable cache : Plan_cache.t option;
+      (* plan cache consulted by [optimize]/[run]; possibly shared with
+         other sessions of a serving layer. [None] (the default) is the
+         paper's one-shot behavior. *)
 }
 
 type error =
@@ -71,6 +77,7 @@ let create ?database ~catalog () =
     mode = Optimizer.Memo.Compliant;
     faults = Catalog.Network.Fault.empty;
     retry = Exec.Interp.default_retry;
+    cache = None;
   }
 
 let set_mode session mode = session.mode <- mode
@@ -80,12 +87,22 @@ let set_faults session sched = session.faults <- sched
 let faults session = session.faults
 let set_retry session policy = session.retry <- policy
 let retry session = session.retry
+let set_plan_cache session cache = session.cache <- cache
+let plan_cache session = session.cache
+
+(* A policy mutation starts a new epoch: every cached plan was certified
+   under the old catalog and must never be served again. *)
+let bump_cache session reason =
+  Option.iter (fun c -> Plan_cache.bump_epoch ~reason c) session.cache
 
 (* Install the physical data the engine executes against. *)
 let attach_database session db = session.database <- Some db
 
 (* [add_policies session texts] parses and installs policy expressions
-   (the data officer's offline step in Figure 2). *)
+   (the data officer's offline step in Figure 2). Idempotent for
+   duplicate statements: the catalog dedupes structurally equal
+   expressions, so re-adding a policy changes neither the fingerprint
+   nor the evaluator's work. *)
 let add_policies session texts =
   let parsed =
     List.map
@@ -95,13 +112,18 @@ let add_policies session texts =
       texts
   in
   session.policies <-
-    Policy.Pcatalog.make (Policy.Pcatalog.all session.policies @ parsed)
+    Policy.Pcatalog.make (Policy.Pcatalog.all session.policies @ parsed);
+  bump_cache session "add_policies"
 
-let clear_policies session = session.policies <- Policy.Pcatalog.empty
+let clear_policies session =
+  session.policies <- Policy.Pcatalog.empty;
+  bump_cache session "clear_policies"
 
 (* Install a pre-built (e.g. deny-preprocessed) policy catalog
    wholesale. *)
-let set_policy_catalog session pc = session.policies <- pc
+let set_policy_catalog session pc =
+  session.policies <- pc;
+  bump_cache session "set_policy_catalog"
 
 let table_cols_opt session t =
   match Catalog.find_table session.catalog t with
@@ -124,6 +146,34 @@ let parse_and_bind session sql :
 let plan_of_sql session sql : (Relalg.Plan.t, error) result =
   Result.map (fun (p, _, _) -> p) (parse_and_bind session sql)
 
+(* Optimize against [cat], going through the session's plan cache when
+   one is attached. The key is (normalized SQL, policy fingerprint,
+   catalog stamp, [mask_fp], mode): [mask_fp] is 0 for the healthy
+   network and the fingerprint of the accumulated failover masks during
+   degraded re-planning, so a plan certified against one topology is
+   never served for another. Parsing/binding happen before this point —
+   only the optimizer outcome (including rejections) is cached, and
+   execution always runs, keeping cache-on results byte-identical to
+   cache-off. *)
+let cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan =
+  let do_optimize () =
+    Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by ~cat
+      ~policies:session.policies lplan
+  in
+  match session.cache with
+  | None -> do_optimize ()
+  | Some cache -> (
+    let key =
+      Plan_cache.key ~sql ~policies:session.policies ~catalog:session.catalog
+        ~mask_fp ~mode:session.mode ()
+    in
+    match Plan_cache.find cache key with
+    | Some outcome -> outcome
+    | None ->
+      let outcome = do_optimize () in
+      Plan_cache.add cache key outcome;
+      outcome)
+
 (* Optimize a query under the session's dataflow policies. The ORDER BY
    clause becomes the root's required sort order — part of the
    optimization goal's physical properties (§6.2); the optimizer adds a
@@ -134,8 +184,7 @@ let optimize session sql : (Optimizer.Planner.planned, error) result =
   | Error e -> Error e
   | Ok (lplan, order_by, _) -> (
     match
-      Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by
-        ~cat:session.catalog ~policies:session.policies lplan
+      cached_optimize session ~cat:session.catalog ~mask_fp:0 ~order_by ~sql lplan
     with
     | Optimizer.Planner.Planned p -> Ok p
     | Optimizer.Planner.Rejected reason -> Error (`Rejected reason))
@@ -212,9 +261,17 @@ let run session sql : (run_result, error) result =
   match parse_and_bind session sql with
   | Error e -> Error e
   | Ok (lplan, order_by, limit) -> (
-    let optimize_against cat =
-      Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by ~cat
-        ~policies:session.policies lplan
+    (* Both the healthy plan and every degraded re-plan go through the
+       plan cache (when attached): a re-plan is keyed by the fingerprint
+       of the masks it was certified against, so repeated failovers over
+       the same masked topology reuse the certified alternative instead
+       of re-running the optimizer from scratch. *)
+    let optimize_against ?(recovery = Optimizer.Explain.no_recovery) cat =
+      let mask_fp =
+        Plan_cache.mask_fingerprint ~links:recovery.masked_links
+          ~sites:recovery.masked_sites
+      in
+      cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan
     in
     match optimize_against session.catalog with
     | Optimizer.Planner.Rejected reason -> Error (`Rejected reason)
@@ -247,7 +304,7 @@ let run session sql : (run_result, error) result =
             match extend_masks recovery exn with
             | Error why -> Error (`Unsatisfiable why)
             | Ok recovery -> (
-              match optimize_against (masked_catalog session recovery) with
+              match optimize_against ~recovery (masked_catalog session recovery) with
               | Optimizer.Planner.Rejected reason' ->
                 Error
                   (`Unsatisfiable

@@ -17,6 +17,11 @@
       | Error (`Rejected reason) -> ...
     ]} *)
 
+(** The policy-epoch plan cache (the serving layer's reuse of certified
+    plans). Attach one with {!set_plan_cache}; policy mutations on the
+    session bump its epoch automatically. *)
+module Plan_cache : module type of Plan_cache
+
 type session
 
 type error =
@@ -74,11 +79,27 @@ val set_retry : session -> Exec.Interp.retry_policy -> unit
 
 val retry : session -> Exec.Interp.retry_policy
 
+val set_plan_cache : session -> Plan_cache.t option -> unit
+(** Attach (or detach, with [None]) a plan cache. {!optimize} and
+    {!run} then reuse certified optimizer outcomes keyed by
+    (normalized SQL, policy fingerprint, catalog stamp, failover mask,
+    mode); every policy mutation ({!add_policies}, {!clear_policies},
+    {!set_policy_catalog}) bumps the cache's epoch, purging all
+    entries. The cache may be shared between sessions — the serving
+    layer's multi-tenant setup (see [docs/SERVICE.md]). Default:
+    [None], the paper's one-shot behavior. *)
+
+val plan_cache : session -> Plan_cache.t option
+
 val attach_database : session -> Storage.Database.t -> unit
 
 val add_policies : session -> string list -> unit
 (** Parse and install policy expressions (the data officer's offline
-    step). Raises [Invalid_argument] on malformed statements. *)
+    step). Raises [Invalid_argument] on malformed statements.
+    Idempotent for duplicate statements: structurally equal expressions
+    are installed once, so re-adding a policy changes neither the
+    catalog's fingerprint nor the evaluator's work. Bumps the attached
+    plan cache's epoch. *)
 
 val clear_policies : session -> unit
 

@@ -1,0 +1,211 @@
+(* Policy-epoch plan cache: optimizer outcomes keyed by
+   (normalized SQL, policy fingerprint, catalog stamp, mask fingerprint,
+   optimizer mode), LRU-evicted, purged wholesale on every policy
+   epoch bump. See plan_cache.mli and docs/SERVICE.md for the
+   invariants. *)
+
+type key = {
+  sql : string;  (* normalized *)
+  policy_fp : int;
+  catalog_fp : int;
+  mask_fp : int;  (* 0 = healthy network *)
+  mode : Optimizer.Memo.mode;
+}
+
+type entry = {
+  outcome : Optimizer.Planner.outcome;
+  epoch : int;  (* insert-time epoch, for the purge sweep *)
+  mutable last_use : int;  (* LRU tick *)
+}
+
+type stats = { hits : int; misses : int; invalidations : int; evictions : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable cur_epoch : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+(* Global metrics, aggregated over every cache instance: per-instance
+   gauges would grow the registry without bound under property tests
+   that create thousands of short-lived caches. *)
+let c_hits = Obs.Metrics.counter "cgqp_plancache_hits_total"
+let c_misses = Obs.Metrics.counter "cgqp_plancache_misses_total"
+let c_invalidations = Obs.Metrics.counter "cgqp_plancache_invalidations_total"
+let c_evictions = Obs.Metrics.counter "cgqp_plancache_evictions_total"
+
+(* Entries live across all instances, sampled by one gauge. *)
+let live_entries = ref 0
+
+let () =
+  Obs.Metrics.gauge "cgqp_plancache_entries" (fun () ->
+      float_of_int !live_entries)
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    table = Hashtbl.create (2 * capacity);
+    cap = capacity;
+    tick = 0;
+    cur_epoch = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.table
+let epoch t = t.cur_epoch
+let stats t =
+  { hits = t.hits; misses = t.misses; invalidations = t.invalidations;
+    evictions = t.evictions }
+
+(* --- SQL normalization --- *)
+
+(* Whitespace runs collapse, trailing ';' drops, everything outside
+   single-quoted literals is lowercased. Deliberately textual: a
+   normalizer that merges too much is a compliance hazard. *)
+let normalize_sql sql =
+  let b = Buffer.create (String.length sql) in
+  let in_string = ref false and pending_space = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char b c;
+        if c = '\'' then in_string := false
+      end
+      else
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> if Buffer.length b > 0 then pending_space := true
+        | c ->
+          if !pending_space then begin
+            Buffer.add_char b ' ';
+            pending_space := false
+          end;
+          Buffer.add_char b (Char.lowercase_ascii c);
+          if c = '\'' then in_string := true)
+    sql;
+  let s = Buffer.contents b in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = ';' then String.trim (String.sub s 0 (n - 1)) else s
+
+(* --- fingerprints --- *)
+
+let mix64 (x : int64) : int64 =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let hash_str h s =
+  let acc = ref h in
+  String.iter
+    (fun c -> acc := mix64 (Int64.logxor !acc (Int64.of_int (Char.code c))))
+    s;
+  !acc
+
+(* Order-insensitive over both lists; 0 iff the mask is empty, so the
+   healthy-network key is stable across [run] and [optimize]. *)
+let mask_fingerprint ~links ~sites =
+  if links = [] && sites = [] then 0
+  else
+    let link_h (a, b) =
+      (* undirected: both orientations hash alike *)
+      let a, b = if String.compare a b <= 0 then (a, b) else (b, a) in
+      hash_str (hash_str (mix64 1L) a) b
+    in
+    let site_h l = hash_str (mix64 2L) l in
+    let hs =
+      List.sort Int64.compare (List.map link_h links @ List.map site_h sites)
+    in
+    let h = List.fold_left (fun acc h -> mix64 (Int64.logxor acc h)) (mix64 3L) hs in
+    (* never collide with the reserved healthy value *)
+    let v = Int64.to_int h land max_int in
+    if v = 0 then 1 else v
+
+let key ~sql ~policies ~catalog ?(mask_fp = 0) ~mode () =
+  {
+    sql = normalize_sql sql;
+    policy_fp = Policy.Pcatalog.fingerprint policies;
+    catalog_fp = Catalog.stamp catalog;
+    mask_fp;
+    mode;
+  }
+
+(* --- the cache proper --- *)
+
+let bump_epoch ?(reason = "policy-change") t =
+  let purged = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  live_entries := !live_entries - purged;
+  t.cur_epoch <- t.cur_epoch + 1;
+  t.invalidations <- t.invalidations + purged;
+  Obs.Metrics.inc ~by:purged c_invalidations;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "plancache.invalidate"
+      [
+        ("reason", Obs.Json.Str reason);
+        ("epoch", Obs.Json.Num (float_of_int t.cur_epoch));
+        ("purged", Obs.Json.Num (float_of_int purged));
+      ]
+
+let clear t =
+  live_entries := !live_entries - Hashtbl.length t.table;
+  Hashtbl.reset t.table
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    (* entries from an older epoch cannot survive the purge in
+       [bump_epoch]; the check is belt-and-braces *)
+    if e.epoch <> t.cur_epoch then begin
+      Hashtbl.remove t.table key;
+      decr live_entries;
+      t.misses <- t.misses + 1;
+      Obs.Metrics.inc c_misses;
+      None
+    end
+    else begin
+      t.tick <- t.tick + 1;
+      e.last_use <- t.tick;
+      t.hits <- t.hits + 1;
+      Obs.Metrics.inc c_hits;
+      Some e.outcome
+    end
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Metrics.inc c_misses;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, lu) when lu <= e.last_use -> ()
+      | _ -> victim := Some (k, e.last_use))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    decr live_entries;
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.inc c_evictions
+
+let add t key outcome =
+  (if Hashtbl.mem t.table key then begin
+     Hashtbl.remove t.table key;
+     decr live_entries
+   end
+   else if Hashtbl.length t.table >= t.cap then evict_lru t);
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table key
+    { outcome; epoch = t.cur_epoch; last_use = t.tick };
+  incr live_entries

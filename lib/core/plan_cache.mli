@@ -1,0 +1,101 @@
+(** Policy-epoch plan cache — the serving layer's memory of certified
+    plans.
+
+    A cached plan in a compliance-based optimizer is only valid for the
+    exact policy catalog, schema/stats catalog and network mask it was
+    certified under: serving a stale hit is not a performance bug, it is
+    a compliance violation. Entries are therefore keyed by
+
+    - the {e normalized} SQL text ({!normalize_sql}),
+    - the policy catalog's content {!Policy.Pcatalog.fingerprint},
+    - the geo-catalog's {!Catalog.stamp} (schema + statistics),
+    - a fingerprint of the failover mask the plan was certified against
+      ([0] for the healthy network), and
+    - the optimizer mode,
+
+    and every entry additionally records the cache {e epoch} at insert
+    time. Any policy mutation ([Cgqp.add_policies] / [clear_policies] /
+    [set_policy_catalog]) bumps the epoch, which purges every entry at
+    once — defense in depth on top of the fingerprint key, and the hook
+    observability counts as [invalidations]. Eviction is LRU.
+
+    The cache stores optimizer {e outcomes} (including rejections), not
+    execution results: execution always runs, so cache-on and cache-off
+    runs are byte-identical (locked in by [test/service]'s differential
+    suite). Instances are independent; one cache may be shared by many
+    sessions (the multi-tenant serving setup — the key keeps
+    cross-tenant hits sound, the epoch keeps them fresh).
+
+    Metrics (global across instances, see [docs/SERVICE.md]):
+    [cgqp_plancache_hits_total], [_misses_total], [_invalidations_total],
+    [_evictions_total], and the [cgqp_plancache_entries] gauge. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty cache holding at most [capacity] entries (default 128;
+    must be positive). *)
+
+val capacity : t -> int
+val size : t -> int
+
+val epoch : t -> int
+(** Bumped by {!bump_epoch}; starts at 0. *)
+
+val bump_epoch : ?reason:string -> t -> unit
+(** Start a new policy epoch: purge every entry (each counts as an
+    invalidation) and emit a trace instant carrying [reason] when
+    tracing is on. *)
+
+val clear : t -> unit
+(** Drop all entries without counting invalidations or changing the
+    epoch (tests and bench isolation). *)
+
+type key
+
+val key :
+  sql:string ->
+  policies:Policy.Pcatalog.t ->
+  catalog:Catalog.t ->
+  ?mask_fp:int ->
+  mode:Optimizer.Memo.mode ->
+  unit ->
+  key
+(** Build a lookup key. [sql] is normalized here; [mask_fp] defaults to
+    [0] (the healthy network) — the degradation path passes
+    {!mask_fingerprint} of its accumulated masks so a re-plan certified
+    against a masked network can never be served for a different
+    mask. *)
+
+val mask_fingerprint :
+  links:(Catalog.Location.t * Catalog.Location.t) list ->
+  sites:Catalog.Location.t list ->
+  int
+(** Order-insensitive fingerprint of a failover mask; [0] iff both
+    lists are empty. *)
+
+val find : t -> key -> Optimizer.Planner.outcome option
+(** Lookup; counts a hit or a miss and refreshes LRU order on hit. *)
+
+val add : t -> key -> Optimizer.Planner.outcome -> unit
+(** Insert (or overwrite) the outcome certified for [key], evicting the
+    least-recently-used entry when full. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** entries purged by {!bump_epoch} *)
+  evictions : int;  (** entries displaced by LRU pressure *)
+}
+
+val stats : t -> stats
+(** This instance's counters since {!create} (the global metrics
+    aggregate over all instances). *)
+
+val normalize_sql : string -> string
+(** The cache's notion of "the same statement": whitespace runs
+    collapse to one space, the text is trimmed, a trailing [;] is
+    dropped, and characters outside single-quoted string literals are
+    lowercased. Semantic equivalence beyond that (e.g. commuted joins)
+    is deliberately out of scope — a normalizer that over-merges is a
+    compliance hazard, one that under-merges only a missed hit. *)

@@ -7,6 +7,7 @@ type t = {
   by_table : Expression.t list String_map.t;
   all : Expression.t list;
   stamp : int;  (* unique per catalog; keys cross-catalog caches *)
+  fingerprint : int;  (* content hash; equal for semantically equal sets *)
 }
 
 (* Policy catalogs are immutable after [make]; a construction-time
@@ -17,13 +18,51 @@ let fresh_stamp () =
   incr next_stamp;
   !next_stamp
 
-let empty = { by_table = String_map.empty; all = []; stamp = fresh_stamp () }
+(* splitmix64 finalizer — the same mixing discipline as the fault
+   scheduler, so the fingerprint has no structure an LRU key could
+   accidentally collide on. *)
+let mix64 (x : int64) : int64 =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+(* Content fingerprint: fold the sorted expression hashes through
+   mix64. Sorting makes it order-insensitive; [make] dedupes, so it is
+   also duplicate-insensitive — installing the same statement twice
+   leaves the fingerprint (and any cache keyed by it) unchanged. *)
+let fingerprint_of (exprs : Expression.t list) : int =
+  let hs = List.sort compare (List.map Expression.hash exprs) in
+  let h =
+    List.fold_left
+      (fun acc h -> mix64 (Int64.logxor acc (Int64.of_int h)))
+      (mix64 0x9e3779b97f4a7c15L) hs
+  in
+  Int64.to_int h land max_int
+
+let empty =
+  {
+    by_table = String_map.empty;
+    all = [];
+    stamp = fresh_stamp ();
+    fingerprint = fingerprint_of [];
+  }
 
 let make (exprs : Expression.t list) : t =
   (* Intern on entry: every expression the evaluator ever sees is the
      canonical node, so the predicate intern table (and with it the
      implication-verdict cache) is shared across queries and sets. *)
   let exprs = List.map Expression.intern exprs in
+  (* Drop duplicate statements (first occurrence wins): interning makes
+     structural equality a pointer test. Re-installing an expression is
+     a no-op, so the evaluator never pays twice for one policy and
+     [fingerprint] is stable under repeated [add_policies]. *)
+  let exprs =
+    List.rev
+      (List.fold_left
+         (fun acc e -> if List.memq e acc then acc else e :: acc)
+         [] exprs)
+  in
   let by_table =
     List.fold_left
       (fun m e ->
@@ -32,9 +71,10 @@ let make (exprs : Expression.t list) : t =
           m)
       String_map.empty exprs
   in
-  { by_table; all = exprs; stamp = fresh_stamp () }
+  { by_table; all = exprs; stamp = fresh_stamp (); fingerprint = fingerprint_of exprs }
 
 let stamp t = t.stamp
+let fingerprint t = t.fingerprint
 
 let of_texts (cat : Catalog.t) (texts : string list) : t =
   make (List.map (Expression.parse cat) texts)

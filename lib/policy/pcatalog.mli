@@ -17,10 +17,21 @@ val for_table : t -> string -> Expression.t list
     order. *)
 
 val all : t -> Expression.t list
+
 val size : t -> int
+(** Number of distinct expressions: {!make} drops duplicate statements
+    (structural equality, first occurrence wins), so installing the
+    same expression twice is a no-op. *)
 
 val stamp : t -> int
 (** Unique id assigned at construction. Policy catalogs are immutable,
     so the stamp soundly identifies one in process-wide cache keys. *)
+
+val fingerprint : t -> int
+(** Content hash of the expression {e set}: independent of declaration
+    order and of duplicate statements, equal whenever two catalogs hold
+    structurally equal expressions. This is the policy component of the
+    serving layer's plan-cache key (see [docs/SERVICE.md]) — unlike
+    {!stamp}, re-installing the same policies leaves it unchanged. *)
 
 val pp : Format.formatter -> t -> unit

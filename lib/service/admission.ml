@@ -1,0 +1,134 @@
+(* Per-tenant admission control on the simulated clock: max in-flight
+   statements and a post-paid SHIP-byte budget per fixed window. See
+   admission.mli and docs/SERVICE.md. *)
+
+type on_deny = Reject | Queue
+
+type quota = {
+  max_in_flight : int option;
+  ship_budget_bytes : int option;
+  window_ms : float;
+  on_deny : on_deny;
+}
+
+let unlimited =
+  { max_in_flight = None; ship_budget_bytes = None; window_ms = 1000.; on_deny = Reject }
+
+type reason =
+  | In_flight of { tenant : string; in_flight : int; limit : int }
+  | Ship_budget of { tenant : string; used : int; budget : int; window_ms : float }
+
+let reason_to_string = function
+  | In_flight { tenant; in_flight; limit } ->
+    Printf.sprintf "tenant %s at max in-flight (%d/%d)" tenant in_flight limit
+  | Ship_budget { tenant; used; budget; window_ms } ->
+    Printf.sprintf "tenant %s over SHIP budget (%d/%d bytes this %gms window)"
+      tenant used budget window_ms
+
+type decision = Admit | Deny of { reason : reason; retry_at : float option }
+
+type tenant_state = {
+  quota : quota;
+  mutable in_flight : float list;  (* completion times, unsorted *)
+  mutable window_start : float;
+  mutable window_bytes : int;
+}
+
+type t = (string, tenant_state) Hashtbl.t
+
+let c_admitted = Obs.Metrics.counter "cgqp_admission_admitted_total"
+
+let c_denied_inflight =
+  Obs.Metrics.counter ~labels:[ ("reason", "in_flight") ] "cgqp_admission_denied_total"
+
+let c_denied_budget =
+  Obs.Metrics.counter ~labels:[ ("reason", "ship_budget") ] "cgqp_admission_denied_total"
+
+let create () : t = Hashtbl.create 8
+
+let state (t : t) tenant =
+  match Hashtbl.find_opt t tenant with
+  | Some s -> s
+  | None ->
+    let s =
+      { quota = unlimited; in_flight = []; window_start = 0.; window_bytes = 0 }
+    in
+    Hashtbl.add t tenant s;
+    s
+
+let set_quota (t : t) ~tenant quota =
+  let s = state t tenant in
+  Hashtbl.replace t tenant { s with quota }
+
+let quota_of (t : t) ~tenant = (state t tenant).quota
+
+(* Advance the byte window to the one containing [now]; a roll resets
+   the spent bytes. Whole windows are skipped in one step so idle
+   tenants stay O(1). *)
+let roll_window s ~now =
+  let w = s.quota.window_ms in
+  if w > 0. && now >= s.window_start +. w then begin
+    let skipped = Float.of_int (int_of_float ((now -. s.window_start) /. w)) in
+    s.window_start <- s.window_start +. (skipped *. w);
+    s.window_bytes <- 0
+  end
+
+let purge_completions s ~now =
+  s.in_flight <- List.filter (fun f -> f > now) s.in_flight
+
+let admit (t : t) ~tenant ~now =
+  let s = state t tenant in
+  purge_completions s ~now;
+  roll_window s ~now;
+  let in_flight_deny =
+    match s.quota.max_in_flight with
+    | Some limit when List.length s.in_flight >= limit ->
+      let retry_at =
+        (* the earliest completion frees a slot; a non-positive limit
+           can never admit, so the denial is terminal *)
+        if limit <= 0 then None
+        else
+          match s.in_flight with
+          | [] -> None
+          | f :: fs -> Some (List.fold_left Float.min f fs)
+      in
+      Some
+        (Deny
+           {
+             reason = In_flight { tenant; in_flight = List.length s.in_flight; limit };
+             retry_at;
+           })
+    | _ -> None
+  in
+  match in_flight_deny with
+  | Some d ->
+    Obs.Metrics.inc c_denied_inflight;
+    d
+  | None -> (
+    match s.quota.ship_budget_bytes with
+    | Some budget when s.window_bytes >= budget ->
+      Obs.Metrics.inc c_denied_budget;
+      let retry_at =
+        (* a fresh window lifts the denial — unless nothing could ever
+           fit in one *)
+        if budget <= 0 then None else Some (s.window_start +. s.quota.window_ms)
+      in
+      Deny
+        {
+          reason =
+            Ship_budget
+              { tenant; used = s.window_bytes; budget; window_ms = s.quota.window_ms };
+          retry_at;
+        }
+    | _ ->
+      Obs.Metrics.inc c_admitted;
+      Admit)
+
+let started (t : t) ~tenant ~finish_ms =
+  let s = state t tenant in
+  s.in_flight <- finish_ms :: s.in_flight
+
+let charge (t : t) ~tenant ~now ~bytes =
+  let s = state t tenant in
+  roll_window s ~now;
+  s.window_bytes <- s.window_bytes + bytes

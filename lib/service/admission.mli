@@ -1,0 +1,66 @@
+(** Per-tenant admission control for the serving layer.
+
+    Two quota dimensions, both on the {e simulated} clock (the same
+    millisecond timeline the executor's message cost model produces):
+
+    - [max_in_flight] — how many of the tenant's statements may execute
+      concurrently across all of its sessions;
+    - [ship_budget_bytes] per [window_ms] — how many simulated SHIP
+      bytes the tenant may move per fixed window. The budget is
+      post-paid: a statement admitted while the window is under budget
+      may push it over, and the overrun blocks the {e next} admission
+      until the window rolls.
+
+    Over-budget work is either rejected outright or queued (retried at
+    the returned [retry_at] time), per the tenant's [on_deny] setting —
+    the scheduler implements the waiting, this module only decides.
+    Tenants without an explicit quota are {!unlimited}. *)
+
+type on_deny =
+  | Reject  (** deny becomes a terminal [`Denied] statement outcome *)
+  | Queue  (** the scheduler re-submits at [retry_at] *)
+
+type quota = {
+  max_in_flight : int option;  (** [None] = unlimited *)
+  ship_budget_bytes : int option;  (** [None] = unlimited *)
+  window_ms : float;  (** byte-budget accounting window *)
+  on_deny : on_deny;
+}
+
+val unlimited : quota
+(** No limits; [window_ms = 1000.], [on_deny = Reject]. *)
+
+type reason =
+  | In_flight of { tenant : string; in_flight : int; limit : int }
+  | Ship_budget of { tenant : string; used : int; budget : int; window_ms : float }
+
+val reason_to_string : reason -> string
+
+type decision =
+  | Admit
+  | Deny of {
+      reason : reason;
+      retry_at : float option;
+          (** earliest simulated time the denial could lift ([None] when
+              it never can, e.g. a zero budget — always a hard
+              rejection) *)
+    }
+
+type t
+
+val create : unit -> t
+val set_quota : t -> tenant:string -> quota -> unit
+val quota_of : t -> tenant:string -> quota
+
+val admit : t -> tenant:string -> now:float -> decision
+(** Decide admission at simulated time [now]: purges completions due by
+    [now], rolls the byte window, then checks in-flight count and
+    window budget. Does {e not} register the statement — call
+    {!started} once the caller commits to executing it. *)
+
+val started : t -> tenant:string -> finish_ms:float -> unit
+(** Register an admitted statement that will complete at [finish_ms]
+    (it counts against [max_in_flight] until then). *)
+
+val charge : t -> tenant:string -> now:float -> bytes:int -> unit
+(** Charge shipped bytes to the window containing [now]. *)

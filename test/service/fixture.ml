@@ -1,0 +1,106 @@
+(* Shared fixture for the serving-layer suite: the chaos suite's
+   two-table, three-region setup (small enough that the differential
+   property can run hundreds of optimize+execute cycles in seconds),
+   plus the query/policy pools the generators draw from. *)
+
+open Relalg
+
+let locations = [ "AS"; "EU"; "NA" ]
+
+let default_links =
+  [ ("NA", "EU", 50., 1e-3); ("NA", "AS", 80., 2e-3); ("EU", "AS", 60., 1.5e-3) ]
+
+let catalog ?(links = default_links) () =
+  let open Catalog.Table_def in
+  let customer =
+    make ~name:"customer" ~key:[ "custkey" ] ~row_count:20 ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 20; width = 12 } "name" Value.Tstr;
+          column ~stat:{ default_stat with distinct = 10 } "acctbal" Value.Tint;
+        ]
+  in
+  let orders =
+    make ~name:"orders" ~key:[ "ordkey" ] ~row_count:60 ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 60 } "ordkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 40 } "totprice" Value.Tint;
+        ]
+  in
+  let network = Catalog.Network.make ~locations ~links () in
+  Catalog.make ~network
+    [
+      (customer, [ { Catalog.db = "d1"; location = "NA"; fraction = 1.0 } ]);
+      (orders, [ { Catalog.db = "d2"; location = "EU"; fraction = 1.0 } ]);
+    ]
+
+(* Routes exist around any single failure (see test/chaos). *)
+let open_policies =
+  [
+    "ship custkey, name from customer to EU, AS";
+    "ship custkey, ordkey, totprice from orders to NA, AS";
+  ]
+
+(* Exactly one compliant route: customer -> EU, join at EU. *)
+let strict_policies = [ "ship custkey, name from customer to EU" ]
+
+let data cat =
+  let g = Storage.Prng.create ~seed:7 in
+  let db = Storage.Database.create () in
+  let add name rows =
+    let schema =
+      List.map (fun c -> Attr.make ~rel:name ~name:c) (Catalog.table_cols cat name)
+    in
+    Storage.Database.add db ~table:name
+      (Storage.Relation.make ~schema ~rows:(Array.of_list rows))
+  in
+  add "customer"
+    (List.init 20 (fun i ->
+         [| Value.Int i; Value.Str (Printf.sprintf "c%02d" i); Value.Int (100 * i) |]));
+  add "orders"
+    (List.init 60 (fun i ->
+         [| Value.Int (i mod 20); Value.Int i; Value.Int (10 + Storage.Prng.int g 90) |]));
+  db
+
+let q =
+  "SELECT c.name, SUM(o.totprice) FROM customer AS c, orders AS o \
+   WHERE c.custkey = o.custkey GROUP BY c.name"
+
+(* What the transparency generators draw from. *)
+let query_pool =
+  [
+    q;
+    "SELECT name FROM customer";
+    "SELECT custkey, totprice FROM orders";
+    "SELECT c.name, o.totprice FROM customer AS c, orders AS o \
+     WHERE c.custkey = o.custkey";
+  ]
+
+let policy_pool =
+  [
+    open_policies;
+    strict_policies;
+    open_policies @ [ "ship acctbal from customer to EU" ];
+  ]
+
+let session ?(policies = open_policies) ?cache ?links () =
+  let cat = catalog ?links () in
+  let s = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies s policies;
+  Cgqp.attach_database s (data cat);
+  Cgqp.set_plan_cache s cache;
+  s
+
+(* Canonical row image: sorted, floats rounded — order- and
+   plan-independent. *)
+let canon rel =
+  Storage.Relation.rows rel |> Array.to_list
+  |> List.map (fun row ->
+         Array.to_list row
+         |> List.map (function
+              | Value.Float f -> Value.Float (Float.round (f *. 1e4) /. 1e4)
+              | v -> v))
+  |> List.sort (List.compare Value.compare)
