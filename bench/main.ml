@@ -20,6 +20,9 @@
      e11 (extension) optimizer fast path: verdict caches + branch-and-bound
      serve (extension) serving layer: plan cache hit rate + admission
                      under a multi-session mix, cache-on/off differential
+     exec (extension) compiled execution engine vs the reference
+                     interpreter: speedup + byte-identity differential,
+                     writes BENCH_exec.json
      t1  Table 1     policy evaluator worked example
      smoke           quick CI subset (t1 + e11 with fewer repetitions)
 *)
@@ -738,6 +741,164 @@ let serve_bench ?(sessions = 8) ?(statements = 12) () =
   Fmt.pr " count means a stale plan escaped the policy-epoch invalidation)@."
 
 (* ------------------------------------------------------------------ *)
+(* exec -- compiled execution engine vs the reference interpreter *)
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "%s=%S: expected a number" name s))
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "%s=%S: expected an integer" name s))
+
+(* Everything the two engines must agree on byte-for-byte: the result
+   relation, the SHIP ledger, the row/retry counters, the per-node
+   profile and the simulated makespan — the same fingerprint the
+   differential tests in test/test_exec.ml check. *)
+let exec_fp (r : Exec.Interp.result) =
+  ( Storage.Relation.to_csv r.Exec.Interp.relation,
+    r.Exec.Interp.stats.Exec.Interp.ships,
+    r.Exec.Interp.stats.Exec.Interp.rows_processed,
+    r.Exec.Interp.stats.Exec.Interp.ship_retries,
+    r.Exec.Interp.profile,
+    r.Exec.Interp.makespan_ms )
+
+(* Knobs (all env, so the CI smoke job can shrink the run):
+     CGQP_EXEC_SF     TPC-H scale factor          (default 0.01)
+     CGQP_EXEC_RUNS   timed repetitions per engine (default 5)
+     CGQP_EXEC_ADHOC  ad-hoc queries in the mix    (default 12)
+     CGQP_EXEC_OUT    output JSON path             (default BENCH_exec.json) *)
+let exec_bench () =
+  let sf = getenv_float "CGQP_EXEC_SF" 0.01 in
+  let runs = getenv_int "CGQP_EXEC_RUNS" 5 in
+  let n_adhoc = getenv_int "CGQP_EXEC_ADHOC" 12 in
+  header
+    (Printf.sprintf "EXEC: compiled engine vs reference interpreter (sf %g, %d runs)"
+       sf runs);
+  let cat = Tpch.Schema.catalog () in
+  let policies = Policy.Pcatalog.of_texts cat Tpch.Policies.unrestricted in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf ()) in
+  let network = Catalog.network cat in
+  let table_cols = Catalog.table_cols cat in
+  let sd = seed ~default:2028 in
+  let adhoc =
+    List.mapi
+      (fun i sql -> (Printf.sprintf "adhoc%02d" (i + 1), sql))
+      (Tpch.Workload.gen_queries ~seed:sd ~n:n_adhoc ())
+  in
+  let workload = queries @ adhoc in
+  Fmt.pr "%d TPC-H + %d ad-hoc join/agg queries, unrestricted policies, seed %d@."
+    (List.length queries) n_adhoc sd;
+  Fmt.pr "%-8s %7s %14s %14s %8s %11s %12s %3s@." "query" "rows" "ref (ms)"
+    "comp (ms)" "speedup" "kernel(ms)" "comp rows/s" "fp";
+  let mismatches = ref 0 in
+  let tot_ref = ref 0. and tot_comp = ref 0. and tot_rows = ref 0 in
+  let per_query =
+    List.filter_map
+      (fun (name, sql) ->
+        match optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql with
+        | Optimizer.Planner.Rejected r ->
+          Fmt.pr "%-8s rejected: %s@." name r;
+          None
+        | Optimizer.Planner.Planned p ->
+          let plan = p.Optimizer.Planner.plan in
+          let run_ref () = Exec.Interp.run ~network ~db ~table_cols plan in
+          let run_comp () = Exec.Compile.run ~network ~db ~table_cols plan in
+          (* differential check first (doubles as warm-up) *)
+          let rref = run_ref () in
+          let rcomp = run_comp () in
+          let same = exec_fp rref = exec_fp rcomp in
+          if not same then incr mismatches;
+          let t_ref, se_ref = timed_stats ~runs (fun () -> ignore (run_ref ())) in
+          let t_comp, se_comp =
+            timed_stats ~runs (fun () -> ignore (run_comp ()))
+          in
+          (* the compile-once / execute-many split the serving layer sees *)
+          let compiled = Exec.Compile.compile ~db ~table_cols plan in
+          let t_kernel, _ =
+            timed_stats ~runs (fun () ->
+                ignore (Exec.Compile.execute ~network compiled))
+          in
+          let processed = rref.Exec.Interp.stats.Exec.Interp.rows_processed in
+          let rps t =
+            if t <= 0. then 0. else float_of_int processed /. (t /. 1000.)
+          in
+          let speedup = t_ref /. Float.max 1e-9 t_comp in
+          tot_ref := !tot_ref +. t_ref;
+          tot_comp := !tot_comp +. t_comp;
+          tot_rows := !tot_rows + processed;
+          Fmt.pr "%-8s %7d %8.2f +-%-4.2f %8.2f +-%-4.2f %7.2fx %11.2f %12.0f %3s@."
+            name
+            (Storage.Relation.cardinality rref.Exec.Interp.relation)
+            t_ref se_ref t_comp se_comp speedup t_kernel (rps t_comp)
+            (if same then "=" else "/=");
+          Some
+            Obs.Json.(
+              Obj
+                [
+                  ("query", Str name);
+                  ("rows", Num (float_of_int (Storage.Relation.cardinality rref.Exec.Interp.relation)));
+                  ("rows_processed", Num (float_of_int processed));
+                  ("ref_ms", Num t_ref);
+                  ("ref_se_ms", Num se_ref);
+                  ("compiled_ms", Num t_comp);
+                  ("compiled_se_ms", Num se_comp);
+                  ("kernel_ms", Num t_kernel);
+                  ("speedup", Num speedup);
+                  ("ref_rows_per_sec", Num (rps t_ref));
+                  ("compiled_rows_per_sec", Num (rps t_comp));
+                  ("identical", Bool same);
+                ]))
+      workload
+  in
+  let speedup = !tot_ref /. Float.max 1e-9 !tot_comp in
+  let rps t = if t <= 0. then 0. else float_of_int !tot_rows /. (t /. 1000.) in
+  Fmt.pr "@.total: reference %.2f ms, compiled %.2f ms -> %.2fx speedup@." !tot_ref
+    !tot_comp speedup;
+  Fmt.pr "throughput: %.0f rows/s reference, %.0f rows/s compiled@." (rps !tot_ref)
+    (rps !tot_comp);
+  Fmt.pr "cross-engine mismatches: %d (over %d queries)@." !mismatches
+    (List.length per_query);
+  let out =
+    match Sys.getenv_opt "CGQP_EXEC_OUT" with
+    | Some f when f <> "" -> f
+    | _ -> "BENCH_exec.json"
+  in
+  let json =
+    Obs.Json.(
+      Obj
+        [
+          ("bench", Str "exec");
+          ("sf", Num sf);
+          ("runs", Num (float_of_int runs));
+          ("seed", Num (float_of_int sd));
+          ("queries", Arr per_query);
+          ("total_ref_ms", Num !tot_ref);
+          ("total_compiled_ms", Num !tot_comp);
+          ("speedup", Num speedup);
+          ("ref_rows_per_sec", Num (rps !tot_ref));
+          ("compiled_rows_per_sec", Num (rps !tot_comp));
+          ("mismatches", Num (float_of_int !mismatches));
+        ])
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." out;
+  Fmt.pr "(fp `=` means byte-identical result, SHIP ledger, profile and makespan;@.";
+  Fmt.pr " kernel(ms) re-executes an already-compiled plan — the serving layer's@.";
+  Fmt.pr " compile-once/run-many split)@."
+
+(* ------------------------------------------------------------------ *)
 
 let smoke () =
   t1 ();
@@ -747,7 +908,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", fun () -> e3 ()); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ()); ("t1", t1);
+    ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ());
+    ("exec", exec_bench); ("t1", t1);
     ("ablation", ablation); ("micro", micro); ("smoke", smoke);
   ]
 

@@ -74,6 +74,25 @@ let traditional_arg =
     & info [ "traditional" ]
         ~doc:"Use the purely cost-based optimizer (no compliance annotations).")
 
+let engine_conv =
+  let parse s =
+    match Exec.Engine.of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "engine must be `reference' or `compiled'")
+  in
+  Arg.conv (parse, fun ppf e -> Fmt.string ppf (Exec.Engine.to_string e))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Executor: $(b,compiled) (one-time schema resolution and compiled \
+           operator kernels, the default) or $(b,reference) (the tree-walking \
+           interpreter). Both produce byte-identical results and accounting. \
+           Defaults to the CGQP_ENGINE environment variable, else compiled.")
+
 let sf_arg =
   Arg.(
     value & opt float 0.01
@@ -153,11 +172,12 @@ let load_policies session set file =
   in
   Cgqp.add_policies session texts
 
-let make_session ~set ~file ~traditional ?sf ?seed ?faults () =
+let make_session ~set ~file ~traditional ?engine ?sf ?seed ?faults () =
   let cat = Tpch.Schema.catalog ~sf:10.0 () in
   let session = Cgqp.create ~catalog:cat () in
   load_policies session set file;
   if traditional then Cgqp.set_mode session Optimizer.Memo.Traditional;
+  Option.iter (Cgqp.set_engine session) engine;
   (match sf with
   | Some sf ->
     let data = Tpch.Datagen.generate ?seed ~sf () in
@@ -223,15 +243,16 @@ let analyze_arg =
            $(b,--sf)) and annotate each operator with actual rows and SHIP bytes.")
 
 let explain_cmd =
-  let action set file traditional traits dot analyze sf seed faults trace metrics
-      query =
+  let action set file traditional engine traits dot analyze sf seed faults trace
+      metrics query =
     with_obs ~trace ~metrics @@ fun () ->
     match load_faults ~cli_seed:seed faults with
     | Error m -> `Error (false, m)
     | Ok faults ->
     let session =
-      if analyze then make_session ~set ~file ~traditional ~sf ?seed ?faults ()
-      else make_session ~set ~file ~traditional ?seed ?faults ()
+      if analyze then
+        make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ()
+      else make_session ~set ~file ~traditional ?engine ?seed ?faults ()
     in
     let sql = resolve_query query in
     (* optimize (and, under --analyze, execute) exactly once *)
@@ -264,9 +285,9 @@ let explain_cmd =
        ~doc:"Optimize a query and print the annotated plan")
     Term.(
       ret
-        (const action $ set_arg $ policy_file_arg $ traditional_arg $ traits_arg
-       $ dot_arg $ analyze_arg $ sf_arg $ seed_arg $ faults_arg $ trace_arg
-       $ metrics_arg $ query_arg))
+        (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
+       $ traits_arg $ dot_arg $ analyze_arg $ sf_arg $ seed_arg $ faults_arg
+       $ trace_arg $ metrics_arg $ query_arg))
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print the full result as CSV.")
@@ -278,12 +299,15 @@ let run_explain_arg =
         ~doc:"Also print the EXPLAIN ANALYZE plan tree (actual rows, SHIP bytes).")
 
 let run_cmd =
-  let action set file traditional sf seed faults csv explain trace metrics query =
+  let action set file traditional engine sf seed faults csv explain trace metrics
+      query =
     with_obs ~trace ~metrics @@ fun () ->
     match load_faults ~cli_seed:seed faults with
     | Error m -> `Error (false, m)
     | Ok faults ->
-    let session = make_session ~set ~file ~traditional ~sf ?seed ?faults () in
+    let session =
+      make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ()
+    in
     (* the effective seed makes every run replayable: data generation
        and the fault scheduler both derive from it *)
     if faults <> None || seed <> None then begin
@@ -321,8 +345,8 @@ let run_cmd =
        ~doc:"Optimize and execute a query on generated TPC-H data")
     Term.(
       ret
-        (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg
-       $ seed_arg $ faults_arg $ csv_arg
+        (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
+       $ sf_arg $ seed_arg $ faults_arg $ csv_arg
        $ run_explain_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let check_cmd =
@@ -532,7 +556,8 @@ let resolve_policy_set name =
   | _ -> None
 
 let serve_cmd =
-  let action sf seed faults no_cache capacity strict json trace metrics script =
+  let action engine sf seed faults no_cache capacity strict json trace metrics
+      script =
     with_obs ~trace ~metrics @@ fun () ->
     match Service.Script.parse_file script with
     | Error m -> `Error (false, Printf.sprintf "%s: %s" script m)
@@ -548,7 +573,7 @@ let serve_cmd =
           if no_cache then None else Some (Cgqp.Plan_cache.create ~capacity ())
         in
         let env =
-          Service.Scheduler.env ~catalog:cat ~database ?cache ?faults
+          Service.Scheduler.env ~catalog:cat ~database ?cache ?faults ?engine
             ~resolve_query ~resolve_policy_set ()
         in
         match Service.Scheduler.run ~env ?seed wl with
@@ -595,7 +620,7 @@ let serve_cmd =
          ])
     Term.(
       ret
-        (const action $ sf_arg $ seed_arg $ faults_arg $ no_cache_arg
+        (const action $ engine_arg $ sf_arg $ seed_arg $ faults_arg $ no_cache_arg
        $ cache_capacity_arg $ strict_arg $ json_arg $ trace_arg $ metrics_arg
        $ script_arg))
 
@@ -603,12 +628,12 @@ let serve_cmd =
    subcommand — [cgqp --explain Q3] is EXPLAIN ANALYZE, [cgqp Q3] is
    run. *)
 let default_term =
-  let action set file traditional sf explain trace metrics query =
+  let action set file traditional engine sf explain trace metrics query =
     match query with
     | None -> `Help (`Pager, None)
     | Some q ->
       with_obs ~trace ~metrics @@ fun () ->
-      let session = make_session ~set ~file ~traditional ~sf () in
+      let session = make_session ~set ~file ~traditional ?engine ~sf () in
       let sql = resolve_query q in
       if explain then (
         match Cgqp.explain_analyze session sql with
@@ -635,8 +660,8 @@ let default_term =
   in
   Term.(
     ret
-      (const action $ set_arg $ policy_file_arg $ traditional_arg $ sf_arg
-     $ run_explain_arg $ trace_arg $ metrics_arg $ opt_query))
+      (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
+     $ sf_arg $ run_explain_arg $ trace_arg $ metrics_arg $ opt_query))
 
 let () =
   let doc = "compliant geo-distributed query processing" in

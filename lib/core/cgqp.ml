@@ -25,6 +25,9 @@ type session = {
   mutable mode : Optimizer.Memo.mode;
   mutable faults : Catalog.Network.Fault.schedule;
   mutable retry : Exec.Interp.retry_policy;
+  mutable engine : Exec.Engine.t;
+      (* which executor runs the plans; resolved from CGQP_ENGINE at
+         session creation, overridable per session *)
   mutable cache : Plan_cache.t option;
       (* plan cache consulted by [optimize]/[run]; possibly shared with
          other sessions of a serving layer. [None] (the default) is the
@@ -77,6 +80,7 @@ let create ?database ~catalog () =
     mode = Optimizer.Memo.Compliant;
     faults = Catalog.Network.Fault.empty;
     retry = Exec.Interp.default_retry;
+    engine = Exec.Engine.default ();
     cache = None;
   }
 
@@ -87,6 +91,8 @@ let set_faults session sched = session.faults <- sched
 let faults session = session.faults
 let set_retry session policy = session.retry <- policy
 let retry session = session.retry
+let set_engine session engine = session.engine <- engine
+let engine session = session.engine
 let set_plan_cache session cache = session.cache <- cache
 let plan_cache session = session.cache
 
@@ -284,8 +290,9 @@ let run session sql : (run_result, error) result =
         let rec attempt (recovery : recovery) (planned : Optimizer.Planner.planned)
             =
           match
-            Exec.Interp.run ~faults:session.faults ~retry:session.retry ~network
-              ~db ~table_cols planned.Optimizer.Planner.plan
+            Exec.Engine.run ~engine:session.engine ~faults:session.faults
+              ~retry:session.retry ~network ~db ~table_cols
+              planned.Optimizer.Planner.plan
           with
           | interp -> Ok (planned, interp, recovery)
           | exception

@@ -1,0 +1,562 @@
+(* Compiling executor for physical plans.
+
+   Where the reference interpreter ([Interp]) re-resolves attribute
+   names and re-walks Pred/Expr ASTs on every row, this engine does all
+   of that once per operator at plan-compile time:
+
+   - attributes are resolved against the child schema into integer
+     column indices (via [Storage.Relation.resolver]);
+   - Pred/Expr ASTs become index-addressed closures, with constant
+     subterms folded and null checks specialized away where an operand
+     is a known non-null constant;
+   - join-key index vectors are precomputed, and probe keys / joined
+     rows go through reused scratch buffers so the inner loops only
+     allocate for rows that are actually emitted.
+
+   Execution then runs the compiled tree over plain [Value.t array]
+   rows, materializing a [Storage.Relation.t] only at the root. SHIPs,
+   retries, profiles and metrics go through the shared [Runtime], and
+   the engine executes children in the same order as the interpreter
+   (right child first for binary operators, left-to-right for unions),
+   so results, SHIP accounting and EXPLAIN ANALYZE actuals are
+   byte-identical to the reference engine — see docs/EXECUTOR.md and
+   the differential property in test/test_exec.ml. *)
+
+open Relalg
+open Runtime
+
+type ctx = {
+  stats : stats;
+  profile : node_profile list ref;
+  faults : Catalog.Network.Fault.schedule;
+  retry : retry_policy;
+  network : Catalog.Network.t;
+}
+
+(* A compiled node: schema fixed at compile time, [exec] runs the whole
+   subtree (bookkeeping included) and returns the output rows plus the
+   subtree's simulated finish time. *)
+type cnode = { cschema : Attr.t list; exec : ctx -> Value.t array array * float }
+
+type t = cnode
+
+let schema t = t.cschema
+
+(* --- scalar / predicate compilation --- *)
+
+let binop_fn : Expr.binop -> Value.t -> Value.t -> Value.t = function
+  | Expr.Add -> Value.add
+  | Expr.Sub -> Value.sub
+  | Expr.Mul -> Value.mul
+  | Expr.Div -> Value.div
+
+(* Fold constant subterms bottom-up: a Binop over two Consts becomes a
+   Const. Arithmetic here is [Value.add] etc., exactly what evaluation
+   would do, so folding cannot change results. *)
+let rec fold_scalar (e : Expr.scalar) : Expr.scalar =
+  match e with
+  | Expr.Col _ | Expr.Const _ -> e
+  | Expr.Binop (op, l, r) -> (
+    let l = fold_scalar l and r = fold_scalar r in
+    match l, r with
+    | Expr.Const a, Expr.Const b -> Expr.Const (binop_fn op a b)
+    | _ -> Expr.Binop (op, l, r))
+
+let compile_scalar (rv : Storage.Relation.resolver) (e : Expr.scalar) :
+    Value.t array -> Value.t =
+  let rec go e =
+    match e with
+    | Expr.Const v -> fun _ -> v
+    | Expr.Col a -> (
+      match Storage.Relation.resolve rv a with
+      | Some ix -> fun row -> if ix < Array.length row then row.(ix) else Value.Null
+      | None -> fun _ -> Value.Null)
+    | Expr.Binop (op, l, r) ->
+      let fl = go l and fr = go r in
+      let f = binop_fn op in
+      fun row -> f (fl row) (fr row)
+  in
+  go (fold_scalar e)
+
+let cmp_fn : Pred.cmp -> int -> bool = function
+  | Pred.Eq -> fun k -> k = 0
+  | Pred.Ne -> fun k -> k <> 0
+  | Pred.Lt -> fun k -> k < 0
+  | Pred.Le -> fun k -> k <= 0
+  | Pred.Gt -> fun k -> k > 0
+  | Pred.Ge -> fun k -> k >= 0
+
+let const_true = fun (_ : Value.t array) -> true
+let const_false = fun (_ : Value.t array) -> false
+
+(* LIKE patterns without wildcards are plain string equality. *)
+let has_wildcard pat = String.exists (fun c -> c = '%' || c = '_') pat
+
+let compile_atom rv (a : Pred.atom) : Value.t array -> bool =
+  match a with
+  | Pred.Cmp (c, l, r) -> (
+    let test = cmp_fn c in
+    match fold_scalar l, fold_scalar r with
+    | Expr.Const a, Expr.Const b ->
+      if Pred.eval_cmp c a b then const_true else const_false
+    | Expr.Const a, r ->
+      (* NULL cmp anything is false, so a null constant kills the atom;
+         a non-null constant needs no per-row null check on its side *)
+      if Value.is_null a then const_false
+      else
+        let fr = compile_scalar rv r in
+        fun row ->
+          let b = fr row in
+          (not (Value.is_null b)) && test (Value.compare a b)
+    | l, Expr.Const b ->
+      if Value.is_null b then const_false
+      else
+        let fl = compile_scalar rv l in
+        fun row ->
+          let a = fl row in
+          (not (Value.is_null a)) && test (Value.compare a b)
+    | l, r ->
+      let fl = compile_scalar rv l and fr = compile_scalar rv r in
+      fun row ->
+        let a = fl row in
+        (not (Value.is_null a))
+        &&
+        let b = fr row in
+        (not (Value.is_null b)) && test (Value.compare a b))
+  | Pred.Like (e, pat) ->
+    let fe = compile_scalar rv e in
+    if has_wildcard pat then fun row ->
+      (match fe row with Value.Str s -> Pred.like_match ~pattern:pat s | _ -> false)
+    else fun row ->
+      (match fe row with Value.Str s -> String.equal s pat | _ -> false)
+  | Pred.In (e, vs) ->
+    let fe = compile_scalar rv e in
+    fun row ->
+      let v = fe row in
+      (not (Value.is_null v)) && List.exists (Value.equal v) vs
+  | Pred.Is_null e ->
+    let fe = compile_scalar rv e in
+    fun row -> Value.is_null (fe row)
+  | Pred.Not_null e ->
+    let fe = compile_scalar rv e in
+    fun row -> not (Value.is_null (fe row))
+
+(* Fold column-free subtrees to True/False (their value cannot depend
+   on the row; evaluate once with a never-called lookup) and simplify
+   through the boolean connectives. *)
+let rec fold_pred (p : Pred.t) : Pred.t =
+  match p with
+  | Pred.True | Pred.False -> p
+  | Pred.Atom a ->
+    if Attr.Set.is_empty (Pred.atom_cols a) then
+      if Pred.eval_atom (fun _ -> Value.Null) a then Pred.True else Pred.False
+    else p
+  | Pred.And (l, r) -> Pred.conj (fold_pred l) (fold_pred r)
+  | Pred.Or (l, r) -> Pred.disj (fold_pred l) (fold_pred r)
+  | Pred.Not q -> (
+    match fold_pred q with
+    | Pred.True -> Pred.False
+    | Pred.False -> Pred.True
+    | q -> Pred.Not q)
+
+let compile_pred rv (p : Pred.t) : Value.t array -> bool =
+  let rec go = function
+    | Pred.True -> const_true
+    | Pred.False -> const_false
+    | Pred.Atom a -> compile_atom rv a
+    | Pred.And (l, r) ->
+      let fl = go l and fr = go r in
+      fun row -> fl row && fr row
+    | Pred.Or (l, r) ->
+      let fl = go l and fr = go r in
+      fun row -> fl row || fr row
+    | Pred.Not q ->
+      let f = go q in
+      fun row -> not (f row)
+  in
+  go (fold_pred p)
+
+(* --- key index vectors --- *)
+
+(* Column positions of join/group keys; [-1] marks an unresolvable
+   attribute, which reads as NULL for every row (same as the
+   interpreter's lookup). *)
+let key_ixs rv attrs : int array =
+  Array.of_list
+    (List.map
+       (fun a -> match Storage.Relation.resolve rv a with Some i -> i | None -> -1)
+       attrs)
+
+let key_val (row : Value.t array) ix =
+  if ix >= 0 && ix < Array.length row then row.(ix) else Value.Null
+
+(* Fill [buf] with the key of [row]; false if any component is NULL
+   (such rows never join). *)
+let fill_key (ixs : int array) (row : Value.t array) (buf : Value.t array) =
+  let ok = ref true in
+  for i = 0 to Array.length ixs - 1 do
+    let v = key_val row ixs.(i) in
+    if Value.is_null v then ok := false;
+    buf.(i) <- v
+  done;
+  !ok
+
+(* --- joined-row emission through a reused buffer --- *)
+
+(* Emit machinery for join outputs, built once at compile time: with a
+   residual, rows are blitted into a scratch buffer, tested, and copied
+   only when kept; with [Pred.True] the buffer (and the test)
+   disappears. The buffer is safe to share across executions of the
+   compiled plan — execution is single-threaded and each emit fully
+   overwrites it. *)
+let joined_emitter ~lw ~rw ~(residual : Pred.t) ~(cschema : Attr.t list) :
+    Value.t array list ref -> Value.t array -> Value.t array -> unit =
+  match fold_pred residual with
+  | Pred.True -> fun out lrow rrow -> out := Array.append lrow rrow :: !out
+  | residual ->
+    let keep = compile_pred (Storage.Relation.resolver cschema) residual in
+    let buf = Array.make (lw + rw) Value.Null in
+    fun out lrow rrow ->
+      Array.blit lrow 0 buf 0 lw;
+      Array.blit rrow 0 buf lw rw;
+      if keep buf then out := Array.copy buf :: !out
+
+(* --- operator kernels --- *)
+
+let filter_kernel p rows =
+  let out =
+    Array.fold_left (fun acc row -> if p row then row :: acc else acc) [] rows
+  in
+  Array.of_list (List.rev out)
+
+let project_kernel (gets : (Value.t array -> Value.t) array) rows =
+  Array.map (fun row -> Array.map (fun g -> g row) gets) rows
+
+let hash_join_kernel ~lixs ~rixs ~emit ~(out : Value.t array list ref) lrows rrows =
+  let nk = Array.length rixs in
+  let tbl = Row_tbl.create (max 16 (Array.length rrows)) in
+  let kbuf = Array.make nk Value.Null in
+  Array.iter
+    (fun row -> if fill_key rixs row kbuf then Row_tbl.add tbl (Array.copy kbuf) row)
+    rrows;
+  Array.iter
+    (fun lrow ->
+      if fill_key lixs lrow kbuf then
+        List.iter (fun rrow -> emit lrow rrow) (Row_tbl.find_all tbl kbuf))
+    lrows;
+  Array.of_list (List.rev !out)
+
+let nl_join_kernel ~emit ~(out : Value.t array list ref) lrows rrows =
+  Array.iter (fun lrow -> Array.iter (fun rrow -> emit lrow rrow) rrows) lrows;
+  Array.of_list (List.rev !out)
+
+let merge_join_kernel ~(lixs : int array) ~(rixs : int array) ~emit
+    ~(out : Value.t array list ref) (lrows : Value.t array array)
+    (rrows : Value.t array array) =
+  (* inputs arrive sorted ascending on their key columns; same run
+     logic and emit order as the interpreter *)
+  let nk = Array.length lixs in
+  let lnull row =
+    let rec go i = i < nk && (Value.is_null (key_val row lixs.(i)) || go (i + 1)) in
+    go 0
+  in
+  let cmp_lr lrow rrow =
+    let rec go i =
+      if i = nk then 0
+      else
+        let c = Value.compare (key_val lrow lixs.(i)) (key_val rrow rixs.(i)) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let cmp_ll row row' =
+    let rec go i =
+      if i = nk then 0
+      else
+        let c = Value.compare (key_val row lixs.(i)) (key_val row' lixs.(i)) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let nl = Array.length lrows and nr = Array.length rrows in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl && !j < nr do
+    let lrow = lrows.(!i) in
+    if lnull lrow then incr i
+    else begin
+      let c = cmp_lr lrow rrows.(!j) in
+      if c < 0 then incr i
+      else if c > 0 then incr j
+      else begin
+        (* find the run of equal right keys *)
+        let j2 = ref !j in
+        while !j2 < nr && cmp_lr lrow rrows.(!j2) = 0 do
+          incr j2
+        done;
+        (* emit pairs for every left row sharing this key *)
+        let i2 = ref !i in
+        while !i2 < nl && cmp_ll lrows.(!i2) lrow = 0 do
+          for jj = !j to !j2 - 1 do
+            emit lrows.(!i2) rrows.(jj)
+          done;
+          incr i2
+        done;
+        i := !i2;
+        j := !j2
+      end
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let hash_agg_kernel ~(kixs : int array) ~(agg_fns : Expr.agg_fn array)
+    ~(agg_gets : (Value.t array -> Value.t) array) rows =
+  let nk = Array.length kixs and na = Array.length agg_fns in
+  let groups : (Value.t array * acc array) Row_tbl.t = Row_tbl.create 64 in
+  let order = ref [] in
+  let kbuf = Array.make nk Value.Null in
+  Array.iter
+    (fun row ->
+      (* NULLs are legal in group keys (unlike join keys) *)
+      for i = 0 to nk - 1 do
+        kbuf.(i) <- key_val row kixs.(i)
+      done;
+      let accs =
+        match Row_tbl.find_opt groups kbuf with
+        | Some (_, accs) -> accs
+        | None ->
+          let k = Array.copy kbuf in
+          let accs = Array.init na (fun _ -> fresh_acc ()) in
+          Row_tbl.add groups k (k, accs);
+          order := k :: !order;
+          accs
+      in
+      for i = 0 to na - 1 do
+        feed accs.(i) (agg_gets.(i) row)
+      done)
+    rows;
+  (* a global aggregate over an empty input still yields one row *)
+  if nk = 0 && Row_tbl.length groups = 0 then begin
+    let accs = Array.init na (fun _ -> fresh_acc ()) in
+    Row_tbl.add groups [||] ([||], accs);
+    order := [||] :: !order
+  end;
+  List.rev_map
+    (fun k ->
+      let _, accs = Row_tbl.find groups k in
+      let rowout = Array.make (nk + na) Value.Null in
+      Array.blit k 0 rowout 0 nk;
+      for i = 0 to na - 1 do
+        rowout.(nk + i) <- finish agg_fns.(i) accs.(i)
+      done;
+      rowout)
+    !order
+  |> Array.of_list
+
+let sort_kernel ~(kix : (int * bool) list) rows =
+  let cmp r1 r2 =
+    let rec go = function
+      | [] -> 0
+      | (ix, desc) :: rest ->
+        let c = Value.compare (key_val r1 ix) (key_val r2 ix) in
+        if c <> 0 then if desc then -c else c else go rest
+    in
+    go kix
+  in
+  let rows = Array.copy rows in
+  Array.stable_sort cmp rows;
+  rows
+
+(* --- plan compilation --- *)
+
+let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
+    (plan : Pplan.t) : t =
+  (* [rpath] is the node's root-to-node child-index path, reversed —
+     baked into each node's closure at compile time. *)
+  let rec comp (rpath : int list) (p : Pplan.t) : cnode =
+    let label = Pplan.node_label p.Pplan.node and loc = p.Pplan.loc in
+    (* Post-order bookkeeping shared by every non-SHIP wrapper below. *)
+    let book ctx rows fin =
+      let card = Array.length rows in
+      record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc ~ship:None
+        ~card ~bytes:(rows_bytes rows);
+      (rows, fin +. (float_of_int card *. row_cost_ms))
+    in
+    (* Children execute right-first for binary operators: SHIP indices
+       (and with them the deterministic per-attempt drop fates) follow
+       execution order, and the historical order was OCaml's
+       right-to-left tuple evaluation. Matches [Interp]. *)
+    let comp2 l r =
+      let cl = comp (0 :: rpath) l and cr = comp (1 :: rpath) r in
+      ( cl,
+        cr,
+        fun ctx ->
+          let rrows, rfin = cr.exec ctx in
+          let lrows, lfin = cl.exec ctx in
+          (lrows, rrows, Float.max lfin rfin) )
+    in
+    match p.Pplan.node, p.Pplan.children with
+    | Pplan.Table_scan { table; alias; partition }, [] ->
+      let r = Storage.Database.find_exn db ~table ~partition () in
+      let cschema =
+        (* re-qualify the stored schema with the query alias *)
+        List.map2
+          (fun (_ : Attr.t) c -> Attr.make ~rel:alias ~name:c)
+          (Storage.Relation.schema r) (table_cols table)
+      in
+      let rows = Storage.Relation.rows r in
+      { cschema; exec = (fun ctx -> book ctx rows 0.) }
+    | Pplan.Filter pred, [ c ] ->
+      let cc = comp (0 :: rpath) c in
+      let keep = compile_pred (Storage.Relation.resolver cc.cschema) pred in
+      {
+        cschema = cc.cschema;
+        exec =
+          (fun ctx ->
+            let rows, fin = cc.exec ctx in
+            book ctx (filter_kernel keep rows) fin);
+      }
+    | Pplan.Project items, [ c ] ->
+      let cc = comp (0 :: rpath) c in
+      let rv = Storage.Relation.resolver cc.cschema in
+      let gets =
+        Array.of_list (List.map (fun (e, _) -> compile_scalar rv e) items)
+      in
+      {
+        cschema = List.map snd items;
+        exec =
+          (fun ctx ->
+            let rows, fin = cc.exec ctx in
+            book ctx (project_kernel gets rows) fin);
+      }
+    | Pplan.Hash_join { keys; residual }, [ l; r ] ->
+      let cl, cr, exec2 = comp2 l r in
+      let lrv = Storage.Relation.resolver cl.cschema
+      and rrv = Storage.Relation.resolver cr.cschema in
+      let lixs = key_ixs lrv (List.map fst keys)
+      and rixs = key_ixs rrv (List.map snd keys) in
+      let cschema = cl.cschema @ cr.cschema in
+      let lw = List.length cl.cschema and rw = List.length cr.cschema in
+      let emitter = joined_emitter ~lw ~rw ~residual ~cschema in
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            let lrows, rrows, fin = exec2 ctx in
+            let out = ref [] in
+            book ctx (hash_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows) fin);
+      }
+    | Pplan.Nl_join pred, [ l; r ] ->
+      let cl, cr, exec2 = comp2 l r in
+      let cschema = cl.cschema @ cr.cschema in
+      let lw = List.length cl.cschema and rw = List.length cr.cschema in
+      let emitter = joined_emitter ~lw ~rw ~residual:pred ~cschema in
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            let lrows, rrows, fin = exec2 ctx in
+            let out = ref [] in
+            book ctx (nl_join_kernel ~emit:(emitter out) ~out lrows rrows) fin);
+      }
+    | Pplan.Hash_agg { keys; aggs }, [ c ] ->
+      let cc = comp (0 :: rpath) c in
+      let rv = Storage.Relation.resolver cc.cschema in
+      let kixs = key_ixs rv keys in
+      let agg_fns = Array.of_list (List.map (fun (a : Expr.agg) -> a.fn) aggs) in
+      let agg_gets =
+        Array.of_list
+          (List.map (fun (a : Expr.agg) -> compile_scalar rv a.arg) aggs)
+      in
+      let cschema =
+        keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
+      in
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            let rows, fin = cc.exec ctx in
+            book ctx (hash_agg_kernel ~kixs ~agg_fns ~agg_gets rows) fin);
+      }
+    | Pplan.Sort keys, [ c ] ->
+      let cc = comp (0 :: rpath) c in
+      let rv = Storage.Relation.resolver cc.cschema in
+      let kix =
+        List.map
+          (fun (a, desc) ->
+            ((match Storage.Relation.resolve rv a with Some i -> i | None -> -1), desc))
+          keys
+      in
+      {
+        cschema = cc.cschema;
+        exec =
+          (fun ctx ->
+            let rows, fin = cc.exec ctx in
+            book ctx (sort_kernel ~kix rows) fin);
+      }
+    | Pplan.Merge_join { keys; residual }, [ l; r ] ->
+      let cl, cr, exec2 = comp2 l r in
+      let lrv = Storage.Relation.resolver cl.cschema
+      and rrv = Storage.Relation.resolver cr.cschema in
+      let lixs = key_ixs lrv (List.map fst keys)
+      and rixs = key_ixs rrv (List.map snd keys) in
+      let cschema = cl.cschema @ cr.cschema in
+      let lw = List.length cl.cschema and rw = List.length cr.cschema in
+      let emitter = joined_emitter ~lw ~rw ~residual ~cschema in
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            let lrows, rrows, fin = exec2 ctx in
+            let out = ref [] in
+            book ctx (merge_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows) fin);
+      }
+    | Pplan.Union_all, (_ :: _ as children) ->
+      let ccs = List.mapi (fun i c -> comp (i :: rpath) c) children in
+      {
+        cschema = (List.hd ccs).cschema;
+        exec =
+          (fun ctx ->
+            (* children left-to-right, explicitly (ship-order
+               determinism) — matches [Interp] *)
+            let rec run_children fin acc = function
+              | [] -> (List.rev acc, fin)
+              | (c : cnode) :: rest ->
+                let rows, f = c.exec ctx in
+                run_children (Float.max fin f) (rows :: acc) rest
+            in
+            let parts, fin = run_children 0. [] ccs in
+            book ctx (Array.concat parts) fin);
+      }
+    | Pplan.Ship { from_loc; to_loc }, [ c ] ->
+      let cc = comp (0 :: rpath) c in
+      {
+        cschema = cc.cschema;
+        exec =
+          (fun ctx ->
+            let rows, fin = cc.exec ctx in
+            let bytes = rows_bytes rows in
+            let record =
+              do_ship ~faults:ctx.faults ~retry:ctx.retry ~network:ctx.network
+                ~stats:ctx.stats ~from_loc ~to_loc ~bytes ~rows:(Array.length rows)
+            in
+            record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc
+              ~ship:(Some record) ~card:(Array.length rows) ~bytes;
+            (rows, fin +. record.cost_ms));
+      }
+    | node, children ->
+      fail "malformed plan: %s with %d children" (Pplan.node_label node)
+        (List.length children)
+  in
+  comp [] plan
+
+let execute ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
+    ~(network : Catalog.Network.t) (t : t) : result =
+  let stats = fresh_stats () in
+  let profile = ref [] in
+  let ctx = { stats; profile; faults; retry; network } in
+  let rows, makespan_ms = Obs.Trace.span "exec.run" (fun () -> t.exec ctx) in
+  let relation = Storage.Relation.make ~schema:t.cschema ~rows in
+  { relation; stats; profile = List.rev !profile; makespan_ms }
+
+let run ?faults ?retry ~network ~db ~table_cols plan =
+  execute ?faults ?retry ~network (compile ~db ~table_cols plan)

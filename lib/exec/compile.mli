@@ -1,0 +1,57 @@
+(** Compiling executor for placed physical plans.
+
+    The performance engine: where {!Interp} re-resolves attribute names
+    and re-walks [Pred]/[Expr] ASTs per row, {!compile} does that once
+    per operator — attributes become integer column indices, predicates
+    and projections become index-addressed closures with constant
+    folding and null-check specialization, and join/group keys become
+    precomputed index vectors feeding reused scratch buffers — so the
+    inner loops over [Value.t array] rows only allocate for rows they
+    actually emit.
+
+    The compiled engine is {e byte-identical} to the reference
+    interpreter: same result rows in the same order, same SHIP records
+    (order, bytes, simulated cost, retry fates), same per-operator
+    profiles and makespan, same metrics and trace events. SHIPs,
+    retries and bookkeeping run through the shared {!Runtime}; the
+    invariant is enforced by the differential property and golden tests
+    in [test/test_exec.ml]. See [docs/EXECUTOR.md]. *)
+
+open Relalg
+
+type t
+(** A compiled plan: reusable across executions (e.g. across retries or
+    repeated serving-path runs of a cached plan). *)
+
+val schema : t -> Attr.t list
+(** Output schema, fixed at compile time. *)
+
+val compile :
+  db:Storage.Database.t -> table_cols:(string -> string list) -> Pplan.t -> t
+(** Compile a placed plan: resolve every attribute against its
+    operator's input schema, specialize predicates/projections into
+    closures, and precompute join-key index vectors. [table_cols]
+    resolves a table's stored column order, used to re-qualify scan
+    schemas with the query alias (as in {!Interp.run}). Raises
+    {!Runtime.Runtime_error} on malformed plans and [Invalid_argument]
+    on unknown tables. *)
+
+val execute :
+  ?faults:Catalog.Network.Fault.schedule ->
+  ?retry:Runtime.retry_policy ->
+  network:Catalog.Network.t ->
+  t ->
+  Runtime.result
+(** Execute a compiled plan. Semantics, SHIP accounting, fault
+    injection and observability are exactly those of {!Interp.run};
+    raises {!Runtime.Ship_failed} on permanent transfer failures. *)
+
+val run :
+  ?faults:Catalog.Network.Fault.schedule ->
+  ?retry:Runtime.retry_policy ->
+  network:Catalog.Network.t ->
+  db:Storage.Database.t ->
+  table_cols:(string -> string list) ->
+  Pplan.t ->
+  Runtime.result
+(** [compile] then [execute] — drop-in replacement for {!Interp.run}. *)

@@ -1,0 +1,29 @@
+(* Engine selection: the compiling executor ([Compile]) is the default;
+   the tree-walking interpreter ([Interp]) stays available as the
+   reference engine for differential testing and debugging. Both are
+   byte-identical on results, SHIP accounting and profiles. *)
+
+type t = Reference | Compiled
+
+let to_string = function Reference -> "reference" | Compiled -> "compiled"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "reference" | "interp" | "interpreter" -> Some Reference
+  | "compiled" | "compile" -> Some Compiled
+  | _ -> None
+
+let default () =
+  match Sys.getenv_opt "CGQP_ENGINE" with
+  | None | Some "" -> Compiled
+  | Some s -> (
+    match of_string s with
+    | Some e -> e
+    | None ->
+      invalid_arg
+        (Printf.sprintf "CGQP_ENGINE=%S: expected \"reference\" or \"compiled\"" s))
+
+let run ?(engine = Compiled) ?faults ?retry ~network ~db ~table_cols plan =
+  match engine with
+  | Reference -> Interp.run ?faults ?retry ~network ~db ~table_cols plan
+  | Compiled -> Compile.run ?faults ?retry ~network ~db ~table_cols plan

@@ -1,170 +1,21 @@
-(* Materialized interpreter for physical plans. Executes bottom-up
-   against a [Storage.Database.t] and accounts the bytes and simulated
-   cost of every SHIP operator (the paper's message cost model,
-   §7.4).
-
-   SHIPs run under an optional fault schedule: transient drops and
-   per-attempt timeouts are retried with capped exponential backoff on
-   the simulated clock, and permanent link/site outages (or exhausted
-   retry budgets) raise [Ship_failed], which the session layer turns
-   into a compliant failover re-plan (see [Cgqp.run]). *)
+(* Reference interpreter for physical plans: a straightforward
+   tree-walker, kept as the semantic baseline the compiling executor
+   ([Compile]) is differentially tested against. Executes bottom-up
+   against a [Storage.Database.t]; SHIP accounting, retry/backoff,
+   profiles and observability all go through the shared [Runtime], so
+   both engines produce byte-identical results and stats. *)
 
 open Relalg
 
-type ship_record = {
-  from_loc : Catalog.Location.t;
-  to_loc : Catalog.Location.t;
-  bytes : int;
-  rows : int;
-  cost_ms : float;
-  attempts : int;
-}
-
-type stats = {
-  mutable ships : ship_record list;
-  mutable rows_processed : int;
-  mutable ship_retries : int;
-}
-
-type retry_policy = {
-  max_attempts : int;  (* total tries per SHIP, >= 1 *)
-  base_backoff_ms : float;  (* backoff before retry k: base * 2^(k-1), capped *)
-  max_backoff_ms : float;
-  attempt_timeout_ms : float;
-      (* an attempt whose simulated transfer time exceeds this is
-         abandoned (and charged the timeout) *)
-  budget_ms : float;  (* simulated-clock budget per SHIP, backoffs included *)
-}
-
-let default_retry =
-  {
-    max_attempts = 4;
-    base_backoff_ms = 50.;
-    max_backoff_ms = 1600.;
-    attempt_timeout_ms = Float.infinity;
-    budget_ms = Float.infinity;
-  }
-
-type ship_failure =
-  [ `Link_down
-  | `Site_down of Catalog.Location.t
-  | `Attempts_exhausted
-  | `Budget_exhausted ]
-
-exception
-  Ship_failed of {
-    from_loc : Catalog.Location.t;
-    to_loc : Catalog.Location.t;
-    attempts : int;
-    reason : ship_failure;
-  }
-
-let ship_failure_to_string : ship_failure -> string = function
-  | `Link_down -> "link down"
-  | `Site_down l -> "site " ^ l ^ " down"
-  | `Attempts_exhausted -> "retry attempts exhausted"
-  | `Budget_exhausted -> "simulated-clock budget exhausted"
-
-let () =
-  Printexc.register_printer (function
-    | Ship_failed { from_loc; to_loc; attempts; reason } ->
-      Some
-        (Printf.sprintf "Exec.Interp.Ship_failed(%s -> %s after %d attempts: %s)"
-           from_loc to_loc attempts (ship_failure_to_string reason))
-    | _ -> None)
-
-(* Per-operator execution profile, keyed by the node's position in the
-   plan tree (root-to-node child indices) so EXPLAIN ANALYZE can match
-   actuals back to plan nodes without identity tricks. *)
-type node_profile = {
-  path : int list;
-  label : string;
-  actual_rows : int;
-  actual_bytes : int;
-  ship : ship_record option;
-}
-
-type result = {
-  relation : Storage.Relation.t;
-  stats : stats;
-  profile : node_profile list;  (* execution (post-) order *)
-  makespan_ms : float;
-      (* simulated response time: sibling subtrees proceed in parallel,
-         transfers follow the message cost model, local processing is
-         charged per materialized row *)
-}
-
-let c_rows = Obs.Metrics.counter "cgqp_exec_rows_processed_total"
-let c_ships = Obs.Metrics.counter "cgqp_exec_ships_total"
-let c_ship_bytes = Obs.Metrics.counter "cgqp_exec_ship_bytes_total"
-let c_ship_retries = Obs.Metrics.counter "cgqp_exec_ship_retries_total"
-let c_ship_retry_bytes = Obs.Metrics.counter "cgqp_exec_ship_retry_bytes_total"
-let h_ship_cost_ms = Obs.Metrics.histogram "cgqp_exec_ship_cost_ms"
-
-(* Simulated per-row local processing cost (ms); only relative
-   magnitudes matter. *)
-let row_cost_ms = 1e-5
-
-let total_ship_cost stats = List.fold_left (fun a s -> a +. s.cost_ms) 0. stats.ships
-let total_ship_bytes stats = List.fold_left (fun a s -> a + s.bytes) 0 stats.ships
-
-(* Bytes the network actually carried: a retried payload crosses the
-   link once per attempt, but counts only once toward the result. *)
-let total_traffic_bytes stats =
-  List.fold_left (fun a s -> a + (s.bytes * s.attempts)) 0 stats.ships
-
-exception Runtime_error of string
-
-let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
-
-(* --- aggregate accumulation --- *)
-
-type acc = {
-  mutable sum : Value.t;
-  mutable count : int;
-  mutable vmin : Value.t;
-  mutable vmax : Value.t;
-}
-
-let fresh_acc () = { sum = Value.Null; count = 0; vmin = Value.Null; vmax = Value.Null }
-
-let feed acc v =
-  match v with
-  | Value.Null -> ()
-  | _ ->
-    acc.count <- acc.count + 1;
-    acc.sum <- (if acc.sum = Value.Null then v else Value.add acc.sum v);
-    acc.vmin <-
-      (if acc.vmin = Value.Null || Value.compare v acc.vmin < 0 then v else acc.vmin);
-    acc.vmax <-
-      (if acc.vmax = Value.Null || Value.compare v acc.vmax > 0 then v else acc.vmax)
-
-let finish (fn : Expr.agg_fn) acc =
-  match fn with
-  | Expr.Sum -> acc.sum
-  | Expr.Count -> Value.Int acc.count
-  | Expr.Min -> acc.vmin
-  | Expr.Max -> acc.vmax
-  | Expr.Avg ->
-    if acc.count = 0 then Value.Null
-    else Value.div acc.sum (Value.Int acc.count)
-
-(* --- row utilities --- *)
-
-module Row_key = struct
-  type t = Value.t array
-
-  let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
-
-  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
-end
-
-module Row_tbl = Hashtbl.Make (Row_key)
+(* Re-export the shared scaffolding: [Exec.Interp.Ship_failed] etc.
+   remain the same constructors as [Exec.Runtime]'s, so handlers keep
+   working whichever engine raised. *)
+include Runtime
 
 let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
     ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
     ~(table_cols : string -> string list) (plan : Pplan.t) : result =
-  let stats = { ships = []; rows_processed = 0; ship_retries = 0 } in
+  let stats = fresh_stats () in
   let profile = ref [] in
   (* completion time of each subtree, for the makespan *)
   let done_at : (Pplan.t, float) Hashtbl.t = Hashtbl.create 64 in
@@ -176,7 +27,15 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
   (* [rpath] is the node's root-to-node child-index path, reversed. *)
   let rec exec (rpath : int list) (p : Pplan.t) : Storage.Relation.t =
     let exec1 c = exec (0 :: rpath) c in
-    let exec2 l r = (exec (0 :: rpath) l, exec (1 :: rpath) r) in
+    let exec2 l r =
+      (* Right child first: SHIP indices (and with them the
+         deterministic per-attempt drop fates) follow execution order,
+         and the historical order was OCaml's right-to-left tuple
+         evaluation. Both engines make it explicit. *)
+      let rrel = exec (1 :: rpath) r in
+      let lrel = exec (0 :: rpath) l in
+      (lrel, rrel)
+    in
     let rel =
       match p.Pplan.node, p.Pplan.children with
       | Pplan.Table_scan { table; alias; partition }, [] ->
@@ -218,34 +77,31 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
         Array.iter
           (fun row ->
             let k = Array.of_list (List.map (fun a -> rlook a row) rkeys) in
-            if not (Array.exists (fun v -> v = Value.Null) k) then
-              Row_tbl.add tbl k row)
+            if not (Array.exists Value.is_null k) then Row_tbl.add tbl k row)
           (Storage.Relation.rows rrel);
         let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
         let out = ref [] in
-        let joined =
-          Storage.Relation.make ~schema ~rows:[||] (* for residual lookup only *)
+        let jlook = Storage.Relation.lookup_of_schema schema in
+        let keep =
+          match residual with
+          | Pred.True -> fun _ -> true
+          | residual -> fun row -> Pred.eval (fun a -> jlook a row) residual
         in
-        let jlook = Storage.Relation.lookup_fn joined in
         Array.iter
           (fun lrow ->
             let k = Array.of_list (List.map (fun a -> llook a lrow) lkeys) in
-            if not (Array.exists (fun v -> v = Value.Null) k) then
+            if not (Array.exists Value.is_null k) then
               List.iter
                 (fun rrow ->
                   let row = Array.append lrow rrow in
-                  if
-                    residual = Pred.True
-                    || Pred.eval (fun a -> jlook a row) residual
-                  then out := row :: !out)
+                  if keep row then out := row :: !out)
                 (Row_tbl.find_all tbl k))
           (Storage.Relation.rows lrel);
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Nl_join pred, [ l; r ] ->
         let lrel, rrel = exec2 l r in
         let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
-        let probe = Storage.Relation.make ~schema ~rows:[||] in
-        let look = Storage.Relation.lookup_fn probe in
+        let look = Storage.Relation.lookup_of_schema schema in
         let out = ref [] in
         Array.iter
           (fun lrow ->
@@ -311,15 +167,19 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
         let keyl row = List.map (fun a -> llook a row) lkeys in
         let keyr row = List.map (fun a -> rlook a row) rkeys in
         let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
-        let probe = Storage.Relation.make ~schema ~rows:[||] in
-        let jlook = Storage.Relation.lookup_fn probe in
+        let jlook = Storage.Relation.lookup_of_schema schema in
+        let keep =
+          match residual with
+          | Pred.True -> fun _ -> true
+          | residual -> fun row -> Pred.eval (fun a -> jlook a row) residual
+        in
         let out = ref [] in
         let nl = Array.length lrows and nr = Array.length rrows in
         let j = ref 0 in
         let i = ref 0 in
         while !i < nl && !j < nr do
           let kl = keyl lrows.(!i) in
-          if List.exists (fun v -> v = Value.Null) kl then incr i
+          if List.exists Value.is_null kl then incr i
           else begin
             let c = List.compare Value.compare kl (keyr rrows.(!j)) in
             if c < 0 then incr i
@@ -337,9 +197,7 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
               while !i2 < nl && List.compare Value.compare (keyl lrows.(!i2)) kl = 0 do
                 for jj = !j to !j2 - 1 do
                   let row = Array.append lrows.(!i2) rrows.(jj) in
-                  if
-                    residual = Pred.True || Pred.eval (fun a -> jlook a row) residual
-                  then out := row :: !out
+                  if keep row then out := row :: !out
                 done;
                 incr i2
               done;
@@ -350,112 +208,37 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
         done;
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Union_all, (_ :: _ as children) ->
-        let rels = List.mapi (fun i c -> exec (i :: rpath) c) children in
+        (* children left-to-right, explicitly (ship-order determinism) *)
+        let rec exec_children i = function
+          | [] -> []
+          | c :: rest ->
+            let r = exec (i :: rpath) c in
+            r :: exec_children (i + 1) rest
+        in
+        let rels = exec_children 0 children in
         let schema = Storage.Relation.schema (List.hd rels) in
         let rows = Array.concat (List.map Storage.Relation.rows rels) in
         Storage.Relation.make ~schema ~rows
       | Pplan.Ship { from_loc; to_loc }, [ c ] ->
         let r = exec1 c in
         let bytes = Storage.Relation.byte_size r in
-        let ship_idx = List.length stats.ships in
-        let fail ~attempts reason =
-          raise (Ship_failed { from_loc; to_loc; attempts; reason })
+        let (_ : ship_record) =
+          do_ship ~faults ~retry ~network ~stats ~from_loc ~to_loc ~bytes
+            ~rows:(Storage.Relation.cardinality r)
         in
-        (* permanent topology failures discovered at transfer time *)
-        if Catalog.Network.Fault.site_down faults from_loc then
-          fail ~attempts:0 (`Site_down from_loc);
-        if Catalog.Network.Fault.site_down faults to_loc then
-          fail ~attempts:0 (`Site_down to_loc);
-        if Catalog.Network.Fault.link_down faults ~from_loc ~to_loc then
-          fail ~attempts:0 `Link_down;
-        (* Healthy transfer time, inflated by any latency fault. The
-           schedule is applied here, on top of the network's own — run
-           with a healthy network plus an explicit schedule, or with a
-           pre-masked network and no schedule, never both. *)
-        let attempt_cost =
-          Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
-          *. Catalog.Network.Fault.latency_factor faults ~from_loc ~to_loc
-        in
-        (* Retry loop on the simulated clock: a dropped or timed-out
-           attempt consumes the link (bytes crossed, result lost), then
-           backs off exponentially with a cap. *)
-        let rec go ~attempt ~elapsed =
-          if attempt > retry.max_attempts then
-            fail ~attempts:(attempt - 1) `Attempts_exhausted;
-          if elapsed +. attempt_cost > retry.budget_ms then
-            fail ~attempts:(attempt - 1) `Budget_exhausted;
-          let timed_out = attempt_cost > retry.attempt_timeout_ms in
-          if
-            timed_out
-            || Catalog.Network.Fault.drops faults ~from_loc ~to_loc ~ship:ship_idx
-                 ~attempt
-          then begin
-            let charged = Float.min attempt_cost retry.attempt_timeout_ms in
-            let backoff =
-              Float.min retry.max_backoff_ms
-                (retry.base_backoff_ms *. (2. ** float_of_int (attempt - 1)))
-            in
-            if Obs.Trace.enabled () then
-              Obs.Trace.instant "exec.ship_retry"
-                [
-                  ("from", Obs.Json.Str from_loc);
-                  ("to", Obs.Json.Str to_loc);
-                  ("attempt", Obs.Json.Num (float_of_int attempt));
-                  ("cause", Obs.Json.Str (if timed_out then "timeout" else "drop"));
-                  ("backoff_ms", Obs.Json.Num backoff);
-                ];
-            go ~attempt:(attempt + 1) ~elapsed:(elapsed +. charged +. backoff)
-          end
-          else (attempt, elapsed +. attempt_cost)
-        in
-        let attempts, cost_ms = go ~attempt:1 ~elapsed:0. in
-        stats.ships <-
-          { from_loc; to_loc; bytes; rows = Storage.Relation.cardinality r; cost_ms;
-            attempts }
-          :: stats.ships;
-        stats.ship_retries <- stats.ship_retries + (attempts - 1);
-        Obs.Metrics.inc c_ships;
-        Obs.Metrics.inc ~by:bytes c_ship_bytes;
-        if attempts > 1 then begin
-          Obs.Metrics.inc ~by:(attempts - 1) c_ship_retries;
-          Obs.Metrics.inc ~by:(bytes * (attempts - 1)) c_ship_retry_bytes
-        end;
-        Obs.Metrics.observe h_ship_cost_ms cost_ms;
-        if Obs.Trace.enabled () then
-          Obs.Trace.instant "exec.ship"
-            [
-              ("from", Obs.Json.Str from_loc);
-              ("to", Obs.Json.Str to_loc);
-              ("bytes", Obs.Json.Num (float_of_int bytes));
-              ("rows", Obs.Json.Num (float_of_int (Storage.Relation.cardinality r)));
-              ("cost_ms", Obs.Json.Num cost_ms);
-              ("attempts", Obs.Json.Num (float_of_int attempts));
-            ];
         r
       | node, children ->
         fail "malformed plan: %s with %d children" (Pplan.node_label node)
           (List.length children)
     in
     let card = Storage.Relation.cardinality rel in
-    stats.rows_processed <- stats.rows_processed + card;
-    Obs.Metrics.inc ~by:card c_rows;
     let ship =
       match p.Pplan.node with
       | Pplan.Ship _ -> ( match stats.ships with s :: _ -> Some s | [] -> None)
       | _ -> None
     in
-    let label = Pplan.node_label p.Pplan.node in
-    profile :=
-      { path = List.rev rpath; label; actual_rows = card;
-        actual_bytes = Storage.Relation.byte_size rel; ship }
-      :: !profile;
-    if Obs.Trace.enabled () then
-      Obs.Trace.instant "exec.op"
-        [
-          ("op", Obs.Json.Str label);
-          ("loc", Obs.Json.Str p.Pplan.loc);
-          ("rows", Obs.Json.Num (float_of_int card));
-        ];
+    record_node ~stats ~profile ~rpath ~label:(Pplan.node_label p.Pplan.node)
+      ~loc:p.Pplan.loc ~ship ~card ~bytes:(Storage.Relation.byte_size rel);
     let own_time =
       match p.Pplan.node with
       | Pplan.Ship _ ->

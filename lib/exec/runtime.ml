@@ -1,0 +1,265 @@
+(* Shared execution scaffolding for the two engines (the reference
+   interpreter in [Interp] and the compiling executor in [Compile]):
+   SHIP accounting under the message cost model with fault injection
+   and retry/backoff, per-operator profiles for EXPLAIN ANALYZE, and
+   the metrics/trace emission. Keeping this in one place is what makes
+   the engines byte-identical on stats, profiles and traces. *)
+
+open Relalg
+
+type ship_record = {
+  from_loc : Catalog.Location.t;
+  to_loc : Catalog.Location.t;
+  bytes : int;
+  rows : int;
+  cost_ms : float;
+  attempts : int;
+}
+
+type stats = {
+  mutable ships : ship_record list;
+  mutable rows_processed : int;
+  mutable ship_retries : int;
+}
+
+let fresh_stats () = { ships = []; rows_processed = 0; ship_retries = 0 }
+
+type retry_policy = {
+  max_attempts : int;  (* total tries per SHIP, >= 1 *)
+  base_backoff_ms : float;  (* backoff before retry k: base * 2^(k-1), capped *)
+  max_backoff_ms : float;
+  attempt_timeout_ms : float;
+      (* an attempt whose simulated transfer time exceeds this is
+         abandoned (and charged the timeout) *)
+  budget_ms : float;  (* simulated-clock budget per SHIP, backoffs included *)
+}
+
+let default_retry =
+  {
+    max_attempts = 4;
+    base_backoff_ms = 50.;
+    max_backoff_ms = 1600.;
+    attempt_timeout_ms = Float.infinity;
+    budget_ms = Float.infinity;
+  }
+
+type ship_failure =
+  [ `Link_down
+  | `Site_down of Catalog.Location.t
+  | `Attempts_exhausted
+  | `Budget_exhausted ]
+
+exception
+  Ship_failed of {
+    from_loc : Catalog.Location.t;
+    to_loc : Catalog.Location.t;
+    attempts : int;
+    reason : ship_failure;
+  }
+
+let ship_failure_to_string : ship_failure -> string = function
+  | `Link_down -> "link down"
+  | `Site_down l -> "site " ^ l ^ " down"
+  | `Attempts_exhausted -> "retry attempts exhausted"
+  | `Budget_exhausted -> "simulated-clock budget exhausted"
+
+let () =
+  Printexc.register_printer (function
+    | Ship_failed { from_loc; to_loc; attempts; reason } ->
+      Some
+        (Printf.sprintf "Exec.Interp.Ship_failed(%s -> %s after %d attempts: %s)"
+           from_loc to_loc attempts (ship_failure_to_string reason))
+    | _ -> None)
+
+(* Per-operator execution profile, keyed by the node's position in the
+   plan tree (root-to-node child indices) so EXPLAIN ANALYZE can match
+   actuals back to plan nodes without identity tricks. *)
+type node_profile = {
+  path : int list;
+  label : string;
+  actual_rows : int;
+  actual_bytes : int;
+  ship : ship_record option;
+}
+
+type result = {
+  relation : Storage.Relation.t;
+  stats : stats;
+  profile : node_profile list;  (* execution (post-) order *)
+  makespan_ms : float;
+      (* simulated response time: sibling subtrees proceed in parallel,
+         transfers follow the message cost model, local processing is
+         charged per materialized row *)
+}
+
+let c_rows = Obs.Metrics.counter "cgqp_exec_rows_processed_total"
+let c_ships = Obs.Metrics.counter "cgqp_exec_ships_total"
+let c_ship_bytes = Obs.Metrics.counter "cgqp_exec_ship_bytes_total"
+let c_ship_retries = Obs.Metrics.counter "cgqp_exec_ship_retries_total"
+let c_ship_retry_bytes = Obs.Metrics.counter "cgqp_exec_ship_retry_bytes_total"
+let h_ship_cost_ms = Obs.Metrics.histogram "cgqp_exec_ship_cost_ms"
+
+(* Simulated per-row local processing cost (ms); only relative
+   magnitudes matter. *)
+let row_cost_ms = 1e-5
+
+let total_ship_cost stats = List.fold_left (fun a s -> a +. s.cost_ms) 0. stats.ships
+let total_ship_bytes stats = List.fold_left (fun a s -> a + s.bytes) 0 stats.ships
+
+(* Bytes the network actually carried: a retried payload crosses the
+   link once per attempt, but counts only once toward the result. *)
+let total_traffic_bytes stats =
+  List.fold_left (fun a s -> a + (s.bytes * s.attempts)) 0 stats.ships
+
+exception Runtime_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+(* Serialized size of a row set — what a SHIP of those rows moves. *)
+let rows_bytes (rows : Value.t array array) =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
+    0 rows
+
+(* --- aggregate accumulation --- *)
+
+type acc = {
+  mutable sum : Value.t;
+  mutable count : int;
+  mutable vmin : Value.t;
+  mutable vmax : Value.t;
+}
+
+let fresh_acc () = { sum = Value.Null; count = 0; vmin = Value.Null; vmax = Value.Null }
+
+let feed acc v =
+  if not (Value.is_null v) then begin
+    acc.count <- acc.count + 1;
+    acc.sum <- (if Value.is_null acc.sum then v else Value.add acc.sum v);
+    acc.vmin <-
+      (if Value.is_null acc.vmin || Value.compare v acc.vmin < 0 then v else acc.vmin);
+    acc.vmax <-
+      (if Value.is_null acc.vmax || Value.compare v acc.vmax > 0 then v else acc.vmax)
+  end
+
+let finish (fn : Expr.agg_fn) acc =
+  match fn with
+  | Expr.Sum -> acc.sum
+  | Expr.Count -> Value.Int acc.count
+  | Expr.Min -> acc.vmin
+  | Expr.Max -> acc.vmax
+  | Expr.Avg ->
+    if acc.count = 0 then Value.Null
+    else Value.div acc.sum (Value.Int acc.count)
+
+(* --- row utilities --- *)
+
+module Row_key = struct
+  type t = Value.t array
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+  let hash a = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 a
+end
+
+module Row_tbl = Hashtbl.Make (Row_key)
+
+(* --- shared SHIP path --- *)
+
+(* Execute one SHIP: topology checks, then the retry loop on the
+   simulated clock, then stats/metrics/trace. The drop fate of each
+   attempt is keyed by the ship's index in [stats.ships] — engines must
+   therefore execute ships in the same order to see the same fates. *)
+let do_ship ~faults ~retry ~network ~stats ~from_loc ~to_loc ~bytes ~rows :
+    ship_record =
+  let ship_idx = List.length stats.ships in
+  let fail_ship ~attempts reason =
+    raise (Ship_failed { from_loc; to_loc; attempts; reason })
+  in
+  (* permanent topology failures discovered at transfer time *)
+  if Catalog.Network.Fault.site_down faults from_loc then
+    fail_ship ~attempts:0 (`Site_down from_loc);
+  if Catalog.Network.Fault.site_down faults to_loc then
+    fail_ship ~attempts:0 (`Site_down to_loc);
+  if Catalog.Network.Fault.link_down faults ~from_loc ~to_loc then
+    fail_ship ~attempts:0 `Link_down;
+  (* Healthy transfer time, inflated by any latency fault. The
+     schedule is applied here, on top of the network's own — run
+     with a healthy network plus an explicit schedule, or with a
+     pre-masked network and no schedule, never both. *)
+  let attempt_cost =
+    Catalog.Network.ship_cost network ~from_loc ~to_loc ~bytes:(float_of_int bytes)
+    *. Catalog.Network.Fault.latency_factor faults ~from_loc ~to_loc
+  in
+  (* Retry loop on the simulated clock: a dropped or timed-out
+     attempt consumes the link (bytes crossed, result lost), then
+     backs off exponentially with a cap. *)
+  let rec go ~attempt ~elapsed =
+    if attempt > retry.max_attempts then
+      fail_ship ~attempts:(attempt - 1) `Attempts_exhausted;
+    if elapsed +. attempt_cost > retry.budget_ms then
+      fail_ship ~attempts:(attempt - 1) `Budget_exhausted;
+    let timed_out = attempt_cost > retry.attempt_timeout_ms in
+    if
+      timed_out
+      || Catalog.Network.Fault.drops faults ~from_loc ~to_loc ~ship:ship_idx
+           ~attempt
+    then begin
+      let charged = Float.min attempt_cost retry.attempt_timeout_ms in
+      let backoff =
+        Float.min retry.max_backoff_ms
+          (retry.base_backoff_ms *. (2. ** float_of_int (attempt - 1)))
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "exec.ship_retry"
+          [
+            ("from", Obs.Json.Str from_loc);
+            ("to", Obs.Json.Str to_loc);
+            ("attempt", Obs.Json.Num (float_of_int attempt));
+            ("cause", Obs.Json.Str (if timed_out then "timeout" else "drop"));
+            ("backoff_ms", Obs.Json.Num backoff);
+          ];
+      go ~attempt:(attempt + 1) ~elapsed:(elapsed +. charged +. backoff)
+    end
+    else (attempt, elapsed +. attempt_cost)
+  in
+  let attempts, cost_ms = go ~attempt:1 ~elapsed:0. in
+  let record = { from_loc; to_loc; bytes; rows; cost_ms; attempts } in
+  stats.ships <- record :: stats.ships;
+  stats.ship_retries <- stats.ship_retries + (attempts - 1);
+  Obs.Metrics.inc c_ships;
+  Obs.Metrics.inc ~by:bytes c_ship_bytes;
+  if attempts > 1 then begin
+    Obs.Metrics.inc ~by:(attempts - 1) c_ship_retries;
+    Obs.Metrics.inc ~by:(bytes * (attempts - 1)) c_ship_retry_bytes
+  end;
+  Obs.Metrics.observe h_ship_cost_ms cost_ms;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "exec.ship"
+      [
+        ("from", Obs.Json.Str from_loc);
+        ("to", Obs.Json.Str to_loc);
+        ("bytes", Obs.Json.Num (float_of_int bytes));
+        ("rows", Obs.Json.Num (float_of_int rows));
+        ("cost_ms", Obs.Json.Num cost_ms);
+        ("attempts", Obs.Json.Num (float_of_int attempts));
+      ];
+  record
+
+(* Post-order per-node bookkeeping, identical across engines:
+   rows_processed, the rows counter, the profile entry and the
+   per-operator trace event. *)
+let record_node ~stats ~(profile : node_profile list ref) ~rpath ~label
+    ~(loc : Catalog.Location.t) ~ship ~card ~bytes =
+  stats.rows_processed <- stats.rows_processed + card;
+  Obs.Metrics.inc ~by:card c_rows;
+  profile :=
+    { path = List.rev rpath; label; actual_rows = card; actual_bytes = bytes; ship }
+    :: !profile;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "exec.op"
+      [
+        ("op", Obs.Json.Str label);
+        ("loc", Obs.Json.Str loc);
+        ("rows", Obs.Json.Num (float_of_int card));
+      ]

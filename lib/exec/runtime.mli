@@ -1,24 +1,14 @@
-(** Reference interpreter for placed physical plans.
+(** Execution scaffolding shared by the two engines.
 
-    A straightforward tree-walker kept as the semantic baseline: the
-    compiling executor ({!Compile}) is differentially tested against it
-    and must produce byte-identical results, SHIP accounting and
-    profiles (see [docs/EXECUTOR.md]). Use {!Engine.run} to select an
-    engine; this module re-exports the shared {!Runtime} scaffolding,
-    so [Exec.Interp.Ship_failed] is the {e same} exception either
-    engine raises.
+    Both the reference interpreter ({!Interp}) and the compiling
+    executor ({!Compile}) route SHIPs, retries, per-operator profiles
+    and metrics/trace emission through this module, which is what makes
+    their stats, profiles and observability output byte-identical (see
+    [docs/EXECUTOR.md]). *)
 
-    Executes bottom-up against a {!Storage.Database.t} and accounts the
-    bytes, rows and simulated cost of every SHIP operator under the
-    message cost model (§7.4 of the paper). SHIPs optionally run under
-    a deterministic {!Catalog.Network.Fault.schedule}: transient drops
-    and per-attempt timeouts are retried with capped exponential
-    backoff on the simulated clock; permanent link/site outages (or
-    exhausted retry budgets) raise {!Ship_failed}, which the session
-    layer turns into a compliant failover re-plan (see [Cgqp.run] and
-    [docs/FAULTS.md]). *)
+open Relalg
 
-type ship_record = Runtime.ship_record = {
+type ship_record = {
   from_loc : Catalog.Location.t;
   to_loc : Catalog.Location.t;
   bytes : int;  (** serialized size of the shipped relation *)
@@ -30,13 +20,15 @@ type ship_record = Runtime.ship_record = {
 }
 (** One executed SHIP: an intermediate result crossing sites. *)
 
-type stats = Runtime.stats = {
+type stats = {
   mutable ships : ship_record list;
   mutable rows_processed : int;  (** total rows materialized, all operators *)
   mutable ship_retries : int;  (** total retried attempts across all ships *)
 }
 
-type retry_policy = Runtime.retry_policy = {
+val fresh_stats : unit -> stats
+
+type retry_policy = {
   max_attempts : int;  (** total tries per SHIP (>= 1) *)
   base_backoff_ms : float;
       (** backoff before retry [k] is [base * 2^(k-1)], capped below *)
@@ -53,7 +45,11 @@ val default_retry : retry_policy
 (** 4 attempts, 50 ms base backoff capped at 1600 ms, no per-attempt
     timeout, unlimited budget. *)
 
-type ship_failure = Runtime.ship_failure
+type ship_failure =
+  [ `Link_down  (** the schedule marks the link permanently down *)
+  | `Site_down of Catalog.Location.t  (** one endpoint site is down *)
+  | `Attempts_exhausted  (** every allowed attempt dropped or timed out *)
+  | `Budget_exhausted  (** the SHIP's simulated-clock budget ran out *) ]
 
 exception
   Ship_failed of {
@@ -64,8 +60,7 @@ exception
   }
 (** A SHIP could not complete under the fault schedule. The degradation
     path masks the link (or site) and re-plans; plain callers see the
-    exception. Same constructor as {!Runtime.Ship_failed} — handlers
-    catch it whichever engine raised. *)
+    exception. *)
 
 val ship_failure_to_string : ship_failure -> string
 
@@ -73,7 +68,7 @@ val ship_failure_to_string : ship_failure -> string
     the plan tree as the list of child indices from the root (the root
     itself is [[]]), which is how [Optimizer.Explain] matches actuals
     back to plan nodes for EXPLAIN ANALYZE. *)
-type node_profile = Runtime.node_profile = {
+type node_profile = {
   path : int list;
   label : string;  (** {!Pplan.node_label} of the operator *)
   actual_rows : int;
@@ -81,7 +76,7 @@ type node_profile = Runtime.node_profile = {
   ship : ship_record option;  (** set iff the operator is a SHIP *)
 }
 
-type result = Runtime.result = {
+type result = {
   relation : Storage.Relation.t;
   stats : stats;
   profile : node_profile list;  (** execution (post-) order *)
@@ -107,24 +102,71 @@ val total_traffic_bytes : stats -> int
     attempt count. Equals {!total_ship_bytes} on a retry-free run. *)
 
 exception Runtime_error of string
-(** Malformed plans (wrong arity, missing relations); same constructor
-    as {!Runtime.Runtime_error}. *)
+(** Malformed plans (wrong arity, missing relations). *)
 
-val run :
-  ?faults:Catalog.Network.Fault.schedule ->
-  ?retry:retry_policy ->
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+val rows_bytes : Value.t array array -> int
+(** Serialized size of a row set — what a SHIP of those rows moves.
+    Agrees with [Storage.Relation.byte_size] on the same rows. *)
+
+(** {2 Aggregate accumulation} *)
+
+type acc = {
+  mutable sum : Value.t;
+  mutable count : int;
+  mutable vmin : Value.t;
+  mutable vmax : Value.t;
+}
+
+val fresh_acc : unit -> acc
+
+val feed : acc -> Value.t -> unit
+(** Fold one value into the accumulator; [Null] is skipped. *)
+
+val finish : Expr.agg_fn -> acc -> Value.t
+
+(** {2 Row utilities} *)
+
+module Row_key : sig
+  type t = Value.t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Row_tbl : Hashtbl.S with type key = Value.t array
+
+(** {2 Shared SHIP path and node bookkeeping} *)
+
+val do_ship :
+  faults:Catalog.Network.Fault.schedule ->
+  retry:retry_policy ->
   network:Catalog.Network.t ->
-  db:Storage.Database.t ->
-  table_cols:(string -> string list) ->
-  Pplan.t ->
-  result
-(** Execute a placed plan bottom-up, materializing every operator.
-    [table_cols] resolves a table's stored column order, used to
-    re-qualify scan schemas with the query alias. [faults] (default
-    empty — a fault-free run is byte-identical to one without the
-    parameter) injects deterministic failures per SHIP attempt, applied
-    {e on top of} the network's own schedule: pass a healthy network
-    plus an explicit schedule, or a pre-masked network and no schedule,
-    never both. Emits trace events and metrics per operator and per
-    SHIP (see [docs/TRACING.md]); raises {!Runtime_error} on malformed
-    plans and {!Ship_failed} on permanent transfer failures. *)
+  stats:stats ->
+  from_loc:Catalog.Location.t ->
+  to_loc:Catalog.Location.t ->
+  bytes:int ->
+  rows:int ->
+  ship_record
+(** Execute one SHIP: permanent-topology checks, the retry loop on the
+    simulated clock, then stats, metrics and trace emission. The drop
+    fate of each attempt is keyed by the ship's index in [stats.ships],
+    so engines must execute ships in the same order to see the same
+    fates. Raises {!Ship_failed} on permanent failures. *)
+
+val record_node :
+  stats:stats ->
+  profile:node_profile list ref ->
+  rpath:int list ->
+  label:string ->
+  loc:Catalog.Location.t ->
+  ship:ship_record option ->
+  card:int ->
+  bytes:int ->
+  unit
+(** Post-order per-node bookkeeping, identical across engines:
+    [rows_processed], the rows counter, the profile entry (pushed in
+    execution order; [rpath] is the reversed root-to-node path) and the
+    per-operator trace event. *)

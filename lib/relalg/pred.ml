@@ -120,9 +120,9 @@ let eval_atom lookup = function
     | _ -> false)
   | In (e, vs) ->
     let v = Expr.eval lookup e in
-    v <> Value.Null && List.exists (Value.equal v) vs
-  | Is_null e -> Expr.eval lookup e = Value.Null
-  | Not_null e -> Expr.eval lookup e <> Value.Null
+    (not (Value.is_null v)) && List.exists (Value.equal v) vs
+  | Is_null e -> Value.is_null (Expr.eval lookup e)
+  | Not_null e -> not (Value.is_null (Expr.eval lookup e))
 
 let rec eval lookup = function
   | True -> true

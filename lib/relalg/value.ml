@@ -47,6 +47,7 @@ let compare a b =
     Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
+let is_null = function Null -> true | _ -> false
 
 let hash = function
   | Null -> 17

@@ -27,6 +27,10 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val is_null : t -> bool
+(** Constant-time [Null] test — use this in hot paths instead of a
+    polymorphic [v = Null] comparison. *)
+
 val hash : t -> int
 
 val byte_width : t -> int

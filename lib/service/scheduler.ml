@@ -10,14 +10,27 @@ type env = {
   cache : Cgqp.Plan_cache.t option;
   faults : Catalog.Network.Fault.schedule;
   retry : Exec.Interp.retry_policy;
+  engine : Exec.Engine.t;
   resolve_query : string -> string;
   resolve_policy_set : string -> string list option;
 }
 
 let env ?database ?cache ?(faults = Catalog.Network.Fault.empty)
-    ?(retry = Exec.Interp.default_retry) ?(resolve_query = fun s -> s)
+    ?(retry = Exec.Interp.default_retry) ?engine ?(resolve_query = fun s -> s)
     ?(resolve_policy_set = fun _ -> None) ~catalog () =
-  { catalog; database; cache; faults; retry; resolve_query; resolve_policy_set }
+  let engine =
+    match engine with Some e -> e | None -> Exec.Engine.default ()
+  in
+  {
+    catalog;
+    database;
+    cache;
+    faults;
+    retry;
+    engine;
+    resolve_query;
+    resolve_policy_set;
+  }
 
 let max_queue_retries = 100
 
@@ -111,6 +124,7 @@ let run ~env ?seed (script : Script.t) : report =
     Option.iter (Cgqp.attach_database cg) env.database;
     Cgqp.set_faults cg env.faults;
     Cgqp.set_retry cg env.retry;
+    Cgqp.set_engine cg env.engine;
     Cgqp.set_plan_cache cg env.cache;
     {
       spec;

@@ -27,6 +27,9 @@ type env = {
   cache : Cgqp.Plan_cache.t option;  (** shared by all sessions *)
   faults : Catalog.Network.Fault.schedule;
   retry : Exec.Interp.retry_policy;
+  engine : Exec.Engine.t;
+      (** executor every session runs on (reference interpreter or the
+          compiling engine — byte-identical, see [docs/EXECUTOR.md]) *)
   resolve_query : string -> string;
       (** maps a submitted name (e.g. [Q3]) to SQL; identity for plain
           SQL *)
@@ -39,13 +42,15 @@ val env :
   ?cache:Cgqp.Plan_cache.t ->
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:Exec.Interp.retry_policy ->
+  ?engine:Exec.Engine.t ->
   ?resolve_query:(string -> string) ->
   ?resolve_policy_set:(string -> string list option) ->
   catalog:Catalog.t ->
   unit ->
   env
 (** Environment with identity resolvers, no cache and no faults unless
-    given. *)
+    given; [engine] defaults to {!Exec.Engine.default} (honoring
+    [CGQP_ENGINE]). *)
 
 val max_queue_retries : int
 (** Re-admission attempts before a queued statement is recorded as

@@ -3,7 +3,59 @@
 
 open Relalg
 
-type t = { schema : Attr.t list; rows : Value.t array array }
+(* --- attribute resolution ---------------------------------------
+
+   Column positions are resolved through a precomputed index: one
+   hashtable keyed by the full qualified attribute (last occurrence
+   wins, like the historical linear scan), and one keyed by the bare
+   column name holding the position iff that name is unique in the
+   schema. Resolution rule (unchanged): exact match first, then a
+   unique match on the bare column name. *)
+
+type resolver = {
+  by_attr : (Attr.t, int) Hashtbl.t;
+  by_name : (string, int option) Hashtbl.t;
+      (* [Some i] = unique bare name at [i]; [None] = ambiguous *)
+}
+
+let resolver (schema : Attr.t list) : resolver =
+  let n = List.length schema in
+  let by_attr = Hashtbl.create (max 8 n) in
+  let by_name = Hashtbl.create (max 8 n) in
+  List.iteri
+    (fun i a ->
+      Hashtbl.replace by_attr a i;
+      (match Hashtbl.find_opt by_name a.Attr.name with
+      | None -> Hashtbl.replace by_name a.Attr.name (Some i)
+      | Some _ -> Hashtbl.replace by_name a.Attr.name None))
+    schema;
+  { by_attr; by_name }
+
+let resolve r (a : Attr.t) : int option =
+  match Hashtbl.find_opt r.by_attr a with
+  | Some _ as hit -> hit
+  | None -> (
+    match Hashtbl.find_opt r.by_name a.Attr.name with
+    | Some (Some _ as hit) ->
+      (* the unique bare-name position; never an exact duplicate of
+         [a], or [by_attr] would have hit *)
+      hit
+    | Some None | None -> None)
+
+let lookup_of_schema schema : Attr.t -> Value.t array -> Value.t =
+  let r = resolver schema in
+  fun a row ->
+    match resolve r a with
+    | Some ix when ix < Array.length row -> row.(ix)
+    | Some _ | None -> Value.Null
+
+type t = {
+  schema : Attr.t list;
+  rows : Value.t array array;
+  index : resolver Lazy.t;
+      (* built on first lookup; operators that never resolve names
+         (e.g. the compiled engine's intermediates) pay nothing *)
+}
 
 let make ~schema ~rows =
   let n = List.length schema in
@@ -11,42 +63,23 @@ let make ~schema ~rows =
     (fun r ->
       if Array.length r <> n then invalid_arg "Relation.make: row arity mismatch")
     rows;
-  { schema; rows }
+  { schema; rows; index = lazy (resolver schema) }
 
-let empty ~schema = { schema; rows = [||] }
+let empty ~schema = make ~schema ~rows:[||]
 let schema t = t.schema
 let rows t = t.rows
 let cardinality t = Array.length t.rows
 
 (* Index of an attribute in the schema: exact match first, then a
    unique match on the bare column name. *)
-let find_index t (a : Attr.t) : int option =
-  let arr = Array.of_list t.schema in
-  let exact = ref None and by_name = ref [] in
-  Array.iteri
-    (fun i b ->
-      if Attr.equal a b then exact := Some i
-      else if String.equal a.Attr.name b.Attr.name then by_name := i :: !by_name)
-    arr;
-  match !exact, !by_name with
-  | Some i, _ -> Some i
-  | None, [ i ] -> Some i
-  | None, _ -> None
+let find_index t (a : Attr.t) : int option = resolve (Lazy.force t.index) a
 
 let lookup_fn t : Attr.t -> Value.t array -> Value.t =
-  let cache : (Attr.t * int) list ref = ref [] in
+  let r = Lazy.force t.index in
   fun a row ->
-    let ix =
-      match List.assoc_opt a !cache with
-      | Some i -> i
-      | None -> (
-        match find_index t a with
-        | Some i ->
-          cache := (a, i) :: !cache;
-          i
-        | None -> -1)
-    in
-    if ix >= 0 && ix < Array.length row then row.(ix) else Value.Null
+    match resolve r a with
+    | Some ix when ix < Array.length row -> row.(ix)
+    | Some _ | None -> Value.Null
 
 (* Total serialized size in bytes (what a SHIP of this relation moves). *)
 let byte_size t =
@@ -54,17 +87,23 @@ let byte_size t =
     (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
     0 t.rows
 
-(* Order rows by the given (attribute, descending) keys. *)
+(* Order rows by the given (attribute, descending) keys. Key positions
+   are resolved once; unknown attributes read as NULL for every row. *)
 let order_by t (keys : (Attr.t * bool) list) =
-  let look = lookup_fn t in
+  let kix =
+    List.map (fun (a, desc) -> ((match find_index t a with Some i -> i | None -> -1), desc)) keys
+  in
+  let get ix (row : Value.t array) =
+    if ix >= 0 && ix < Array.length row then row.(ix) else Value.Null
+  in
   let cmp r1 r2 =
     let rec go = function
       | [] -> 0
-      | (a, desc) :: rest ->
-        let c = Value.compare (look a r1) (look a r2) in
+      | (ix, desc) :: rest ->
+        let c = Value.compare (get ix r1) (get ix r2) in
         if c <> 0 then if desc then -c else c else go rest
     in
-    go keys
+    go kix
   in
   let rows = Array.copy t.rows in
   Array.stable_sort cmp rows;

@@ -3,6 +3,21 @@
 
 open Relalg
 
+type resolver
+(** Precomputed attribute→position index over a schema. *)
+
+val resolver : Attr.t list -> resolver
+
+val resolve : resolver -> Attr.t -> int option
+(** Column position: exact match first (last occurrence wins on
+    duplicates), then a unique match on the bare column name. *)
+
+val lookup_of_schema : Attr.t list -> Attr.t -> Value.t array -> Value.t
+(** [lookup_of_schema schema] is an accessor over rows of [schema]
+    suitable for [Pred.eval] / [Expr.eval] without materializing a
+    relation; unknown attributes read as NULL. The index is built once,
+    at partial application. *)
+
 type t
 
 val make : schema:Attr.t list -> rows:Value.t array array -> t

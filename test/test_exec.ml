@@ -399,6 +399,318 @@ let test_malformed_plan () =
   | exception Exec.Interp.Runtime_error _ -> ()
   | _ -> Alcotest.fail "malformed plan must raise"
 
+(* --- reference vs compiled engine equivalence ---------------------
+
+   The compiled engine must be byte-identical to the interpreter:
+   same rows in the same order, same SHIP records (order, bytes, cost,
+   retry fates), same per-operator profiles, same makespan. *)
+
+let result_fp (r : Exec.Interp.result) =
+  ( Storage.Relation.to_csv r.relation,
+    r.stats.Exec.Interp.ships,
+    r.stats.Exec.Interp.rows_processed,
+    r.stats.Exec.Interp.ship_retries,
+    r.profile,
+    r.makespan_ms )
+
+let check_engines_agree ?faults ?(network = network) ~db ~table_cols plan =
+  let reference =
+    Exec.Interp.run ?faults ~network ~db ~table_cols plan
+  and compiled = Exec.Compile.run ?faults ~network ~db ~table_cols plan in
+  if result_fp reference <> result_fp compiled then
+    Alcotest.failf
+      "engines disagree on plan:@.%a@.reference rows=%d ships=%d \
+       makespan=%.6f@.compiled rows=%d ships=%d makespan=%.6f@.ref csv:@.%s@.cmp \
+       csv:@.%s"
+      (P.pp ?indent:None) plan
+      (Storage.Relation.cardinality reference.relation)
+      (List.length reference.stats.Exec.Interp.ships)
+      reference.makespan_ms
+      (Storage.Relation.cardinality compiled.relation)
+      (List.length compiled.stats.Exec.Interp.ships)
+      compiled.makespan_ms
+      (Storage.Relation.to_csv reference.relation)
+      (Storage.Relation.to_csv compiled.relation)
+
+(* Random well-formed plans over the r/s tables, tracking each
+   subplan's attribute universe so predicates, projections and join
+   keys always reference live columns (dead references are legal too —
+   they read NULL — and the generator produces some via the shared
+   attr pool). *)
+module Plangen = struct
+  open QCheck
+
+  let locs = [ "x"; "y" ]
+
+  let base_attrs = function
+    | "r" -> [ attr "r" "a"; attr "r" "b" ]
+    | _ -> [ attr "s" "a"; attr "s" "c" ]
+
+  let const_gen =
+    Gen.oneof
+      [
+        Gen.map (fun i -> Value.Int i) (Gen.int_range 0 5);
+        Gen.oneofl
+          [ Value.Str "one"; Value.Str "two"; Value.Str "three"; Value.Null ];
+      ]
+
+  let scalar_gen attrs =
+    let col = Gen.map (fun a -> Expr.Col a) (Gen.oneofl attrs) in
+    Gen.oneof
+      [
+        col;
+        Gen.map (fun v -> Expr.Const v) const_gen;
+        Gen.map3
+          (fun op l r -> Expr.Binop (op, l, r))
+          (Gen.oneofl [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div ])
+          col
+          (Gen.map (fun v -> Expr.Const v) const_gen);
+      ]
+
+  let atom_gen attrs =
+    let open Gen in
+    oneof
+      [
+        map3
+          (fun c l r -> Pred.Cmp (c, l, r))
+          (oneofl [ Pred.Eq; Pred.Ne; Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ])
+          (scalar_gen attrs) (scalar_gen attrs);
+        map2
+          (fun a pat -> Pred.Like (Expr.Col a, pat))
+          (oneofl attrs)
+          (oneofl [ "%o%"; "t__"; "one"; "%e" ]);
+        map2
+          (fun e vs -> Pred.In (e, vs))
+          (scalar_gen attrs)
+          (list_size (int_range 1 3) const_gen);
+        map (fun a -> Pred.Is_null (Expr.Col a)) (oneofl attrs);
+        map (fun a -> Pred.Not_null (Expr.Col a)) (oneofl attrs);
+      ]
+
+  let rec pred_gen depth attrs =
+    let open Gen in
+    if depth = 0 then map (fun a -> Pred.Atom a) (atom_gen attrs)
+    else
+      frequency
+        [
+          (3, map (fun a -> Pred.Atom a) (atom_gen attrs));
+          ( 1,
+            map2 (fun l r -> Pred.And (l, r))
+              (pred_gen (depth - 1) attrs)
+              (pred_gen (depth - 1) attrs) );
+          ( 1,
+            map2 (fun l r -> Pred.Or (l, r))
+              (pred_gen (depth - 1) attrs)
+              (pred_gen (depth - 1) attrs) );
+          (1, map (fun p -> Pred.Not p) (pred_gen (depth - 1) attrs));
+          (1, oneofl [ Pred.True; Pred.False ]);
+        ]
+
+  (* A generated subplan and the attributes its output carries. *)
+  let scan_gen =
+    Gen.map2
+      (fun t loc -> (scan ~loc t, base_attrs t))
+      (Gen.oneofl [ "r"; "s" ]) (Gen.oneofl locs)
+
+  let ship_wrap =
+    Gen.map2
+      (fun f t -> fun (p, attrs) -> (node (P.Ship { from_loc = f; to_loc = t }) [ p ], attrs))
+      (Gen.oneofl locs) (Gen.oneofl locs)
+
+  let rec plan_gen depth =
+    let open Gen in
+    if depth = 0 then scan_gen
+    else
+      let sub = plan_gen (depth - 1) in
+      frequency
+        [
+          (2, scan_gen);
+          ( 2,
+            sub >>= fun (p, attrs) ->
+            map (fun pr -> (node (P.Filter pr) [ p ], attrs)) (pred_gen 2 attrs) );
+          ( 1,
+            sub >>= fun (p, attrs) ->
+            map
+              (fun scalars ->
+                let items =
+                  List.mapi
+                    (fun i e -> (e, Attr.unqualified (Printf.sprintf "p%d" i)))
+                    scalars
+                in
+                (node (P.Project items) [ p ], List.map snd items))
+              (list_size (int_range 1 3) (scalar_gen attrs)) );
+          ( 1,
+            sub >>= fun (p, attrs) ->
+            map
+              (fun keys ->
+                (node (P.Sort (List.map (fun (a, d) -> (a, d)) keys)) [ p ], attrs))
+              (list_size (int_range 1 2) (pair (oneofl attrs) bool)) );
+          ( 1,
+            sub >>= fun (p, attrs) ->
+            map2
+              (fun keys fns ->
+                let aggs =
+                  List.mapi
+                    (fun i (fn, a) ->
+                      { Expr.fn; arg = Expr.Col a; alias = Printf.sprintf "g%d" i })
+                    fns
+                in
+                let out =
+                  keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
+                in
+                (node (P.Hash_agg { keys; aggs }) [ p ], out))
+              (list_size (int_range 0 2) (oneofl attrs))
+              (list_size (int_range 1 2)
+                 (pair
+                    (oneofl [ Expr.Sum; Expr.Count; Expr.Min; Expr.Max; Expr.Avg ])
+                    (oneofl attrs))) );
+          ( 1,
+            sub >>= fun lhs ->
+            sub >>= fun rhs ->
+            let (lp, lattrs) = lhs and (rp, rattrs) = rhs in
+            map3
+              (fun la ra residual ->
+                ( node
+                    (P.Hash_join { keys = [ (la, ra) ]; residual })
+                    [ lp; rp ],
+                  lattrs @ rattrs ))
+              (oneofl lattrs) (oneofl rattrs)
+              (pred_gen 1 (lattrs @ rattrs)) );
+          ( 1,
+            sub >>= fun lhs ->
+            sub >>= fun rhs ->
+            let (lp, lattrs) = lhs and (rp, rattrs) = rhs in
+            map3
+              (fun la ra residual ->
+                (* merge join over (sometimes) sorted inputs; byte-
+                   identity must hold either way *)
+                let lp = node (P.Sort [ (la, false) ]) [ lp ] in
+                ( node
+                    (P.Merge_join { keys = [ (la, ra) ]; residual })
+                    [ lp; rp ],
+                  lattrs @ rattrs ))
+              (oneofl lattrs) (oneofl rattrs)
+              (pred_gen 1 (lattrs @ rattrs)) );
+          ( 1,
+            sub >>= fun lhs ->
+            sub >>= fun rhs ->
+            let (lp, lattrs) = lhs and (rp, rattrs) = rhs in
+            map
+              (fun pr -> (node (P.Nl_join pr) [ lp; rp ], lattrs @ rattrs))
+              (pred_gen 1 (lattrs @ rattrs)) );
+          ( 1,
+            (* union of two filters over the same scan: children share
+               arity by construction *)
+            scan_gen >>= fun (p, attrs) ->
+            map2
+              (fun pr1 pr2 ->
+                ( node P.Union_all
+                    [ node (P.Filter pr1) [ p ]; node (P.Filter pr2) [ p ] ],
+                  attrs ))
+              (pred_gen 1 attrs) (pred_gen 1 attrs) );
+          (2, map2 (fun w sub -> w sub) ship_wrap sub);
+        ]
+
+  let arbitrary_plan =
+    QCheck.make
+      ~print:(fun (p, _) -> Fmt.str "%a" (P.pp ?indent:None) p)
+      Gen.(int_range 1 4 >>= plan_gen)
+end
+
+let test_differential_random_plans () =
+  let db = default_db () in
+  let prop (plan, _) =
+    check_engines_agree ~db ~table_cols plan;
+    true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"reference = compiled (fault-free)"
+       Plangen.arbitrary_plan prop)
+
+let test_differential_under_faults () =
+  (* Under transient drops, both engines must see identical drop fates
+     (ship-index keyed), hence identical retry counts and costs — or
+     fail identically. *)
+  let db = default_db () in
+  let faults_of seed =
+    Catalog.Network.Fault.make ~seed
+      [
+        Catalog.Network.Fault.Transient_drop { from_loc = "x"; to_loc = "y"; p = 0.4 };
+      ]
+  in
+  let prop ((plan, _), seed) =
+    let faults = faults_of seed in
+    let run f =
+      try Ok (result_fp (f ()))
+      with Exec.Interp.Ship_failed { from_loc; to_loc; attempts; reason } ->
+        Error (from_loc, to_loc, attempts, reason)
+    in
+    let reference = run (fun () -> Exec.Interp.run ~faults ~network ~db ~table_cols plan)
+    and compiled = run (fun () -> Exec.Compile.run ~faults ~network ~db ~table_cols plan) in
+    if reference <> compiled then
+      Alcotest.failf "engines disagree under faults (seed %d) on plan:@.%a" seed
+        (P.pp ?indent:None) plan;
+    true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"reference = compiled (transient drops)"
+       (QCheck.pair Plangen.arbitrary_plan QCheck.small_nat)
+       prop)
+
+let test_tpch_golden_equivalence () =
+  (* The paper's twelve TPC-H queries, optimized then executed on both
+     engines: results, ships and profiles must be byte-identical. *)
+  let cat = Tpch.Schema.catalog () in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf:0.002 ()) in
+  let session = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies session Tpch.Policies.unrestricted;
+  Cgqp.attach_database session db;
+  List.iter
+    (fun (name, sql) ->
+      match Cgqp.optimize session sql with
+      | Error e -> Alcotest.failf "%s failed to optimize: %s" name (Cgqp.error_to_string e)
+      | Ok planned ->
+        check_engines_agree ~network:(Catalog.network cat) ~db
+          ~table_cols:(Catalog.table_cols cat) planned.Optimizer.Planner.plan)
+    Tpch.Queries.all_extended
+
+let test_engine_selection () =
+  Alcotest.(check bool) "of_string reference" true
+    (Exec.Engine.of_string "reference" = Some Exec.Engine.Reference);
+  Alcotest.(check bool) "of_string compiled" true
+    (Exec.Engine.of_string "Compiled" = Some Exec.Engine.Compiled);
+  Alcotest.(check bool) "of_string interp alias" true
+    (Exec.Engine.of_string "interp" = Some Exec.Engine.Reference);
+  Alcotest.(check bool) "of_string junk" true (Exec.Engine.of_string "jit" = None);
+  Alcotest.(check string) "to_string roundtrip" "reference"
+    (Exec.Engine.to_string Exec.Engine.Reference);
+  (* sessions expose and honor the engine choice *)
+  let cat = Tpch.Schema.catalog () in
+  let session = Cgqp.create ~catalog:cat () in
+  Cgqp.set_engine session Exec.Engine.Reference;
+  Alcotest.(check string) "session engine" "reference"
+    (Exec.Engine.to_string (Cgqp.engine session));
+  (* Engine.run dispatches identically either way on a simple plan *)
+  let db = default_db () in
+  let plan = node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "r" ] in
+  let a = Exec.Engine.run ~engine:Exec.Engine.Reference ~network ~db ~table_cols plan
+  and b = Exec.Engine.run ~engine:Exec.Engine.Compiled ~network ~db ~table_cols plan in
+  Alcotest.(check bool) "dispatch parity" true (result_fp a = result_fp b)
+
+let test_compile_reuse () =
+  (* one compiled plan, executed twice: identical results both times *)
+  let db = default_db () in
+  let plan =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "s" ] ]
+  in
+  let compiled = Exec.Compile.compile ~db ~table_cols plan in
+  let r1 = Exec.Compile.execute ~network compiled
+  and r2 = Exec.Compile.execute ~network compiled in
+  Alcotest.(check bool) "re-execution identical" true (result_fp r1 = result_fp r2);
+  Alcotest.(check int) "schema exposed" 4 (List.length (Exec.Compile.schema compiled))
+
 let test_null_join_keys () =
   (* rows with NULL join keys never match *)
   let db =
@@ -446,5 +758,16 @@ let () =
           Alcotest.test_case "with_ships" `Quick test_with_ships;
           Alcotest.test_case "malformed" `Quick test_malformed_plan;
           Alcotest.test_case "makespan parallelism" `Quick test_makespan_parallel_branches;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "differential: random plans" `Quick
+            test_differential_random_plans;
+          Alcotest.test_case "differential: under faults" `Quick
+            test_differential_under_faults;
+          Alcotest.test_case "TPC-H golden equivalence" `Slow
+            test_tpch_golden_equivalence;
+          Alcotest.test_case "engine selection" `Quick test_engine_selection;
+          Alcotest.test_case "compiled plan reuse" `Quick test_compile_reuse;
         ] );
     ]
