@@ -1,21 +1,23 @@
 (** Execution engine selection.
 
-    Two engines execute placed physical plans: the tree-walking
-    reference interpreter ({!Interp}) and the compiling executor
-    ({!Compile}). They are byte-identical on results, SHIP accounting,
-    profiles and observability output (see [docs/EXECUTOR.md]); the
-    compiled engine is the default. Select per session via
-    [Cgqp.set_engine], per process via the [CGQP_ENGINE] environment
-    variable, or per CLI invocation with [--engine]. *)
+    Three engines execute placed physical plans: the tree-walking
+    reference interpreter ({!Interp}), the compiling executor
+    ({!Compile}) and the vectorized executor ({!Vector}). They are
+    byte-identical on results, SHIP accounting, profiles and
+    observability output (see [docs/EXECUTOR.md]); the compiled engine
+    is the default. Select per session via [Cgqp.set_engine], per
+    process via the [CGQP_ENGINE] environment variable, or per CLI
+    invocation with [--engine]. *)
 
-type t = Reference | Compiled
+type t = Reference | Compiled | Vector
 
 val to_string : t -> string
-(** ["reference"] / ["compiled"]. *)
+(** ["reference"] / ["compiled"] / ["vector"]. *)
 
 val of_string : string -> t option
 (** Case-insensitive; recognizes ["reference"]/["interp"]/
-    ["interpreter"] and ["compiled"]/["compile"]. *)
+    ["interpreter"], ["compiled"]/["compile"] and
+    ["vector"]/["vectorized"]. *)
 
 val default : unit -> t
 (** The process default: [CGQP_ENGINE] if set (raising

@@ -29,9 +29,10 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
     let exec1 c = exec (0 :: rpath) c in
     let exec2 l r =
       (* Right child first: SHIP indices (and with them the
-         deterministic per-attempt drop fates) follow execution order,
-         and the historical order was OCaml's right-to-left tuple
-         evaluation. Both engines make it explicit. *)
+         deterministic per-attempt drop fates) follow execution order.
+         This is part of the child-iteration contract every engine must
+         honor — see runtime.mli — and asserted by the "ship order
+         contract" test in test/test_exec.ml. *)
       let rrel = exec (1 :: rpath) r in
       let lrel = exec (0 :: rpath) l in
       (lrel, rrel)

@@ -1,10 +1,35 @@
-(** Execution scaffolding shared by the two engines.
+(** Execution scaffolding shared by the engines.
 
-    Both the reference interpreter ({!Interp}) and the compiling
-    executor ({!Compile}) route SHIPs, retries, per-operator profiles
+    The reference interpreter ({!Interp}), the compiling executor
+    ({!Compile}) and the vectorized executor ({!Vector}) all route
+    SHIPs, retries, per-operator profiles, scalar/predicate compilation
     and metrics/trace emission through this module, which is what makes
     their stats, profiles and observability output byte-identical (see
-    [docs/EXECUTOR.md]). *)
+    [docs/EXECUTOR.md]).
+
+    {2 Child-iteration contract}
+
+    Per-attempt SHIP drop fates are keyed by the ship's index in
+    [stats.ships] (see {!do_ship}), and the row view handed to each
+    operator ({!Storage.Relation.rows} or the equivalent column order)
+    iterates rows in relation order — so both the {e order in which
+    children execute} and the {e order in which rows are visited} are
+    part of engine equivalence, not an implementation detail. Every
+    engine MUST:
+
+    - execute the {b right child first} for binary operators
+      (joins) — the historical order was OCaml's right-to-left tuple
+      evaluation, and all engines now make it explicit;
+    - execute [Union_all] children {b left-to-right};
+    - visit input rows in relation order (index [0] upward), emitting
+      join matches for each probe row in the build table's
+      reverse-insertion order (what [Row_tbl.find_all] yields);
+    - key batch-local work off absolute row indices, so batching (the
+      vectorized engine's 1024-row chunks) never reorders emission.
+
+    [test/test_exec.ml]'s "ship order contract" unit test asserts the
+    child-order half of this against all engines; the differential
+    property locks the rest. *)
 
 open Relalg
 
@@ -126,6 +151,49 @@ val feed : acc -> Value.t -> unit
 (** Fold one value into the accumulator; [Null] is skipped. *)
 
 val finish : Expr.agg_fn -> acc -> Value.t
+
+(** {2 Scalar / predicate compilation}
+
+    Shared by the compiling and vectorized engines: attributes resolve
+    to integer column indices once per operator, Pred/Expr ASTs become
+    closures, constant subterms fold, and null checks specialize away
+    where an operand is a known non-null constant. One copy of this
+    logic keeps engine semantics identical by construction. *)
+
+val binop_fn : Expr.binop -> Value.t -> Value.t -> Value.t
+
+val fold_scalar : Expr.scalar -> Expr.scalar
+(** Fold constant subterms bottom-up using the same [Value] arithmetic
+    evaluation would use, so folding cannot change results. *)
+
+val compile_scalar :
+  Storage.Relation.resolver -> Expr.scalar -> Value.t array -> Value.t
+(** Compile a scalar to an index-addressed closure over a row;
+    unresolvable attributes read as NULL. *)
+
+val cmp_fn : Pred.cmp -> int -> bool
+(** The comparison's test on a [Value.compare] result. *)
+
+val has_wildcard : string -> bool
+(** A LIKE pattern without [%]/[_] is plain string equality. *)
+
+val fold_pred : Pred.t -> Pred.t
+(** Fold column-free subtrees to [True]/[False] and simplify through
+    the boolean connectives. *)
+
+val compile_atom : Storage.Relation.resolver -> Pred.atom -> Value.t array -> bool
+val compile_pred : Storage.Relation.resolver -> Pred.t -> Value.t array -> bool
+
+val key_ixs : Storage.Relation.resolver -> Attr.t list -> int array
+(** Column positions of join/group keys; [-1] marks an unresolvable
+    attribute, which reads as NULL for every row. *)
+
+val key_val : Value.t array -> int -> Value.t
+(** Read a key column from a row; out-of-range (incl. [-1]) is NULL. *)
+
+val fill_key : int array -> Value.t array -> Value.t array -> bool
+(** Fill the buffer with the row's key; [false] if any component is
+    NULL (such rows never join). *)
 
 (** {2 Row utilities} *)
 

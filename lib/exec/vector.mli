@@ -1,0 +1,62 @@
+(** Vectorized executor for placed physical plans.
+
+    The third engine: where {!Compile} runs index-addressed closures
+    over one boxed row at a time, this engine executes over the
+    column-major storage ({!Storage.Column}) directly in 1024-row
+    batches. Filters refine per-batch selection vectors without
+    materializing, hash joins build and probe over column slices and
+    materialize once with typed gathers, aggregation runs fused
+    accumulator loops bound to the columns per batch, and sort produces
+    a permutation selvec instead of moving rows. Comparisons against
+    constants specialize to primitive loops over the unboxed column
+    representation when types match exactly.
+
+    The vectorized engine is {e byte-identical} to the other two: same
+    result rows in the same order, same SHIP records (order, bytes,
+    simulated cost, retry fates — ship fates are keyed by ship index,
+    so the child-iteration contract in runtime.mli applies), same
+    per-operator profiles and bit-equal makespans. Scalar/predicate
+    compilation, aggregate accumulators and the SHIP path are shared
+    via {!Runtime}; the invariant is enforced by the three-way
+    differential property and golden tests in [test/test_exec.ml].
+    See [docs/EXECUTOR.md]. *)
+
+open Relalg
+
+type t
+(** A compiled vectorized plan: reusable across executions. *)
+
+val schema : t -> Attr.t list
+(** Output schema, fixed at compile time. *)
+
+val compile :
+  db:Storage.Database.t -> table_cols:(string -> string list) -> Pplan.t -> t
+(** Compile a placed plan against the column-major base tables: resolve
+    every attribute to a column index, build per-operator binders that
+    specialize on the concrete column representation at execution time,
+    and precompute join/group key index vectors. [table_cols] resolves
+    a table's stored column order, used to re-qualify scan schemas with
+    the query alias (as in {!Interp.run}). Raises
+    {!Runtime.Runtime_error} on malformed plans and [Invalid_argument]
+    on unknown tables. *)
+
+val execute :
+  ?faults:Catalog.Network.Fault.schedule ->
+  ?retry:Runtime.retry_policy ->
+  network:Catalog.Network.t ->
+  t ->
+  Runtime.result
+(** Execute a compiled vectorized plan. Semantics, SHIP accounting,
+    fault injection and observability are exactly those of
+    {!Interp.run}; raises {!Runtime.Ship_failed} on permanent transfer
+    failures. *)
+
+val run :
+  ?faults:Catalog.Network.Fault.schedule ->
+  ?retry:Runtime.retry_policy ->
+  network:Catalog.Network.t ->
+  db:Storage.Database.t ->
+  table_cols:(string -> string list) ->
+  Pplan.t ->
+  Runtime.result
+(** [compile] then [execute] — drop-in replacement for {!Interp.run}. *)

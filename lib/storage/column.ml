@@ -1,0 +1,285 @@
+(* Column-major storage: one typed, unboxed array per column plus a
+   packed null bitmap. This is the physical layout the vectorized
+   engine's kernels run over; the row-oriented engines see it only
+   through [Relation]'s row-view shim.
+
+   Representation rules:
+   - a column whose non-null values all share one [Value.ty] is stored
+     in the matching typed array ([int array] / [float array] /
+     [string array] / packed bools), with NULL slots holding a dummy
+     and the bitmap marking them;
+   - a heterogeneous (or empty, or all-NULL) column falls back to a
+     boxed [Value.t array], where NULLs are stored directly and the
+     bitmap stays empty.
+
+   Columns are immutable after construction; [byte_size] is memoized
+   because the per-operator profile charges it on every execution. *)
+
+open Relalg
+
+type data =
+  | Ints of int array
+  | Floats of float array  (* flat float array: unboxed in OCaml *)
+  | Strs of string array
+  | Dates of int array
+  | Bools of Bytes.t  (* one byte per row: 0 = false, 1 = true *)
+  | Values of Value.t array  (* heterogeneous / all-NULL fallback *)
+
+type t = {
+  data : data;
+  nulls : Bytes.t;
+      (* packed bitmap, bit [i] set = row [i] is NULL; [Bytes.empty]
+         means "no nulls" (and is mandatory for [Values]) *)
+  mutable bytes : int;  (* memoized serialized size; -1 = not computed *)
+}
+
+let no_nulls = Bytes.empty
+
+let length t =
+  match t.data with
+  | Ints a | Dates a -> Array.length a
+  | Floats a -> Array.length a
+  | Strs a -> Array.length a
+  | Bools b -> Bytes.length b
+  | Values a -> Array.length a
+
+let has_nulls t = Bytes.length t.nulls > 0
+
+let is_null t i =
+  Bytes.length t.nulls > 0
+  && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* --- null bitmap helpers --- *)
+
+let bitmap_create n = Bytes.make ((n + 7) / 8) '\000'
+
+let bitmap_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bitmap_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let get t i =
+  if is_null t i then Value.Null
+  else
+    match t.data with
+    | Ints a -> Value.Int a.(i)
+    | Floats a -> Value.Float a.(i)
+    | Strs a -> Value.Str a.(i)
+    | Dates a -> Value.Date a.(i)
+    | Bools b -> Value.Bool (Bytes.get b i <> '\000')
+    | Values a -> a.(i)
+
+(* --- construction --- *)
+
+let of_value_array (vals : Value.t array) = { data = Values vals; nulls = no_nulls; bytes = -1 }
+
+(* Sniff the uniform type of a column, if any. *)
+let uniform_ty (vals : Value.t array) : Value.ty option =
+  let n = Array.length vals in
+  let rec first i =
+    if i >= n then None
+    else match Value.type_of vals.(i) with Some ty -> Some (ty, i) | None -> first (i + 1)
+  in
+  match first 0 with
+  | None -> None (* empty or all-NULL: no type evidence *)
+  | Some (ty, i0) ->
+    let rec rest i =
+      if i >= n then Some ty
+      else
+        match Value.type_of vals.(i) with
+        | None -> rest (i + 1)
+        | Some ty' -> if ty' = ty then rest (i + 1) else None
+    in
+    rest (i0 + 1)
+
+(* Build the typed representation for a known-uniform column. *)
+let of_values_typed (ty : Value.ty) (vals : Value.t array) : t =
+  let n = Array.length vals in
+  let nulls = bitmap_create n in
+  let seen_null = ref false in
+  let mark i =
+    seen_null := true;
+    bitmap_set nulls i
+  in
+  let data =
+    match ty with
+    | Value.Tint ->
+      let a = Array.make n 0 in
+      Array.iteri (fun i v -> match v with Value.Int x -> a.(i) <- x | _ -> mark i) vals;
+      Ints a
+    | Value.Tfloat ->
+      let a = Array.make n 0. in
+      Array.iteri
+        (fun i v -> match v with Value.Float x -> a.(i) <- x | _ -> mark i)
+        vals;
+      Floats a
+    | Value.Tstr ->
+      let a = Array.make n "" in
+      Array.iteri (fun i v -> match v with Value.Str s -> a.(i) <- s | _ -> mark i) vals;
+      Strs a
+    | Value.Tdate ->
+      let a = Array.make n 0 in
+      Array.iteri (fun i v -> match v with Value.Date d -> a.(i) <- d | _ -> mark i) vals;
+      Dates a
+    | Value.Tbool ->
+      let b = Bytes.make n '\000' in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Bool x -> if x then Bytes.set b i '\001'
+          | _ -> mark i)
+        vals;
+      Bools b
+  in
+  { data; nulls = (if !seen_null then nulls else no_nulls); bytes = -1 }
+
+let of_values (vals : Value.t array) : t =
+  match uniform_ty vals with
+  | Some ty -> of_values_typed ty vals
+  | None -> of_value_array (Array.copy vals)
+
+let to_values t = Array.init (length t) (fun i -> get t i)
+
+(* --- serialized size (agrees with Value.byte_width per element) --- *)
+
+let compute_bytes t =
+  let n = length t in
+  match t.data with
+  | Ints _ | Floats _ | Dates _ | Bools _ when not (has_nulls t) ->
+    (* fixed width, no nulls: O(1) *)
+    let w = match t.data with Ints _ | Floats _ -> 8 | Dates _ -> 4 | _ -> 1 in
+    w * n
+  | _ ->
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + Value.byte_width (get t i)
+    done;
+    !acc
+
+let byte_size t =
+  if t.bytes < 0 then t.bytes <- compute_bytes t;
+  t.bytes
+
+(* --- kernels' materialization primitives --- *)
+
+(* Select rows by index; the workhorse behind selection vectors, sort
+   permutations and join outputs. Typed columns stay typed. *)
+let gather t (ixs : int array) : t =
+  let n = Array.length ixs in
+  let nulls =
+    if not (has_nulls t) then no_nulls
+    else begin
+      let b = bitmap_create n in
+      let any = ref false in
+      for j = 0 to n - 1 do
+        if bitmap_get t.nulls ixs.(j) then begin
+          any := true;
+          bitmap_set b j
+        end
+      done;
+      if !any then b else no_nulls
+    end
+  in
+  let data =
+    match t.data with
+    | Ints a -> Ints (Array.init n (fun j -> Array.unsafe_get a ixs.(j)))
+    | Floats a -> Floats (Array.init n (fun j -> Array.unsafe_get a ixs.(j)))
+    | Strs a -> Strs (Array.init n (fun j -> Array.unsafe_get a ixs.(j)))
+    | Dates a -> Dates (Array.init n (fun j -> Array.unsafe_get a ixs.(j)))
+    | Bools b ->
+      let out = Bytes.make n '\000' in
+      for j = 0 to n - 1 do
+        Bytes.unsafe_set out j (Bytes.unsafe_get b ixs.(j))
+      done;
+      Bools out
+    | Values a -> Values (Array.init n (fun j -> Array.unsafe_get a ixs.(j)))
+  in
+  { data; nulls; bytes = -1 }
+
+(* Concatenate columns (UNION ALL). Same-variant inputs stay typed;
+   mixed variants fall back to boxed values. *)
+let concat (cols : t list) : t =
+  match cols with
+  | [] -> of_value_array [||]
+  | [ c ] -> c
+  | first :: _ ->
+    let total = List.fold_left (fun acc c -> acc + length c) 0 cols in
+    let same_variant =
+      let tag t =
+        match t.data with
+        | Ints _ -> 0 | Floats _ -> 1 | Strs _ -> 2 | Dates _ -> 3 | Bools _ -> 4
+        | Values _ -> 5
+      in
+      List.for_all (fun c -> tag c = tag first) cols
+    in
+    if not same_variant then begin
+      let out = Array.make total Value.Null in
+      let off = ref 0 in
+      List.iter
+        (fun c ->
+          for i = 0 to length c - 1 do
+            out.(!off + i) <- get c i
+          done;
+          off := !off + length c)
+        cols;
+      of_value_array out
+    end
+    else begin
+      let nulls =
+        if List.for_all (fun c -> not (has_nulls c)) cols then no_nulls
+        else begin
+          let b = bitmap_create total in
+          let off = ref 0 in
+          List.iter
+            (fun c ->
+              if has_nulls c then
+                for i = 0 to length c - 1 do
+                  if bitmap_get c.nulls i then bitmap_set b (!off + i)
+                done;
+              off := !off + length c)
+            cols;
+          b
+        end
+      in
+      let concat_arr proj make0 =
+        let out = make0 total in
+        let off = ref 0 in
+        List.iter
+          (fun c ->
+            let a = proj c.data in
+            Array.blit a 0 out !off (Array.length a);
+            off := !off + Array.length a)
+          cols;
+        out
+      in
+      let data =
+        match first.data with
+        | Ints _ ->
+          Ints (concat_arr (function Ints a | Dates a -> a | _ -> [||]) (fun n -> Array.make n 0))
+        | Dates _ ->
+          Dates (concat_arr (function Ints a | Dates a -> a | _ -> [||]) (fun n -> Array.make n 0))
+        | Floats _ ->
+          Floats (concat_arr (function Floats a -> a | _ -> [||]) (fun n -> Array.make n 0.))
+        | Strs _ ->
+          Strs (concat_arr (function Strs a -> a | _ -> [||]) (fun n -> Array.make n ""))
+        | Bools _ ->
+          let out = Bytes.make total '\000' in
+          let off = ref 0 in
+          List.iter
+            (fun c ->
+              match c.data with
+              | Bools b ->
+                Bytes.blit b 0 out !off (Bytes.length b);
+                off := !off + Bytes.length b
+              | _ -> ())
+            cols;
+          Bools out
+        | Values _ ->
+          Values
+            (concat_arr (function Values a -> a | _ -> [||]) (fun n ->
+                 Array.make n Value.Null))
+      in
+      { data; nulls; bytes = -1 }
+    end

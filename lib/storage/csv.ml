@@ -98,7 +98,18 @@ let parse ~(schema : Attr.t list) ~(types : Value.ty list) ?(header = true)
         else Array.of_list (List.map2 value_of_string types fields))
       records
   in
-  Relation.make ~schema ~rows:(Array.of_list rows)
+  let rows = Array.of_list rows in
+  (* Build typed columns directly from the declared types — loaded data
+     lands column-major without a sniffing pass. *)
+  let card = Array.length rows in
+  let cols =
+    Array.of_list
+      (List.mapi
+         (fun j ty ->
+           Column.of_values_typed ty (Array.init card (fun i -> rows.(i).(j))))
+         types)
+  in
+  Relation.of_cols ~schema ~card cols
 
 let load_file ~schema ~types ?header path : Relation.t =
   let ic = open_in path in

@@ -15,6 +15,9 @@ type t = { mutable store : Relation.t Key_map.t }
 let create () = { store = Key_map.empty }
 
 let add t ~table ?(partition = 0) rel =
+  (* Stored base tables are the vectorized engine's scan inputs:
+     columnarize once at load time so no query pays the conversion. *)
+  Relation.columnarize rel;
   t.store <- Key_map.add (String.lowercase_ascii table, partition) rel t.store
 
 let find t ~table ?(partition = 0) () =

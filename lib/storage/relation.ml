@@ -1,5 +1,14 @@
 (* An in-memory materialized relation: a schema of qualified column
-   names and an array of rows. *)
+   names over column-major storage (one [Column.t] per attribute, see
+   column.ml), with a row-view shim for the row-at-a-time engines.
+
+   A relation can be constructed from rows ([make]) or from columns
+   ([of_cols]); the other representation is materialized lazily on
+   first access and cached. Relations are immutable, so the caches are
+   safe to share; the row-at-a-time engines ([Interp], [Compile]) pay
+   no conversion cost on intermediates they build and consume as rows,
+   while the vectorized engine reads stored base tables column-major
+   (the conversion happens once per stored relation, not per query). *)
 
 open Relalg
 
@@ -51,7 +60,10 @@ let lookup_of_schema schema : Attr.t -> Value.t array -> Value.t =
 
 type t = {
   schema : Attr.t list;
-  rows : Value.t array array;
+  width : int;
+  card : int;
+  mutable rows_v : Value.t array array option;  (* row-view cache *)
+  mutable cols_v : Column.t array option;  (* column-major cache *)
   index : resolver Lazy.t;
       (* built on first lookup; operators that never resolve names
          (e.g. the compiled engine's intermediates) pay nothing *)
@@ -63,12 +75,55 @@ let make ~schema ~rows =
     (fun r ->
       if Array.length r <> n then invalid_arg "Relation.make: row arity mismatch")
     rows;
-  { schema; rows; index = lazy (resolver schema) }
+  { schema; width = n; card = Array.length rows; rows_v = Some rows; cols_v = None;
+    index = lazy (resolver schema) }
+
+let of_cols ~schema ~card cols =
+  let n = List.length schema in
+  if Array.length cols <> n then invalid_arg "Relation.of_cols: column arity mismatch";
+  Array.iter
+    (fun c ->
+      if Column.length c <> card then
+        invalid_arg "Relation.of_cols: column cardinality mismatch")
+    cols;
+  { schema; width = n; card; rows_v = None; cols_v = Some cols;
+    index = lazy (resolver schema) }
 
 let empty ~schema = make ~schema ~rows:[||]
 let schema t = t.schema
-let rows t = t.rows
-let cardinality t = Array.length t.rows
+let cardinality t = t.card
+
+(* The row-view shim: row-major [Value.t array array], materialized
+   from the columns on first access and cached. Callers must not
+   mutate the result. *)
+let rows t =
+  match t.rows_v with
+  | Some rows -> rows
+  | None ->
+    let cols = match t.cols_v with Some c -> c | None -> assert false in
+    let rows =
+      Array.init t.card (fun i ->
+          Array.init t.width (fun j -> Column.get cols.(j) i))
+    in
+    t.rows_v <- Some rows;
+    rows
+
+(* Column-major view, materialized from the rows on first access and
+   cached; stored base tables are columnarized up front by
+   [Database.add], so queries never pay this. *)
+let cols t =
+  match t.cols_v with
+  | Some cols -> cols
+  | None ->
+    let rows = match t.rows_v with Some r -> r | None -> assert false in
+    let cols =
+      Array.init t.width (fun j ->
+          Column.of_values (Array.init t.card (fun i -> rows.(i).(j))))
+    in
+    t.cols_v <- Some cols;
+    cols
+
+let columnarize t = ignore (cols t)
 
 (* Index of an attribute in the schema: exact match first, then a
    unique match on the bare column name. *)
@@ -81,11 +136,16 @@ let lookup_fn t : Attr.t -> Value.t array -> Value.t =
     | Some ix when ix < Array.length row -> row.(ix)
     | Some _ | None -> Value.Null
 
-(* Total serialized size in bytes (what a SHIP of this relation moves). *)
+(* Total serialized size in bytes (what a SHIP of this relation moves).
+   Computed on whichever representation is materialized — both sum
+   [Value.byte_width] over every cell, so they agree. *)
 let byte_size t =
-  Array.fold_left
-    (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
-    0 t.rows
+  match t.cols_v with
+  | Some cols -> Array.fold_left (fun acc c -> acc + Column.byte_size c) 0 cols
+  | None ->
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
+      0 (rows t)
 
 (* Order rows by the given (attribute, descending) keys. Key positions
    are resolved once; unknown attributes read as NULL for every row. *)
@@ -105,14 +165,14 @@ let order_by t (keys : (Attr.t * bool) list) =
     in
     go kix
   in
-  let rows = Array.copy t.rows in
+  let rows = Array.copy (rows t) in
   Array.stable_sort cmp rows;
-  { t with rows }
+  make ~schema:t.schema ~rows
 
 (* First [n] rows. *)
 let take t n =
   if cardinality t <= n then t
-  else { t with rows = Array.sub t.rows 0 n }
+  else make ~schema:t.schema ~rows:(Array.sub (rows t) 0 n)
 
 let pp ?(max_rows = 20) ppf t =
   Fmt.pf ppf "%a@." Fmt.(list ~sep:(any " | ") Attr.pp) t.schema;
@@ -120,7 +180,7 @@ let pp ?(max_rows = 20) ppf t =
     (fun i row ->
       if i < max_rows then
         Fmt.pf ppf "%a@." Fmt.(array ~sep:(any " | ") Value.pp) row)
-    t.rows;
+    (rows t);
   if cardinality t > max_rows then Fmt.pf ppf "... (%d rows)@." (cardinality t)
 
 let to_csv t =
@@ -134,5 +194,5 @@ let to_csv t =
         (String.concat ","
            (Array.to_list (Array.map Value.to_string row)));
       Buffer.add_char buf '\n')
-    t.rows;
+    (rows t);
   Buffer.contents buf

@@ -1,5 +1,8 @@
 (** In-memory materialized relations: a schema of qualified column
-    names and an array of rows. *)
+    names over column-major storage ({!Column.t} per attribute), with
+    a cached row-view shim for the row-at-a-time engines. A relation
+    can be built from either representation; the other is materialized
+    lazily on first access. *)
 
 open Relalg
 
@@ -21,12 +24,30 @@ val lookup_of_schema : Attr.t list -> Attr.t -> Value.t array -> Value.t
 type t
 
 val make : schema:Attr.t list -> rows:Value.t array array -> t
-(** Raises [Invalid_argument] if some row's arity differs from the
-    schema. *)
+(** Build from rows (the row view is the stored representation; columns
+    materialize on first {!cols}). Raises [Invalid_argument] if some
+    row's arity differs from the schema. *)
+
+val of_cols : schema:Attr.t list -> card:int -> Column.t array -> t
+(** Build from columns. [card] is the row count (needed explicitly for
+    width-0 relations). Raises [Invalid_argument] on arity or
+    cardinality mismatch. *)
 
 val empty : schema:Attr.t list -> t
 val schema : t -> Attr.t list
+
 val rows : t -> Value.t array array
+(** The row-view shim: materialized from the columns on first access
+    and cached. Treat the result as read-only. *)
+
+val cols : t -> Column.t array
+(** Column-major view: materialized from the rows on first access and
+    cached. Stored base tables are columnarized up front by
+    {!Database.add}. *)
+
+val columnarize : t -> unit
+(** Force the column-major view to be materialized now. *)
+
 val cardinality : t -> int
 
 val find_index : t -> Attr.t -> int option

@@ -399,11 +399,12 @@ let test_malformed_plan () =
   | exception Exec.Interp.Runtime_error _ -> ()
   | _ -> Alcotest.fail "malformed plan must raise"
 
-(* --- reference vs compiled engine equivalence ---------------------
+(* --- three-engine equivalence -------------------------------------
 
-   The compiled engine must be byte-identical to the interpreter:
-   same rows in the same order, same SHIP records (order, bytes, cost,
-   retry fates), same per-operator profiles, same makespan. *)
+   The compiled and vectorized engines must be byte-identical to the
+   reference interpreter (and hence to each other): same rows in the
+   same order, same SHIP records (order, bytes, cost, retry fates),
+   same per-operator profiles, same makespan. *)
 
 let result_fp (r : Exec.Interp.result) =
   ( Storage.Relation.to_csv r.relation,
@@ -414,23 +415,31 @@ let result_fp (r : Exec.Interp.result) =
     r.makespan_ms )
 
 let check_engines_agree ?faults ?(network = network) ~db ~table_cols plan =
-  let reference =
-    Exec.Interp.run ?faults ~network ~db ~table_cols plan
-  and compiled = Exec.Compile.run ?faults ~network ~db ~table_cols plan in
-  if result_fp reference <> result_fp compiled then
-    Alcotest.failf
-      "engines disagree on plan:@.%a@.reference rows=%d ships=%d \
-       makespan=%.6f@.compiled rows=%d ships=%d makespan=%.6f@.ref csv:@.%s@.cmp \
-       csv:@.%s"
-      (P.pp ?indent:None) plan
-      (Storage.Relation.cardinality reference.relation)
-      (List.length reference.stats.Exec.Interp.ships)
-      reference.makespan_ms
-      (Storage.Relation.cardinality compiled.relation)
-      (List.length compiled.stats.Exec.Interp.ships)
-      compiled.makespan_ms
-      (Storage.Relation.to_csv reference.relation)
-      (Storage.Relation.to_csv compiled.relation)
+  let reference = Exec.Interp.run ?faults ~network ~db ~table_cols plan
+  and compiled = Exec.Compile.run ?faults ~network ~db ~table_cols plan
+  and vector = Exec.Vector.run ?faults ~network ~db ~table_cols plan in
+  List.iter
+    (fun (na, (a : Exec.Interp.result), nb, (b : Exec.Interp.result)) ->
+      if result_fp a <> result_fp b then
+        Alcotest.failf
+          "%s and %s disagree on plan:@.%a@.%s rows=%d ships=%d \
+           makespan=%.6f@.%s rows=%d ships=%d makespan=%.6f@.%s csv:@.%s@.%s \
+           csv:@.%s"
+          na nb (P.pp ?indent:None) plan na
+          (Storage.Relation.cardinality a.relation)
+          (List.length a.stats.Exec.Interp.ships)
+          a.makespan_ms nb
+          (Storage.Relation.cardinality b.relation)
+          (List.length b.stats.Exec.Interp.ships)
+          b.makespan_ms na
+          (Storage.Relation.to_csv a.relation)
+          nb
+          (Storage.Relation.to_csv b.relation))
+    [
+      ("reference", reference, "compiled", compiled);
+      ("reference", reference, "vector", vector);
+      ("compiled", compiled, "vector", vector);
+    ]
 
 (* Random well-formed plans over the r/s tables, tracking each
    subplan's attribute universe so predicates, projections and join
@@ -624,11 +633,11 @@ let test_differential_random_plans () =
     true
   in
   QCheck.Test.check_exn
-    (QCheck.Test.make ~count:300 ~name:"reference = compiled (fault-free)"
+    (QCheck.Test.make ~count:300 ~name:"three engines agree (fault-free)"
        Plangen.arbitrary_plan prop)
 
 let test_differential_under_faults () =
-  (* Under transient drops, both engines must see identical drop fates
+  (* Under transient drops, all engines must see identical drop fates
      (ship-index keyed), hence identical retry counts and costs — or
      fail identically. *)
   let db = default_db () in
@@ -646,20 +655,21 @@ let test_differential_under_faults () =
         Error (from_loc, to_loc, attempts, reason)
     in
     let reference = run (fun () -> Exec.Interp.run ~faults ~network ~db ~table_cols plan)
-    and compiled = run (fun () -> Exec.Compile.run ~faults ~network ~db ~table_cols plan) in
-    if reference <> compiled then
+    and compiled = run (fun () -> Exec.Compile.run ~faults ~network ~db ~table_cols plan)
+    and vector = run (fun () -> Exec.Vector.run ~faults ~network ~db ~table_cols plan) in
+    if reference <> compiled || reference <> vector then
       Alcotest.failf "engines disagree under faults (seed %d) on plan:@.%a" seed
         (P.pp ?indent:None) plan;
     true
   in
   QCheck.Test.check_exn
-    (QCheck.Test.make ~count:200 ~name:"reference = compiled (transient drops)"
+    (QCheck.Test.make ~count:200 ~name:"three engines agree (transient drops)"
        (QCheck.pair Plangen.arbitrary_plan QCheck.small_nat)
        prop)
 
 let test_tpch_golden_equivalence () =
-  (* The paper's twelve TPC-H queries, optimized then executed on both
-     engines: results, ships and profiles must be byte-identical. *)
+  (* The paper's twelve TPC-H queries, optimized then executed on all
+     three engines: results, ships and profiles must be byte-identical. *)
   let cat = Tpch.Schema.catalog () in
   let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf:0.002 ()) in
   let session = Cgqp.create ~catalog:cat () in
@@ -681,6 +691,10 @@ let test_engine_selection () =
     (Exec.Engine.of_string "Compiled" = Some Exec.Engine.Compiled);
   Alcotest.(check bool) "of_string interp alias" true
     (Exec.Engine.of_string "interp" = Some Exec.Engine.Reference);
+  Alcotest.(check bool) "of_string vector" true
+    (Exec.Engine.of_string "Vector" = Some Exec.Engine.Vector);
+  Alcotest.(check bool) "of_string vectorized alias" true
+    (Exec.Engine.of_string "vectorized" = Some Exec.Engine.Vector);
   Alcotest.(check bool) "of_string junk" true (Exec.Engine.of_string "jit" = None);
   Alcotest.(check string) "to_string roundtrip" "reference"
     (Exec.Engine.to_string Exec.Engine.Reference);
@@ -694,8 +708,10 @@ let test_engine_selection () =
   let db = default_db () in
   let plan = node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "r" ] in
   let a = Exec.Engine.run ~engine:Exec.Engine.Reference ~network ~db ~table_cols plan
-  and b = Exec.Engine.run ~engine:Exec.Engine.Compiled ~network ~db ~table_cols plan in
-  Alcotest.(check bool) "dispatch parity" true (result_fp a = result_fp b)
+  and b = Exec.Engine.run ~engine:Exec.Engine.Compiled ~network ~db ~table_cols plan
+  and c = Exec.Engine.run ~engine:Exec.Engine.Vector ~network ~db ~table_cols plan in
+  Alcotest.(check bool) "dispatch parity" true
+    (result_fp a = result_fp b && result_fp a = result_fp c)
 
 let test_compile_reuse () =
   (* one compiled plan, executed twice: identical results both times *)
@@ -710,6 +726,141 @@ let test_compile_reuse () =
   and r2 = Exec.Compile.execute ~network compiled in
   Alcotest.(check bool) "re-execution identical" true (result_fp r1 = result_fp r2);
   Alcotest.(check int) "schema exposed" 4 (List.length (Exec.Compile.schema compiled))
+
+let test_ship_order_contract () =
+  (* The child-iteration contract (runtime.mli): binary operators
+     execute the right child first, Union_all children left-to-right.
+     [stats.ships] is most-recent-first, so the recorded row counts pin
+     the execution order for every engine. *)
+  let db = default_db () in
+  let ship p = node (P.Ship { from_loc = "y"; to_loc = "x" }) [ p ] in
+  let join =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ ship (scan ~loc:"y" "r"); ship (scan ~loc:"y" "s") ]
+  in
+  let union =
+    (* r, r, s: an asymmetric sequence, so a wrong order cannot pass *)
+    node P.Union_all
+      [ ship (scan ~loc:"y" "r"); ship (scan ~loc:"y" "r"); ship (scan ~loc:"y" "s") ]
+  in
+  let ship_rows (r : Exec.Interp.result) =
+    List.map (fun (s : Exec.Interp.ship_record) -> s.rows) r.stats.Exec.Interp.ships
+  in
+  List.iter
+    (fun (name, run) ->
+      (* right child (s, 4 rows) ships before left (r, 3): the head of
+         the list is the most recent ship *)
+      Alcotest.(check (list int)) (name ^ ": join right child first") [ 3; 4 ]
+        (ship_rows (run join));
+      Alcotest.(check (list int)) (name ^ ": union left-to-right") [ 3; 3; 4 ]
+        (List.rev (ship_rows (run union))))
+    [
+      ("reference", fun p -> Exec.Interp.run ~network ~db ~table_cols p);
+      ("compiled", fun p -> Exec.Compile.run ~network ~db ~table_cols p);
+      ("vector", fun p -> Exec.Vector.run ~network ~db ~table_cols p);
+    ]
+
+(* --- batch boundaries ---------------------------------------------
+
+   The vectorized engine chunks work in 1024-row batches; cardinalities
+   straddling the batch size (and the empty and single-row cases) must
+   flow through filter, join and aggregation without disturbing
+   byte-identity. *)
+
+let boundary_db n =
+  let rows_r =
+    List.init n (fun i -> [| Value.Int (i mod 7); Value.Str (string_of_int i) |])
+  in
+  let rows_s =
+    List.init ((n / 2) + 1) (fun i -> [| Value.Int (i mod 7); Value.Int i |])
+  in
+  db_with [ ("r", [ "a"; "b" ], rows_r); ("s", [ "a"; "c" ], rows_s) ]
+
+let test_vector_batch_boundaries () =
+  List.iter
+    (fun n ->
+      let db = boundary_db n in
+      let filter =
+        node
+          (P.Filter (Pred.Atom (Pred.Cmp (Pred.Ge, col "r" "a", Expr.Const (Value.Int 3)))))
+          [ scan "r" ]
+      in
+      let join =
+        node
+          (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+          [ filter; scan "s" ]
+      in
+      let agg =
+        node
+          (P.Hash_agg
+             {
+               keys = [ attr "r" "a" ];
+               aggs =
+                 [
+                   { Expr.fn = Expr.Sum; arg = col "s" "c"; alias = "total" };
+                   { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" };
+                 ];
+             })
+          [ join ]
+      in
+      List.iter (fun plan -> check_engines_agree ~db ~table_cols plan)
+        [ filter; join; agg ])
+    [ 0; 1; 1023; 1024; 1025 ]
+
+let test_vector_all_null_column () =
+  (* A column that is entirely NULL across a batch boundary: filters
+     reject, joins never match, aggregation groups the NULLs into one
+     group and the accumulators skip them. *)
+  let rows_r =
+    List.init 1500 (fun i -> [| Value.Null; Value.Str (string_of_int (i mod 5)) |])
+  in
+  let db =
+    db_with
+      [ ("r", [ "a"; "b" ], rows_r); ("s", [ "a"; "c" ], [ [| Value.Int 1; Value.Int 10 |] ]) ]
+  in
+  let filter =
+    node
+      (P.Filter (Pred.Atom (Pred.Cmp (Pred.Ge, col "r" "a", Expr.Const (Value.Int 0)))))
+      [ scan "r" ]
+  in
+  let join =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; scan "s" ]
+  in
+  let agg =
+    node
+      (P.Hash_agg
+         {
+           keys = [ attr "r" "a" ];
+           aggs =
+             [
+               { Expr.fn = Expr.Sum; arg = col "r" "a"; alias = "total" };
+               { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" };
+               { Expr.fn = Expr.Min; arg = col "r" "b"; alias = "lo" };
+             ];
+         })
+      [ scan "r" ]
+  in
+  List.iter (fun plan -> check_engines_agree ~db ~table_cols plan) [ filter; join; agg ]
+
+let test_vector_reuse () =
+  (* one compiled vectorized plan, executed twice: identical both times *)
+  let db = default_db () in
+  let plan =
+    node
+      (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+      [ scan "r"; node (P.Ship { from_loc = "y"; to_loc = "x" }) [ scan ~loc:"y" "s" ] ]
+  in
+  let compiled = Exec.Vector.compile ~db ~table_cols plan in
+  let r1 = Exec.Vector.execute ~network compiled
+  and r2 = Exec.Vector.execute ~network compiled in
+  Alcotest.(check bool) "re-execution identical" true (result_fp r1 = result_fp r2);
+  Alcotest.(check int) "schema exposed" 4 (List.length (Exec.Vector.schema compiled));
+  (* and it matches the other engines' execution of the same plan *)
+  let i = Exec.Interp.run ~network ~db ~table_cols plan in
+  Alcotest.(check bool) "matches reference" true (result_fp i = result_fp r1)
 
 let test_null_join_keys () =
   (* rows with NULL join keys never match *)
@@ -769,5 +920,13 @@ let () =
             test_tpch_golden_equivalence;
           Alcotest.test_case "engine selection" `Quick test_engine_selection;
           Alcotest.test_case "compiled plan reuse" `Quick test_compile_reuse;
+          Alcotest.test_case "vector plan reuse" `Quick test_vector_reuse;
+          Alcotest.test_case "ship order contract" `Quick test_ship_order_contract;
+        ] );
+      ( "batches",
+        [
+          Alcotest.test_case "batch boundaries 0/1/1023/1024/1025" `Quick
+            test_vector_batch_boundaries;
+          Alcotest.test_case "all-NULL column" `Quick test_vector_all_null_column;
         ] );
     ]

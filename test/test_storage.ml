@@ -114,6 +114,167 @@ let test_split_independence () =
   let b = List.init 50 (fun _ -> Prng.int h 1000) in
   Alcotest.(check bool) "streams differ" true (a <> b)
 
+(* --- columnar storage ---------------------------------------------
+
+   The column-major representation behind [Relation.t]: every value
+   (and its NULL bit) must survive rows -> columns -> rows for every
+   [Value.ty], attribute resolution must be unaffected by the layout,
+   and CSV loads land column-major with the declared types. *)
+
+module Col = Storage.Column
+
+let all_tys = [ Value.Tint; Value.Tfloat; Value.Tstr; Value.Tdate; Value.Tbool ]
+
+let value_gen_of_ty ty =
+  let open QCheck.Gen in
+  match ty with
+  | Value.Tint -> map (fun i -> Value.Int i) small_signed_int
+  | Value.Tfloat -> map (fun i -> Value.Float (float_of_int i /. 8.)) small_signed_int
+  | Value.Tstr -> map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 8))
+  | Value.Tdate -> map (fun d -> Value.Date d) (int_range 0 100_000)
+  | Value.Tbool -> map (fun b -> Value.Bool b) bool
+
+let nullable_gen ty =
+  QCheck.Gen.(frequency [ (1, return Value.Null); (3, value_gen_of_ty ty) ])
+
+let prop_column_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    oneofl all_tys >>= fun ty ->
+    list_size (int_range 0 300) (nullable_gen ty) >>= fun vs ->
+    return (ty, Array.of_list vs)
+  in
+  QCheck.Test.make ~count:300 ~name:"column round trip (values and null bitmap)"
+    (QCheck.make
+       ~print:(fun (ty, vs) ->
+         Fmt.str "%s: %a" (Value.ty_to_string ty)
+           Fmt.(array ~sep:comma (of_to_string Value.to_string))
+           vs)
+       gen)
+    (fun (ty, vs) ->
+      let typed = Col.of_values_typed ty vs in
+      let sniffed = Col.of_values (Array.copy vs) in
+      let identical c =
+        Col.length c = Array.length vs
+        && Array.for_all2 Value.equal vs (Col.to_values c)
+        && Array.for_all
+             (fun i -> Col.is_null c i = Value.is_null vs.(i))
+             (Array.init (Array.length vs) (fun i -> i))
+      in
+      identical typed && identical sniffed
+      (* gathering by the identity permutation changes nothing *)
+      && Array.for_all2 Value.equal vs
+           (Col.to_values
+              (Col.gather typed (Array.init (Array.length vs) (fun i -> i)))))
+
+let prop_relation_roundtrip =
+  let row_gen =
+    let rec seq = function
+      | [] -> QCheck.Gen.return []
+      | g :: gs ->
+        QCheck.Gen.(g >>= fun v -> seq gs >>= fun vs -> return (v :: vs))
+    in
+    QCheck.Gen.map Array.of_list (seq (List.map nullable_gen all_tys))
+  in
+  let schema5 =
+    List.mapi (fun i _ -> Attr.make ~rel:"u" ~name:(Printf.sprintf "c%d" i)) all_tys
+  in
+  QCheck.Test.make ~count:200 ~name:"relation rows -> columns -> rows identity"
+    (QCheck.make QCheck.Gen.(map Array.of_list (list_size (int_range 0 200) row_gen)))
+    (fun rows ->
+      let r = Storage.Relation.make ~schema:schema5 ~rows in
+      (* force the columnar side, then rebuild the row view from a fresh
+         relation over those very columns *)
+      let r2 =
+        Storage.Relation.of_cols ~schema:schema5 ~card:(Array.length rows)
+          (Storage.Relation.cols r)
+      in
+      let rows2 = Storage.Relation.rows r2 in
+      Array.length rows = Array.length rows2
+      && Array.for_all2 (fun a b -> Array.for_all2 Value.equal a b) rows rows2)
+
+let test_duplicate_attr_resolution () =
+  (* exact match first, last occurrence winning on duplicates; bare-name
+     lookup only resolves when unique — unchanged by the columnar layout *)
+  let a_r = Attr.make ~rel:"r" ~name:"a" and a_s = Attr.make ~rel:"s" ~name:"a" in
+  let b = Attr.make ~rel:"r" ~name:"b" in
+  let r =
+    Storage.Relation.make ~schema:[ a_r; a_s; b ]
+      ~rows:[| [| Value.Int 1; Value.Int 2; Value.Int 3 |] |]
+  in
+  Storage.Relation.columnarize r;
+  Alcotest.(check bool) "exact r.a" true (Storage.Relation.find_index r a_r = Some 0);
+  Alcotest.(check bool) "exact s.a" true (Storage.Relation.find_index r a_s = Some 1);
+  Alcotest.(check bool) "ambiguous bare a" true
+    (Storage.Relation.find_index r (Attr.unqualified "a") = None);
+  Alcotest.(check bool) "unique bare b" true
+    (Storage.Relation.find_index r (Attr.unqualified "b") = Some 2);
+  let dup =
+    Storage.Relation.make ~schema:[ a_r; a_r ]
+      ~rows:[| [| Value.Int 1; Value.Int 2 |] |]
+  in
+  Alcotest.(check bool) "duplicate exact last wins" true
+    (Storage.Relation.find_index dup a_r = Some 1);
+  let look = Storage.Relation.lookup_fn dup in
+  Alcotest.(check bool) "lookup uses the winning column" true
+    (Value.equal (look a_r (Storage.Relation.rows dup).(0)) (Value.Int 2))
+
+let test_csv_golden () =
+  let csv = "a,b,c\n1,\"he said \"\"hi\"\"\",2.5\n,\"x,y\",\n3,,0.25\n" in
+  let schema =
+    [
+      Attr.make ~rel:"t" ~name:"a";
+      Attr.make ~rel:"t" ~name:"b";
+      Attr.make ~rel:"t" ~name:"c";
+    ]
+  in
+  let r =
+    Storage.Csv.parse ~schema ~types:[ Value.Tint; Value.Tstr; Value.Tfloat ] csv
+  in
+  Alcotest.(check int) "three rows" 3 (Storage.Relation.cardinality r);
+  let expect =
+    [|
+      [| Value.Int 1; Value.Str "he said \"hi\""; Value.Float 2.5 |];
+      [| Value.Null; Value.Str "x,y"; Value.Null |];
+      [| Value.Int 3; Value.Null; Value.Float 0.25 |];
+    |]
+  in
+  let rows = Storage.Relation.rows r in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if not (Value.equal v expect.(i).(j)) then
+            Alcotest.failf "row %d col %d: %s, expected %s" i j (Value.to_string v)
+              (Value.to_string expect.(i).(j)))
+        row)
+    rows;
+  (* the load landed column-major with the declared types, NULLs in the
+     bitmap rather than as a boxed-values fallback *)
+  let cols = Storage.Relation.cols r in
+  (match cols.(0).Col.data with
+  | Col.Ints _ -> ()
+  | _ -> Alcotest.fail "int column not int-backed");
+  (match cols.(2).Col.data with
+  | Col.Floats _ -> ()
+  | _ -> Alcotest.fail "float column not float-backed");
+  Alcotest.(check bool) "a null bit" true (Col.is_null cols.(0) 1);
+  Alcotest.(check bool) "b null bit" true (Col.is_null cols.(1) 2);
+  Alcotest.(check bool) "non-null bit clear" false (Col.is_null cols.(0) 0)
+
+let test_byte_size_layout_independent () =
+  (* serialized size is a property of the values, not the layout *)
+  let r = rel [ (1, "x"); (2, "yy"); (3, "zzz") ] in
+  let manual =
+    Array.fold_left
+      (fun acc row ->
+        acc + Array.fold_left (fun a v -> a + Value.byte_width v) 0 row)
+      0 (Storage.Relation.rows r)
+  in
+  Alcotest.(check int) "row view" manual (Storage.Relation.byte_size r);
+  let rc = Storage.Relation.of_cols ~schema ~card:3 (Storage.Relation.cols r) in
+  Alcotest.(check int) "columnar view" manual (Storage.Relation.byte_size rc)
+
 let prop_pick_in_list =
   QCheck.Test.make ~name:"pick returns a member" ~count:200
     QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 20) small_int))
@@ -140,5 +301,15 @@ let () =
           Alcotest.test_case "database" `Quick test_database;
           Alcotest.test_case "order_by/take" `Quick test_order_by_and_take;
           Alcotest.test_case "split" `Quick test_split_independence;
+        ] );
+      ( "columnar",
+        [
+          QCheck_alcotest.to_alcotest prop_column_roundtrip;
+          QCheck_alcotest.to_alcotest prop_relation_roundtrip;
+          Alcotest.test_case "duplicate attribute resolution" `Quick
+            test_duplicate_attr_resolution;
+          Alcotest.test_case "CSV golden (empty/quoted/NULL)" `Quick test_csv_golden;
+          Alcotest.test_case "byte size layout-independent" `Quick
+            test_byte_size_layout_independent;
         ] );
     ]
