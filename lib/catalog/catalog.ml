@@ -29,8 +29,10 @@ type t = {
 }
 
 (* Catalogs are immutable after [make], so a construction-time stamp
-   identifies one soundly for the lifetime of the process. *)
-let next_stamp = ref 0
+   identifies one soundly for the lifetime of the process. Atomic so
+   racing domains can never issue duplicate stamps into the stamp-keyed
+   caches. *)
+let next_stamp = Atomic.make 0
 
 let make ~network tables =
   let m =
@@ -40,8 +42,7 @@ let make ~network tables =
         String_map.add def.Table_def.name { def; placements } m)
       String_map.empty tables
   in
-  incr next_stamp;
-  { tables = m; network; stamp = !next_stamp }
+  { tables = m; network; stamp = Atomic.fetch_and_add next_stamp 1 + 1 }
 
 let stamp t = t.stamp
 

@@ -65,12 +65,13 @@ let c_failovers = Obs.Metrics.counter "cgqp_exec_ship_failovers_total"
 
 (* Runs that needed at least one failover (or aborted as unsatisfiable
    after one) — exposed as a sampled gauge so dashboards can alert on
-   "the system is currently degrading queries". *)
-let degraded_runs = ref 0
+   "the system is currently degrading queries". Atomic: runs execute on
+   pool domains in the serving layer's parallel phase. *)
+let degraded_runs = Atomic.make 0
 
 let () =
   Obs.Metrics.gauge "cgqp_session_degraded_runs" (fun () ->
-      float_of_int !degraded_runs)
+      float_of_int (Atomic.get degraded_runs))
 
 let create ?database ~catalog () =
   {
@@ -263,7 +264,7 @@ let masked_catalog session (recovery : recovery) =
    compliant, never on a merely-cheap one. If no compliant plan
    survives, the run aborts with [`Unsatisfiable]: degraded execution
    must not become an exfiltration channel (see docs/FAULTS.md). *)
-let run session sql : (run_result, error) result =
+let run_hooked ~record_step session sql : (run_result, error) result =
   match parse_and_bind session sql with
   | Error e -> Error e
   | Ok (lplan, order_by, limit) -> (
@@ -277,7 +278,9 @@ let run session sql : (run_result, error) result =
         Plan_cache.mask_fingerprint ~links:recovery.masked_links
           ~sites:recovery.masked_sites
       in
-      cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan
+      let outcome = cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan in
+      record_step mask_fp outcome;
+      outcome
     in
     match optimize_against session.catalog with
     | Optimizer.Planner.Rejected reason -> Error (`Rejected reason)
@@ -320,14 +323,15 @@ let run session sql : (run_result, error) result =
                        from_loc to_loc
                        (Exec.Interp.ship_failure_to_string reason)
                        reason'))
-              | Optimizer.Planner.Planned planned -> attempt recovery planned))
+              | Optimizer.Planner.Planned planned' -> attempt recovery planned'))
         in
         (match attempt Optimizer.Explain.no_recovery planned with
         | Error e ->
-          incr degraded_runs;
+          ignore (Atomic.fetch_and_add degraded_runs 1);
           Error e
         | Ok (planned, interp, recovery) ->
-          if recovery.failovers > 0 then incr degraded_runs;
+          if recovery.failovers > 0 then
+            ignore (Atomic.fetch_and_add degraded_runs 1);
           let { Exec.Interp.relation; stats; makespan_ms; profile = _ } = interp in
           (* ORDER BY is enforced inside the plan (Sort enforcer); only
              LIMIT remains a result decoration *)
@@ -348,6 +352,99 @@ let run session sql : (run_result, error) result =
               interp;
               recovery;
             })))
+
+let run session sql : (run_result, error) result =
+  run_hooked ~record_step:(fun _ _ -> ()) session sql
+
+(* -- Record/replay ------------------------------------------------
+
+   The serving layer's parallel pipeline (docs/PARALLELISM.md) executes
+   each tenant's statements speculatively on a pool domain
+   ([run_recorded], pass 1) and then replays the memoized outcomes from
+   the deterministic discrete-event loop ([run_replay], pass 2). A run's
+   outcome is a pure function of session-local state — catalog, data,
+   policies, mode, engine, faults, retry — and the plan cache is
+   outcome-transparent, so the recording pass may use a private cache
+   (or none) and still compute exactly what the sequential run would.
+
+   What the memo must preserve beyond the result is the session's
+   *cache conversation*: the (mask fingerprint, optimizer outcome) of
+   every [cached_optimize] step, healthy plan and failover re-plans
+   alike, in order. Replay performs the identical find/add sequence
+   against the live shared cache, so hit/miss flags, LRU ticks,
+   evictions and epoch checks — everything the serving reports derive
+   from — are byte-identical to the sequential run. *)
+
+type memo = {
+  m_sql : string;
+  m_steps : (int * Optimizer.Planner.outcome) list;
+      (* (mask_fp, outcome) per optimizer invocation, in order *)
+  m_result : (run_result, error) result;
+  (* state fingerprint at record time; replay validates against it *)
+  m_policy_fp : int;
+  m_catalog_stamp : int;
+  m_mode : Optimizer.Memo.mode;
+  m_engine : Exec.Engine.t;
+  m_faults : Catalog.Network.Fault.schedule;
+  m_retry : Exec.Interp.retry_policy;
+}
+
+(* Replays that found the recording session's state out of sync with
+   the replaying session and had to re-run for real. Always 0 when the
+   serving scheduler drives both passes; nonzero means a pipeline bug
+   (or a caller replaying against the wrong session). *)
+let c_replay_fallbacks =
+  Obs.Metrics.counter "cgqp_session_replay_fallbacks_total"
+
+let run_recorded session sql : (run_result, error) result * memo =
+  let steps = ref [] in
+  let record_step mask_fp outcome = steps := (mask_fp, outcome) :: !steps in
+  let result = run_hooked ~record_step session sql in
+  ( result,
+    {
+      m_sql = sql;
+      m_steps = List.rev !steps;
+      m_result = result;
+      m_policy_fp = Policy.Pcatalog.fingerprint session.policies;
+      m_catalog_stamp = Catalog.stamp session.catalog;
+      m_mode = session.mode;
+      m_engine = session.engine;
+      m_faults = session.faults;
+      m_retry = session.retry;
+    } )
+
+let memo_matches session (m : memo) =
+  Policy.Pcatalog.fingerprint session.policies = m.m_policy_fp
+  && Catalog.stamp session.catalog = m.m_catalog_stamp
+  && session.mode = m.m_mode
+  && session.engine = m.m_engine
+  && session.faults = m.m_faults
+  && session.retry = m.m_retry
+
+let run_replay session (m : memo) : (run_result, error) result =
+  if not (memo_matches session m) then begin
+    Obs.Metrics.inc c_replay_fallbacks;
+    run session m.m_sql
+  end
+  else begin
+    (match session.cache with
+    | None -> ()
+    | Some cache ->
+      List.iter
+        (fun (mask_fp, outcome) ->
+          let key =
+            Plan_cache.key ~sql:m.m_sql ~policies:session.policies
+              ~catalog:session.catalog ~mask_fp ~mode:session.mode ()
+          in
+          match Plan_cache.find cache key with
+          | Some _ ->
+            (* the cached outcome equals the recorded one: same key means
+               same optimizer inputs, and the optimizer is deterministic *)
+            ()
+          | None -> Plan_cache.add cache key outcome)
+        m.m_steps);
+    m.m_result
+  end
 
 (* EXPLAIN: optimize only, render the annotated plan tree. *)
 let explain session sql : (string, error) result =

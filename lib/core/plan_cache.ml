@@ -39,12 +39,15 @@ let c_misses = Obs.Metrics.counter "cgqp_plancache_misses_total"
 let c_invalidations = Obs.Metrics.counter "cgqp_plancache_invalidations_total"
 let c_evictions = Obs.Metrics.counter "cgqp_plancache_evictions_total"
 
-(* Entries live across all instances, sampled by one gauge. *)
-let live_entries = ref 0
+(* Entries live across all instances, sampled by one gauge. Atomic:
+   instances may be touched from different domains (one cache per
+   worker in the serving pipeline's recording pass). *)
+let live_entries = Atomic.make 0
+let live_add n = ignore (Atomic.fetch_and_add live_entries n)
 
 let () =
   Obs.Metrics.gauge "cgqp_plancache_entries" (fun () ->
-      float_of_int !live_entries)
+      float_of_int (Atomic.get live_entries))
 
 let create ?(capacity = 128) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
@@ -143,7 +146,7 @@ let key ~sql ~policies ~catalog ?(mask_fp = 0) ~mode () =
 let bump_epoch ?(reason = "policy-change") t =
   let purged = Hashtbl.length t.table in
   Hashtbl.reset t.table;
-  live_entries := !live_entries - purged;
+  live_add (-purged);
   t.cur_epoch <- t.cur_epoch + 1;
   t.invalidations <- t.invalidations + purged;
   Obs.Metrics.inc ~by:purged c_invalidations;
@@ -156,7 +159,7 @@ let bump_epoch ?(reason = "policy-change") t =
       ]
 
 let clear t =
-  live_entries := !live_entries - Hashtbl.length t.table;
+  live_add (-(Hashtbl.length t.table));
   Hashtbl.reset t.table
 
 let find t key =
@@ -166,7 +169,7 @@ let find t key =
        [bump_epoch]; the check is belt-and-braces *)
     if e.epoch <> t.cur_epoch then begin
       Hashtbl.remove t.table key;
-      decr live_entries;
+      live_add (-1);
       t.misses <- t.misses + 1;
       Obs.Metrics.inc c_misses;
       None
@@ -195,17 +198,17 @@ let evict_lru t =
   | None -> ()
   | Some (k, _) ->
     Hashtbl.remove t.table k;
-    decr live_entries;
+    live_add (-1);
     t.evictions <- t.evictions + 1;
     Obs.Metrics.inc c_evictions
 
 let add t key outcome =
   (if Hashtbl.mem t.table key then begin
      Hashtbl.remove t.table key;
-     decr live_entries
+     live_add (-1)
    end
    else if Hashtbl.length t.table >= t.cap then evict_lru t);
   t.tick <- t.tick + 1;
   Hashtbl.replace t.table key
     { outcome; epoch = t.cur_epoch; last_use = t.tick };
-  incr live_entries
+  live_add 1

@@ -21,8 +21,12 @@
       (increments are a few nanoseconds); rendered as text or dumped
       as JSON.
 
-    The event schema and metric naming convention are documented in
-    [docs/TRACING.md]. *)
+    Both {!Trace} and {!Metrics} are domain-safe: counters are atomics,
+    histograms are sharded per domain and merged on read, and each
+    domain traces into its own ring buffer, merged deterministically by
+    (domain tag, per-domain sequence). The contract is spelled out in
+    [docs/PARALLELISM.md]; the event schema and metric naming
+    convention in [docs/TRACING.md]. *)
 
 (** Minimal JSON values, printer and parser. *)
 module Json : sig
@@ -55,11 +59,17 @@ module Trace : sig
     | Instant  (** point event *)
 
   type event = {
-    seq : int;  (** global emission index, monotonically increasing *)
+    seq : int;
+        (** per-domain emission index, monotonically increasing within
+            one domain tag *)
     ts_ms : float;  (** milliseconds since {!enable} (see {!set_clock}) *)
     kind : kind;
     name : string;  (** dotted event name, e.g. ["memo.explore"] *)
-    depth : int;  (** span-nesting depth at emission *)
+    depth : int;  (** span-nesting depth at emission (per domain) *)
+    dom : int;
+        (** domain tag the event was emitted from: 0 for the main
+            domain, whatever {!set_domain_tag} installed elsewhere (the
+            serving pool tags its workers 1..N) *)
     attrs : (string * Json.t) list;  (** event attributes *)
   }
 
@@ -69,16 +79,26 @@ module Trace : sig
       load per site. *)
 
   val enable : ?capacity:int -> unit -> unit
-  (** Start recording into a fresh ring of [capacity] events (default
-      65536). When the ring is full the {e oldest} events are dropped
-      and {!dropped} counts them. *)
+  (** Start recording, each domain into a fresh ring of [capacity]
+      events (default 65536). When a ring is full the {e oldest} events
+      of that domain are dropped and {!dropped} counts them. Call from
+      the main domain with no worker emitting. *)
 
   val disable : unit -> unit
   (** Stop recording. Buffered events remain readable. *)
 
   val clear : unit -> unit
   (** Drop all buffered events and reset [seq], depth and the drop
-      counter (recording state is unchanged). *)
+      counter in every domain (recording state is unchanged). Call from
+      the main domain with no worker emitting. *)
+
+  val set_domain_tag : int -> unit
+  (** Set the calling domain's tag, stamped into {!event.dom} and used
+      as the major key when {!events} merges the per-domain buffers.
+      The main domain defaults to [0]; a worker pool should tag its
+      workers with distinct, deterministically assigned values (the
+      serving pool uses 1..N by worker index) so merged traces are
+      reproducible. *)
 
   val set_clock : (unit -> float) -> unit
   (** Replace the timestamp source (milliseconds, monotone). The
@@ -100,10 +120,14 @@ module Trace : sig
       exactly [f ()]. *)
 
   val events : unit -> event list
-  (** Buffered events, oldest first. *)
+  (** Buffered events from every domain, merged by (domain tag,
+      per-domain [seq]) — a deterministic order whenever work is
+      assigned to tags deterministically. Read after joining any worker
+      domains; reading while workers emit is racy. *)
 
   val dropped : unit -> int
-  (** Events evicted from the ring since the last {!clear}. *)
+  (** Events evicted from the rings (all domains) since the last
+      {!clear}. *)
 
   val event_to_json : event -> Json.t
   val event_of_json : Json.t -> (event, string) result
@@ -135,7 +159,8 @@ module Metrics : sig
       different instrument kind. *)
 
   val inc : ?by:int -> counter -> unit
-  (** Add [by] (default 1) to the counter. *)
+  (** Add [by] (default 1) to the counter. Lock-free (one atomic
+      fetch-and-add); safe from any domain. *)
 
   val value : counter -> int
 
@@ -148,7 +173,8 @@ module Metrics : sig
       at first registration. *)
 
   val observe : histogram -> float -> unit
-  (** Record one observation. *)
+  (** Record one observation, into the calling domain's shard (no
+      locking on the hot path; readers merge the shards). *)
 
   val hist_count : histogram -> int
   (** Number of observations. *)

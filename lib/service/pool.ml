@@ -1,0 +1,66 @@
+(* A flat fork/join pool over OCaml 5 domains for the serving layer's
+   recording pass (docs/PARALLELISM.md).
+
+   Determinism comes from the *static* work assignment: task [i] always
+   runs on worker [i mod domains], and worker [w]'s trace events carry
+   domain tag [w], so the merged trace and every per-task result are
+   independent of how the OS actually interleaves the domains. The pool
+   is deliberately not work-stealing — stealing would trade determinism
+   of the assignment for load balance, and the scheduler's tasks
+   (whole-session replays) are numerous enough that round-robin
+   balances fine. *)
+
+let default_domains () =
+  match Sys.getenv_opt "CGQP_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "CGQP_DOMAINS=%S: expected a positive integer" s))
+
+let map ~domains (tasks : (unit -> 'a) array) : 'a array =
+  if domains < 1 then invalid_arg "Pool.map: domains must be positive";
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let domains = min domains n in
+    (* Workers park results (or the exception a task raised) into
+       distinct slots; [Domain.join] gives the happens-before edge that
+       makes every slot visible to the caller. *)
+    let results : ('a, Printexc.raw_backtrace * exn) result option array =
+      Array.make n None
+    in
+    let run_worker w =
+      let i = ref w in
+      while !i < n do
+        results.(!i) <-
+          Some
+            (try Ok (tasks.(!i) ())
+             with e -> Error (Printexc.get_raw_backtrace (), e));
+        i := !i + domains
+      done
+    in
+    if domains = 1 then run_worker 0
+    else begin
+      let spawned =
+        Array.init (domains - 1) (fun k ->
+            Domain.spawn (fun () ->
+                Obs.Trace.set_domain_tag (k + 1);
+                run_worker (k + 1)))
+      in
+      (* the calling domain is worker 0 — it works instead of idling at
+         the join *)
+      run_worker 0;
+      Array.iter Domain.join spawned
+    end;
+    (* Re-raise the failure of the lowest-indexed failing task (again:
+       deterministic, however the domains raced). *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (bt, e)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end

@@ -1,0 +1,25 @@
+(** Fork/join domain pool with a deterministic, static work assignment.
+
+    The serving scheduler's recording pass runs one task per session on
+    this pool ({!map}); task [i] always executes on worker [i mod
+    domains], so results — and the domain tags on trace events — do not
+    depend on how the OS schedules the domains. See
+    [docs/PARALLELISM.md] for the full determinism contract. *)
+
+val default_domains : unit -> int
+(** The pool width requested by the [CGQP_DOMAINS] environment variable
+    (default [1] when unset or empty). Raises [Invalid_argument] if the
+    value is not a positive integer. *)
+
+val map : domains:int -> (unit -> 'a) array -> 'a array
+(** [map ~domains tasks] runs every task and returns their results in
+    task order. Task [i] runs on worker [i mod domains]; worker [0] is
+    the calling domain, workers [1 .. domains-1] are spawned domains
+    whose trace events are tagged with their worker index
+    ({!Obs.Trace.set_domain_tag}). Extra width is wasted, not an error:
+    at most [Array.length tasks] domains run.
+
+    If tasks raise, every task still runs to completion (or failure)
+    and the exception of the {e lowest-indexed} failing task is
+    re-raised with its backtrace — again independent of domain timing.
+    Raises [Invalid_argument] if [domains < 1]. *)

@@ -100,13 +100,27 @@ type report = {
   p95_ms : float;
 }
 
-val run : env:env -> ?seed:int -> Script.t -> report
+val run : env:env -> ?seed:int -> ?domains:int -> Script.t -> report
 (** Execute a workload script. The effective seed is [seed] if given,
     else the script's own [seed] statement, else
     {!Storage.Seed.resolve} — and it is reported back in
     [report.seed]. Raises [Invalid_argument] on unresolvable policy
     sets or malformed policy texts (script bugs, not workload
-    outcomes). *)
+    outcomes).
+
+    [domains] (default {!Pool.default_domains}, i.e. [CGQP_DOMAINS] or
+    1) sets the width of the execution pool. With [domains = 1] the
+    loop runs statements inline, exactly as before multicore. With
+    [domains > 1] the scheduler runs the two-pass pipeline of
+    [docs/PARALLELISM.md]: sessions are first replayed in parallel on a
+    {!Pool} of domains, recording each statement's outcome with
+    {!Cgqp.run_recorded}; then the discrete-event loop runs unchanged —
+    same simulated clock, same splitmix64 tie-breaks, same admission
+    decisions — serving each admitted statement from its memo with
+    {!Cgqp.run_replay}. The report, every statement record (digests,
+    latencies, cache flags) and the shared plan cache's statistics are
+    byte-identical for every [domains] value and seed; only real
+    wall-clock time changes. *)
 
 val hit_rate : report -> float
 (** [hits / (hits + misses)] of the run's cache deltas (0 with no cache

@@ -64,9 +64,16 @@ type t = {
   card : int;
   mutable rows_v : Value.t array array option;  (* row-view cache *)
   mutable cols_v : Column.t array option;  (* column-major cache *)
-  index : resolver Lazy.t;
+  mutable index_v : resolver option;
       (* built on first lookup; operators that never resolve names
-         (e.g. the compiled engine's intermediates) pay nothing *)
+         (e.g. the compiled engine's intermediates) pay nothing.
+
+         All three memo fields are benign races under domains: the
+         cached value is a pure function of the immutable schema/rows,
+         so concurrent fills compute equal content and a torn winner is
+         impossible (option-pointer writes are atomic in the OCaml
+         memory model). Deliberately NOT Lazy.t — forcing a Lazy from
+         two domains at once raises Lazy.Undefined. *)
 }
 
 let make ~schema ~rows =
@@ -76,7 +83,7 @@ let make ~schema ~rows =
       if Array.length r <> n then invalid_arg "Relation.make: row arity mismatch")
     rows;
   { schema; width = n; card = Array.length rows; rows_v = Some rows; cols_v = None;
-    index = lazy (resolver schema) }
+    index_v = None }
 
 let of_cols ~schema ~card cols =
   let n = List.length schema in
@@ -86,8 +93,7 @@ let of_cols ~schema ~card cols =
       if Column.length c <> card then
         invalid_arg "Relation.of_cols: column cardinality mismatch")
     cols;
-  { schema; width = n; card; rows_v = None; cols_v = Some cols;
-    index = lazy (resolver schema) }
+  { schema; width = n; card; rows_v = None; cols_v = Some cols; index_v = None }
 
 let empty ~schema = make ~schema ~rows:[||]
 let schema t = t.schema
@@ -125,12 +131,20 @@ let cols t =
 
 let columnarize t = ignore (cols t)
 
+let index t =
+  match t.index_v with
+  | Some r -> r
+  | None ->
+    let r = resolver t.schema in
+    t.index_v <- Some r;
+    r
+
 (* Index of an attribute in the schema: exact match first, then a
    unique match on the bare column name. *)
-let find_index t (a : Attr.t) : int option = resolve (Lazy.force t.index) a
+let find_index t (a : Attr.t) : int option = resolve (index t) a
 
 let lookup_fn t : Attr.t -> Value.t array -> Value.t =
-  let r = Lazy.force t.index in
+  let r = index t in
   fun a row ->
     match resolve r a with
     | Some ix when ix < Array.length row -> row.(ix)

@@ -372,6 +372,263 @@ let test_scheduler_differential () =
     Alcotest.(check bool) "hits happened" true (st.PC.hits > 0);
     Alcotest.(check bool) "churn invalidated" true (st.PC.invalidations > 0)
 
+(* ---------------- multicore pipeline ---------------- *)
+
+module Pl = Service.Pool
+
+let test_pool_map () =
+  List.iter
+    (fun domains ->
+      let tasks = Array.init 13 (fun i () -> i * i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "results in task order at %d domains" domains)
+        (Array.init 13 (fun i -> i * i))
+        (Pl.map ~domains tasks))
+    [ 1; 2; 4; 32 ]
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* several tasks fail; the lowest-indexed failure must win, however
+     the domains raced *)
+  let tasks =
+    Array.init 8 (fun i () -> if i mod 3 = 1 then raise (Boom i) else i)
+  in
+  match Pl.map ~domains:4 tasks with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i -> Alcotest.(check int) "lowest failing task wins" 1 i
+
+(* The replay half of the pipeline in isolation: a memo replayed on an
+   equal-state session returns the recorded result without executing;
+   on a diverged session it falls back to a live run and counts it. *)
+let test_replay_fallback () =
+  let c_fallbacks = Obs.Metrics.counter "cgqp_session_replay_fallbacks_total" in
+  let cat = Fixture.catalog () in
+  let db = Fixture.data cat in
+  let mk () =
+    let s = Cgqp.create ~catalog:cat () in
+    Cgqp.add_policies s Fixture.open_policies;
+    Cgqp.attach_database s db;
+    s
+  in
+  let obs = function
+    | Ok (r : Cgqp.run_result) ->
+      Printf.sprintf "ok plan=%s bytes=%d rows=%d"
+        (Digest.to_hex (Digest.string (Exec.Pplan.to_string r.Cgqp.plan)))
+        r.Cgqp.shipped_bytes
+        (Storage.Relation.cardinality r.Cgqp.relation)
+    | Error e -> "error " ^ Cgqp.error_to_string e
+  in
+  let recorder = mk () in
+  let live, memo = Cgqp.run_recorded recorder Fixture.q in
+  let twin = mk () in
+  let f0 = Obs.Metrics.value c_fallbacks in
+  Alcotest.(check string) "replay returns the recorded outcome" (obs live)
+    (obs (Cgqp.run_replay twin memo));
+  Alcotest.(check int) "no fallback on an equal-state session" f0
+    (Obs.Metrics.value c_fallbacks);
+  (* diverge the twin: the memo's policy fingerprint no longer holds *)
+  Cgqp.clear_policies twin;
+  let replayed = Cgqp.run_replay twin memo in
+  Alcotest.(check int) "state mismatch counted as fallback" (f0 + 1)
+    (Obs.Metrics.value c_fallbacks);
+  Alcotest.(check string) "fallback equals a live run on the diverged state"
+    (obs (Cgqp.run twin Fixture.q))
+    (obs replayed)
+
+(* The signature invariant of docs/PARALLELISM.md: for every seed,
+   domain count, cache setting, fault schedule and admission policy,
+   the parallel pipeline's report is byte-identical to the sequential
+   run — statement records, digests, latencies, cache flags, stats. *)
+
+type pstep = P_submit of int | P_pool of int | P_clear | P_wait of int
+
+let pp_pstep = function
+  | P_submit i -> Printf.sprintf "submit q%d" i
+  | P_pool j -> Printf.sprintf "set-policies p%d" j
+  | P_clear -> "clear-policies"
+  | P_wait w -> Printf.sprintf "wait %d" w
+
+type pcase = {
+  steps : pstep list list;  (* one list per session *)
+  case_seed : int;
+  domains : int;
+  with_cache : bool;
+  with_faults : bool;
+  adm : int;  (* 0 unlimited, 1 in-flight 1 + queue, 2 in-flight 1 + reject *)
+}
+
+let gen_pcase =
+  QCheck.Gen.(
+    let step =
+      frequency
+        [
+          (5, map (fun i -> P_submit i) (int_bound (List.length Fixture.query_pool - 1)));
+          (1, map (fun j -> P_pool j) (int_bound (List.length Fixture.policy_pool - 1)));
+          (1, return P_clear);
+          (1, map (fun w -> P_wait (10 * (w + 1))) (int_bound 20));
+        ]
+    in
+    map
+      (fun (steps, case_seed, domains, (with_cache, with_faults, adm)) ->
+        { steps; case_seed; domains; with_cache; with_faults; adm })
+      (quad
+         (list_size (int_range 2 3) (list_size (int_range 1 6) step))
+         (int_bound 9999) (int_range 2 4)
+         (triple bool bool (int_bound 2))))
+
+let pp_pcase c =
+  Printf.sprintf "seed=%d domains=%d cache=%b faults=%b adm=%d [%s]" c.case_seed
+    c.domains c.with_cache c.with_faults c.adm
+    (String.concat " | "
+       (List.map (fun s -> String.concat "; " (List.map pp_pstep s)) c.steps))
+
+let arb_pcase = QCheck.make ~print:pp_pcase gen_pcase
+
+let presolve name =
+  match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+  | Some j when String.length name > 1 && name.[0] = 'p' ->
+    List.nth_opt Fixture.policy_pool j
+  | _ -> None
+
+let pscript c =
+  let action = function
+    | P_submit i -> Sc.Submit (List.nth Fixture.query_pool i)
+    | P_pool j -> Sc.Set_policy_set (Printf.sprintf "p%d" j)
+    | P_clear -> Sc.Clear_policies
+    | P_wait w -> Sc.Wait (float_of_int w)
+  in
+  {
+    Sc.seed = None;
+    tenants =
+      (match c.adm with
+      | 0 -> []
+      | 1 -> [ ("t", quota ~in_flight:1 ~on_deny:A.Queue ()) ]
+      | _ -> [ ("t", quota ~in_flight:1 ~on_deny:A.Reject ()) ]);
+    sessions =
+      List.mapi
+        (fun k steps ->
+          {
+            Sc.sid = Printf.sprintf "s%d" k;
+            tenant = "t";
+            actions = Sc.Set_policy_set "p0" :: List.map action steps;
+          })
+        c.steps;
+  }
+
+let run_pcase c ~domains =
+  let cat = Fixture.catalog () in
+  let env =
+    Sd.env ~catalog:cat ~database:(Fixture.data cat)
+      ?cache:(if c.with_cache then Some (PC.create ~capacity:8 ()) else None)
+      ~faults:
+        (if c.with_faults then
+           Catalog.Network.Fault.make ~seed:5
+             [ Catalog.Network.Fault.Link_down ("NA", "EU") ]
+         else Catalog.Network.Fault.empty)
+      ~resolve_policy_set:presolve ()
+  in
+  Sd.run ~env ~seed:c.case_seed ~domains (pscript c)
+
+let show_report r =
+  Fmt.str "%a" Sd.pp_report r ^ "\n" ^ Obs.Json.to_string (Sd.report_to_json r)
+
+let prop_parallel =
+  QCheck.Test.make ~count:200
+    ~name:"parallel run fingerprints == sequential run fingerprints" arb_pcase
+    (fun c ->
+      let seq = show_report (run_pcase c ~domains:1) in
+      let par = show_report (run_pcase c ~domains:c.domains) in
+      if seq <> par then
+        QCheck.Test.fail_reportf
+          "domains=%d diverged from the sequential run:\n%s\n=== sequential ===\n%s"
+          c.domains par seq
+      else true)
+
+(* Semantic metric totals are part of the determinism contract: the
+   same workload moves the executor/policy/service counters by the same
+   amount at every domain count (cache off and no admission denials, so
+   no statement is executed speculatively-then-denied and no private
+   recording cache changes the optimizer count — the contract's
+   excluded diagnostics are exactly the cache-internal hit/miss
+   counters, docs/PARALLELISM.md). *)
+let test_parallel_metric_totals () =
+  let sems =
+    [
+      "cgqp_service_statements_total";
+      "cgqp_exec_rows_processed_total";
+      "cgqp_exec_ships_total";
+      "cgqp_exec_ship_bytes_total";
+      "cgqp_policy_eta_total";
+      "cgqp_policy_implication_tests_total";
+    ]
+  in
+  let h_lat = Obs.Metrics.histogram "cgqp_service_latency_ms" in
+  let snapshot () =
+    ( List.map (fun n -> Obs.Metrics.value (Obs.Metrics.counter n)) sems,
+      Obs.Metrics.hist_count h_lat,
+      Obs.Metrics.hist_sum h_lat )
+  in
+  let script =
+    {
+      Sc.seed = None;
+      tenants = [];
+      sessions =
+        [
+          {
+            Sc.sid = "s0";
+            tenant = "t";
+            actions =
+              [
+                Sc.Set_policy_set "p0";
+                Sc.Submit (List.nth Fixture.query_pool 0);
+                Sc.Submit (List.nth Fixture.query_pool 1);
+                Sc.Set_policy_set "p1";
+                Sc.Submit (List.nth Fixture.query_pool 0);
+              ];
+          };
+          {
+            Sc.sid = "s1";
+            tenant = "u";
+            actions =
+              [
+                Sc.Set_policy_set "p0";
+                Sc.Submit (List.nth Fixture.query_pool 2);
+                Sc.Submit (List.nth Fixture.query_pool 3);
+              ];
+          };
+        ];
+    }
+  in
+  let deltas domains =
+    let cat = Fixture.catalog () in
+    let env =
+      Sd.env ~catalog:cat ~database:(Fixture.data cat)
+        ~resolve_policy_set:presolve ()
+    in
+    let c0, n0, s0 = snapshot () in
+    ignore (Sd.run ~env ~seed:11 ~domains script);
+    let c1, n1, s1 = snapshot () in
+    (List.map2 (fun a b -> a - b) c1 c0, n1 - n0, s1 -. s0)
+  in
+  let c1, n1, s1 = deltas 1 in
+  List.iter
+    (fun domains ->
+      let c, n, s = deltas domains in
+      List.iteri
+        (fun i name ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s moves identically at %d domains" name domains)
+            (List.nth c1 i) (List.nth c i))
+        sems;
+      Alcotest.(check int)
+        (Printf.sprintf "latency count identical at %d domains" domains)
+        n1 n;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "latency sum identical at %d domains" domains)
+        s1 s)
+    [ 2; 4 ]
+
 (* ---------------- script grammar ---------------- *)
 
 let sample =
@@ -491,6 +748,17 @@ let () =
         [
           Alcotest.test_case "deterministic replay" `Quick test_scheduler_deterministic;
           Alcotest.test_case "cache-on/off differential" `Quick test_scheduler_differential;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "pool maps in task order" `Quick test_pool_map;
+          Alcotest.test_case "pool exception is deterministic" `Quick
+            test_pool_exception;
+          Alcotest.test_case "replay falls back on state mismatch" `Quick
+            test_replay_fallback;
+          QCheck_alcotest.to_alcotest ~rand prop_parallel;
+          Alcotest.test_case "metric totals are width-independent" `Quick
+            test_parallel_metric_totals;
         ] );
       ( "script",
         [
