@@ -880,6 +880,208 @@ let serve_bench ?sessions ?statements () =
   Fmt.pr "wrote %s@." out
 
 (* ------------------------------------------------------------------ *)
+(* feedback -- template plan caching + cardinality feedback under a
+   Zipf point-lookup mix *)
+
+(* Knobs (all env, so the CI smoke job can shrink the run):
+     CGQP_FEEDBACK_STMTS     total statements              (default 100000)
+     CGQP_FEEDBACK_SESSIONS  sessions in the mix           (default 8)
+     CGQP_FEEDBACK_UNIVERSE  distinct parameter values     (default 1000)
+     CGQP_FEEDBACK_SKEW      Zipf exponent                 (default 1.1)
+     CGQP_FEEDBACK_SF        TPC-H data scale factor       (default 0.002)
+     CGQP_FEEDBACK_OUT       output JSON path       (default BENCH_feedback.json)
+
+   The catalog keeps its sf-1 statistics while the data is generated at
+   [CGQP_FEEDBACK_SF] — the est-vs-actual gap the feedback store folds
+   away. Two template-friendly lookup shapes over [universe] Zipf-drawn
+   custkey literals: millions of distinct statement texts, two template
+   plans. The differential re-runs the identical workload with template
+   caching off (fresh feedback store) and demands byte-identical
+   per-statement outcomes — the transparency contract of
+   docs/FEEDBACK.md. *)
+let feedback_bench () =
+  let statements = getenv_int "CGQP_FEEDBACK_STMTS" 100_000 in
+  let sessions = getenv_int "CGQP_FEEDBACK_SESSIONS" 8 in
+  let universe = getenv_int "CGQP_FEEDBACK_UNIVERSE" 1000 in
+  let skew = getenv_float "CGQP_FEEDBACK_SKEW" 1.1 in
+  let sf = getenv_float "CGQP_FEEDBACK_SF" 0.002 in
+  header "FEEDBACK: template plan cache + cardinality feedback (Zipf mix)";
+  let cat = Tpch.Schema.catalog () in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf ()) in
+  let sd = seed ~default:2029 in
+  let make_statement v =
+    let k = v + 1 in
+    if v mod 2 = 0 then
+      Printf.sprintf "SELECT name, acctbal FROM customer WHERE custkey = %d" k
+    else
+      Printf.sprintf "SELECT mktsegment, nationkey FROM customer WHERE custkey = %d"
+        k
+  in
+  let script =
+    let s =
+      Service.Script.zipf_workload ~skew ~sessions ~statements ~universe
+        ~make_statement ~seed:sd ()
+    in
+    (* every session needs the CR expression set before its lookups are
+       compliant *)
+    {
+      s with
+      Service.Script.sessions =
+        List.map
+          (fun (sp : Service.Script.session_spec) ->
+            {
+              sp with
+              Service.Script.actions =
+                Service.Script.Set_policy_set "CR" :: sp.Service.Script.actions;
+            })
+          s.Service.Script.sessions;
+    }
+  in
+  let run_with ~template =
+    let fb = Cgqp.Feedback.create () in
+    let env =
+      Service.Scheduler.env ~catalog:cat ~database:db
+        ~cache:(Cgqp.Plan_cache.create ()) ~template ~feedback:fb ~resolve_query
+        ~resolve_policy_set ()
+    in
+    (Service.Scheduler.run ~env ~seed:sd script, fb)
+  in
+  let (on, fb_on), wall_on = time_ms (fun () -> run_with ~template:true) in
+  let (off, fb_off), wall_off = time_ms (fun () -> run_with ~template:false) in
+  let total = List.length on.Service.Scheduler.statements in
+  Fmt.pr
+    "seed %d: %d statements over %d sessions (universe %d, skew %g, data sf %g)@."
+    on.Service.Scheduler.seed total sessions universe skew sf;
+  (* differential: align per (sid, seq) — Hashtbl, the workload is 10^5
+     statements and List.assoc would be quadratic *)
+  let sig_of (s : Service.Scheduler.stmt_record) =
+    match s.Service.Scheduler.outcome with
+    | Service.Scheduler.Done { plan_sig; result_sig; rows; shipped_bytes; _ } ->
+      Printf.sprintf "done %s %s %d %d" plan_sig result_sig rows shipped_bytes
+    | Service.Scheduler.Failed e -> "failed " ^ Cgqp.error_to_string e
+    | Service.Scheduler.Denied { reason; _ } ->
+      "denied " ^ Service.Admission.reason_to_string reason
+  in
+  let base = Hashtbl.create (2 * total) in
+  List.iter
+    (fun (s : Service.Scheduler.stmt_record) ->
+      Hashtbl.replace base (s.Service.Scheduler.sid, s.Service.Scheduler.seq) (sig_of s))
+    off.Service.Scheduler.statements;
+  let mismatches =
+    List.fold_left
+      (fun acc (s : Service.Scheduler.stmt_record) ->
+        match Hashtbl.find_opt base (s.Service.Scheduler.sid, s.Service.Scheduler.seq) with
+        | Some sg when String.equal sg (sig_of s) -> acc
+        | _ -> acc + 1)
+      0 on.Service.Scheduler.statements
+  in
+  (* the aggregate lines of the report must agree too (cache counters
+     legitimately differ: a repeated literal pattern is a template hit
+     on one side and a fresh exact miss on the other) *)
+  let aggregates (r : Service.Scheduler.report) =
+    Printf.sprintf "ok %d rejected %d unsatisfiable %d denied %d failed %d \
+                    makespan %.6f p50 %.6f p95 %.6f"
+      r.Service.Scheduler.ok r.Service.Scheduler.rejected
+      r.Service.Scheduler.unsatisfiable r.Service.Scheduler.denied
+      r.Service.Scheduler.failed r.Service.Scheduler.makespan_ms
+      r.Service.Scheduler.p50_ms r.Service.Scheduler.p95_ms
+  in
+  let agg_identical = String.equal (aggregates on) (aggregates off) in
+  let thr = 100. *. Service.Scheduler.template_hit_rate on in
+  Fmt.pr "  %-14s %10s %10s %10s %12s@." "" "ok" "denied" "folds" "wall (ms)";
+  let row label (r : Service.Scheduler.report) fb wall =
+    Fmt.pr "  %-14s %10d %10d %10d %12.1f@." label r.Service.Scheduler.ok
+      r.Service.Scheduler.denied (Cgqp.Feedback.folds fb) wall
+  in
+  row "template-on" on fb_on wall_on;
+  row "template-off" off fb_off wall_off;
+  (match on.Service.Scheduler.cache with
+  | Some st ->
+    Fmt.pr
+      "template hit rate: %.1f%% (%d template hits, %d template misses; exact: %d \
+       hits, %d misses)@."
+      thr st.Cgqp.Plan_cache.template_hits st.Cgqp.Plan_cache.template_misses
+      (st.Cgqp.Plan_cache.hits - st.Cgqp.Plan_cache.template_hits)
+      st.Cgqp.Plan_cache.misses
+  | None -> ());
+  (* ground truth per table: total stored rows across partitions *)
+  let actual name =
+    let rows =
+      List.fold_left
+        (fun acc (t, p) ->
+          if String.equal t name then
+            acc + Storage.Relation.cardinality (Storage.Database.find_exn db ~table:t ~partition:p ())
+          else acc)
+        0 (Storage.Database.tables db)
+    in
+    if rows > 0 then Some rows else None
+  in
+  let converged = Cgqp.Feedback.converged fb_on ~actual in
+  Fmt.pr "feedback folds: %d (template-on), %d (template-off)@."
+    (Cgqp.Feedback.folds fb_on) (Cgqp.Feedback.folds fb_off);
+  Fmt.pr
+    "re-optimization converged: %b (post-fold observations match the data's row \
+     counts)@."
+    converged;
+  Fmt.pr "transparency mismatches: %d (over %d statements; aggregates identical: %b)@."
+    mismatches total agg_identical;
+  Fmt.pr "(a nonzero count means a template rebind diverged from a fresh@.";
+  Fmt.pr " optimization -- the docs/FEEDBACK.md transparency contract)@.";
+  let out =
+    match Sys.getenv_opt "CGQP_FEEDBACK_OUT" with
+    | Some f when f <> "" -> f
+    | _ -> "BENCH_feedback.json"
+  in
+  let cache_json (r : Service.Scheduler.report) =
+    match r.Service.Scheduler.cache with
+    | None -> Obs.Json.Null
+    | Some st ->
+      Obs.Json.(
+        Obj
+          [
+            ("hits", Num (float_of_int st.Cgqp.Plan_cache.hits));
+            ("misses", Num (float_of_int st.Cgqp.Plan_cache.misses));
+            ("template_hits", Num (float_of_int st.Cgqp.Plan_cache.template_hits));
+            ( "template_misses",
+              Num (float_of_int st.Cgqp.Plan_cache.template_misses) );
+            ("invalidations", Num (float_of_int st.Cgqp.Plan_cache.invalidations));
+            ("evictions", Num (float_of_int st.Cgqp.Plan_cache.evictions));
+          ])
+  in
+  let json =
+    Obs.Json.(
+      Obj
+        [
+          ("bench", Str "feedback");
+          ("sf", Num sf);
+          ("seed", Num (float_of_int sd));
+          ("sessions", Num (float_of_int sessions));
+          ("total_statements", Num (float_of_int total));
+          ("universe", Num (float_of_int universe));
+          ("skew", Num skew);
+          ("template_hit_rate", Num (Service.Scheduler.template_hit_rate on));
+          ("cache_template_on", cache_json on);
+          ("cache_template_off", cache_json off);
+          ("feedback_folds_on", Num (float_of_int (Cgqp.Feedback.folds fb_on)));
+          ("feedback_folds_off", Num (float_of_int (Cgqp.Feedback.folds fb_off)));
+          ( "feedback_observations",
+            Num (float_of_int (Cgqp.Feedback.observations fb_on)) );
+          ("converged", Bool converged);
+          ("transparency_mismatches", Num (float_of_int mismatches));
+          ("aggregates_identical", Bool agg_identical);
+          ("p50_ms", Num on.Service.Scheduler.p50_ms);
+          ("p95_ms", Num on.Service.Scheduler.p95_ms);
+          ("wall_template_on_ms", Num wall_on);
+          ("wall_template_off_ms", Num wall_off);
+        ])
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." out
+
+(* ------------------------------------------------------------------ *)
 (* exec -- the three engines (reference, compiled, vectorized) head to
    head *)
 
@@ -1055,7 +1257,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", fun () -> e3 ()); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ());
-    ("exec", exec_bench); ("t1", t1);
+    ("feedback", feedback_bench); ("exec", exec_bench); ("t1", t1);
     ("ablation", ablation); ("micro", micro); ("smoke", smoke);
   ]
 

@@ -535,6 +535,29 @@ let cache_capacity_arg =
     & info [ "cache-capacity" ] ~docv:"N"
         ~doc:"Plan cache capacity in entries (LRU eviction beyond this).")
 
+let template_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "template-cache" ]
+        ~doc:
+          "Enable template-level plan caching: literals are normalized out of \
+           the cache key into a parameter vector, so statements differing only \
+           in constants share one cached plan (guarded by the compliance-verdict \
+           fingerprint of the bound literals; see docs/FEEDBACK.md). Reports \
+           stay byte-identical to non-template runs. Also honors the \
+           CGQP_TEMPLATE_CACHE environment variable.")
+
+let feedback_arg =
+  Arg.(
+    value & flag
+    & info [ "feedback" ]
+        ~doc:
+          "Fold observed scan cardinalities back into the catalog statistics \
+           (cardinality feedback): when the estimated-vs-actual gap crosses the \
+           threshold, a corrected catalog is installed, the plan cache epoch is \
+           bumped once, and subsequent submissions re-optimize. Forces \
+           $(b,--domains=1).")
+
 let strict_arg =
   Arg.(
     value & flag
@@ -571,8 +594,8 @@ let resolve_policy_set name =
   | _ -> None
 
 let serve_cmd =
-  let action engine sf seed faults no_cache capacity strict json domains trace
-      metrics script =
+  let action engine sf seed faults no_cache capacity template feedback strict
+      json domains trace metrics script =
     with_obs ~trace ~metrics @@ fun () ->
     match Service.Script.parse_file script with
     | Error m -> `Error (false, Printf.sprintf "%s: %s" script m)
@@ -587,9 +610,11 @@ let serve_cmd =
         let cache =
           if no_cache then None else Some (Cgqp.Plan_cache.create ~capacity ())
         in
+        let template = if template then Some true else None in
+        let fb = if feedback then Some (Cgqp.Feedback.create ()) else None in
         let env =
-          Service.Scheduler.env ~catalog:cat ~database ?cache ?faults ?engine
-            ~resolve_query ~resolve_policy_set ()
+          Service.Scheduler.env ~catalog:cat ~database ?cache ?template
+            ?feedback:fb ?faults ?engine ~resolve_query ~resolve_policy_set ()
         in
         let t0 = Unix.gettimeofday () in
         match Service.Scheduler.run ~env ?seed ?domains wl with
@@ -607,7 +632,14 @@ let serve_cmd =
           Fmt.pr "  wall-clock %.3f s at %d domain(s)@." wall_s
             (match domains with
             | Some d -> d
-            | None -> Service.Pool.default_domains ())
+            | None -> Service.Pool.default_domains ());
+          (* only under --feedback: keeps default output byte-stable *)
+          Option.iter
+            (fun fb ->
+              Fmt.pr "  feedback: %d observations, %d folds@."
+                (Cgqp.Feedback.observations fb)
+                (Cgqp.Feedback.folds fb))
+            fb
         end;
         if strict then
           if report.Service.Scheduler.denied > 0 then Stdlib.exit exit_denied
@@ -647,8 +679,8 @@ let serve_cmd =
     Term.(
       ret
         (const action $ engine_arg $ sf_arg $ seed_arg $ faults_arg $ no_cache_arg
-       $ cache_capacity_arg $ strict_arg $ json_arg $ domains_arg $ trace_arg
-       $ metrics_arg $ script_arg))
+       $ cache_capacity_arg $ template_cache_arg $ feedback_arg $ strict_arg
+       $ json_arg $ domains_arg $ trace_arg $ metrics_arg $ script_arg))
 
 (* Default term: lets the common one-shot forms work without naming a
    subcommand — [cgqp --explain Q3] is EXPLAIN ANALYZE, [cgqp Q3] is

@@ -17,9 +17,13 @@
    ]} *)
 
 module Plan_cache = Plan_cache
+module Feedback = Feedback
+module Sset = Set.Make (String)
 
 type session = {
-  catalog : Catalog.t;
+  mutable catalog : Catalog.t;
+      (* mutable for cardinality feedback: a fold installs a corrected
+         catalog (new stamp) mid-session; see set_catalog *)
   mutable policies : Policy.Pcatalog.t;
   mutable database : Storage.Database.t option;
   mutable mode : Optimizer.Memo.mode;
@@ -32,6 +36,16 @@ type session = {
       (* plan cache consulted by [optimize]/[run]; possibly shared with
          other sessions of a serving layer. [None] (the default) is the
          paper's one-shot behavior. *)
+  mutable template : bool;
+      (* when true (CGQP_TEMPLATE_CACHE or set_template_cache), cache
+         lookups first try the literal-normalized template table *)
+  mutable feedback : Feedback.t option;
+      (* cardinality feedback store; folds replace [catalog] and bump
+         the cache epoch. The serving scheduler drives its own shared
+         store instead (see Service.Scheduler). *)
+  mutable sens : (Policy.Pcatalog.t * Sset.t) option;
+      (* memoized sensitive-column set; keyed on physical equality of
+         the policy catalog, which is replaced wholesale on mutation *)
 }
 
 type error =
@@ -73,6 +87,13 @@ let () =
   Obs.Metrics.gauge "cgqp_session_degraded_runs" (fun () ->
       float_of_int (Atomic.get degraded_runs))
 
+(* CGQP_TEMPLATE_CACHE=1 force-enables template caching for every
+   session (the CI matrix runs the whole suite this way). *)
+let template_env () =
+  match Sys.getenv_opt "CGQP_TEMPLATE_CACHE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
 let create ?database ~catalog () =
   {
     catalog;
@@ -83,10 +104,23 @@ let create ?database ~catalog () =
     retry = Exec.Interp.default_retry;
     engine = Exec.Engine.default ();
     cache = None;
+    template = template_env ();
+    feedback = None;
+    sens = None;
   }
 
 let set_mode session mode = session.mode <- mode
 let catalog session = session.catalog
+
+(* Install a (e.g. feedback-corrected) catalog. No epoch bump here:
+   cache keys carry the catalog stamp, so entries certified under the
+   old catalog can never be served — the feedback paths bump the epoch
+   themselves (once per fold) to purge them eagerly. *)
+let set_catalog session cat = session.catalog <- cat
+let set_template_cache session b = session.template <- b
+let template_cache session = session.template
+let set_feedback session fb = session.feedback <- fb
+let feedback session = session.feedback
 let policies session = session.policies
 let set_faults session sched = session.faults <- sched
 let faults session = session.faults
@@ -153,33 +187,94 @@ let parse_and_bind session sql :
 let plan_of_sql session sql : (Relalg.Plan.t, error) result =
   Result.map (fun (p, _, _) -> p) (parse_and_bind session sql)
 
-(* Optimize against [cat], going through the session's plan cache when
-   one is attached. The key is (normalized SQL, policy fingerprint,
-   catalog stamp, [mask_fp], mode): [mask_fp] is 0 for the healthy
-   network and the fingerprint of the accumulated failover masks during
-   degraded re-planning, so a plan certified against one topology is
-   never served for another. Parsing/binding happen before this point —
-   only the optimizer outcome (including rejections) is cached, and
-   execution always runs, keeping cache-on results byte-identical to
-   cache-off. *)
-let cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan =
-  let do_optimize () =
-    Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by ~cat
-      ~policies:session.policies lplan
-  in
+(* Columns that occur in some policy predicate: a literal bound to one
+   of these can flip a SHIP verdict, so its value must join the
+   template key (the verdict-fingerprint guard). *)
+let sensitive_cols session =
+  match session.sens with
+  | Some (p, set) when p == session.policies -> set
+  | _ ->
+    let set =
+      List.fold_left
+        (fun acc (e : Policy.Expression.t) ->
+          Relalg.Attr.Set.fold
+            (fun a acc -> Sset.add a.Relalg.Attr.name acc)
+            (Relalg.Pred.cols e.Policy.Expression.pred)
+            acc)
+        Sset.empty
+        (Policy.Pcatalog.all session.policies)
+    in
+    session.sens <- Some (session.policies, set);
+    set
+
+(* The session's whole cache conversation for one optimizer step, as
+   one function: template lookup (when enabled and the statement
+   normalizes), then the exact key, then [compute] + inserts. Both
+   [cached_optimize] and [run_replay] go through here, so the replay
+   pass re-enacts exactly the finds/adds — and counter movements — the
+   sequential run performs. The key is (normalized SQL, policy
+   fingerprint, catalog stamp, [mask_fp], mode): [mask_fp] is 0 for
+   the healthy network and the fingerprint of the accumulated failover
+   masks during degraded re-planning, so a plan certified against one
+   topology is never served for another. Only optimizer outcomes
+   (including rejections) are cached, and execution always runs,
+   keeping cache-on results byte-identical to cache-off. *)
+let consult_cache session ~mask_fp ~sql compute =
   match session.cache with
-  | None -> do_optimize ()
+  | None -> compute ()
   | Some cache -> (
-    let key =
+    let exact_key () =
       Plan_cache.key ~sql ~policies:session.policies ~catalog:session.catalog
         ~mask_fp ~mode:session.mode ()
     in
-    match Plan_cache.find cache key with
-    | Some outcome -> outcome
-    | None ->
-      let outcome = do_optimize () in
-      Plan_cache.add cache key outcome;
-      outcome)
+    let exact ~on_compute () =
+      let key = exact_key () in
+      match Plan_cache.find cache key with
+      | Some outcome -> outcome
+      | None ->
+        let outcome = compute () in
+        Plan_cache.add cache key outcome;
+        on_compute outcome;
+        outcome
+    in
+    let no_template _ = () in
+    if not session.template then exact ~on_compute:no_template ()
+    else
+      match Sqlfront.Normalizer.normalize sql with
+      | None -> exact ~on_compute:no_template ()
+      | Some { Sqlfront.Normalizer.template; params } -> (
+        let bind =
+          Array.of_list
+            (List.map
+               (fun (p : Sqlfront.Normalizer.param) -> (p.column, p.value))
+               params)
+        in
+        let sens = sensitive_cols session in
+        let tkey =
+          Plan_cache.template_key ~template ~params:bind
+            ~sensitive:(fun c -> Sset.mem c sens)
+            ~policies:session.policies ~catalog:session.catalog ~mask_fp
+            ~mode:session.mode ()
+        in
+        match Plan_cache.find_template cache tkey ~params:bind with
+        | Some planned -> Optimizer.Planner.Planned planned
+        | None ->
+          (* populate the template table only from a fresh, clean
+             optimization: violation-free Planned outcomes *)
+          let on_compute = function
+            | Optimizer.Planner.Planned p
+              when p.Optimizer.Planner.violations = [] ->
+              Plan_cache.add_template cache tkey ~params:bind p
+            | _ -> ()
+          in
+          exact ~on_compute ()))
+
+(* Optimize against [cat], going through the session's plan cache when
+   one is attached. Parsing/binding happen before this point. *)
+let cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan =
+  consult_cache session ~mask_fp ~sql (fun () ->
+      Optimizer.Planner.optimize ~mode:session.mode ~required_order:order_by
+        ~cat ~policies:session.policies lplan)
 
 (* Optimize a query under the session's dataflow policies. The ORDER BY
    clause becomes the root's required sort order — part of the
@@ -332,6 +427,22 @@ let run_hooked ~record_step session sql : (run_result, error) result =
         | Ok (planned, interp, recovery) ->
           if recovery.failovers > 0 then
             ignore (Atomic.fetch_and_add degraded_runs 1);
+          (* cardinality feedback: record the executed scans; when the
+             evidence clears the fold threshold, install the corrected
+             catalog and start a new cache epoch (exactly one bump per
+             fold) so stale plans are re-optimized on the next
+             submission *)
+          (match session.feedback with
+          | None -> ()
+          | Some fb -> (
+            Feedback.observe fb ~cat:session.catalog
+              ~plan:planned.Optimizer.Planner.plan
+              ~profile:interp.Exec.Interp.profile;
+            match Feedback.fold fb session.catalog with
+            | None -> ()
+            | Some cat' ->
+              session.catalog <- cat';
+              bump_cache session "feedback"));
           let { Exec.Interp.relation; stats; makespan_ms; profile = _ } = interp in
           (* ORDER BY is enforced inside the plan (Sort enforcer); only
              LIMIT remains a result decoration *)
@@ -427,22 +538,17 @@ let run_replay session (m : memo) : (run_result, error) result =
     run session m.m_sql
   end
   else begin
-    (match session.cache with
-    | None -> ()
-    | Some cache ->
-      List.iter
-        (fun (mask_fp, outcome) ->
-          let key =
-            Plan_cache.key ~sql:m.m_sql ~policies:session.policies
-              ~catalog:session.catalog ~mask_fp ~mode:session.mode ()
-          in
-          match Plan_cache.find cache key with
-          | Some _ ->
-            (* the cached outcome equals the recorded one: same key means
-               same optimizer inputs, and the optimizer is deterministic *)
-            ()
-          | None -> Plan_cache.add cache key outcome)
-        m.m_steps);
+    (* re-enact the recorded cache conversation through the same
+       [consult_cache] the sequential run uses: template lookups,
+       exact lookups and inserts all happen in the identical order, so
+       hit/miss flags, template counters, LRU ticks and epoch checks
+       on the live shared cache move exactly as they would have. On a
+       hit the cached outcome equals the recorded one (same key means
+       same optimizer inputs, and the optimizer is deterministic). *)
+    List.iter
+      (fun (mask_fp, outcome) ->
+        ignore (consult_cache session ~mask_fp ~sql:m.m_sql (fun () -> outcome)))
+      m.m_steps;
     m.m_result
   end
 

@@ -22,6 +22,11 @@
     session bump its epoch automatically. *)
 module Plan_cache : module type of Plan_cache
 
+(** The cardinality-feedback store (est-vs-actual folding back into
+    catalog statistics). Attach one with {!set_feedback}; see
+    [docs/FEEDBACK.md]. *)
+module Feedback : module type of Feedback
+
 type session
 
 type error =
@@ -64,6 +69,14 @@ val set_mode : session -> Optimizer.Memo.mode -> unit
     purely cost-based baseline. *)
 
 val catalog : session -> Catalog.t
+
+val set_catalog : session -> Catalog.t -> unit
+(** Install a replacement catalog — the cardinality-feedback fold path
+    ({!set_feedback}, [Service.Scheduler]). No epoch bump happens here:
+    cache keys carry the catalog stamp, so entries certified under the
+    old catalog can never be served; the feedback paths bump the epoch
+    themselves (exactly once per fold) to purge them eagerly. *)
+
 val policies : session -> Policy.Pcatalog.t
 
 val set_faults : session -> Catalog.Network.Fault.schedule -> unit
@@ -100,6 +113,31 @@ val set_plan_cache : session -> Plan_cache.t option -> unit
     [None], the paper's one-shot behavior. *)
 
 val plan_cache : session -> Plan_cache.t option
+
+val set_template_cache : session -> bool -> unit
+(** Enable template-level caching on the attached plan cache: lookups
+    first try the literal-normalized template table
+    ([Sqlfront.Normalizer] template + parameter fingerprint over the
+    compliance-sensitive literals), falling back to the exact key. A
+    template hit substitutes the bound literals into the stored plan
+    and is byte-identical to a fresh optimization
+    ([test/test_feedback.ml]'s transparency property). Defaults to the
+    [CGQP_TEMPLATE_CACHE] environment variable; a no-op without an
+    attached cache. *)
+
+val template_cache : session -> bool
+
+val set_feedback : session -> Feedback.t option -> unit
+(** Attach (or detach) a cardinality-feedback store. After every
+    successful {!run}, executed scan cardinalities are
+    {!Feedback.observe}d; when {!Feedback.fold} fires, the corrected
+    catalog replaces the session's ({!set_catalog}) and the attached
+    plan cache's epoch is bumped exactly once (reason ["feedback"]),
+    so subsequent submissions re-optimize under the corrected
+    statistics. The serving scheduler wires a shared store across
+    sessions itself — use [Service.Scheduler.env ?feedback] there. *)
+
+val feedback : session -> Feedback.t option
 
 val attach_database : session -> Storage.Database.t -> unit
 

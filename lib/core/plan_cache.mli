@@ -48,8 +48,11 @@ val bump_epoch : ?reason:string -> t -> unit
     tracing is on. *)
 
 val clear : t -> unit
-(** Drop all entries without counting invalidations or changing the
-    epoch (tests and bench isolation). *)
+(** Drop all entries (exact and template) and reset every statistics
+    counter to zero, without counting invalidations or changing the
+    epoch (tests and bench isolation). Hit rates reported across a
+    [clear] boundary therefore describe only the population inserted
+    after it. *)
 
 type key
 
@@ -81,11 +84,58 @@ val add : t -> key -> Optimizer.Planner.outcome -> unit
 (** Insert (or overwrite) the outcome certified for [key], evicting the
     least-recently-used entry when full. *)
 
+(** {2 Template plans}
+
+    A second table caches {e template} plans: the literal-normalized
+    statement text ([Sqlfront.Normalizer]) plus a parameter
+    fingerprint covering exactly the compliance-sensitive literals
+    (those whose column occurs in some policy predicate — a sensitive
+    literal can flip a SHIP verdict, so it must never reuse a plan
+    cached under a different value). A template hit substitutes the
+    new literals into the stored plan ([col = const] atoms only, one
+    per parameter by the normalizer's single-occurrence rule) and
+    returns a [planned] structurally identical to what a fresh
+    optimization would produce — the transparency property
+    [test/test_feedback.ml] locks in. Only violation-free [Planned]
+    outcomes are stored as templates. *)
+
+val template_key :
+  template:string ->
+  params:(string * Relalg.Value.t) array ->
+  sensitive:(string -> bool) ->
+  policies:Policy.Pcatalog.t ->
+  catalog:Catalog.t ->
+  ?mask_fp:int ->
+  mode:Optimizer.Memo.mode ->
+  unit ->
+  key
+(** Key for a normalized statement. [params] are the bound literals in
+    ordinal order; [sensitive] judges a bare column name against the
+    active policy catalog. The template text is stored as-is (the
+    normalizer's rendering is already canonical). *)
+
+val find_template :
+  t -> key -> params:(string * Relalg.Value.t) array -> Optimizer.Planner.planned option
+(** Lookup; a hit rebinds the stored plan to [params] and counts both
+    a [template_hit] and a [hit] (the optimizer did not run); a miss
+    counts only a [template_miss] — the caller falls back to the exact
+    table, whose {!find} does the ordinary hit/miss accounting. *)
+
+val add_template :
+  t -> key -> params:(string * Relalg.Value.t) array -> Optimizer.Planner.planned -> unit
+(** Insert the template plan certified for [key] under [params],
+    evicting the least-recently-used template when full. *)
+
+val template_size : t -> int
+(** Live template entries (exact entries are {!size}). *)
+
 type stats = {
-  hits : int;
+  hits : int;  (** exact hits plus template hits *)
   misses : int;
   invalidations : int;  (** entries purged by {!bump_epoch} *)
-  evictions : int;  (** entries displaced by LRU pressure *)
+  evictions : int;  (** entries displaced by LRU pressure, both tables *)
+  template_hits : int;  (** hits served by rebinding a template plan *)
+  template_misses : int;  (** template lookups that fell back to exact *)
 }
 
 val stats : t -> stats

@@ -8,6 +8,8 @@ type env = {
   catalog : Catalog.t;
   database : Storage.Database.t option;
   cache : Cgqp.Plan_cache.t option;
+  template : bool option;
+  feedback : Cgqp.Feedback.t option;
   faults : Catalog.Network.Fault.schedule;
   retry : Exec.Interp.retry_policy;
   engine : Exec.Engine.t;
@@ -15,7 +17,8 @@ type env = {
   resolve_policy_set : string -> string list option;
 }
 
-let env ?database ?cache ?(faults = Catalog.Network.Fault.empty)
+let env ?database ?cache ?template ?feedback
+    ?(faults = Catalog.Network.Fault.empty)
     ?(retry = Exec.Interp.default_retry) ?engine ?(resolve_query = fun s -> s)
     ?(resolve_policy_set = fun _ -> None) ~catalog () =
   let engine =
@@ -25,6 +28,8 @@ let env ?database ?cache ?(faults = Catalog.Network.Fault.empty)
     catalog;
     database;
     cache;
+    template;
+    feedback;
     faults;
     retry;
     engine;
@@ -106,6 +111,13 @@ let hit_rate r =
     float_of_int hits /. float_of_int (hits + misses)
   | _ -> 0.
 
+let template_hit_rate r =
+  match r.cache with
+  | Some { Cgqp.Plan_cache.template_hits = th; template_misses = tm; _ }
+    when th + tm > 0 ->
+    float_of_int th /. float_of_int (th + tm)
+  | _ -> 0.
+
 (* The recording pass of the parallel pipeline: replay one session's
    script in isolation, on a private session replica, executing every
    Submit with {!Cgqp.run_recorded} and collecting the memos in submit
@@ -126,6 +138,7 @@ let record_session ~env (spec : Script.session_spec) : Cgqp.memo array =
   Cgqp.set_faults cg env.faults;
   Cgqp.set_retry cg env.retry;
   Cgqp.set_engine cg env.engine;
+  Option.iter (Cgqp.set_template_cache cg) env.template;
   if Option.is_some env.cache then
     Cgqp.set_plan_cache cg (Some (Cgqp.Plan_cache.create ()));
   let memos = ref [] in
@@ -153,6 +166,10 @@ let run ~env ?seed ?domains (script : Script.t) : report =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   if domains < 1 then invalid_arg "Scheduler.run: domains must be positive";
+  (* Cardinality feedback replaces every session's catalog mid-run (new
+     stamp), which would invalidate pass-1 memos wholesale — so a
+     feedback-driven run always executes inline. *)
+  let domains = if Option.is_some env.feedback then 1 else domains in
   let seed =
     match seed with
     | Some s -> s
@@ -200,6 +217,7 @@ let run ~env ?seed ?domains (script : Script.t) : report =
     Cgqp.set_faults cg env.faults;
     Cgqp.set_retry cg env.retry;
     Cgqp.set_engine cg env.engine;
+    Option.iter (Cgqp.set_template_cache cg) env.template;
     Cgqp.set_plan_cache cg env.cache;
     {
       idx;
@@ -287,6 +305,23 @@ let run ~env ?seed ?domains (script : Script.t) : report =
         let finished = now +. makespan_ms in
         Admission.started adm ~tenant ~finish_ms:finished;
         Admission.charge adm ~tenant ~now ~bytes:r.Cgqp.shipped_bytes;
+        (* cardinality feedback (shared store): observe the executed
+           scans; on a fold, install the one corrected catalog into
+           every live session — they must stay in stamp lockstep for
+           the shared cache's keys to make sense — and bump the shared
+           epoch exactly once *)
+        (match env.feedback with
+        | None -> ()
+        | Some fb -> (
+          Cgqp.Feedback.observe fb ~cat:(Cgqp.catalog s.cg) ~plan:r.Cgqp.plan
+            ~profile:r.Cgqp.interp.Exec.Interp.profile;
+          match Cgqp.Feedback.fold fb (Cgqp.catalog s.cg) with
+          | None -> ()
+          | Some cat' ->
+            List.iter (fun l -> Cgqp.set_catalog l.cg cat') sessions;
+            Option.iter
+              (Cgqp.Plan_cache.bump_epoch ~reason:"feedback")
+              env.cache));
         Obs.Metrics.observe h_latency (finished -. submitted);
         finish_stmt
           (Done
@@ -355,6 +390,11 @@ let run ~env ?seed ?domains (script : Script.t) : report =
           invalidations =
             a.Cgqp.Plan_cache.invalidations - b.Cgqp.Plan_cache.invalidations;
           evictions = a.Cgqp.Plan_cache.evictions - b.Cgqp.Plan_cache.evictions;
+          template_hits =
+            a.Cgqp.Plan_cache.template_hits - b.Cgqp.Plan_cache.template_hits;
+          template_misses =
+            a.Cgqp.Plan_cache.template_misses
+            - b.Cgqp.Plan_cache.template_misses;
         }
     | _ -> None
   in
@@ -421,7 +461,14 @@ let pp_report ppf r =
     Fmt.pf ppf "  cache: %d/%d hits (%.1f%%), %d invalidations, %d evictions@."
       c.Cgqp.Plan_cache.hits total
       (100. *. hit_rate r)
-      c.Cgqp.Plan_cache.invalidations c.Cgqp.Plan_cache.evictions
+      c.Cgqp.Plan_cache.invalidations c.Cgqp.Plan_cache.evictions;
+    let tlooks =
+      c.Cgqp.Plan_cache.template_hits + c.Cgqp.Plan_cache.template_misses
+    in
+    if tlooks > 0 then
+      Fmt.pf ppf "  template: %d/%d hits (%.1f%%)@."
+        c.Cgqp.Plan_cache.template_hits tlooks
+        (100. *. template_hit_rate r)
   | None -> Fmt.pf ppf "  cache: off@.");
   Fmt.pf ppf "  latency p50 %.2f ms, p95 %.2f ms@." r.p50_ms r.p95_ms
 
@@ -479,6 +526,10 @@ let report_to_json r =
               ("invalidations", Num (float_of_int c.Cgqp.Plan_cache.invalidations));
               ("evictions", Num (float_of_int c.Cgqp.Plan_cache.evictions));
               ("hit_rate", Num (hit_rate r));
+              ("template_hits", Num (float_of_int c.Cgqp.Plan_cache.template_hits));
+              ( "template_misses",
+                Num (float_of_int c.Cgqp.Plan_cache.template_misses) );
+              ("template_hit_rate", Num (template_hit_rate r));
             ] );
       ("p50_ms", Num r.p50_ms);
       ("p95_ms", Num r.p95_ms);

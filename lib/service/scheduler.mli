@@ -25,6 +25,17 @@ type env = {
           with [`Rejected] (optimize-only scripts are still useful for
           cache experiments) *)
   cache : Cgqp.Plan_cache.t option;  (** shared by all sessions *)
+  template : bool option;
+      (** [Some b] forces template-level caching on/off for every
+          session; [None] (default) leaves each session's
+          [CGQP_TEMPLATE_CACHE]-derived default in place *)
+  feedback : Cgqp.Feedback.t option;
+      (** shared cardinality-feedback store: every [Done] statement's
+          scans are observed, and a fold installs the corrected catalog
+          into {e all} sessions (stamp lockstep for the shared cache)
+          and bumps the shared cache's epoch exactly once. Forces
+          [domains = 1]: catalog stamps change mid-run, which would
+          invalidate pass-1 memos wholesale. *)
   faults : Catalog.Network.Fault.schedule;
   retry : Exec.Interp.retry_policy;
   engine : Exec.Engine.t;
@@ -40,6 +51,8 @@ type env = {
 val env :
   ?database:Storage.Database.t ->
   ?cache:Cgqp.Plan_cache.t ->
+  ?template:bool ->
+  ?feedback:Cgqp.Feedback.t ->
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:Exec.Interp.retry_policy ->
   ?engine:Exec.Engine.t ->
@@ -124,7 +137,11 @@ val run : env:env -> ?seed:int -> ?domains:int -> Script.t -> report
 
 val hit_rate : report -> float
 (** [hits / (hits + misses)] of the run's cache deltas (0 with no cache
-    or no lookups). *)
+    or no lookups). Template hits count as hits. *)
+
+val template_hit_rate : report -> float
+(** [template_hits / (template_hits + template_misses)] of the run's
+    cache deltas (0 with no cache or no template lookups). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable summary: per-statement lines, then aggregates. *)

@@ -28,6 +28,49 @@ type open_session = {
   mutable o_closed : bool;
 }
 
+(* Zipf-distributed point-lookup workload: [statements] submits spread
+   round-robin over [sessions] sessions, parameters drawn by CDF
+   inversion over 1/(k+1)^skew weights from a splitmix64 stream — the
+   whole script is a pure function of the arguments. *)
+let zipf_workload ?(skew = 1.1) ?(tenants = []) ~sessions ~statements ~universe
+    ~make_statement ~seed () =
+  if sessions <= 0 then invalid_arg "Script.zipf_workload: sessions must be positive";
+  if statements <= 0 then
+    invalid_arg "Script.zipf_workload: statements must be positive";
+  if universe <= 0 then invalid_arg "Script.zipf_workload: universe must be positive";
+  if skew <= 0. then invalid_arg "Script.zipf_workload: skew must be positive";
+  (* cdf.(k) = sum of weights for ranks 0..k; sample by binary search *)
+  let cdf = Array.make universe 0. in
+  let total = ref 0. in
+  for k = 0 to universe - 1 do
+    total := !total +. (1. /. Float.of_int (k + 1) ** skew);
+    cdf.(k) <- !total
+  done;
+  let prng = Storage.Prng.create ~seed in
+  let sample () =
+    let u = Storage.Prng.float prng !total in
+    let lo = ref 0 and hi = ref (universe - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) <= u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let acts = Array.make sessions [] (* reversed per-session action lists *) in
+  for i = 0 to statements - 1 do
+    let s = i mod sessions in
+    acts.(s) <- Submit (make_statement (sample ())) :: acts.(s)
+  done;
+  let specs =
+    List.init sessions (fun s ->
+        let sid = Printf.sprintf "z%02d" (s + 1) in
+        let tenant =
+          match tenants with [] -> sid | ts -> fst (List.nth ts (s mod List.length ts))
+        in
+        { sid; tenant; actions = List.rev acts.(s) })
+  in
+  { seed = Some seed; tenants; sessions = specs }
+
 let parse text : (t, string) result =
   let error = ref None in
   let fail lineno fmt =

@@ -46,6 +46,29 @@ type t = {
   sessions : session_spec list;  (** in [open] order *)
 }
 
+val zipf_workload :
+  ?skew:float ->
+  ?tenants:(string * Admission.quota) list ->
+  sessions:int ->
+  statements:int ->
+  universe:int ->
+  make_statement:(int -> string) ->
+  seed:int ->
+  unit ->
+  t
+(** Generate a skewed point-lookup workload: [statements] submissions
+    spread round-robin over [sessions] sessions, each statement's
+    parameter drawn from a Zipf distribution over [0, universe) with
+    exponent [skew] (default 1.1 — rank-1 dominates, a long tail of
+    cold values). [make_statement v] renders the SQL for parameter [v];
+    with a template-friendly shape (a single equality literal) the hot
+    ranks collapse onto one cached template plan, which is what [bench
+    feedback] measures. Sampling is CDF inversion over a splitmix64
+    stream seeded from [seed], so the script — including its embedded
+    [seed] statement — is a pure function of the arguments. Raises
+    [Invalid_argument] on non-positive [sessions], [statements],
+    [universe] or [skew]. *)
+
 val parse : string -> (t, string) result
 (** Parse script text; [Error msg] carries the offending line number. *)
 

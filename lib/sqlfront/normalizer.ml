@@ -1,0 +1,198 @@
+(* Literal normalization for template plan caching: rewrite eligible
+   equality constants in a SELECT's WHERE clause into a parameter
+   vector, rendering a canonical template with '?' placeholders. The
+   eligibility rules (and why each one is load-bearing for the
+   byte-identity contract) are documented in normalizer.mli and
+   docs/FEEDBACK.md. *)
+
+open Relalg
+
+type param = { column : string; value : Value.t }
+type t = { template : string; params : param list }
+
+(* Keywords of the SQL subset (plus aggregate names): never column
+   candidates. *)
+let reserved =
+  [
+    "select"; "from"; "where"; "group"; "order"; "having"; "limit"; "by";
+    "as"; "and"; "or"; "not"; "like"; "in"; "is"; "null"; "between";
+    "asc"; "desc"; "distinct"; "date"; "aggregates";
+    "sum"; "avg"; "min"; "max"; "count";
+  ]
+
+let is_reserved s = List.mem s reserved
+
+(* Section enders: the WHERE clause runs to the first of these (the
+   subset has no subqueries, so a flat scan is exact). *)
+let ends_where = function
+  | Lexer.Ident ("group" | "order" | "having" | "limit") -> true
+  | Lexer.Eof -> true
+  | _ -> false
+
+(* The value the parser will bind for this literal token (see
+   Parser.literal_of_string: date-shaped strings become dates). *)
+let lit_value = function
+  | Lexer.Int_lit v -> Some (Value.Int v)
+  | Lexer.Float_lit f -> Some (Value.Float f)
+  | Lexer.String_lit s ->
+    Some
+      (match Value.date_of_string s with
+      | Some d -> Value.Date d
+      | None -> Value.Str s)
+  | _ -> None
+
+(* Canonical token rendering. Distinct constants must render to
+   distinct text (a collision would silently merge two different
+   statements into one template), hence %.17g for floats — exact
+   round-trip, unlike %g. *)
+let render_tok b = function
+  | Lexer.Ident s -> Buffer.add_string b s
+  | Lexer.Int_lit v -> Buffer.add_string b (string_of_int v)
+  | Lexer.Float_lit f -> Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Lexer.String_lit s ->
+    Buffer.add_char b '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '\''
+  | Lexer.Star -> Buffer.add_char b '*'
+  | Lexer.Comma -> Buffer.add_char b ','
+  | Lexer.Dot -> Buffer.add_char b '.'
+  | Lexer.Lparen -> Buffer.add_char b '('
+  | Lexer.Rparen -> Buffer.add_char b ')'
+  | Lexer.Plus -> Buffer.add_char b '+'
+  | Lexer.Minus -> Buffer.add_char b '-'
+  | Lexer.Slash -> Buffer.add_char b '/'
+  | Lexer.Eq -> Buffer.add_char b '='
+  | Lexer.Neq -> Buffer.add_string b "<>"
+  | Lexer.Lt -> Buffer.add_char b '<'
+  | Lexer.Le -> Buffer.add_string b "<="
+  | Lexer.Gt -> Buffer.add_char b '>'
+  | Lexer.Ge -> Buffer.add_string b ">="
+  | Lexer.Eof -> ()
+
+let normalize sql =
+  match Lexer.tokenize sql with
+  | exception Lexer.Error _ -> None
+  | [] -> None
+  | Lexer.Ident "select" :: _ as toks -> (
+    let arr = Array.of_list toks in
+    let n = Array.length arr in
+    (* locate the WHERE section *)
+    let where_at = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if arr.(i) = Lexer.Ident "where" then begin
+           where_at := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !where_at < 0 then None
+    else begin
+      let where_start = !where_at + 1 in
+      let where_end = ref n in
+      (try
+         for i = where_start to n - 1 do
+           if ends_where arr.(i) then begin
+             where_end := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let where_end = !where_end in
+      let disqualified = ref false in
+      for i = where_start to where_end - 1 do
+        match arr.(i) with
+        | Lexer.Ident ("or" | "not" | "between") -> disqualified := true
+        | _ -> ()
+      done;
+      if !disqualified then None
+      else begin
+        (* occurrence count of every identifier over the whole
+           statement — the single-occurrence rule counts SELECT list,
+           GROUP BY and ORDER BY uses too *)
+        let counts = Hashtbl.create 16 in
+        Array.iter
+          (function
+            | Lexer.Ident s ->
+              Hashtbl.replace counts s
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))
+            | _ -> ())
+          arr;
+        let once c = Hashtbl.find_opt counts c = Some 1 in
+        let b = Buffer.create (String.length sql) in
+        let first = ref true in
+        let sep () = if !first then first := false else Buffer.add_char b ' ' in
+        let emit tok = sep (); render_tok b tok in
+        let emit_param () = sep (); Buffer.add_char b '?' in
+        let params = ref [] in
+        let push c v = params := { column = c; value = v } :: !params in
+        let in_where i len = i >= where_start && i + len <= where_end in
+        let i = ref 0 in
+        while !i < n do
+          let consumed =
+            if not (in_where !i 3) then 0
+            else
+              match
+                ( arr.(!i),
+                  (if !i + 1 < n then arr.(!i + 1) else Lexer.Eof),
+                  (if !i + 2 < n then arr.(!i + 2) else Lexer.Eof),
+                  (if !i + 3 < n then arr.(!i + 3) else Lexer.Eof),
+                  (if !i + 4 < n then arr.(!i + 4) else Lexer.Eof) )
+              with
+              (* t.c = lit *)
+              | Lexer.Ident t, Lexer.Dot, Lexer.Ident c, Lexer.Eq, lit
+                when in_where !i 5 && (not (is_reserved c)) && once c
+                     && lit_value lit <> None ->
+                emit (Lexer.Ident t);
+                emit Lexer.Dot;
+                emit (Lexer.Ident c);
+                emit Lexer.Eq;
+                emit_param ();
+                push c (Option.get (lit_value lit));
+                5
+              (* c = lit *)
+              | Lexer.Ident c, Lexer.Eq, lit, _, _
+                when (not (is_reserved c)) && once c && lit_value lit <> None
+                ->
+                emit (Lexer.Ident c);
+                emit Lexer.Eq;
+                emit_param ();
+                push c (Option.get (lit_value lit));
+                3
+              (* lit = t.c *)
+              | lit, Lexer.Eq, Lexer.Ident t, Lexer.Dot, Lexer.Ident c
+                when in_where !i 5 && (not (is_reserved c)) && once c
+                     && lit_value lit <> None ->
+                emit_param ();
+                push c (Option.get (lit_value lit));
+                emit Lexer.Eq;
+                emit (Lexer.Ident t);
+                emit Lexer.Dot;
+                emit (Lexer.Ident c);
+                5
+              (* lit = c *)
+              | lit, Lexer.Eq, Lexer.Ident c, after, _
+                when (not (is_reserved c)) && after <> Lexer.Dot
+                     && once c && lit_value lit <> None ->
+                emit_param ();
+                push c (Option.get (lit_value lit));
+                emit Lexer.Eq;
+                emit (Lexer.Ident c);
+                3
+              | _ -> 0
+          in
+          if consumed = 0 then begin
+            emit arr.(!i);
+            incr i
+          end
+          else i := !i + consumed
+        done;
+        match List.rev !params with
+        | [] -> None
+        | params -> Some { template = Buffer.contents b; params }
+      end
+    end)
+  | _ -> None

@@ -1,0 +1,49 @@
+(** Literal normalization for template-level plan caching.
+
+    [normalize] rewrites equality literals out of a SELECT's WHERE
+    clause into a parameter vector, so that statements differing only
+    in those constants share one {e template} text — the cache key that
+    lets millions of distinct user statements collapse onto a few
+    template plans (see [docs/FEEDBACK.md]).
+
+    The rewrite is deliberately conservative; a literal is
+    parameterized only when every condition below holds, because each
+    one is load-bearing for the byte-identity contract (a template hit
+    must return exactly what a fresh optimization would have produced):
+
+    - the statement is a [SELECT] with a [WHERE] clause, and the WHERE
+      section contains no [OR], [NOT] or [BETWEEN] — conjunct-only
+      predicates keep the optimizer's canonical conjunct order
+      independent of the literal values;
+    - the atom has the shape [col = literal] or [literal = col] (bare
+      or alias-qualified column). Range comparisons ([<], [<=], [>],
+      [>=]), [LIKE] patterns, [IN] lists and [date '...'] literals are
+      never parameterized: their selectivity estimates depend on the
+      constant's value, so merging them could change the plan;
+      equality selectivity ([1/distinct]) is value-independent;
+    - the bare column name occurs exactly once in the whole statement
+      (counted over every token, SELECT list and GROUP BY included) —
+      ruling out multi-atom interactions on one attribute, which are
+      the only way two equality constants can influence each other's
+      implication results or canonical order.
+
+    Anything that fails a condition simply falls back to the exact,
+    full-text cache key: under-merging costs a missed hit, never
+    correctness. Whether a parameter's {e value} may still affect the
+    compliance verdict (its column occurs in some policy predicate) is
+    judged by the caller against the active policy catalog — see
+    [Cgqp] and [Plan_cache.template_key]. *)
+
+type param = { column : string;  (** bare (unqualified) column name *)
+               value : Relalg.Value.t }
+
+type t = {
+  template : string;
+      (** canonical rendering with each parameterized literal as [?] *)
+  params : param list;  (** in textual (ordinal) order *)
+}
+
+val normalize : string -> t option
+(** [None] when the statement is not parameterizable (not a SELECT, no
+    WHERE, a disqualifying construct, no eligible literal, or a lex
+    error — the parser will report the latter downstream). *)

@@ -292,6 +292,91 @@ let test_scheduler_reject () =
   | Some { Sd.outcome = Sd.Denied { reason = A.In_flight _; _ }; _ } -> ()
   | _ -> Alcotest.fail "expected an in-flight denial"
 
+(* Directed retry_at coverage under the discrete-event clock: a queued
+   statement must re-enter admission exactly at the denial's retry_at —
+   the in-flight completion time or the window boundary — while a
+   Reject tenant records the denial immediately, with zero retries. *)
+
+let test_queue_retry_at_completion () =
+  let r = Sd.run ~env:(sched_env ()) (two_session_script ~on_deny:A.Queue) in
+  Alcotest.(check int) "both completed" 2 r.Sd.ok;
+  let first, queued =
+    match
+      List.partition
+        (fun (s : Sd.stmt_record) -> s.Sd.started_ms = s.Sd.submitted_ms)
+        r.Sd.statements
+    with
+    | [ f ], [ q ] -> (f, q)
+    | _ -> Alcotest.fail "expected exactly one queued statement"
+  in
+  (* retry_at of an in-flight denial is the blocking statement's
+     completion; the queued statement starts exactly then, not later *)
+  Alcotest.(check (float 1e-9)) "queued until the in-flight completion"
+    first.Sd.finished_ms queued.Sd.started_ms;
+  Alcotest.(check bool) "the wait is real" true
+    (queued.Sd.started_ms > queued.Sd.submitted_ms)
+
+let test_reject_records_denial_at_submission () =
+  let r = Sd.run ~env:(sched_env ()) (two_session_script ~on_deny:A.Reject) in
+  match
+    List.find_opt
+      (fun (s : Sd.stmt_record) ->
+        match s.Sd.outcome with Sd.Denied _ -> true | _ -> false)
+      r.Sd.statements
+  with
+  | Some ({ Sd.outcome = Sd.Denied { reason = A.In_flight _; retries }; _ } as s) ->
+    Alcotest.(check int) "no retries under Reject" 0 retries;
+    Alcotest.(check (float 1e-9)) "denied at submission time" s.Sd.submitted_ms
+      s.Sd.finished_ms
+  | _ -> Alcotest.fail "expected an in-flight denial"
+
+(* Ship-budget boundary: the first statement's post-paid charge exhausts
+   the window's budget, so the session's next submission is denied with
+   retry_at at the window boundary. Queue mode re-admits exactly there;
+   Reject mode records the denial. *)
+let budget_script ~on_deny =
+  {
+    Sc.seed = Some 1;
+    tenants = [ ("t", quota ~budget:1 ~window:1000. ~on_deny ()) ];
+    sessions =
+      [
+        {
+          Sc.sid = "s1";
+          tenant = "t";
+          actions =
+            List.map (fun t -> Sc.Add_policy t) Fixture.open_policies
+            @ [ Sc.Submit Fixture.q; Sc.Submit Fixture.q ];
+        };
+      ];
+  }
+
+let test_queue_retry_at_window () =
+  let r = Sd.run ~env:(sched_env ()) (budget_script ~on_deny:A.Queue) in
+  Alcotest.(check int) "both completed" 2 r.Sd.ok;
+  let first = List.find (fun (s : Sd.stmt_record) -> s.Sd.seq = 0) r.Sd.statements in
+  let second = List.find (fun (s : Sd.stmt_record) -> s.Sd.seq = 1) r.Sd.statements in
+  (match first.Sd.outcome with
+  | Sd.Done { shipped_bytes; _ } ->
+    Alcotest.(check bool) "first overran the budget" true (shipped_bytes > 1)
+  | _ -> Alcotest.fail "first statement should complete");
+  Alcotest.(check (float 1e-9)) "submitted when the first completed"
+    first.Sd.finished_ms second.Sd.submitted_ms;
+  Alcotest.(check (float 1e-9)) "queued until the window boundary" 1000.
+    second.Sd.started_ms
+
+let test_reject_at_window_boundary () =
+  let r = Sd.run ~env:(sched_env ()) (budget_script ~on_deny:A.Reject) in
+  Alcotest.(check int) "first completed" 1 r.Sd.ok;
+  Alcotest.(check int) "second denied" 1 r.Sd.denied;
+  match
+    List.find (fun (s : Sd.stmt_record) -> s.Sd.seq = 1) r.Sd.statements
+  with
+  | { Sd.outcome = Sd.Denied { reason = A.Ship_budget _; retries = 0 }; _ } -> ()
+  | { Sd.outcome = Sd.Denied { reason; retries }; _ } ->
+    Alcotest.failf "wrong denial: %s after %d retries" (A.reason_to_string reason)
+      retries
+  | _ -> Alcotest.fail "expected a ship-budget denial"
+
 (* ---------------- scheduler determinism + differential ---------------- *)
 
 let mix_script =
@@ -743,6 +828,14 @@ let () =
           Alcotest.test_case "zero budget is terminal" `Quick test_admission_zero_budget;
           Alcotest.test_case "scheduler queues" `Quick test_scheduler_queueing;
           Alcotest.test_case "scheduler rejects" `Quick test_scheduler_reject;
+          Alcotest.test_case "queue retries at the in-flight completion" `Quick
+            test_queue_retry_at_completion;
+          Alcotest.test_case "reject records the denial at submission" `Quick
+            test_reject_records_denial_at_submission;
+          Alcotest.test_case "queue retries at the window boundary" `Quick
+            test_queue_retry_at_window;
+          Alcotest.test_case "reject at the window boundary" `Quick
+            test_reject_at_window_boundary;
         ] );
       ( "scheduler",
         [

@@ -1,0 +1,405 @@
+(* Feedback + template-caching suite (docs/FEEDBACK.md):
+   - 300-case qcheck property: a template-caching scheduler run is
+     observationally identical to a non-template run — per-statement
+     plan digests, result fingerprints and the full rendered report
+     (modulo the hit/miss labels and cache-counter footer, which
+     legitimately differ: a repeated literal pattern is a template hit
+     on one side and a fresh exact miss on the other).
+   - Directed regression: two statements differing only in a
+     policy-sensitive literal must NOT share a template plan; two
+     differing in an insensitive literal MUST.
+   - Golden EXPLAIN for re-optimization: an est-vs-actual gap triggers
+     one feedback fold — the epoch bumps exactly once and the second
+     EXPLAIN ANALYZE shows converged estimates.
+   - Plan_cache.clear resets the stats counters. *)
+
+open Relalg
+module PC = Cgqp.Plan_cache
+module FB = Cgqp.Feedback
+module Sc = Service.Script
+module Sd = Service.Scheduler
+module A = Service.Admission
+
+(* ---------------- fixture ----------------
+
+   The serving suite's two-table, three-region setup, with the customer
+   row-count statistic as a knob so the est-vs-actual gap is
+   controllable. *)
+
+let locations = [ "AS"; "EU"; "NA" ]
+
+let links =
+  [ ("NA", "EU", 50., 1e-3); ("NA", "AS", 80., 2e-3); ("EU", "AS", 60., 1.5e-3) ]
+
+let catalog ?(customer_rows = 20) () =
+  let open Catalog.Table_def in
+  let customer =
+    make ~name:"customer" ~key:[ "custkey" ] ~row_count:customer_rows ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 20; width = 12 } "name" Value.Tstr;
+          column ~stat:{ default_stat with distinct = 10 } "acctbal" Value.Tint;
+        ]
+  in
+  let orders =
+    make ~name:"orders" ~key:[ "ordkey" ] ~row_count:60 ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 60 } "ordkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 40 } "totprice" Value.Tint;
+        ]
+  in
+  let network = Catalog.Network.make ~locations ~links () in
+  Catalog.make ~network
+    [
+      (customer, [ { Catalog.db = "d1"; location = "NA"; fraction = 1.0 } ]);
+      (orders, [ { Catalog.db = "d2"; location = "EU"; fraction = 1.0 } ]);
+    ]
+
+let data cat =
+  let g = Storage.Prng.create ~seed:7 in
+  let db = Storage.Database.create () in
+  let add name rows =
+    let schema =
+      List.map (fun c -> Attr.make ~rel:name ~name:c) (Catalog.table_cols cat name)
+    in
+    Storage.Database.add db ~table:name
+      (Storage.Relation.make ~schema ~rows:(Array.of_list rows))
+  in
+  add "customer"
+    (List.init 20 (fun i ->
+         [| Value.Int i; Value.Str (Printf.sprintf "c%02d" i); Value.Int (100 * i) |]));
+  add "orders"
+    (List.init 60 (fun i ->
+         [| Value.Int (i mod 20); Value.Int i; Value.Int (10 + Storage.Prng.int g 90) |]));
+  db
+
+let open_policies =
+  [
+    "ship custkey, name, acctbal from customer to EU, AS";
+    "ship custkey, ordkey, totprice from orders to NA, AS";
+  ]
+
+(* acctbal carries a policy predicate: its literals decide the SHIP
+   verdict, so the template key must incorporate their values. *)
+let guarded_policies =
+  [
+    "ship custkey, name, acctbal from customer to EU, AS where acctbal > 500";
+    "ship custkey, ordkey, totprice from orders to NA, AS";
+  ]
+
+let policy_pool = [ open_policies; guarded_policies ]
+
+let resolve_policy_set = function
+  | "open" -> Some open_policies
+  | "guarded" -> Some guarded_policies
+  | _ -> None
+
+(* Parameterized statement shapes — the literal varies, the template
+   does not. Shape 3 has no equality literal: it exercises the
+   non-template fallback inside a template-enabled session. *)
+let statement shape k =
+  match shape mod 4 with
+  | 0 -> Printf.sprintf "SELECT name FROM customer WHERE custkey = %d" (k mod 25)
+  | 1 ->
+    Printf.sprintf "SELECT name, custkey FROM customer WHERE acctbal = %d"
+      (100 * (k mod 20))
+  | 2 -> Printf.sprintf "SELECT ordkey FROM orders WHERE totprice = %d" (10 + (k mod 90))
+  | _ ->
+    "SELECT c.name, o.totprice FROM customer AS c, orders AS o \
+     WHERE c.custkey = o.custkey"
+
+(* ---------------- 300-case transparency property ---------------- *)
+
+type step = T_submit of int * int | T_pool of int | T_clear
+
+let pp_step = function
+  | T_submit (shape, k) -> Printf.sprintf "submit q%d(%d)" (shape mod 4) k
+  | T_pool j -> Printf.sprintf "set-policies p%d" j
+  | T_clear -> "clear-policies"
+
+type tcase = { steps : step list list; case_seed : int; capacity : int }
+
+let gen_tcase =
+  QCheck.Gen.(
+    let step =
+      frequency
+        [
+          (6, map2 (fun s k -> T_submit (s, k)) (int_bound 3) (int_bound 99));
+          (1, map (fun j -> T_pool j) (int_bound (List.length policy_pool - 1)));
+          (1, return T_clear);
+        ]
+    in
+    map
+      (fun (steps, case_seed, capacity) -> { steps; case_seed; capacity })
+      (triple
+         (list_size (int_range 1 3) (list_size (int_range 1 8) step))
+         (int_bound 9999) (int_range 1 8)))
+
+let pp_tcase c =
+  Printf.sprintf "seed=%d capacity=%d [%s]" c.case_seed c.capacity
+    (String.concat " | "
+       (List.map (fun s -> String.concat "; " (List.map pp_step s)) c.steps))
+
+let arb_tcase = QCheck.make ~print:pp_tcase gen_tcase
+
+let tscript c =
+  let action = function
+    | T_submit (shape, k) -> Sc.Submit (statement shape k)
+    | T_pool 0 -> Sc.Set_policy_set "open"
+    | T_pool _ -> Sc.Set_policy_set "guarded"
+    | T_clear -> Sc.Clear_policies
+  in
+  {
+    Sc.seed = None;
+    tenants = [];
+    sessions =
+      List.mapi
+        (fun i steps ->
+          {
+            Sc.sid = Printf.sprintf "s%d" i;
+            tenant = Printf.sprintf "s%d" i;
+            actions = Sc.Set_policy_set "open" :: List.map action steps;
+          })
+        c.steps;
+  }
+
+let run_tcase c ~template =
+  let cat = catalog () in
+  let env =
+    Sd.env ~catalog:cat ~database:(data cat)
+      ~cache:(PC.create ~capacity:c.capacity ())
+      ~template ~resolve_policy_set ()
+  in
+  Sd.run ~env ~seed:c.case_seed (tscript c)
+
+(* Everything in the rendered report except cache accounting must be
+   byte-identical: pad-preserving rewrite of the hit/miss labels, drop
+   the cache-counter footer lines. *)
+let normalize_report r =
+  let text = Fmt.str "%a" Sd.pp_report r in
+  let text =
+    Astring.String.cuts ~sep:"ok(miss)" text |> String.concat "ok(*)   "
+  in
+  let text = Astring.String.cuts ~sep:"ok(hit)" text |> String.concat "ok(*)  " in
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         not
+           (Astring.String.is_prefix ~affix:"  cache:" line
+           || Astring.String.is_prefix ~affix:"  template:" line))
+  |> String.concat "\n"
+
+let prop_template_transparent =
+  QCheck.Test.make ~count:300
+    ~name:"template-cache-on and template-cache-off runs are identical" arb_tcase
+    (fun c ->
+      let on = run_tcase c ~template:true in
+      let off = run_tcase c ~template:false in
+      let a = normalize_report on and b = normalize_report off in
+      if a <> b then
+        QCheck.Test.fail_reportf
+          "template-on diverged from template-off:\n%s\n=== template-off ===\n%s" a b
+      else true)
+
+(* ---------------- sensitive-literal regression ---------------- *)
+
+let session ?(policies = open_policies) ?cache ~template () =
+  let cat = catalog () in
+  let s = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies s policies;
+  Cgqp.attach_database s (data cat);
+  Cgqp.set_plan_cache s cache;
+  Cgqp.set_template_cache s template;
+  s
+
+let observe s sql =
+  match Cgqp.run s sql with
+  | Ok r ->
+    Printf.sprintf "ok plan=%s bytes=%d rows=%s"
+      (Digest.to_hex (Digest.string (Exec.Pplan.to_string r.Cgqp.plan)))
+      r.Cgqp.shipped_bytes
+      (Storage.Relation.to_csv r.Cgqp.relation)
+  | Error e -> "error " ^ Cgqp.error_to_string e
+
+(* Under [guarded_policies] the acctbal literal decides whether customer
+   rows may ship: 900 > 500 satisfies the policy predicate, 100 does
+   not. The two statements must not share a template plan — and each
+   must still match a fresh, non-template optimization. *)
+let test_sensitive_literal_not_shared () =
+  let cache = PC.create () in
+  let templ = session ~policies:guarded_policies ~cache ~template:true () in
+  let plain = session ~policies:guarded_policies ~template:false () in
+  let s1 = "SELECT name, custkey FROM customer WHERE acctbal = 900" in
+  let s2 = "SELECT name, custkey FROM customer WHERE acctbal = 100" in
+  Alcotest.(check string) "statement 1 transparent" (observe plain s1) (observe templ s1);
+  Alcotest.(check string) "statement 2 transparent" (observe plain s2) (observe templ s2);
+  let st = PC.stats cache in
+  Alcotest.(check int) "no template sharing across verdict-sensitive literals" 0
+    st.PC.template_hits;
+  Alcotest.(check bool) "both lookups consulted the template table" true
+    (st.PC.template_misses >= 2)
+
+(* The contrast: custkey carries no policy predicate, so its literals
+   are parameterized out of the key and distinct statements share one
+   template plan. *)
+let test_insensitive_literal_shared () =
+  let cache = PC.create () in
+  let templ = session ~policies:guarded_policies ~cache ~template:true () in
+  let plain = session ~policies:guarded_policies ~template:false () in
+  let s1 = "SELECT name FROM customer WHERE custkey = 3" in
+  let s2 = "SELECT name FROM customer WHERE custkey = 17" in
+  Alcotest.(check string) "statement 1 transparent" (observe plain s1) (observe templ s1);
+  Alcotest.(check string) "statement 2 transparent" (observe plain s2) (observe templ s2);
+  let st = PC.stats cache in
+  Alcotest.(check int) "second statement reused the first's template" 1
+    st.PC.template_hits
+
+(* ---------------- golden EXPLAIN re-optimization ---------------- *)
+
+let contains ~needle hay = Astring.String.is_infix ~affix:needle hay
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Cgqp.error_to_string e)
+
+(* Catalog statistics claim 10000 customers; the data holds 20. The
+   first EXPLAIN ANALYZE shows the gap, feedback folds it away (epoch
+   bumps exactly once), and the second run's estimates have converged
+   onto the observed cardinality. *)
+let test_feedback_reoptimization_golden () =
+  let cat = catalog ~customer_rows:10_000 () in
+  let s = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies s open_policies;
+  Cgqp.attach_database s (data cat);
+  let cache = PC.create () in
+  Cgqp.set_plan_cache s (Some cache);
+  let fb = FB.create ~min_obs:1 () in
+  Cgqp.set_feedback s (Some fb);
+  let q = "SELECT name FROM customer WHERE custkey = 3" in
+  let before = ok_exn (Cgqp.explain_analyze s q) in
+  Alcotest.(check bool) "scan estimate shows the stale statistic" true
+    (contains ~needle:"est 10000 rows" before);
+  Alcotest.(check bool) "actual rows recorded" true
+    (contains ~needle:"act 20 rows" before);
+  Alcotest.(check int) "one fold fired" 1 (FB.folds fb);
+  Alcotest.(check int) "plan-cache epoch bumped exactly once" 1 (PC.epoch cache);
+  let after = ok_exn (Cgqp.explain_analyze s q) in
+  Alcotest.(check bool) "estimate converged onto the observed cardinality" true
+    (contains ~needle:"est 20 rows" after);
+  Alcotest.(check bool) "stale estimate gone" false
+    (contains ~needle:"est 10000 rows" after);
+  Alcotest.(check int) "no further folds" 1 (FB.folds fb);
+  Alcotest.(check int) "epoch still bumped exactly once" 1 (PC.epoch cache);
+  Alcotest.(check bool) "store reports convergence" true
+    (FB.converged fb ~actual:(fun t -> if t = "customer" then Some 20 else None))
+
+(* ---------------- feedback store unit behavior ---------------- *)
+
+let test_feedback_store_thresholds () =
+  let cat = catalog ~customer_rows:10_000 () in
+  let s = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies s open_policies;
+  Cgqp.attach_database s (data cat);
+  let fb = FB.create ~min_obs:3 () in
+  Cgqp.set_feedback s (Some fb);
+  let q = "SELECT name FROM customer WHERE custkey = 3" in
+  let run () = ignore (ok_exn (Cgqp.run s q)) in
+  run ();
+  run ();
+  Alcotest.(check int) "below min_obs: no fold" 0 (FB.folds fb);
+  run ();
+  Alcotest.(check int) "third observation folds" 1 (FB.folds fb);
+  Alcotest.(check bool) "catalog carries the corrected row count" true
+    (Catalog.all_tables (Cgqp.catalog s)
+    |> List.exists (fun (e : Catalog.entry) ->
+           e.Catalog.def.Catalog.Table_def.name = "customer"
+           && e.Catalog.def.Catalog.Table_def.row_count = 20))
+
+(* ---------------- Plan_cache.clear resets stats ---------------- *)
+
+let test_clear_resets_stats () =
+  let cache = PC.create () in
+  let s = session ~cache ~template:true () in
+  let q1 = "SELECT name FROM customer WHERE custkey = 1" in
+  let q2 = "SELECT name FROM customer WHERE custkey = 2" in
+  ignore (observe s q1);
+  ignore (observe s q2);
+  ignore (observe s q2);
+  let st = PC.stats cache in
+  Alcotest.(check bool) "counters moved" true
+    (st.PC.hits + st.PC.misses + st.PC.template_hits + st.PC.template_misses > 0);
+  PC.clear cache;
+  let st = PC.stats cache in
+  Alcotest.(check int) "hits reset" 0 st.PC.hits;
+  Alcotest.(check int) "misses reset" 0 st.PC.misses;
+  Alcotest.(check int) "template hits reset" 0 st.PC.template_hits;
+  Alcotest.(check int) "template misses reset" 0 st.PC.template_misses;
+  Alcotest.(check int) "invalidations reset" 0 st.PC.invalidations;
+  Alcotest.(check int) "evictions reset" 0 st.PC.evictions;
+  Alcotest.(check int) "exact table empty" 0 (PC.size cache);
+  Alcotest.(check int) "template table empty" 0 (PC.template_size cache)
+
+(* ---------------- normalizer unit coverage ---------------- *)
+
+let norm = Sqlfront.Normalizer.normalize
+
+let test_normalizer_rules () =
+  (match norm "SELECT name FROM customer WHERE custkey = 7" with
+  | Some { Sqlfront.Normalizer.template; params } ->
+    Alcotest.(check bool) "literal replaced by placeholder" true
+      (Astring.String.is_infix ~affix:"?" template);
+    Alcotest.(check int) "one parameter" 1 (List.length params);
+    (match params with
+    | [ { Sqlfront.Normalizer.column; value } ] ->
+      Alcotest.(check string) "parameter column" "custkey" column;
+      Alcotest.(check bool) "parameter value" true (value = Value.Int 7)
+    | _ -> Alcotest.fail "expected one param")
+  | None -> Alcotest.fail "eligible statement not normalized");
+  (* same template for distinct literals *)
+  let t k =
+    Option.map
+      (fun n -> n.Sqlfront.Normalizer.template)
+      (norm (Printf.sprintf "SELECT name FROM customer WHERE custkey = %d" k))
+  in
+  Alcotest.(check bool) "distinct literals, one template" true (t 1 = t 999);
+  (* conservative bails *)
+  Alcotest.(check bool) "no WHERE: not normalized" true
+    (norm "SELECT name FROM customer" = None);
+  Alcotest.(check bool) "OR in WHERE: not normalized" true
+    (norm "SELECT name FROM customer WHERE custkey = 1 OR acctbal = 2" = None);
+  Alcotest.(check bool) "repeated column: not normalized" true
+    (norm "SELECT custkey FROM customer WHERE custkey = 1" = None);
+  Alcotest.(check bool) "range predicate: literal kept" true
+    (norm "SELECT name FROM customer WHERE custkey > 5" = None)
+
+let () =
+  let rand =
+    Random.State.make
+      [| (match Sys.getenv_opt "QCHECK_SEED" with
+         | Some s -> (try int_of_string s with _ -> 433494437)
+         | None -> 433494437) |]
+  in
+  Alcotest.run "feedback"
+    [
+      ( "transparency",
+        [ QCheck_alcotest.to_alcotest ~rand prop_template_transparent ] );
+      ( "template guard",
+        [
+          Alcotest.test_case "sensitive literal not shared" `Quick
+            test_sensitive_literal_not_shared;
+          Alcotest.test_case "insensitive literal shared" `Quick
+            test_insensitive_literal_shared;
+        ] );
+      ( "re-optimization",
+        [
+          Alcotest.test_case "golden EXPLAIN before/after fold" `Quick
+            test_feedback_reoptimization_golden;
+          Alcotest.test_case "min_obs threshold" `Quick test_feedback_store_thresholds;
+        ] );
+      ( "plan cache",
+        [ Alcotest.test_case "clear resets stats" `Quick test_clear_resets_stats ] );
+      ( "normalizer",
+        [ Alcotest.test_case "rules" `Quick test_normalizer_rules ] );
+    ]
