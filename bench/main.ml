@@ -23,6 +23,9 @@
      exec (extension) the three execution engines (reference, compiled,
                      vectorized) head to head: speedups + byte-identity
                      differential, writes BENCH_exec.json
+     replica (extension) replica-aware compliant placement: shipped
+                     bytes + failover success rate with vs. without
+                     replica sets, writes BENCH_replica.json
      t1  Table 1     policy evaluator worked example
      smoke           quick CI subset (t1 + e11 with fewer repetitions)
 *)
@@ -1247,6 +1250,160 @@ let exec_bench () =
   Fmt.pr " compile-once/run-many split)@."
 
 (* ------------------------------------------------------------------ *)
+(* replica -- (extension) replica-aware compliant placement: shipped
+   bytes and failover success with vs. without replica sets, under
+   seeded fault schedules mixing link failures and replica lag (see
+   docs/REPLICA.md and EXPERIMENTS.md E16).
+
+   Knobs (all env, so the CI smoke job can shrink the run):
+     CGQP_REPLICA_SF      TPC-H scale factor           (default 0.01)
+     CGQP_REPLICA_TRIALS  fault schedules per config   (default 30)
+     CGQP_REPLICA_OUT     output JSON path             (default BENCH_replica.json) *)
+let replica_bench () =
+  let sf = getenv_float "CGQP_REPLICA_SF" 0.01 in
+  let trials = getenv_int "CGQP_REPLICA_TRIALS" 30 in
+  let sd = seed ~default:2029 in
+  header
+    (Printf.sprintf "REPLICA: compliant placement over replica sets (sf %g, %d trials)"
+       sf trials);
+  let cat0 = Tpch.Schema.catalog () in
+  let copy site = { Catalog.site; lag_ms = 0.; pin = None } in
+  (* one secondary per big table, placed across a wide link so reading
+     it in place actually saves wide-area bytes *)
+  let replica_sets =
+    [
+      ("customer", 0, [ copy "L1"; copy "L4" ]);
+      ("orders", 0, [ copy "L1"; copy "L4" ]);
+      ("lineitem", 0, [ copy "L4"; copy "L1" ]);
+      ("supplier", 0, [ copy "L2"; copy "L3" ]);
+      ("part", 0, [ copy "L3"; copy "L1" ]);
+    ]
+  in
+  let cat1 = Catalog.with_replicas cat0 replica_sets in
+  let db = Tpch.Datagen.load ~cat:cat0 (Tpch.Datagen.generate ~sf ()) in
+  let locations = Array.of_list (Catalog.Network.locations (Catalog.network cat0)) in
+  let replicated = Array.of_list replica_sets in
+  (* Per-trial schedule: one or two events, drawn from link failures
+     and replica lag on a replicated table's copies (lag on a primary
+     is recoverable only when a sibling exists — the asymmetry this
+     experiment measures). Deterministic in (CGQP_SEED, trial). *)
+  let gen_sched trial =
+    let rng = Random.State.make [| sd; trial |] in
+    let pick a = a.(Random.State.int rng (Array.length a)) in
+    let event () =
+      if Random.State.bool rng then (
+        let table, _, rs = pick replicated in
+        let r = List.nth rs (Random.State.int rng (List.length rs)) in
+        Catalog.Network.Fault.Replica_lag
+          { table; site = r.Catalog.site; lag_ms = 300. })
+      else
+        let a = pick locations in
+        let rec other () =
+          let b = pick locations in
+          if String.equal a b then other () else b
+        in
+        Catalog.Network.Fault.Link_down (a, other ())
+    in
+    Catalog.Network.Fault.make ~seed:(sd + trial)
+      (List.init (1 + Random.State.int rng 2) (fun _ -> event ()))
+  in
+  let run_config name cat =
+    let mk_session () =
+      let s = Cgqp.create ~catalog:cat () in
+      Cgqp.add_policies s Tpch.Policies.unrestricted;
+      Cgqp.attach_database s db;
+      s
+    in
+    let healthy_bytes = ref 0 in
+    List.iter
+      (fun (qname, sql) ->
+        match Cgqp.run (mk_session ()) sql with
+        | Ok r -> healthy_bytes := !healthy_bytes + r.Cgqp.shipped_bytes
+        | Error e ->
+          Fmt.pr "%s healthy %s failed: %s@." name qname (Cgqp.error_to_string e))
+      queries;
+    let total = ref 0 and ok = ref 0 and failed = ref 0 in
+    let recovered = ref 0 and failovers = ref 0 in
+    let bytes = ref 0 and non_compliant = ref 0 in
+    for trial = 1 to trials do
+      let sched = gen_sched trial in
+      List.iter
+        (fun (_, sql) ->
+          incr total;
+          let s = mk_session () in
+          Cgqp.set_faults s sched;
+          match Cgqp.run s sql with
+          | Ok r ->
+            incr ok;
+            bytes := !bytes + r.Cgqp.shipped_bytes;
+            failovers := !failovers + r.Cgqp.recovery.Cgqp.failovers;
+            if r.Cgqp.recovery.Cgqp.failovers > 0 then incr recovered;
+            non_compliant :=
+              !non_compliant
+              + List.length
+                  (Optimizer.Checker.certify ~cat:(Cgqp.catalog s)
+                     ~policies:(Cgqp.policies s) r.Cgqp.plan)
+          | Error _ -> incr failed)
+        queries
+    done;
+    let attempted = !recovered + !failed in
+    let rate =
+      if attempted = 0 then 1.0
+      else float_of_int !recovered /. float_of_int attempted
+    in
+    Fmt.pr
+      "%-17s healthy %7d B | faulted: %d ok / %d aborted, %d failovers \
+       (%d runs recovered), %7d B shipped, recovery rate %.2f@."
+      name !healthy_bytes !ok !failed !failovers !recovered !bytes rate;
+    ( Obs.Json.(
+        Obj
+          [
+            ("healthy_shipped_bytes", Num (float_of_int !healthy_bytes));
+            ("runs", Num (float_of_int !total));
+            ("ok", Num (float_of_int !ok));
+            ("aborted", Num (float_of_int !failed));
+            ("failovers", Num (float_of_int !failovers));
+            ("recovered_runs", Num (float_of_int !recovered));
+            ("faulted_shipped_bytes", Num (float_of_int !bytes));
+            ("failover_success_rate", Num rate);
+            ("non_compliant_ships", Num (float_of_int !non_compliant));
+          ]),
+      (!healthy_bytes, rate, !non_compliant) )
+  in
+  Fmt.pr "%d TPC-H queries, unrestricted policies, seed %d@." (List.length queries) sd;
+  let json_with, (bytes_with, rate_with, nc_with) = run_config "with replicas" cat1 in
+  let json_without, (bytes_without, _, nc_without) =
+    run_config "without replicas" cat0
+  in
+  (* canonical greppable lines (CI's replica-smoke asserts on these) *)
+  Fmt.pr "non_compliant_ships: %d@." (nc_with + nc_without);
+  Fmt.pr "failover_success_rate: %.2f@." rate_with;
+  Fmt.pr "healthy bytes saved by replicas: %d B (%d -> %d)@."
+    (bytes_without - bytes_with) bytes_without bytes_with;
+  let out =
+    match Sys.getenv_opt "CGQP_REPLICA_OUT" with
+    | Some f when f <> "" -> f
+    | _ -> "BENCH_replica.json"
+  in
+  let json =
+    Obs.Json.(
+      Obj
+        [
+          ("bench", Str "replica");
+          ("sf", Num sf);
+          ("trials", Num (float_of_int trials));
+          ("seed", Num (float_of_int sd));
+          ("with_replicas", json_with);
+          ("without_replicas", json_without);
+        ])
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." out
+
+(* ------------------------------------------------------------------ *)
 
 let smoke () =
   t1 ();
@@ -1258,7 +1415,7 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ());
     ("feedback", feedback_bench); ("exec", exec_bench); ("t1", t1);
-    ("ablation", ablation); ("micro", micro); ("smoke", smoke);
+    ("replica", replica_bench); ("ablation", ablation); ("micro", micro); ("smoke", smoke);
   ]
 
 (* Observability export, for CI artifacts and local inspection:

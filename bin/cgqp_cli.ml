@@ -116,9 +116,91 @@ let faults_arg =
     & info [ "faults" ] ~docv:"FILE"
         ~doc:
           "Inject the fault schedule in FILE (one statement per line: seed N, \
-           link-down A B, site-down A, drop A B P, slow A B F; # comments). \
-           Execution retries transient drops and fails over to a compliant \
-           alternative plan on permanent failures.")
+           link-down A B, site-down A, drop A B P, slow A B F, \
+           replica-lag T S L; # comments). Execution retries transient drops \
+           and fails over to a compliant alternative plan (preferring a fresh \
+           sibling replica) on permanent failures.")
+
+(* --replica TABLE[:PART]=COPY,COPY,...  where COPY is SITE, SITE! \
+   (jurisdiction-pinned to itself), SITE^PIN or SITE~LAGMS. The first \
+   copy must be the partition's primary placement. *)
+let replica_conv =
+  let parse s =
+    try
+      let table, part, rhs =
+        match String.index_opt s '=' with
+        | None -> failwith "expected TABLE[:PART]=SITE[,SITE...]"
+        | Some i ->
+          let lhs = String.sub s 0 i
+          and rhs = String.sub s (i + 1) (String.length s - i - 1) in
+          let table, part =
+            match String.index_opt lhs ':' with
+            | None -> (lhs, 0)
+            | Some j -> (
+              let p = String.sub lhs (j + 1) (String.length lhs - j - 1) in
+              match int_of_string_opt p with
+              | Some p -> (String.sub lhs 0 j, p)
+              | None -> failwith (Printf.sprintf "bad partition index %S" p))
+          in
+          (table, part, rhs)
+      in
+      let copy w =
+        let w = String.trim w in
+        let w, lag_ms =
+          match String.index_opt w '~' with
+          | None -> (w, 0.)
+          | Some k -> (
+            let l = String.sub w (k + 1) (String.length w - k - 1) in
+            match float_of_string_opt l with
+            | Some l when l >= 0. -> (String.sub w 0 k, l)
+            | _ -> failwith (Printf.sprintf "bad lag %S" l))
+        in
+        let site, pin =
+          match String.index_opt w '^' with
+          | Some k ->
+            ( String.sub w 0 k,
+              Some (String.sub w (k + 1) (String.length w - k - 1)) )
+          | None ->
+            let n = String.length w in
+            if n > 0 && w.[n - 1] = '!' then
+              let site = String.sub w 0 (n - 1) in
+              (site, Some site)
+            else (w, None)
+        in
+        if site = "" then failwith "empty site in replica spec";
+        { Catalog.site; lag_ms; pin }
+      in
+      let copies = List.map copy (String.split_on_char ',' rhs) in
+      if copies = [] then failwith "empty replica set";
+      Ok (table, part, copies)
+    with Failure m -> Error (`Msg ("replica spec: " ^ m))
+  in
+  let print ppf (table, part, copies) =
+    Fmt.pf ppf "%s:%d=%s" table part
+      (String.concat ","
+         (List.map
+            (fun (r : Catalog.replica) ->
+              r.Catalog.site
+              ^ (match r.Catalog.pin with
+                | Some p when String.equal p r.Catalog.site -> "!"
+                | Some p -> "^" ^ p
+                | None -> "")
+              ^ if r.Catalog.lag_ms > 0. then Printf.sprintf "~%g" r.Catalog.lag_ms else "")
+            copies))
+  in
+  Arg.conv (parse, print)
+
+let replicas_arg =
+  Arg.(
+    value
+    & opt_all replica_conv []
+    & info [ "replica" ] ~docv:"SPEC"
+        ~doc:
+          "Attach a replica set: $(b,TABLE[:PART]=SITE,SITE,...) (repeatable). \
+           The first site must be the partition's primary placement; a site \
+           suffixed $(b,!) is jurisdiction-pinned to itself, $(b,^PIN) pins \
+           it elsewhere, $(b,~MS) declares replication lag. The optimizer \
+           reads whichever compliant fresh copy is cheapest (docs/REPLICA.md).")
 
 let read_file f =
   let ic = open_in_bin f in
@@ -174,8 +256,11 @@ let load_policies session set file =
   in
   Cgqp.add_policies session texts
 
-let make_session ~set ~file ~traditional ?engine ?sf ?seed ?faults () =
+let make_session ~set ~file ~traditional ?engine ?sf ?seed ?faults
+    ?(replicas = []) () =
   let cat = Tpch.Schema.catalog ~sf:10.0 () in
+  (* raises Invalid_argument on a bad spec; command actions wrap it *)
+  let cat = if replicas = [] then cat else Catalog.with_replicas cat replicas in
   let session = Cgqp.create ~catalog:cat () in
   load_policies session set file;
   if traditional then Cgqp.set_mode session Optimizer.Memo.Traditional;
@@ -245,17 +330,19 @@ let analyze_arg =
            $(b,--sf)) and annotate each operator with actual rows and SHIP bytes.")
 
 let explain_cmd =
-  let action set file traditional engine traits dot analyze sf seed faults trace
-      metrics query =
+  let action set file traditional engine traits dot analyze sf seed faults
+      replicas trace metrics query =
     with_obs ~trace ~metrics @@ fun () ->
     match load_faults ~cli_seed:seed faults with
     | Error m -> `Error (false, m)
-    | Ok faults ->
-    let session =
+    | Ok faults -> (
+    match
       if analyze then
-        make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ()
-      else make_session ~set ~file ~traditional ?engine ?seed ?faults ()
-    in
+        make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ~replicas ()
+      else make_session ~set ~file ~traditional ?engine ?seed ?faults ~replicas ()
+    with
+    | exception Invalid_argument m -> `Error (false, m)
+    | session -> (
     let sql = resolve_query query in
     (* optimize (and, under --analyze, execute) exactly once *)
     let outcome =
@@ -273,14 +360,16 @@ let explain_cmd =
     | Ok (p, interp, recovery) ->
       if dot then print_string (Exec.Pplan.to_dot p.Optimizer.Planner.plan)
       else begin
-        print_string (Optimizer.Explain.render ?analyze:interp ~recovery p);
+        print_string
+          (Optimizer.Explain.render ?analyze:interp ~recovery
+             ~cat:(Cgqp.catalog session) p);
         if traits then
           Fmt.pr "@.annotated plan (execution traits per operator):@.%a"
             (Optimizer.Memo.pp_anode ~indent:2)
             p.Optimizer.Planner.annotated
       end;
       `Ok ()
-    | Error e -> fail_with_code e
+    | Error e -> fail_with_code e))
   in
   Cmd.v
     (Cmd.info "explain" ~exits:(Cmd.Exit.defaults @ compliance_exits)
@@ -289,7 +378,7 @@ let explain_cmd =
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
        $ traits_arg $ dot_arg $ analyze_arg $ sf_arg $ seed_arg $ faults_arg
-       $ trace_arg $ metrics_arg $ query_arg))
+       $ replicas_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Print the full result as CSV.")
@@ -301,15 +390,17 @@ let run_explain_arg =
         ~doc:"Also print the EXPLAIN ANALYZE plan tree (actual rows, SHIP bytes).")
 
 let run_cmd =
-  let action set file traditional engine sf seed faults csv explain trace metrics
-      query =
+  let action set file traditional engine sf seed faults replicas csv explain
+      trace metrics query =
     with_obs ~trace ~metrics @@ fun () ->
     match load_faults ~cli_seed:seed faults with
     | Error m -> `Error (false, m)
-    | Ok faults ->
-    let session =
-      make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ()
-    in
+    | Ok faults -> (
+    match
+      make_session ~set ~file ~traditional ?engine ~sf ?seed ?faults ~replicas ()
+    with
+    | exception Invalid_argument m -> `Error (false, m)
+    | session -> (
     (* the effective seed makes every run replayable: data generation
        and the fault scheduler both derive from it *)
     if faults <> None || seed <> None then begin
@@ -328,19 +419,25 @@ let run_cmd =
           r.Cgqp.shipped_bytes r.Cgqp.ship_cost_ms;
         let rc = r.Cgqp.recovery in
         if rc.Cgqp.failovers > 0 then
-          Fmt.pr "(degraded: %d failover re-plan%s; %d ship retries)@."
+          Fmt.pr "(degraded: %d failover re-plan%s; %d ship retries%s)@."
             rc.Cgqp.failovers
             (if rc.Cgqp.failovers = 1 then "" else "s")
             r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ship_retries
+            (match rc.Cgqp.masked_replicas with
+            | [] -> ""
+            | rs ->
+              "; stale replicas "
+              ^ String.concat ", " (List.map (fun (t, s) -> t ^ "@" ^ s) rs))
       end;
       if explain then begin
         Fmt.pr "@.";
         print_string
           (Optimizer.Explain.render ~analyze:r.Cgqp.interp
-             ~recovery:r.Cgqp.recovery r.Cgqp.planned)
+             ~recovery:r.Cgqp.recovery ~cat:(Cgqp.catalog session)
+             r.Cgqp.planned)
       end;
       `Ok ()
-    | Error e -> fail_with_code e
+    | Error e -> fail_with_code e))
   in
   Cmd.v
     (Cmd.info "run" ~exits:(Cmd.Exit.defaults @ compliance_exits)
@@ -348,7 +445,7 @@ let run_cmd =
     Term.(
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
-       $ sf_arg $ seed_arg $ faults_arg $ csv_arg
+       $ sf_arg $ seed_arg $ faults_arg $ replicas_arg $ csv_arg
        $ run_explain_arg $ trace_arg $ metrics_arg $ query_arg))
 
 let check_cmd =
@@ -379,6 +476,113 @@ let catalog_cmd =
   Cmd.v
     (Cmd.info "catalog" ~doc:"Print the geo-distributed catalog and a policy set")
     Term.(ret (const action $ set_arg))
+
+(* Topology dump: sites, links and the replica map as JSON, so scenario
+   packs are debuggable without reading OCaml. *)
+let topology_cmd =
+  let action replicas =
+    let cat = Tpch.Schema.catalog ~sf:10.0 () in
+    match if replicas = [] then cat else Catalog.with_replicas cat replicas with
+    | exception Invalid_argument m -> `Error (false, m)
+    | cat ->
+      let net = Catalog.network cat in
+      let sites = Catalog.locations cat in
+      let links =
+        (* unordered pairs; a pair absent from the network is skipped *)
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                if String.compare a b >= 0 then None
+                else
+                  match Catalog.Network.alpha net a b with
+                  | alpha ->
+                    Some
+                      Obs.Json.(
+                        Obj
+                          [
+                            ("from", Str a);
+                            ("to", Str b);
+                            ("alpha_ms", Num alpha);
+                            ("beta_ms_per_byte", Num (Catalog.Network.beta net a b));
+                          ])
+                  | exception Catalog.Network.Unknown_link _ -> None)
+              sites)
+          sites
+      in
+      let placements =
+        List.map
+          (fun (e : Catalog.entry) ->
+            Obs.Json.(
+              Obj
+                [
+                  ("table", Str e.Catalog.def.Catalog.Table_def.name);
+                  ( "placements",
+                    Arr
+                      (List.map
+                         (fun (p : Catalog.placement) ->
+                           Obj
+                             [
+                               ("db", Str p.Catalog.db);
+                               ("site", Str p.Catalog.location);
+                               ("fraction", Num p.Catalog.fraction);
+                             ])
+                         e.Catalog.placements) );
+                ]))
+          (Catalog.all_tables cat)
+      in
+      let replica_map =
+        List.map
+          (fun (table, partition, copies) ->
+            Obs.Json.(
+              Obj
+                [
+                  ("table", Str table);
+                  ("partition", Num (float_of_int partition));
+                  ( "copies",
+                    Arr
+                      (List.map
+                         (fun (r : Catalog.replica) ->
+                           Obj
+                             [
+                               ("site", Str r.Catalog.site);
+                               ("lag_ms", Num r.Catalog.lag_ms);
+                               ( "pin",
+                                 match r.Catalog.pin with
+                                 | Some p -> Str p
+                                 | None -> Null );
+                             ])
+                         copies) );
+                ]))
+          (Catalog.replica_map cat)
+      in
+      print_endline
+        (Obs.Json.to_string
+           Obs.Json.(
+             Obj
+               [
+                 ("sites", Arr (List.map (fun s -> Str s) sites));
+                 ("links", Arr links);
+                 ("tables", Arr placements);
+                 ("replicas", Arr replica_map);
+               ]));
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Dump sites, links and the replica map as JSON"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Prints the geo-distributed topology the other subcommands run \
+              against: every site, every link with its $(b,alpha)/$(b,beta) \
+              cost parameters, each table's placements, and the replica map \
+              (empty unless $(b,--replica) specs are given — the same specs \
+              $(b,explain) and $(b,run) accept, so a scenario's replica \
+              layout can be inspected exactly as the optimizer sees it).";
+         ])
+    Term.(ret (const action $ replicas_arg))
 
 (* --- interactive shell --- *)
 
@@ -727,4 +931,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:default_term
           (Cmd.info "cgqp" ~doc ~version:"1.0.0")
-          [ explain_cmd; run_cmd; serve_cmd; check_cmd; catalog_cmd; policies_cmd; repl_cmd ]))
+          [
+            explain_cmd; run_cmd; serve_cmd; check_cmd; catalog_cmd;
+            topology_cmd; policies_cmd; repl_cmd;
+          ]))

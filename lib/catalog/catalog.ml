@@ -22,9 +22,24 @@ type placement = {
 
 type entry = { def : Table_def.t; placements : placement list }
 
+type replica = {
+  site : Location.t;
+  lag_ms : float;  (* declared staleness bound of the copy *)
+  pin : Location.t option;  (* jurisdiction pin: copy only valid there *)
+}
+
+(* Replica sets are keyed per (table, partition index): the primary copy
+   is always the partition's placement, replicas are the alternatives. *)
+module Replica_map = Map.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
 type t = {
   tables : entry String_map.t;
   network : Network.t;
+  replicas : replica list Replica_map.t;
   stamp : int;  (* unique per catalog; keys cross-catalog caches *)
 }
 
@@ -42,7 +57,12 @@ let make ~network tables =
         String_map.add def.Table_def.name { def; placements } m)
       String_map.empty tables
   in
-  { tables = m; network; stamp = Atomic.fetch_and_add next_stamp 1 + 1 }
+  {
+    tables = m;
+    network;
+    replicas = Replica_map.empty;
+    stamp = Atomic.fetch_and_add next_stamp 1 + 1;
+  }
 
 let stamp t = t.stamp
 
@@ -98,6 +118,65 @@ let tables_at t loc =
 
 (* Resolve an aliased scan: all placements of the table. *)
 let resolve t ~table = placements t table
+
+(* ---- Replica sets -------------------------------------------------- *)
+
+(* Attach replica sets. A fresh stamp is mandatory: replica assignment
+   changes which plans the optimizer may produce, so every stamp-keyed
+   cache (plan cache, verdict caches) must treat the result as a new
+   catalog. An unattached catalog — and any single-replica set, whose
+   only copy is the primary — behaves byte-for-byte like before. *)
+let with_replicas t assignments =
+  let locs = Network.locations t.network in
+  let known l = List.exists (String.equal l) locs in
+  let replicas =
+    List.fold_left
+      (fun m (table, partition, (rs : replica list)) ->
+        let table = String.lowercase_ascii table in
+        let ps = placements t table in
+        if partition < 0 || partition >= List.length ps then
+          invalid_arg
+            (Printf.sprintf "Catalog.with_replicas: %s has no partition %d" table
+               partition);
+        (match rs with
+        | [] -> invalid_arg "Catalog.with_replicas: empty replica set"
+        | first :: _ ->
+          let primary = (List.nth ps partition).location in
+          if not (String.equal first.site primary) then
+            invalid_arg
+              (Printf.sprintf
+                 "Catalog.with_replicas: first replica of %s/%d must be the \
+                  primary placement %s (got %s)"
+                 table partition primary first.site));
+        List.iter
+          (fun r ->
+            if not (known r.site) then
+              invalid_arg
+                (Printf.sprintf "Catalog.with_replicas: unknown site %s" r.site);
+            if r.lag_ms < 0. then
+              invalid_arg "Catalog.with_replicas: negative lag_ms";
+            match r.pin with
+            | Some p when not (known p) ->
+              invalid_arg
+                (Printf.sprintf "Catalog.with_replicas: unknown pin %s" p)
+            | _ -> ())
+          rs;
+        Replica_map.add (table, partition) rs m)
+      t.replicas assignments
+  in
+  { t with replicas; stamp = Atomic.fetch_and_add next_stamp 1 + 1 }
+
+let replicas t ~table ~partition =
+  match Replica_map.find_opt (String.lowercase_ascii table, partition) t.replicas with
+  | Some rs -> rs
+  | None -> []
+
+let has_replicas t = not (Replica_map.is_empty t.replicas)
+
+let replica_map t =
+  Replica_map.fold (fun (table, partition) rs acc -> (table, partition, rs) :: acc)
+    t.replicas []
+  |> List.rev
 
 let pp ppf t =
   String_map.iter

@@ -55,6 +55,9 @@ module Network : sig
               schedule seed *)
       | Latency_mult of { from_loc : Location.t; to_loc : Location.t; factor : float }
           (** [alpha] and [beta] of the link are multiplied by [factor] *)
+      | Replica_lag of { table : string; site : Location.t; lag_ms : float }
+          (** the copy of [table] at [site] lags behind its primary; any
+              positive lag marks the copy stale (unreadable) for the run *)
 
     type schedule
 
@@ -69,6 +72,13 @@ module Network : sig
     val link_down : schedule -> from_loc:Location.t -> to_loc:Location.t -> bool
     (** Permanently impossible transfer (a [Link_down] event, or either
         endpoint [Site_down]). Local transfers are never down. *)
+
+    val replica_stale : schedule -> table:string -> site:Location.t -> bool
+    (** Is the copy of [table] at [site] stale — i.e. does the schedule
+        carry a [Replica_lag] for it with positive lag? The optimizer's
+        replica filter and the executors' scan-time freshness check both
+        use this predicate, so planned-around and raised-at-runtime
+        staleness agree. *)
 
     val latency_factor : schedule -> from_loc:Location.t -> to_loc:Location.t -> float
     (** Product of every matching [Latency_mult] (1.0 when none). *)
@@ -91,7 +101,8 @@ module Network : sig
     val parse : string -> (schedule, string) result
     (** Parse the fault-schedule DSL: one statement per line, [#]
         comments; statements are [seed N], [link-down A B],
-        [site-down A], [drop A B P], [slow A B F]. *)
+        [site-down A], [drop A B P], [slow A B F],
+        [replica-lag T S L]. *)
 
     val to_string : schedule -> string
     (** Render in the {!parse} grammar (round-trips). *)
@@ -199,6 +210,19 @@ type placement = {
 
 type entry = { def : Table_def.t; placements : placement list }
 
+type replica = {
+  site : Location.t;  (** where this copy lives *)
+  lag_ms : float;
+      (** declared staleness bound of the copy (descriptive metadata;
+          actual staleness is scheduled through the fault DSL's
+          [replica-lag] events) *)
+  pin : Location.t option;
+      (** jurisdiction pin: the copy may only be read at this site (a
+          data-domiciling label; [None] = unpinned) *)
+}
+(** One physical copy of a (table, partition). The first replica of a
+    set is always the primary placement itself. *)
+
 type t
 
 val make : network:Network.t -> (Table_def.t * placement list) list -> t
@@ -235,5 +259,28 @@ val db_at : t -> Location.t -> string option
 val tables_at : t -> Location.t -> string list
 
 val resolve : t -> table:string -> placement list
+
+val with_replicas : t -> (string * int * replica list) list -> t
+(** Attach replica sets, keyed by (table, partition index). Each set's
+    first replica must be the partition's primary placement; every site
+    and pin must be a network location; [lag_ms] must be non-negative.
+    Raises [Invalid_argument] otherwise.
+
+    Takes a {e fresh stamp}: replica assignment changes which plans the
+    optimizer may produce, so stamp-keyed caches treat the result as a
+    new catalog — this is how the replica-assignment fingerprint joins
+    the plan-cache key (see [docs/REPLICA.md]). A catalog without
+    attached replicas, or one whose sets are all singletons, is
+    byte-for-byte equivalent to the unattached original everywhere but
+    the stamp (the transparency contract). *)
+
+val replicas : t -> table:string -> partition:int -> replica list
+(** The replica set of a partition ([[]] when none was attached — the
+    primary placement is then the only copy). *)
+
+val has_replicas : t -> bool
+
+val replica_map : t -> (string * int * replica list) list
+(** Every attached replica set, for topology dumps. *)
 
 val pp : Format.formatter -> t -> unit

@@ -31,6 +31,9 @@ module Fault = struct
            probability [p], decided deterministically from the seed *)
     | Latency_mult of { from_loc : Location.t; to_loc : Location.t; factor : float }
         (* both alpha and beta are multiplied by [factor] *)
+    | Replica_lag of { table : string; site : Location.t; lag_ms : float }
+        (* the copy of [table] at [site] lags behind the primary; any
+           positive lag marks it stale (unreadable) for the run *)
 
   type schedule = { seed : int; events : event list }
 
@@ -46,6 +49,20 @@ module Fault = struct
 
   let site_down s l =
     List.exists (function Site_down x -> String.equal x l | _ -> false) s.events
+
+  (* Is the copy of [table] at [site] stale under the schedule? Any
+     scheduled positive lag makes the copy unreadable for the whole
+     run — the executor raises [Replica_stale] and the session fails
+     over to a fresh sibling (see docs/REPLICA.md). *)
+  let replica_stale s ~table ~site =
+    let table = String.lowercase_ascii table in
+    List.exists
+      (function
+        | Replica_lag { table = t; site = l; lag_ms } ->
+          String.equal (String.lowercase_ascii t) table
+          && String.equal l site && lag_ms > 0.
+        | _ -> false)
+      s.events
 
   (* Is the (directed) transfer [from_loc -> to_loc] permanently
      impossible under the schedule? Local transfers never are. *)
@@ -118,6 +135,8 @@ module Fault = struct
     | Transient_drop { from_loc; to_loc; p } -> Fmt.pf ppf "drop %s %s %g" from_loc to_loc p
     | Latency_mult { from_loc; to_loc; factor } ->
       Fmt.pf ppf "slow %s %s %g" from_loc to_loc factor
+    | Replica_lag { table; site; lag_ms } ->
+      Fmt.pf ppf "replica-lag %s %s %g" table site lag_ms
 
   let pp ppf s =
     Fmt.pf ppf "seed %d" s.seed;
@@ -131,6 +150,7 @@ module Fault = struct
        site-down L3
        drop L1 L4 0.3        # transient, p = 0.3 per attempt
        slow L2 L5 4.0        # alpha and beta x4
+       replica-lag orders L2 500   # the L2 copy of orders is stale
      [to_string] emits this grammar, so schedules round-trip. *)
   let parse text : (schedule, string) result =
     let seed = ref 0 and events = ref [] and error = ref None in
@@ -174,6 +194,10 @@ module Fault = struct
           let f = float_of lineno "slow" f in
           if f < 1. then fail lineno "slow: factor %g must be >= 1" f
           else events := Latency_mult { from_loc = a; to_loc = b; factor = f } :: !events
+        | [ "replica-lag"; table; site; lag ] ->
+          let lag_ms = float_of lineno "replica-lag" lag in
+          if lag_ms < 0. then fail lineno "replica-lag: lag %g must be >= 0" lag_ms
+          else events := Replica_lag { table; site; lag_ms } :: !events
         | w :: _ -> fail lineno "unknown statement %S" w)
       (String.split_on_char '\n' text);
     match !error with

@@ -61,6 +61,7 @@ type recovery = Optimizer.Explain.recovery = {
   failovers : int;
   masked_links : (Catalog.Location.t * Catalog.Location.t) list;
   masked_sites : Catalog.Location.t list;
+  masked_replicas : (string * Catalog.Location.t) list;
 }
 
 type run_result = {
@@ -329,7 +330,21 @@ let extend_masks (recovery : recovery) (f : exn) =
             failovers = recovery.failovers + 1;
             masked_links = recovery.masked_links @ [ pair ];
           })
-  | _ -> invalid_arg "extend_masks: not a Ship_failed exception"
+  | Exec.Interp.Replica_stale { table; site; _ } ->
+    (* Mask the stale copy, not the whole site: the re-plan prefers a
+       fresh compliant sibling replica and only widens to link/site
+       masks if that sibling fails too. *)
+    let key = (String.lowercase_ascii table, site) in
+    if List.mem key recovery.masked_replicas then
+      Error "already-masked replica failed again"
+    else
+      Ok
+        {
+          recovery with
+          failovers = recovery.failovers + 1;
+          masked_replicas = recovery.masked_replicas @ [ key ];
+        }
+  | _ -> invalid_arg "extend_masks: not a Ship_failed/Replica_stale exception"
 
 (* A network masked by everything the degradation path has learned so
    far. [Catalog.with_network] keeps the catalog stamp: policy verdicts
@@ -340,6 +355,10 @@ let masked_catalog session (recovery : recovery) =
       (fun (a, b) -> Catalog.Network.Fault.Link_down (a, b))
       recovery.masked_links
     @ List.map (fun l -> Catalog.Network.Fault.Site_down l) recovery.masked_sites
+    @ List.map
+        (fun (table, site) ->
+          Catalog.Network.Fault.Replica_lag { table; site; lag_ms = Float.infinity })
+        recovery.masked_replicas
   in
   let mask =
     Catalog.Network.Fault.make
@@ -370,8 +389,8 @@ let run_hooked ~record_step session sql : (run_result, error) result =
        of re-running the optimizer from scratch. *)
     let optimize_against ?(recovery = Optimizer.Explain.no_recovery) cat =
       let mask_fp =
-        Plan_cache.mask_fingerprint ~links:recovery.masked_links
-          ~sites:recovery.masked_sites
+        Plan_cache.mask_fingerprint ~replicas:recovery.masked_replicas
+          ~links:recovery.masked_links ~sites:recovery.masked_sites ()
       in
       let outcome = cached_optimize session ~cat ~mask_fp ~order_by ~sql lplan in
       record_step mask_fp outcome;
@@ -394,18 +413,36 @@ let run_hooked ~record_step session sql : (run_result, error) result =
           with
           | interp -> Ok (planned, interp, recovery)
           | exception
-              (Exec.Interp.Ship_failed { from_loc; to_loc; attempts; reason } as
-               exn) -> (
+              ((Exec.Interp.Ship_failed _ | Exec.Interp.Replica_stale _) as exn)
+            -> (
             Obs.Metrics.inc c_failovers;
-            if Obs.Trace.enabled () then
-              Obs.Trace.instant "session.ship_failover"
-                [
-                  ("from", Obs.Json.Str from_loc);
-                  ("to", Obs.Json.Str to_loc);
-                  ( "reason",
-                    Obs.Json.Str (Exec.Interp.ship_failure_to_string reason) );
-                  ("attempts", Obs.Json.Num (float_of_int attempts));
-                ];
+            let failure =
+              (* what failed, for trace events and the Unsatisfiable
+                 message when no compliant alternative survives *)
+              match exn with
+              | Exec.Interp.Ship_failed { from_loc; to_loc; attempts; reason } ->
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant "session.ship_failover"
+                    [
+                      ("from", Obs.Json.Str from_loc);
+                      ("to", Obs.Json.Str to_loc);
+                      ( "reason",
+                        Obs.Json.Str (Exec.Interp.ship_failure_to_string reason) );
+                      ("attempts", Obs.Json.Num (float_of_int attempts));
+                    ];
+                Printf.sprintf "%s -> %s (%s)" from_loc to_loc
+                  (Exec.Interp.ship_failure_to_string reason)
+              | Exec.Interp.Replica_stale { table; partition; site } ->
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant "session.replica_failover"
+                    [
+                      ("table", Obs.Json.Str table);
+                      ("partition", Obs.Json.Num (float_of_int partition));
+                      ("site", Obs.Json.Str site);
+                    ];
+                Printf.sprintf "the replica of %s at %s (stale)" table site
+              | _ -> assert false
+            in
             match extend_masks recovery exn with
             | Error why -> Error (`Unsatisfiable why)
             | Ok recovery -> (
@@ -414,9 +451,7 @@ let run_hooked ~record_step session sql : (run_result, error) result =
                 Error
                   (`Unsatisfiable
                     (Printf.sprintf
-                       "no compliant plan survives the failure of %s -> %s (%s): %s"
-                       from_loc to_loc
-                       (Exec.Interp.ship_failure_to_string reason)
+                       "no compliant plan survives the failure of %s: %s" failure
                        reason'))
               | Optimizer.Planner.Planned planned' -> attempt recovery planned'))
         in
@@ -552,16 +587,21 @@ let run_replay session (m : memo) : (run_result, error) result =
     m.m_result
   end
 
-(* EXPLAIN: optimize only, render the annotated plan tree. *)
+(* EXPLAIN: optimize only, render the annotated plan tree. The session
+   catalog enables the replica-read annotations (a no-op for catalogs
+   without replica sets). *)
 let explain session sql : (string, error) result =
-  Result.map Optimizer.Explain.render (optimize session sql)
+  Result.map
+    (fun p -> Optimizer.Explain.render ~cat:session.catalog p)
+    (optimize session sql)
 
 (* EXPLAIN ANALYZE: optimize, execute, render with actual rows/bytes
    per operator. Requires an attached database. *)
 let explain_analyze session sql : (string, error) result =
   Result.map
     (fun r ->
-      Optimizer.Explain.render ~analyze:r.interp ~recovery:r.recovery r.planned)
+      Optimizer.Explain.render ~analyze:r.interp ~recovery:r.recovery
+        ~cat:session.catalog r.planned)
     (run session sql)
 
 let pp_error ppf = function

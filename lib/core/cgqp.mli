@@ -45,6 +45,10 @@ type recovery = Optimizer.Explain.recovery = {
   masked_links : (Catalog.Location.t * Catalog.Location.t) list;
       (** undirected links masked as down while re-planning *)
   masked_sites : Catalog.Location.t list;
+  masked_replicas : (string * Catalog.Location.t) list;
+      (** (table, site) replicas masked as stale while re-planning —
+          a stale copy fails over to a fresh compliant sibling before
+          any whole-site mask is considered *)
 }
 (** What the degradation path did to complete a run (all zero/empty on
     a healthy run). *)

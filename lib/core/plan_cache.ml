@@ -150,10 +150,10 @@ let hash_str h s =
     s;
   !acc
 
-(* Order-insensitive over both lists; 0 iff the mask is empty, so the
-   healthy-network key is stable across [run] and [optimize]. *)
-let mask_fingerprint ~links ~sites =
-  if links = [] && sites = [] then 0
+(* Order-insensitive over all three lists; 0 iff the mask is empty, so
+   the healthy-network key is stable across [run] and [optimize]. *)
+let mask_fingerprint ?(replicas = []) ~links ~sites () =
+  if links = [] && sites = [] && replicas = [] then 0
   else
     let link_h (a, b) =
       (* undirected: both orientations hash alike *)
@@ -161,8 +161,11 @@ let mask_fingerprint ~links ~sites =
       hash_str (hash_str (mix64 1L) a) b
     in
     let site_h l = hash_str (mix64 2L) l in
+    let replica_h (table, site) = hash_str (hash_str (mix64 6L) table) site in
     let hs =
-      List.sort Int64.compare (List.map link_h links @ List.map site_h sites)
+      List.sort Int64.compare
+        (List.map link_h links @ List.map site_h sites
+        @ List.map replica_h replicas)
     in
     let h = List.fold_left (fun acc h -> mix64 (Int64.logxor acc h)) (mix64 3L) hs in
     (* never collide with the reserved healthy value *)

@@ -71,11 +71,15 @@ val key :
     mask. *)
 
 val mask_fingerprint :
+  ?replicas:(string * Catalog.Location.t) list ->
   links:(Catalog.Location.t * Catalog.Location.t) list ->
   sites:Catalog.Location.t list ->
+  unit ->
   int
-(** Order-insensitive fingerprint of a failover mask; [0] iff both
-    lists are empty. *)
+(** Order-insensitive fingerprint of a failover mask; [0] iff all
+    lists are empty. [replicas] (default [[]]) lists (table, site)
+    copies masked as stale — a re-plan that swapped replicas can never
+    be served for a different replica mask. *)
 
 val find : t -> key -> Optimizer.Planner.outcome option
 (** Lookup; counts a hit or a miss and refreshes LRU order on hit. *)

@@ -248,7 +248,13 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
           (Storage.Relation.schema r) (table_cols table)
       in
       let rows = Storage.Relation.rows r in
-      { cschema; exec = (fun ctx -> book ctx rows 0.) }
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            check_replica ~faults:ctx.faults ~table ~partition ~site:loc;
+            book ctx rows 0.);
+      }
     | Pplan.Filter pred, [ c ] ->
       let cc = comp (0 :: rpath) c in
       let keep = compile_pred (Storage.Relation.resolver cc.cschema) pred in

@@ -40,6 +40,7 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
     let rel =
       match p.Pplan.node, p.Pplan.children with
       | Pplan.Table_scan { table; alias; partition }, [] ->
+        check_replica ~faults ~table ~partition ~site:p.Pplan.loc;
         let r = Storage.Database.find_exn db ~table ~partition () in
         let schema =
           (* re-qualify the stored schema with the query alias *)

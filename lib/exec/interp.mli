@@ -69,6 +69,18 @@ exception
 
 val ship_failure_to_string : ship_failure -> string
 
+exception
+  Replica_stale of {
+    table : string;
+    partition : int;
+    site : Catalog.Location.t;
+  }
+(** The copy of [table]/[partition] the plan reads at [site] is stale
+    under the fault schedule ([replica-lag]). The degradation path
+    masks the replica and re-plans onto a fresh compliant sibling.
+    Same constructor as {!Runtime.Replica_stale} — handlers catch it
+    whichever engine raised. *)
+
 (** Per-operator execution profile. [path] is the node's position in
     the plan tree as the list of child indices from the root (the root
     itself is [[]]), which is how [Optimizer.Explain] matches actuals

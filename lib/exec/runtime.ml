@@ -64,12 +64,33 @@ let ship_failure_to_string : ship_failure -> string = function
   | `Attempts_exhausted -> "retry attempts exhausted"
   | `Budget_exhausted -> "simulated-clock budget exhausted"
 
+exception
+  Replica_stale of {
+    table : string;
+    partition : int;
+    site : Catalog.Location.t;
+  }
+
+(* Freshness gate every engine runs before reading a scan's rows: a
+   scheduled [replica-lag] makes the copy at [site] unreadable, exactly
+   like a down link makes a SHIP impossible. The predicate only looks at
+   (faults, table, site) — never at the catalog — so a session whose
+   catalog carries no replica sets raises identically when its (only)
+   copy is scheduled stale, and the degradation path stays uniform. *)
+let check_replica ~faults ~table ~partition ~site =
+  if Catalog.Network.Fault.replica_stale faults ~table ~site then
+    raise (Replica_stale { table; partition; site })
+
 let () =
   Printexc.register_printer (function
     | Ship_failed { from_loc; to_loc; attempts; reason } ->
       Some
         (Printf.sprintf "Exec.Interp.Ship_failed(%s -> %s after %d attempts: %s)"
            from_loc to_loc attempts (ship_failure_to_string reason))
+    | Replica_stale { table; partition; site } ->
+      Some
+        (Printf.sprintf "Exec.Interp.Replica_stale(%s/%d at %s)" table partition
+           site)
     | _ -> None)
 
 (* Per-operator execution profile, keyed by the node's position in the

@@ -89,6 +89,29 @@ exception
 
 val ship_failure_to_string : ship_failure -> string
 
+exception
+  Replica_stale of {
+    table : string;
+    partition : int;
+    site : Catalog.Location.t;
+  }
+(** The copy of [table]/[partition] the plan reads at [site] is stale —
+    the fault schedule carries a [replica-lag] for it. The degradation
+    path masks the replica and re-plans onto a fresh sibling (or, when
+    none is compliant, aborts [`Unsatisfiable]); plain callers see the
+    exception. *)
+
+val check_replica :
+  faults:Catalog.Network.Fault.schedule ->
+  table:string ->
+  partition:int ->
+  site:Catalog.Location.t ->
+  unit
+(** Freshness gate every engine runs before reading a scan's rows;
+    raises {!Replica_stale} when {!Catalog.Network.Fault.replica_stale}
+    holds for [(table, site)]. Deliberately catalog-oblivious, so
+    sessions without replica sets degrade identically. *)
+
 (** Per-operator execution profile. [path] is the node's position in
     the plan tree as the list of child indices from the root (the root
     itself is [[]]), which is how [Optimizer.Explain] matches actuals

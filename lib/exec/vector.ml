@@ -638,7 +638,13 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       in
       let cols = Storage.Relation.cols r in
       let card = Storage.Relation.cardinality r in
-      { cschema; exec = (fun ctx -> book ctx { cols; card; sel = None } 0.) }
+      {
+        cschema;
+        exec =
+          (fun ctx ->
+            check_replica ~faults:ctx.faults ~table ~partition ~site:loc;
+            book ctx { cols; card; sel = None } 0.);
+      }
     | Pplan.Filter pred, [ c ] ->
       let cc = comp (0 :: rpath) c in
       let bp = bind_pred (Storage.Relation.resolver cc.cschema) pred in

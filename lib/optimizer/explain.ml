@@ -47,11 +47,22 @@ type recovery = {
   failovers : int;
   masked_links : (Catalog.Location.t * Catalog.Location.t) list;
   masked_sites : Catalog.Location.t list;
+  masked_replicas : (string * Catalog.Location.t) list;
 }
 
-let no_recovery = { failovers = 0; masked_links = []; masked_sites = [] }
+let no_recovery =
+  { failovers = 0; masked_links = []; masked_sites = []; masked_replicas = [] }
 
-let render ?analyze ?(recovery = no_recovery) (p : Planner.planned) : string =
+(* Primary placement site of a scan — the baseline against which a
+   replica read is annotated. [None] when no catalog was supplied or
+   the lookup fails (stale catalog): annotations just stay silent. *)
+let primary_of cat ~table ~partition =
+  Option.bind cat (fun cat ->
+      match List.nth_opt (Catalog.resolve cat ~table) partition with
+      | Some (p : Catalog.placement) -> Some p.Catalog.location
+      | None | (exception Invalid_argument _) -> None)
+
+let render ?analyze ?(recovery = no_recovery) ?cat (p : Planner.planned) : string =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* --- header --- *)
@@ -107,7 +118,42 @@ let render ?analyze ?(recovery = no_recovery) (p : Planner.planned) : string =
               (String.concat ", " (Catalog.Location.Set.elements v.Checker.allowed))
           | None -> "  [ok]"
         in
-        Printf.sprintf "  (%s%s)%s" est act_part verdict
+        (* which copy a shipped scan actually read, and whether the
+           degradation path switched replica to get there; silent
+           unless the catalog offers a real choice (two or more
+           copies), so singleton replica sets render byte-identically
+           to an unreplicated catalog *)
+        let rec shipped_scan (n : Exec.Pplan.t) =
+          match (n.Exec.Pplan.node, n.Exec.Pplan.children) with
+          | Exec.Pplan.Table_scan { table; partition; _ }, _ ->
+            Some (table, partition, n.Exec.Pplan.loc)
+          | _, [ c ] -> shipped_scan c
+          | _, _ -> None
+        in
+        let replica_note =
+          match Option.bind (List.nth_opt n.Exec.Pplan.children 0) shipped_scan with
+          | Some (table, partition, scan_loc)
+            when Option.fold ~none:false
+                   ~some:(fun c ->
+                     match Catalog.replicas c ~table ~partition with
+                     | [] | [ _ ] -> false
+                     | _ -> true)
+                   cat ->
+            let switched =
+              match
+                List.find_opt
+                  (fun (t, s) ->
+                    String.equal t (String.lowercase_ascii table)
+                    && not (String.equal s scan_loc))
+                  recovery.masked_replicas
+              with
+              | Some (_, s) -> Printf.sprintf ", switched from %s" s
+              | None -> ""
+            in
+            Printf.sprintf "  [read replica %s%s]" scan_loc switched
+          | _ -> ""
+        in
+        Printf.sprintf "  (%s%s)%s%s" est act_part verdict replica_note
       | _ ->
         let est = Printf.sprintf "est %.0f rows" n.Exec.Pplan.est.Exec.Pplan.est_rows in
         let act_part =
@@ -115,7 +161,17 @@ let render ?analyze ?(recovery = no_recovery) (p : Planner.planned) : string =
           | Some a -> Printf.sprintf ", act %d rows" a.Exec.Interp.actual_rows
           | None -> ""
         in
-        Printf.sprintf " @ %s  (%s%s)" n.Exec.Pplan.loc est act_part
+        (* a scan reading a non-primary copy says so *)
+        let replica_part =
+          match n.Exec.Pplan.node with
+          | Exec.Pplan.Table_scan { table; partition; _ } -> (
+            match primary_of cat ~table ~partition with
+            | Some primary when not (String.equal primary n.Exec.Pplan.loc) ->
+              Printf.sprintf "  [replica of %s]" primary
+            | _ -> "")
+          | _ -> ""
+        in
+        Printf.sprintf " @ %s  (%s%s)%s" n.Exec.Pplan.loc est act_part replica_part
     in
     pr "%s%s%s%s\n" prefix connector (label n.Exec.Pplan.node) annot;
     let child_prefix =
@@ -154,10 +210,17 @@ let render ?analyze ?(recovery = no_recovery) (p : Planner.planned) : string =
           "links "
           ^ String.concat ", " (List.map (fun (a, b) -> a ^ "<->" ^ b) ls);
         ])
+      @ (match recovery.masked_sites with
+        | [] -> []
+        | ss -> [ "sites " ^ String.concat ", " ss ])
       @
-      match recovery.masked_sites with
+      match recovery.masked_replicas with
       | [] -> []
-      | ss -> [ "sites " ^ String.concat ", " ss ]
+      | rs ->
+        [
+          "replicas "
+          ^ String.concat ", " (List.map (fun (t, s) -> t ^ "@" ^ s) rs);
+        ]
     in
     pr "degraded: %d failover re-plan%s (masked %s)\n" recovery.failovers
       (if recovery.failovers = 1 then "" else "s")

@@ -25,6 +25,8 @@ type recovery = {
   masked_links : (Catalog.Location.t * Catalog.Location.t) list;
       (** links masked as permanently down during degradation *)
   masked_sites : Catalog.Location.t list;  (** sites masked as down *)
+  masked_replicas : (string * Catalog.Location.t) list;
+      (** (table, site) copies masked as stale during degradation *)
 }
 (** What the degradation path ([Cgqp.run]) did to finish a run. *)
 
@@ -32,7 +34,17 @@ val no_recovery : recovery
 (** Zero failovers, nothing masked — renders nothing. *)
 
 val render :
-  ?analyze:Exec.Interp.result -> ?recovery:recovery -> Planner.planned -> string
-(** [render ?analyze ?recovery planned] is the full EXPLAIN (ANALYZE)
-    text, newline-terminated. [recovery] (default {!no_recovery}) adds a
-    [degraded: ...] footer when the run failed over. *)
+  ?analyze:Exec.Interp.result ->
+  ?recovery:recovery ->
+  ?cat:Catalog.t ->
+  Planner.planned ->
+  string
+(** [render ?analyze ?recovery ?cat planned] is the full EXPLAIN
+    (ANALYZE) text, newline-terminated. [recovery] (default
+    {!no_recovery}) adds a [degraded: ...] footer when the run failed
+    over. [cat] enables the replica annotations: scans reading a
+    non-primary copy get [\[replica of <site>\]], SHIP lines above a
+    replicated scan get [\[read replica <site>\]] (plus
+    [, switched from <site>] when failover swapped replica mid-run).
+    Catalogs without replica sets render byte-identically with or
+    without [cat]. *)

@@ -707,6 +707,39 @@ let pareto ~cap (entries : entry list) : entry list =
     | Some w when not (List.memq w head) -> head @ [ w ]
     | _ -> List.filteri (fun i _ -> i < cap) kept
 
+(* Execution trait of one scan: the sites holding a readable copy of
+   the partition. Without an attached replica set this is the primary
+   placement alone — the pre-replica behavior. With one, a replica is
+   eligible iff its site is up, its copy is fresh (no scheduled
+   [replica-lag]), its jurisdiction pin (if any) names its own site, and
+   — compliance first — every policy verdict that certified the primary
+   holds at the replica's site: the site must be in the group's AR4
+   policy-ship set (the primary itself always qualifies). The cheapest
+   eligible site then wins in the site selector's ordinary α+β·b DP; no
+   replica-specific cost logic exists downstream. If filtering leaves
+   nothing, we fall back to the primary so an attached catalog degrades
+   exactly like an unattached one (same rejection and failover paths —
+   the transparency contract, docs/REPLICA.md). *)
+let scan_exec m (g : group) ~table ~partition ~location =
+  match Catalog.replicas m.cat ~table ~partition with
+  | [] -> Locset.singleton location
+  | rs ->
+    let net = Catalog.network m.cat in
+    let faults = Catalog.Network.faults net in
+    let eligible (r : Catalog.replica) =
+      Catalog.Network.site_up net r.site
+      && (not (Catalog.Network.Fault.replica_stale faults ~table ~site:r.site))
+      && (match r.pin with None -> true | Some p -> String.equal p r.site)
+      && (String.equal r.site location
+         || m.mode = Traditional
+         || Locset.mem r.site (Lazy.force g.policy_ships))
+    in
+    (match
+       List.filter_map (fun r -> if eligible r then Some r.Catalog.site else None) rs
+     with
+    | [] -> Locset.singleton location
+    | sites -> Locset.of_list sites)
+
 let rec entries_of m (g : group) : entry list =
   match g.entries with
   | Some es -> es
@@ -766,7 +799,9 @@ and entry_candidates m (g : group) (e : mexpr) : entry list =
   let finish ?(phys = P_default) ~cost ~exec ~order ~sub () =
     match m.mode with
     | Traditional ->
-      let exec' = match e with E_scan { location; _ } -> Locset.singleton location | _ -> all in
+      (* scans keep their replica-filtered site set; everything else may
+         execute anywhere *)
+      let exec' = match e with E_scan _ -> exec | _ -> all in
       [ { cost; exec_trait = exec'; ship_trait = all; order; phys; mex = e; sub } ]
     | Compliant ->
       if Locset.is_empty exec then [] (* compliance cost function: infinite *)
@@ -776,8 +811,9 @@ and entry_candidates m (g : group) (e : mexpr) : entry list =
   in
   let cost0 = op_cost m g e in
   match e with
-  | E_scan { table; alias; location; _ } ->
-    finish ~cost:cost0 ~exec:(Locset.singleton location)
+  | E_scan { table; alias; partition; location; _ } ->
+    finish ~cost:cost0
+      ~exec:(scan_exec m g ~table ~partition ~location)
       ~order:(scan_order m ~table ~alias) ~sub:[] ()
   | E_filter (_, i) ->
     List.concat_map

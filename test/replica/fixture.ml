@@ -1,0 +1,119 @@
+(* Shared fixture for the replica suite: the chaos shape (two tables
+   over three regions, deterministic data) extended with replica sets.
+   The geography reads as jurisdictions — NA, EU, AS — so the
+   data-domiciling scenarios state their intent directly: customer
+   lives in NA, orders live in EU, and copies placed elsewhere are
+   only readable where the policies say the data may go. *)
+
+open Relalg
+
+let locations = [ "AS"; "EU"; "NA" ]
+
+let default_links =
+  [ ("NA", "EU", 50., 1e-3); ("NA", "AS", 80., 2e-3); ("EU", "AS", 60., 1.5e-3) ]
+
+let copy ?pin ?(lag = 0.) site = { Catalog.site; lag_ms = lag; pin }
+
+let catalog ?(links = default_links) ?(replicas = []) () =
+  let open Catalog.Table_def in
+  let customer =
+    make ~name:"customer" ~key:[ "custkey" ] ~row_count:20 ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 20; width = 12 } "name" Value.Tstr;
+          column ~stat:{ default_stat with distinct = 10 } "acctbal" Value.Tint;
+        ]
+  in
+  let orders =
+    make ~name:"orders" ~key:[ "ordkey" ] ~row_count:60 ()
+      ~columns:
+        [
+          column ~stat:{ default_stat with distinct = 20 } "custkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 60 } "ordkey" Value.Tint;
+          column ~stat:{ default_stat with distinct = 40 } "totprice" Value.Tint;
+        ]
+  in
+  let network = Catalog.Network.make ~locations ~links () in
+  let cat =
+    Catalog.make ~network
+      [
+        (customer, [ { Catalog.db = "d1"; location = "NA"; fraction = 1.0 } ]);
+        (orders, [ { Catalog.db = "d2"; location = "EU"; fraction = 1.0 } ]);
+      ]
+  in
+  match replicas with [] -> cat | rs -> Catalog.with_replicas cat rs
+
+(* Routes exist around any single failure. Policies cover the full row
+   of each table: replica eligibility is judged on the scan group,
+   which produces every stored column, so a policy that omits a column
+   keeps every non-primary copy compliance-ineligible (the conservative
+   reading documented in docs/REPLICA.md). *)
+let open_policies =
+  [
+    "ship custkey, name, acctbal from customer to EU, AS";
+    "ship custkey, ordkey, totprice from orders to NA, AS";
+  ]
+
+(* customer rows may only leave NA for EU: the domiciling policy the
+   scenario pack revolves around. *)
+let strict_policies = [ "ship custkey, name, acctbal from customer to EU" ]
+
+(* The churn regime that moves customer processing to AS instead. *)
+let as_policies =
+  [
+    "ship custkey, name, acctbal from customer to AS";
+    "ship custkey, ordkey, totprice from orders to AS";
+  ]
+
+let data cat =
+  let g = Storage.Prng.create ~seed:7 in
+  let db = Storage.Database.create () in
+  let add name rows =
+    let schema =
+      List.map (fun c -> Attr.make ~rel:name ~name:c) (Catalog.table_cols cat name)
+    in
+    Storage.Database.add db ~table:name
+      (Storage.Relation.make ~schema ~rows:(Array.of_list rows))
+  in
+  add "customer"
+    (List.init 20 (fun i ->
+         [| Value.Int i; Value.Str (Printf.sprintf "c%02d" i); Value.Int (100 * i) |]));
+  add "orders"
+    (List.init 60 (fun i ->
+         [| Value.Int (i mod 20); Value.Int i; Value.Int (10 + Storage.Prng.int g 90) |]));
+  db
+
+let q =
+  "SELECT c.name, SUM(o.totprice) FROM customer AS c, orders AS o \
+   WHERE c.custkey = o.custkey GROUP BY c.name"
+
+let session ?(policies = open_policies) ?links ?replicas () =
+  let cat = catalog ?links ?replicas () in
+  let s = Cgqp.create ~catalog:cat () in
+  Cgqp.add_policies s policies;
+  Cgqp.attach_database s (data cat);
+  s
+
+(* Canonical row image: sorted, floats rounded — order- and
+   plan-independent. *)
+let canon rel =
+  Storage.Relation.rows rel |> Array.to_list
+  |> List.map (fun row ->
+         Array.to_list row
+         |> List.map (function
+              | Value.Float f -> Value.Float (Float.round (f *. 1e4) /. 1e4)
+              | v -> v))
+  |> List.sort (List.compare Value.compare)
+
+(* Every scan site in an executed plan, with its table. *)
+let scan_sites plan =
+  let rec go (n : Exec.Pplan.t) acc =
+    let acc =
+      match n.Exec.Pplan.node with
+      | Exec.Pplan.Table_scan { table; _ } -> (table, n.Exec.Pplan.loc) :: acc
+      | _ -> acc
+    in
+    List.fold_left (fun acc c -> go c acc) acc n.Exec.Pplan.children
+  in
+  List.sort compare (go plan [])

@@ -1,0 +1,586 @@
+(* Replica-aware compliant placement: the data-domiciling scenario
+   pack, plus the headline transparency and compliance properties
+   (docs/REPLICA.md).
+
+   - Scenarios (golden transcripts): an EU copy keeps EU-bound data in
+     EU; a copy in the wrong jurisdiction is *refused* and the run
+     aborts `Unsatisfiable rather than read it; a lagging replica fails
+     over to a fresh compliant sibling; policy churn flips which copy
+     is eligible mid-workload without ever serving a stale plan.
+   - Properties: under random replica sets, random policies and ANY
+     fault schedule, no executed plan violates a policy and no scan
+     reads a site its table's policies do not certify; collapsing every
+     replica set to its first copy reproduces the unreplicated
+     session's transcripts byte-for-byte.
+   - Fault DSL edge cases: zero-effect events, overlapping faults on
+     one link, the replica-lag round trip.
+
+   The qcheck generator PRNG is seeded from CGQP_SEED (default 42) so a
+   CI failure replays locally. *)
+
+module Fault = Catalog.Network.Fault
+
+let replica_seed = Storage.Seed.resolve ()
+let check_golden name expected actual = Alcotest.(check string) name expected actual
+
+let explain_ok s q =
+  match Cgqp.explain s q with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "explain: %s" (Cgqp.error_to_string e)
+
+let run_ok s q =
+  match Cgqp.run s q with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "run: %s" (Cgqp.error_to_string e)
+
+let certified_clean s (plan : Exec.Pplan.t) =
+  Optimizer.Checker.certify ~cat:(Cgqp.catalog s) ~policies:(Cgqp.policies s) plan = []
+
+(* ---------------- catalog: replica sets behind the existing API ------ *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_with_replicas_validation () =
+  let cat = Fixture.catalog () in
+  expect_invalid "first copy must be the primary" (fun () ->
+      Catalog.with_replicas cat [ ("customer", 0, [ Fixture.copy "EU" ]) ]);
+  expect_invalid "unknown site" (fun () ->
+      Catalog.with_replicas cat
+        [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy "XX" ]) ]);
+  expect_invalid "unknown pin" (fun () ->
+      Catalog.with_replicas cat
+        [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy ~pin:"XX" "EU" ]) ]);
+  expect_invalid "partition out of range" (fun () ->
+      Catalog.with_replicas cat [ ("customer", 5, [ Fixture.copy "NA" ]) ]);
+  expect_invalid "negative lag" (fun () ->
+      Catalog.with_replicas cat [ ("customer", 0, [ Fixture.copy ~lag:(-1.) "NA" ]) ]);
+  expect_invalid "empty replica set" (fun () ->
+      Catalog.with_replicas cat [ ("customer", 0, []) ])
+
+let test_replica_accessors () =
+  let cat = Fixture.catalog () in
+  Alcotest.(check bool) "no replicas by default" false (Catalog.has_replicas cat);
+  Alcotest.(check int) "empty list by default" 0
+    (List.length (Catalog.replicas cat ~table:"customer" ~partition:0));
+  let cat' =
+    Catalog.with_replicas cat
+      [ ("Customer", 0, [ Fixture.copy "NA"; Fixture.copy ~pin:"EU" "EU" ]) ]
+  in
+  Alcotest.(check bool) "attached" true (Catalog.has_replicas cat');
+  Alcotest.(check int) "case-insensitive lookup" 2
+    (List.length (Catalog.replicas cat' ~table:"CUSTOMER" ~partition:0));
+  (match Catalog.replicas cat' ~table:"customer" ~partition:0 with
+  | [ p; r ] ->
+    Alcotest.(check string) "primary first" "NA" p.Catalog.site;
+    Alcotest.(check (option string)) "pin survives" (Some "EU") r.Catalog.pin
+  | _ -> Alcotest.fail "expected two copies");
+  Alcotest.(check bool) "replica assignment takes a fresh stamp" true
+    (Catalog.stamp cat <> Catalog.stamp cat');
+  match Catalog.replica_map cat' with
+  | [ ("customer", 0, [ _; _ ]) ] -> ()
+  | _ -> Alcotest.fail "replica_map shape"
+
+(* ---------------- scenario pack: data domiciling ---------------- *)
+
+(* S1: EU-bound customer data gains an EU copy — the optimizer reads
+   the copy in place of shipping NA -> EU, and the whole plan goes
+   network-silent. *)
+
+let golden_domicile =
+  {|compliant plan
+phase-1 cost 380 | est. ship cost 0.00 ms | memo groups 9
+policy evaluation: eta 2, implication tests 2
+pruning: bound 460, pruned 0 groups / 4 entries / 0 combos
+
+Project [c.name, sum_totprice] @ EU  (est 20 rows)
+└─ HashAgg [keys: c.name; aggs: sum(sum_totprice__p) AS sum_totprice] @ EU  (est 20 rows)
+   └─ HashJoin [c.custkey=o.custkey] @ EU  (est 20 rows)
+      ├─ Project [c.custkey, c.name] @ EU  (est 20 rows)
+      │  └─ Scan customer as c [p0] @ EU  (est 20 rows)  [replica of NA]
+      └─ HashAgg [keys: o.custkey; aggs: sum(o.totprice) AS sum_totprice__p] @ EU  (est 20 rows)
+         └─ Project [o.custkey, o.totprice] @ EU  (est 60 rows)
+            └─ Scan orders as o [p0] @ EU  (est 60 rows)
+|}
+
+let test_scenario_domicile () =
+  let reps = [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy "EU" ]) ] in
+  let s = Fixture.session ~policies:Fixture.strict_policies ~replicas:reps () in
+  check_golden "EU-data-stays-in-EU explain" golden_domicile (explain_ok s Fixture.q);
+  let baseline =
+    run_ok (Fixture.session ~policies:Fixture.strict_policies ()) Fixture.q
+  in
+  let r = run_ok s Fixture.q in
+  Alcotest.(check bool) "certified clean" true (certified_clean s r.Cgqp.plan);
+  Alcotest.(check bool) "same answer as the unreplicated run" true
+    (Fixture.canon r.Cgqp.relation = Fixture.canon baseline.Cgqp.relation);
+  Alcotest.(check int) "customer read at EU, nothing crosses a border" 0
+    r.Cgqp.shipped_bytes;
+  Alcotest.(check bool) "unreplicated run did ship" true
+    (baseline.Cgqp.shipped_bytes > 0);
+  Alcotest.(check (list (pair string string))) "scan sites"
+    [ ("customer", "EU"); ("orders", "EU") ]
+    (Fixture.scan_sites r.Cgqp.plan)
+
+(* S2: jurisdiction conflict. The only other copy of customer sits in
+   AS, where the domiciling policy forbids customer rows; when the
+   NA -> EU route dies, the run must abort rather than read the
+   non-compliant copy. *)
+
+let golden_conflict =
+  "unsatisfiable under failures: no compliant plan survives the failure of NA \
+   -> EU (link down): site selection found no feasible placement"
+
+let test_scenario_conflict () =
+  let reps = [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy "AS" ]) ] in
+  let s = Fixture.session ~policies:Fixture.strict_policies ~replicas:reps () in
+  Cgqp.set_faults s (Fault.make ~seed:5 [ Fault.Link_down ("NA", "EU") ]);
+  (match Cgqp.run s Fixture.q with
+  | Ok _ -> Alcotest.fail "expected `Unsatisfiable, got a result"
+  | Error (`Unsatisfiable _ as e) ->
+    check_golden "conflict aborts" golden_conflict (Cgqp.error_to_string e)
+  | Error e -> Alcotest.failf "wrong error: %s" (Cgqp.error_to_string e));
+  (* under policies that certify AS the very same failure fails over to
+     the AS copy instead — the conflict was jurisdictional, not
+     topological *)
+  let s' = Fixture.session ~policies:Fixture.open_policies ~replicas:reps () in
+  Cgqp.set_faults s' (Fault.make ~seed:5 [ Fault.Link_down ("NA", "EU") ]);
+  let r = run_ok s' Fixture.q in
+  Alcotest.(check int) "one failover" 1 r.Cgqp.recovery.Cgqp.failovers;
+  Alcotest.(check bool) "certified clean" true (certified_clean s' r.Cgqp.plan);
+  Alcotest.(check bool) "customer read from the AS copy" true
+    (List.mem ("customer", "AS") (Fixture.scan_sites r.Cgqp.plan))
+
+(* S3: replica lag. The planner picks the EU copy; execution discovers
+   it is stale, masks that one copy and re-plans onto the fresh
+   primary — a replica failover, not a site mask. *)
+
+let golden_lag_analyze =
+  {|compliant plan
+phase-1 cost 380 | est. ship cost 50.40 ms | memo groups 9
+policy evaluation: eta 2, implication tests 2
+pruning: bound 460, pruned 0 groups / 4 entries / 0 combos
+
+Project [c.name, sum_totprice] @ EU  (est 20 rows, act 20 rows)
+└─ HashAgg [keys: c.name; aggs: sum(sum_totprice__p) AS sum_totprice] @ EU  (est 20 rows, act 20 rows)
+   └─ HashJoin [c.custkey=o.custkey] @ EU  (est 20 rows, act 20 rows)
+      ├─ SHIP NA -> EU  (est 400 B; act 20 rows, 300 B, 50.30 ms)  [ok]  [read replica NA, switched from EU]
+      │  └─ Project [c.custkey, c.name] @ NA  (est 20 rows, act 20 rows)
+      │     └─ Scan customer as c [p0] @ NA  (est 20 rows, act 20 rows)
+      └─ HashAgg [keys: o.custkey; aggs: sum(o.totprice) AS sum_totprice__p] @ EU  (est 20 rows, act 20 rows)
+         └─ Project [o.custkey, o.totprice] @ EU  (est 60 rows, act 60 rows)
+            └─ Scan orders as o [p0] @ EU  (est 60 rows, act 60 rows)
+
+execution: 260 rows processed, 1 ships, 300 B shipped, makespan 50.30 ms
+degraded: 1 failover re-plan (masked replicas customer@EU)
+|}
+
+let test_scenario_lag_failover () =
+  let reps = [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy "EU" ]) ] in
+  let lag =
+    Fault.make ~seed:5
+      [ Fault.Replica_lag { table = "customer"; site = "EU"; lag_ms = 400. } ]
+  in
+  let s = Fixture.session ~policies:Fixture.strict_policies ~replicas:reps () in
+  Cgqp.set_faults s lag;
+  let r = run_ok s Fixture.q in
+  Alcotest.(check int) "one failover" 1 r.Cgqp.recovery.Cgqp.failovers;
+  Alcotest.(check (list (pair string string))) "the stale copy was masked"
+    [ ("customer", "EU") ]
+    r.Cgqp.recovery.Cgqp.masked_replicas;
+  Alcotest.(check (list string)) "no site was masked" []
+    r.Cgqp.recovery.Cgqp.masked_sites;
+  Alcotest.(check bool) "fell back to the fresh primary" true
+    (List.mem ("customer", "NA") (Fixture.scan_sites r.Cgqp.plan));
+  let healthy =
+    run_ok (Fixture.session ~policies:Fixture.strict_policies ()) Fixture.q
+  in
+  Alcotest.(check bool) "stale-failover answer equals healthy answer" true
+    (Fixture.canon r.Cgqp.relation = Fixture.canon healthy.Cgqp.relation);
+  let s' = Fixture.session ~policies:Fixture.strict_policies ~replicas:reps () in
+  Cgqp.set_faults s' lag;
+  match Cgqp.explain_analyze s' Fixture.q with
+  | Error e -> Alcotest.failf "explain analyze: %s" (Cgqp.error_to_string e)
+  | Ok t -> check_golden "lag-failover transcript" golden_lag_analyze t
+
+(* S4: policy-churn storm. Flipping the domiciling regime mid-workload
+   moves customer processing EU <-> AS; the plan cache never serves a
+   plan certified under the other regime, and every executed plan is
+   clean under the policies of its moment. *)
+
+let test_scenario_policy_churn () =
+  let reps =
+    [ ("customer", 0, [ Fixture.copy "NA"; Fixture.copy "EU"; Fixture.copy "AS" ]) ]
+  in
+  let s = Fixture.session ~policies:Fixture.strict_policies ~replicas:reps () in
+  Cgqp.set_plan_cache s (Some (Cgqp.Plan_cache.create ~capacity:32 ()));
+  let baseline =
+    Fixture.canon
+      (run_ok (Fixture.session ~policies:Fixture.strict_policies ()) Fixture.q)
+        .Cgqp.relation
+  in
+  let expected_site = function `Strict -> "EU" | `As -> "AS" in
+  let regimes = [ `Strict; `As; `Strict; `As; `Strict; `As; `Strict; `As ] in
+  List.iteri
+    (fun i regime ->
+      Cgqp.clear_policies s;
+      Cgqp.add_policies s
+        (match regime with
+        | `Strict -> Fixture.strict_policies
+        | `As -> Fixture.as_policies);
+      let r = run_ok s Fixture.q in
+      Alcotest.(check bool)
+        (Printf.sprintf "storm step %d certified clean" i)
+        true
+        (certified_clean s r.Cgqp.plan);
+      Alcotest.(check bool)
+        (Printf.sprintf "storm step %d reads the regime's copy" i)
+        true
+        (List.mem ("customer", expected_site regime) (Fixture.scan_sites r.Cgqp.plan));
+      Alcotest.(check bool)
+        (Printf.sprintf "storm step %d answer unchanged" i)
+        true
+        (Fixture.canon r.Cgqp.relation = baseline))
+    regimes;
+  (* cache-on == cache-off: the cached transcript of each regime is the
+     uncached one *)
+  List.iter
+    (fun (name, policies) ->
+      Cgqp.clear_policies s;
+      Cgqp.add_policies s policies;
+      let uncached = Fixture.session ~policies ~replicas:reps () in
+      check_golden
+        (Printf.sprintf "cache transparency under %s" name)
+        (explain_ok uncached Fixture.q) (explain_ok s Fixture.q))
+    [ ("strict", Fixture.strict_policies); ("as", Fixture.as_policies) ]
+
+(* ---------------- properties ---------------- *)
+
+let gen_loc = QCheck.Gen.oneofl Fixture.locations
+let gen_pair = QCheck.Gen.pair gen_loc gen_loc
+let gen_table = QCheck.Gen.oneofl [ "customer"; "orders" ]
+
+let gen_event =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun (a, b) -> Fault.Link_down (a, b)) gen_pair;
+      QCheck.Gen.map (fun l -> Fault.Site_down l) gen_loc;
+      QCheck.Gen.map2
+        (fun (a, b) p -> Fault.Transient_drop { from_loc = a; to_loc = b; p })
+        gen_pair
+        (QCheck.Gen.float_bound_inclusive 1.0);
+      QCheck.Gen.map2
+        (fun (a, b) f -> Fault.Latency_mult { from_loc = a; to_loc = b; factor = f })
+        gen_pair
+        (QCheck.Gen.float_range 0.25 4.0);
+      QCheck.Gen.map3
+        (fun table site lag_ms -> Fault.Replica_lag { table; site; lag_ms })
+        gen_table gen_loc
+        (QCheck.Gen.oneofl [ 0.; 250. ]);
+    ]
+
+let gen_schedule =
+  QCheck.Gen.map2
+    (fun seed events -> Fault.make ~seed events)
+    (QCheck.Gen.int_bound 1_000_000)
+    (QCheck.Gen.list_size (QCheck.Gen.int_bound 4) gen_event)
+
+(* Policy regimes with their statically-known allowed destinations per
+   table — what the compliance filter must never exceed. *)
+let regimes =
+  [
+    ("open", Fixture.open_policies, [ ("customer", [ "EU"; "AS" ]); ("orders", [ "NA"; "AS" ]) ]);
+    ("strict", Fixture.strict_policies, [ ("customer", [ "EU" ]); ("orders", []) ]);
+    ( "both",
+      Fixture.open_policies @ Fixture.strict_policies,
+      [ ("customer", [ "EU"; "AS" ]); ("orders", [ "NA"; "AS" ]) ] );
+  ]
+
+let primaries = [ ("customer", "NA"); ("orders", "EU") ]
+
+(* Random replica sets: primary first, then any subset of the other
+   regions, each copy with a random pin. *)
+let gen_replicas =
+  let open QCheck.Gen in
+  let gen_copy site =
+    map
+      (fun pin -> Fixture.copy ?pin site)
+      (oneofl [ None; Some site; Some "NA" ])
+  in
+  let gen_for table =
+    let primary = List.assoc table primaries in
+    let others = List.filter (fun l -> l <> primary) Fixture.locations in
+    let* attach = bool in
+    if not attach then return None
+    else
+      let* extras = flatten_l (List.map gen_copy others) in
+      let* keep = flatten_l (List.map (fun _ -> bool) extras) in
+      let copies =
+        Fixture.copy primary
+        :: List.filteri (fun i _ -> List.nth keep i) extras
+      in
+      return (Some (table, 0, copies))
+  in
+  let* c = gen_for "customer" in
+  let* o = gen_for "orders" in
+  return (List.filter_map Fun.id [ c; o ])
+
+let pp_replicas rs =
+  String.concat "; "
+    (List.map
+       (fun (t, p, copies) ->
+         Printf.sprintf "%s/%d=[%s]" t p
+           (String.concat ","
+              (List.map
+                 (fun (r : Catalog.replica) ->
+                   r.Catalog.site
+                   ^ match r.Catalog.pin with None -> "" | Some x -> "^" ^ x)
+                 copies)))
+       rs)
+
+let arb_chaos =
+  QCheck.make
+    ~print:(fun (rs, regime, sched) ->
+      Printf.sprintf "replicas: %s | policies: %s | schedule:\n%s" (pp_replicas rs)
+        regime (Fault.to_string sched))
+    QCheck.Gen.(
+      triple gen_replicas
+        (oneofl (List.map (fun (n, _, _) -> n) regimes))
+        gen_schedule)
+
+let regime_policies name =
+  let _, ps, _ = List.find (fun (n, _, _) -> n = name) regimes in
+  ps
+
+let regime_allowed name table =
+  let _, _, allowed = List.find (fun (n, _, _) -> n = name) regimes in
+  List.assoc table allowed
+
+let healthy_baselines =
+  lazy
+    (List.map
+       (fun (name, policies, _) ->
+         match Cgqp.run (Fixture.session ~policies ()) Fixture.q with
+         | Ok r -> (name, Fixture.canon r.Cgqp.relation)
+         | Error e ->
+           failwith (name ^ " healthy baseline failed: " ^ Cgqp.error_to_string e))
+       regimes)
+
+let prop_compliance_first =
+  QCheck.Test.make ~count:320
+    ~name:"random replicas + policies + any schedule: no non-compliant read or ship"
+    arb_chaos (fun (replicas, regime, sched) ->
+      let s =
+        Fixture.session ~policies:(regime_policies regime)
+          ~replicas:(match replicas with [] -> [] | rs -> rs)
+          ()
+      in
+      Cgqp.set_faults s sched;
+      match Cgqp.run s Fixture.q with
+      | Error (`Unsatisfiable _) -> true
+      | Error e ->
+        QCheck.Test.fail_reportf "unexpected error: %s" (Cgqp.error_to_string e)
+      | Ok r ->
+        (match
+           Optimizer.Checker.certify ~cat:(Cgqp.catalog s)
+             ~policies:(Cgqp.policies s) r.Cgqp.plan
+         with
+        | [] -> ()
+        | v :: _ ->
+          QCheck.Test.fail_reportf "executed plan violates policy: %s"
+            (Fmt.str "%a" Optimizer.Checker.pp_violation v));
+        List.iter
+          (fun (table, site) ->
+            let primary = List.assoc table primaries in
+            if site <> primary && not (List.mem site (regime_allowed regime table))
+            then
+              QCheck.Test.fail_reportf
+                "%s scanned at %s, outside its policy destinations under %s"
+                table site regime)
+          (Fixture.scan_sites r.Cgqp.plan);
+        List.for_all
+          (fun (sr : Exec.Interp.ship_record) ->
+            not (Fault.link_down sched ~from_loc:sr.from_loc ~to_loc:sr.to_loc))
+          r.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ships
+        && Fixture.canon r.Cgqp.relation
+           = List.assoc regime (Lazy.force healthy_baselines))
+
+let singleton_replicas =
+  List.map (fun (t, primary) -> (t, 0, [ Fixture.copy primary ])) primaries
+
+let arb_collapse =
+  QCheck.make
+    ~print:(fun (regime, sched) ->
+      Printf.sprintf "policies: %s | schedule:\n%s" regime (Fault.to_string sched))
+    QCheck.Gen.(pair (oneofl (List.map (fun (n, _, _) -> n) regimes)) gen_schedule)
+
+let run_image s =
+  match Cgqp.run s Fixture.q with
+  | Ok r ->
+    Ok
+      ( Fixture.canon r.Cgqp.relation,
+        r.Cgqp.shipped_bytes,
+        r.Cgqp.ship_cost_ms,
+        r.Cgqp.makespan_ms,
+        r.Cgqp.recovery,
+        Fixture.scan_sites r.Cgqp.plan )
+  | Error e -> Error (Cgqp.error_to_string e)
+
+let prop_first_replica_collapse =
+  QCheck.Test.make ~count:320
+    ~name:"collapsing every replica set to its first copy is byte-transparent"
+    arb_collapse (fun (regime, sched) ->
+      let policies = regime_policies regime in
+      let plain = Fixture.session ~policies () in
+      let collapsed = Fixture.session ~policies ~replicas:singleton_replicas () in
+      let e0 = Cgqp.explain plain Fixture.q in
+      let e1 = Cgqp.explain collapsed Fixture.q in
+      if e0 <> e1 then QCheck.Test.fail_report "healthy EXPLAIN diverged";
+      Cgqp.set_faults plain sched;
+      Cgqp.set_faults collapsed sched;
+      if run_image plain <> run_image collapsed then
+        QCheck.Test.fail_report "run outcome diverged";
+      let a0 = Cgqp.explain_analyze plain Fixture.q in
+      let a1 = Cgqp.explain_analyze collapsed Fixture.q in
+      (match (a0, a1) with
+      | Ok t0, Ok t1 when t0 <> t1 ->
+        QCheck.Test.fail_reportf "EXPLAIN ANALYZE diverged:\n--- plain\n%s--- collapsed\n%s" t0 t1
+      | Ok _, Error _ | Error _, Ok _ ->
+        QCheck.Test.fail_report "one side failed, the other did not"
+      | _ -> ());
+      true)
+
+(* ---------------- fault DSL edge cases ---------------- *)
+
+let test_zero_effect_events () =
+  let sched =
+    Fault.make ~seed:3
+      [
+        Fault.Transient_drop { from_loc = "NA"; to_loc = "EU"; p = 0. };
+        Fault.Latency_mult { from_loc = "NA"; to_loc = "EU"; factor = 1.0 };
+        Fault.Replica_lag { table = "customer"; site = "EU"; lag_ms = 0. };
+      ]
+  in
+  Alcotest.(check bool) "zero lag is not stale" false
+    (Fault.replica_stale sched ~table:"customer" ~site:"EU");
+  let s0 = Fixture.session () in
+  let s1 = Fixture.session () in
+  Cgqp.set_faults s1 sched;
+  let r0 = run_ok s0 Fixture.q and r1 = run_ok s1 Fixture.q in
+  Alcotest.(check bool) "same rows" true
+    (Fixture.canon r0.Cgqp.relation = Fixture.canon r1.Cgqp.relation);
+  Alcotest.(check int) "same bytes" r0.Cgqp.shipped_bytes r1.Cgqp.shipped_bytes;
+  Alcotest.(check (float 1e-9)) "same cost" r0.Cgqp.ship_cost_ms r1.Cgqp.ship_cost_ms;
+  Alcotest.(check (float 1e-9)) "same makespan" r0.Cgqp.makespan_ms r1.Cgqp.makespan_ms;
+  Alcotest.(check int) "no failovers" 0 r1.Cgqp.recovery.Cgqp.failovers;
+  Alcotest.(check int) "no retries" 0
+    r1.Cgqp.interp.Exec.Interp.stats.Exec.Interp.ship_retries
+
+let test_overlapping_faults_same_link () =
+  let down = [ Fault.Link_down ("NA", "EU") ] in
+  let overlap =
+    down @ [ Fault.Latency_mult { from_loc = "NA"; to_loc = "EU"; factor = 3.0 } ]
+  in
+  let sched = Fault.make ~seed:3 overlap in
+  Alcotest.(check bool) "link is down" true
+    (Fault.link_down sched ~from_loc:"EU" ~to_loc:"NA");
+  Alcotest.(check (float 1e-9)) "slowdown still reported" 3.0
+    (Fault.latency_factor sched ~from_loc:"NA" ~to_loc:"EU");
+  let s0 = Fixture.session () in
+  let s1 = Fixture.session () in
+  Cgqp.set_faults s0 (Fault.make ~seed:3 down);
+  Cgqp.set_faults s1 sched;
+  let r0 = run_ok s0 Fixture.q and r1 = run_ok s1 Fixture.q in
+  Alcotest.(check bool) "down dominates its overlapping slow" true
+    (Fixture.canon r0.Cgqp.relation = Fixture.canon r1.Cgqp.relation
+    && r0.Cgqp.shipped_bytes = r1.Cgqp.shipped_bytes
+    && r0.Cgqp.recovery = r1.Cgqp.recovery)
+
+let test_replica_lag_dsl_round_trip () =
+  let text = "seed 4\nreplica-lag customer EU 400\nreplica-lag orders AS 0\n" in
+  (match Fault.parse text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok s ->
+    Alcotest.(check int) "two events" 2 (List.length (Fault.events s));
+    Alcotest.(check bool) "positive lag is stale" true
+      (Fault.replica_stale s ~table:"customer" ~site:"EU");
+    Alcotest.(check bool) "table names are case-insensitive" true
+      (Fault.replica_stale s ~table:"Customer" ~site:"EU");
+    Alcotest.(check bool) "zero lag is fresh" false
+      (Fault.replica_stale s ~table:"orders" ~site:"AS");
+    Alcotest.(check bool) "other site untouched" false
+      (Fault.replica_stale s ~table:"customer" ~site:"NA");
+    (match Fault.parse (Fault.to_string s) with
+    | Error m -> Alcotest.failf "re-parse failed: %s" m
+    | Ok s' ->
+      Alcotest.(check string) "round trip" (Fault.to_string s) (Fault.to_string s')));
+  (match Fault.parse "replica-lag customer EU -1" with
+  | Ok _ -> Alcotest.fail "negative lag must not parse"
+  | Error m ->
+    Alcotest.(check bool) "error names line 1" true
+      (String.length m >= 7 && String.sub m 0 7 = "line 1:"));
+  match Fault.parse "seed 1\nreplica-lag customer EU" with
+  | Ok _ -> Alcotest.fail "missing lag must not parse"
+  | Error m ->
+    Alcotest.(check bool) "arity error names line 2" true
+      (String.length m >= 7 && String.sub m 0 7 = "line 2:")
+
+(* ---------------- cache key: the replica mask dimension -------------- *)
+
+let test_mask_fingerprint_replicas () =
+  let fp ?replicas ?(links = []) ?(sites = []) () =
+    Cgqp.Plan_cache.mask_fingerprint ?replicas ~links ~sites ()
+  in
+  let healthy = fp () in
+  Alcotest.(check bool) "a masked replica changes the key" true
+    (fp ~replicas:[ ("customer", "EU") ] () <> healthy);
+  Alcotest.(check int) "order-independent"
+    (fp ~replicas:[ ("customer", "EU"); ("orders", "AS") ] ())
+    (fp ~replicas:[ ("orders", "AS"); ("customer", "EU") ] ());
+  Alcotest.(check bool) "replica mask is not a site mask" true
+    (fp ~replicas:[ ("customer", "EU") ] () <> fp ~sites:[ "EU" ] ());
+  Alcotest.(check bool) "table identity matters" true
+    (fp ~replicas:[ ("customer", "EU") ] () <> fp ~replicas:[ ("orders", "EU") ] ());
+  Alcotest.(check bool) "composes with link masks" true
+    (fp ~replicas:[ ("customer", "EU") ] ~links:[ ("EU", "NA") ] ()
+    <> fp ~links:[ ("EU", "NA") ] ())
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  Fmt.epr "replica seed: %d (set %s to replay)@." replica_seed Storage.Seed.env_var;
+  let rand = Random.State.make [| replica_seed |] in
+  Alcotest.run "replica"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "with_replicas validation" `Quick
+            test_with_replicas_validation;
+          Alcotest.test_case "accessors" `Quick test_replica_accessors;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "EU data stays in EU" `Quick test_scenario_domicile;
+          Alcotest.test_case "jurisdiction conflict aborts" `Quick
+            test_scenario_conflict;
+          Alcotest.test_case "replica-lag failover" `Quick test_scenario_lag_failover;
+          Alcotest.test_case "policy-churn storm" `Quick test_scenario_policy_churn;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest ~rand prop_compliance_first;
+          QCheck_alcotest.to_alcotest ~rand prop_first_replica_collapse;
+        ] );
+      ( "fault edges",
+        [
+          Alcotest.test_case "zero-effect events" `Quick test_zero_effect_events;
+          Alcotest.test_case "overlapping faults on one link" `Quick
+            test_overlapping_faults_same_link;
+          Alcotest.test_case "replica-lag round trip" `Quick
+            test_replica_lag_dsl_round_trip;
+          Alcotest.test_case "mask fingerprint replicas" `Quick
+            test_mask_fingerprint_replicas;
+        ] );
+    ]

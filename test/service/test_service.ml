@@ -70,8 +70,9 @@ let test_lru_eviction () =
   Alcotest.(check int) "evicted entry misses again" 4 (PC.stats cache).PC.misses
 
 let test_mask_fingerprint () =
-  Alcotest.(check int) "healthy mask is 0" 0 (PC.mask_fingerprint ~links:[] ~sites:[]);
-  let fp l s = PC.mask_fingerprint ~links:l ~sites:s in
+  Alcotest.(check int) "healthy mask is 0" 0
+    (PC.mask_fingerprint ~links:[] ~sites:[] ());
+  let fp l s = PC.mask_fingerprint ~links:l ~sites:s () in
   Alcotest.(check bool) "non-empty is non-zero" true
     (fp [ ("NA", "EU") ] [] <> 0 && fp [] [ "AS" ] <> 0);
   Alcotest.(check int) "undirected links"
