@@ -1404,6 +1404,211 @@ let replica_bench () =
   Fmt.pr "wrote %s@." out
 
 (* ------------------------------------------------------------------ *)
+(* ooc -- out-of-core columnar execution (EXPERIMENTS.md E17): the
+   TPC-H mix in three storage/memory regimes, on one engine:
+
+     resident  everything in memory, no budget — the baseline the
+               other two must match byte-for-byte
+     paged     the same data served from disk-backed column segments
+               (Storage.Database.paged); resident set near zero,
+               every scan pays segment page reads
+     spill     paged AND a byte-accounted memory budget smaller than
+               the working set, so hash joins/aggregations Grace-
+               partition to disk run files
+
+   The three report fingerprints must be identical (out-of-core
+   execution is invisible); the JSON records per-query times,
+   rows/sec, peak tracked bytes, spilled operators/partitions and
+   segment page reads.
+
+   Knobs (all env, so the CI smoke job can shrink the run):
+     CGQP_OOC_SF      TPC-H scale factor               (default 1.0)
+     CGQP_OOC_BUDGET  spill-run memory budget          (default 64m)
+     CGQP_OOC_ENGINE  executor                         (default vector)
+     CGQP_OOC_OUT     output JSON path                 (default BENCH_ooc.json) *)
+let ooc_bench () =
+  let sf = getenv_float "CGQP_OOC_SF" 1.0 in
+  let budget_text =
+    match Sys.getenv_opt "CGQP_OOC_BUDGET" with
+    | Some s when s <> "" -> s
+    | _ -> "64m"
+  in
+  let budget =
+    match Exec.Runtime.parse_budget budget_text with
+    | Some b -> b
+    | None ->
+      invalid_arg (Printf.sprintf "CGQP_OOC_BUDGET=%S: not a byte count" budget_text)
+  in
+  let engine =
+    match Sys.getenv_opt "CGQP_OOC_ENGINE" with
+    | None | Some "" -> Exec.Engine.Vector
+    | Some s -> (
+      match Exec.Engine.of_string s with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "CGQP_OOC_ENGINE=%S: unknown engine" s))
+  in
+  header
+    (Printf.sprintf
+       "OOC: resident vs paged vs spilling, %s engine (sf %g, budget %s)"
+       (Exec.Engine.to_string engine) sf budget_text);
+  let cat = Tpch.Schema.catalog () in
+  let policies = Policy.Pcatalog.of_texts cat Tpch.Policies.unrestricted in
+  let db = Tpch.Datagen.load ~cat (Tpch.Datagen.generate ~sf ()) in
+  let working_set =
+    List.fold_left
+      (fun acc (t, p) ->
+        acc + Storage.Relation.byte_size (Storage.Database.find_exn db ~table:t ~partition:p ()))
+      0 (Storage.Database.tables db)
+  in
+  let seg_dir =
+    let f = Filename.temp_file "cgqp-ooc-" "" in
+    Sys.remove f;
+    let d = f ^ ".d" in
+    Unix.mkdir d 0o700;
+    d
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then (
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path)
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf seg_dir) @@ fun () ->
+  let paged_db, seg_ms = time_ms (fun () -> Storage.Database.paged db ~dir:seg_dir) in
+  Fmt.pr
+    "working set %d bytes (%d rows); budget %d bytes; segments written in %.0f ms@."
+    working_set
+    (Storage.Database.total_rows db)
+    budget seg_ms;
+  if budget >= working_set then
+    Fmt.pr "WARNING: budget >= working set, the spill run may not spill@.";
+  let network = Catalog.network cat in
+  let table_cols = Catalog.table_cols cat in
+  (* one timed run per (query, regime): at SF 1 the mix is minutes of
+     single-core work, and the differential, not the variance, is the
+     point here (BENCH_exec.json has the repeated-run timings) *)
+  let run_config ~db ~budget plan =
+    (* the spill counters are monotonic process totals; report per-run
+       deltas (the peak gauge and page-read counters do reset) *)
+    Exec.Runtime.reset_mem_stats ();
+    Storage.Segment.reset_page_reads ();
+    let ops0 = Exec.Runtime.spilled_operators ()
+    and parts0 = Exec.Runtime.spill_partitions () in
+    let r, ms =
+      time_ms (fun () -> Exec.Engine.run ~engine ~budget ~network ~db ~table_cols plan)
+    in
+    ( exec_fp r,
+      r.Exec.Interp.stats.Exec.Interp.rows_processed,
+      ms,
+      Exec.Runtime.peak_tracked_bytes (),
+      Exec.Runtime.spilled_operators () - ops0,
+      Exec.Runtime.spill_partitions () - parts0,
+      Storage.Segment.page_reads () )
+  in
+  Fmt.pr "%-8s %7s %12s %12s %12s %11s %13s %9s %3s@." "query" "rows"
+    "resident(ms)" "paged(ms)" "spill(ms)" "peak(bytes)" "spilled(n/prt)"
+    "pagereads" "fp";
+  let mismatches = ref 0 in
+  let tot_res = ref 0. and tot_paged = ref 0. and tot_spill = ref 0. in
+  let tot_rows = ref 0 and tot_spilled = ref 0 in
+  let per_query =
+    List.filter_map
+      (fun (name, sql) ->
+        match optimize ~mode:Optimizer.Memo.Compliant ~cat ~policies sql with
+        | Optimizer.Planner.Rejected r ->
+          Fmt.pr "%-8s rejected: %s@." name r;
+          None
+        | Optimizer.Planner.Planned p ->
+          let plan = p.Optimizer.Planner.plan in
+          let fp_res, processed, t_res, _, _, _, _ =
+            run_config ~db ~budget:Exec.Runtime.unlimited_budget plan
+          in
+          let fp_paged, _, t_paged, _, _, _, reads_paged =
+            run_config ~db:paged_db ~budget:Exec.Runtime.unlimited_budget plan
+          in
+          let fp_spill, _, t_spill, peak, spilled, partitions, reads_spill =
+            run_config ~db:paged_db ~budget plan
+          in
+          let same = fp_res = fp_paged && fp_res = fp_spill in
+          if not same then incr mismatches;
+          tot_res := !tot_res +. t_res;
+          tot_paged := !tot_paged +. t_paged;
+          tot_spill := !tot_spill +. t_spill;
+          tot_rows := !tot_rows + processed;
+          tot_spilled := !tot_spilled + spilled;
+          let rps t = if t <= 0. then 0. else float_of_int processed /. (t /. 1000.) in
+          Fmt.pr "%-8s %7d %12.1f %12.1f %12.1f %11d %8d/%-4d %9d %3s@." name
+            processed t_res t_paged t_spill peak spilled partitions reads_spill
+            (if same then "=" else "/=");
+          Some
+            Obs.Json.(
+              Obj
+                [
+                  ("query", Str name);
+                  ("rows_processed", Num (float_of_int processed));
+                  ("resident_ms", Num t_res);
+                  ("paged_ms", Num t_paged);
+                  ("spill_ms", Num t_spill);
+                  ("resident_rows_per_sec", Num (rps t_res));
+                  ("paged_rows_per_sec", Num (rps t_paged));
+                  ("spill_rows_per_sec", Num (rps t_spill));
+                  ("spill_peak_tracked_bytes", Num (float_of_int peak));
+                  ("spilled_operators", Num (float_of_int spilled));
+                  ("spill_partitions", Num (float_of_int partitions));
+                  ("paged_page_reads", Num (float_of_int reads_paged));
+                  ("spill_page_reads", Num (float_of_int reads_spill));
+                  ("identical", Bool same);
+                ]))
+      queries
+  in
+  let rps t = if t <= 0. then 0. else float_of_int !tot_rows /. (t /. 1000.) in
+  Fmt.pr
+    "@.total: resident %.1f ms, paged %.1f ms (%.2fx), spilling %.1f ms (%.2fx)@."
+    !tot_res !tot_paged
+    (!tot_paged /. Float.max 1e-9 !tot_res)
+    !tot_spill
+    (!tot_spill /. Float.max 1e-9 !tot_res);
+  Fmt.pr "throughput: %.0f rows/s resident, %.0f rows/s paged, %.0f rows/s spilling@."
+    (rps !tot_res) (rps !tot_paged) (rps !tot_spill);
+  Fmt.pr "spilled operators: %d (across the budgeted runs)@." !tot_spilled;
+  Fmt.pr "report mismatches: %d (over %d queries)@." !mismatches
+    (List.length per_query);
+  let out =
+    match Sys.getenv_opt "CGQP_OOC_OUT" with
+    | Some f when f <> "" -> f
+    | _ -> "BENCH_ooc.json"
+  in
+  let json =
+    Obs.Json.(
+      Obj
+        [
+          ("bench", Str "ooc");
+          ("sf", Num sf);
+          ("engine", Str (Exec.Engine.to_string engine));
+          ("budget_bytes", Num (float_of_int budget));
+          ("working_set_bytes", Num (float_of_int working_set));
+          ("queries", Arr per_query);
+          ("total_resident_ms", Num !tot_res);
+          ("total_paged_ms", Num !tot_paged);
+          ("total_spill_ms", Num !tot_spill);
+          ("resident_rows_per_sec", Num (rps !tot_res));
+          ("paged_rows_per_sec", Num (rps !tot_paged));
+          ("spill_rows_per_sec", Num (rps !tot_spill));
+          ("spilled_operators", Num (float_of_int !tot_spilled));
+          ("mismatches", Num (float_of_int !mismatches));
+        ])
+  in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." out;
+  Fmt.pr
+    "(fp `=` means the resident, paged and spilling runs produced byte-identical@.";
+  Fmt.pr
+    " results, SHIP ledgers, profiles and makespans — out-of-core is invisible)@."
+
+(* ------------------------------------------------------------------ *)
 
 let smoke () =
   t1 ();
@@ -1415,7 +1620,8 @@ let experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", fun () -> e11 ()); ("serve", fun () -> serve_bench ());
     ("feedback", feedback_bench); ("exec", exec_bench); ("t1", t1);
-    ("replica", replica_bench); ("ablation", ablation); ("micro", micro); ("smoke", smoke);
+    ("replica", replica_bench); ("ablation", ablation); ("micro", micro);
+    ("ooc", ooc_bench); ("smoke", smoke);
   ]
 
 (* Observability export, for CI artifacts and local inspection:

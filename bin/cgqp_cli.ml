@@ -389,9 +389,53 @@ let run_explain_arg =
     & info [ "explain" ]
         ~doc:"Also print the EXPLAIN ANALYZE plan tree (actual rows, SHIP bytes).")
 
+let mem_budget_conv =
+  let parse s =
+    match Exec.Runtime.parse_budget s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+          "memory budget must be a byte count with an optional k/m/g suffix \
+           (e.g. 64m), or `unlimited'")
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.pf ppf "%d" b)
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some mem_budget_conv) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Byte-accounted memory budget for the executor (e.g. $(b,64m)): \
+           hash joins and aggregations whose scratch state would exceed it \
+           spill to disk Grace-style, with byte-identical results. Defaults \
+           to the CGQP_MEM_BUDGET environment variable, else unlimited.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print executor memory/IO statistics afterwards: peak tracked \
+           bytes, spilled operators and partitions, and segment page reads.")
+
+let print_exec_stats () =
+  Fmt.pr
+    "(mem: peak tracked %d bytes; spilled %d operator%s into %d partition%s, \
+     %d run-file bytes; segment page reads %d, %d bytes)@."
+    (Exec.Runtime.peak_tracked_bytes ())
+    (Exec.Runtime.spilled_operators ())
+    (if Exec.Runtime.spilled_operators () = 1 then "" else "s")
+    (Exec.Runtime.spill_partitions ())
+    (if Exec.Runtime.spill_partitions () = 1 then "" else "s")
+    (Exec.Runtime.spill_run_bytes ())
+    (Storage.Segment.page_reads ())
+    (Storage.Segment.page_read_bytes ())
+
 let run_cmd =
   let action set file traditional engine sf seed faults replicas csv explain
-      trace metrics query =
+      mem_budget stats trace metrics query =
     with_obs ~trace ~metrics @@ fun () ->
     match load_faults ~cli_seed:seed faults with
     | Error m -> `Error (false, m)
@@ -401,6 +445,7 @@ let run_cmd =
     with
     | exception Invalid_argument m -> `Error (false, m)
     | session -> (
+    Option.iter (fun b -> Cgqp.set_mem_budget session (Some b)) mem_budget;
     (* the effective seed makes every run replayable: data generation
        and the fault scheduler both derive from it *)
     if faults <> None || seed <> None then begin
@@ -429,6 +474,7 @@ let run_cmd =
               "; stale replicas "
               ^ String.concat ", " (List.map (fun (t, s) -> t ^ "@" ^ s) rs))
       end;
+      if stats then print_exec_stats ();
       if explain then begin
         Fmt.pr "@.";
         print_string
@@ -446,7 +492,8 @@ let run_cmd =
       ret
         (const action $ set_arg $ policy_file_arg $ traditional_arg $ engine_arg
        $ sf_arg $ seed_arg $ faults_arg $ replicas_arg $ csv_arg
-       $ run_explain_arg $ trace_arg $ metrics_arg $ query_arg))
+       $ run_explain_arg $ mem_budget_arg $ stats_arg $ trace_arg $ metrics_arg
+       $ query_arg))
 
 let check_cmd =
   let action set file query =

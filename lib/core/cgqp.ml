@@ -32,6 +32,9 @@ type session = {
   mutable engine : Exec.Engine.t;
       (* which executor runs the plans; resolved from CGQP_ENGINE at
          session creation, overridable per session *)
+  mutable budget : int option;
+      (* memory budget in bytes for the executor's byte account; [None]
+         defers to CGQP_MEM_BUDGET at execution time *)
   mutable cache : Plan_cache.t option;
       (* plan cache consulted by [optimize]/[run]; possibly shared with
          other sessions of a serving layer. [None] (the default) is the
@@ -104,6 +107,7 @@ let create ?database ~catalog () =
     faults = Catalog.Network.Fault.empty;
     retry = Exec.Interp.default_retry;
     engine = Exec.Engine.default ();
+    budget = None;
     cache = None;
     template = template_env ();
     feedback = None;
@@ -129,6 +133,8 @@ let set_retry session policy = session.retry <- policy
 let retry session = session.retry
 let set_engine session engine = session.engine <- engine
 let engine session = session.engine
+let set_mem_budget session b = session.budget <- b
+let mem_budget session = session.budget
 let set_plan_cache session cache = session.cache <- cache
 let plan_cache session = session.cache
 
@@ -407,9 +413,9 @@ let run_hooked ~record_step session sql : (run_result, error) result =
         let rec attempt (recovery : recovery) (planned : Optimizer.Planner.planned)
             =
           match
-            Exec.Engine.run ~engine:session.engine ~faults:session.faults
-              ~retry:session.retry ~network ~db ~table_cols
-              planned.Optimizer.Planner.plan
+            Exec.Engine.run ~engine:session.engine ?budget:session.budget
+              ~faults:session.faults ~retry:session.retry ~network ~db
+              ~table_cols planned.Optimizer.Planner.plan
           with
           | interp -> Ok (planned, interp, recovery)
           | exception

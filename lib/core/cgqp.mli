@@ -106,6 +106,16 @@ val set_engine : session -> Exec.Engine.t -> unit
 
 val engine : session -> Exec.Engine.t
 
+val set_mem_budget : session -> int option -> unit
+(** Byte-accounted memory budget for the executor: hash join/aggregation
+    spill to disk (Grace-style, byte-identical results — see
+    [docs/STORAGE.md]) when their scratch state would trip it. [None]
+    (the default) defers to the [CGQP_MEM_BUDGET] environment variable
+    at execution time; [Some Exec.Runtime.unlimited_budget] disables
+    accounting outright. *)
+
+val mem_budget : session -> int option
+
 val set_plan_cache : session -> Plan_cache.t option -> unit
 (** Attach (or detach, with [None]) a plan cache. {!optimize} and
     {!run} then reuse certified optimizer outcomes keyed by

@@ -31,12 +31,18 @@ type ctx = {
   faults : Catalog.Network.Fault.schedule;
   retry : retry_policy;
   network : Catalog.Network.t;
+  mem : mem;  (* this execution's byte account *)
+  spill : Spill.t;
 }
 
 (* A compiled node: schema fixed at compile time, [exec] runs the whole
-   subtree (bookkeeping included) and returns the output rows plus the
-   subtree's simulated finish time. *)
-type cnode = { cschema : Attr.t list; exec : ctx -> Value.t array array * float }
+   subtree (bookkeeping included) and returns the output rows, the
+   bytes charged against the memory budget for them (released by the
+   parent once consumed), and the subtree's simulated finish time. *)
+type cnode = {
+  cschema : Attr.t list;
+  exec : ctx -> Value.t array array * int * float;
+}
 
 type t = cnode
 
@@ -64,6 +70,14 @@ let joined_emitter ~lw ~rw ~(residual : Pred.t) ~(cschema : Attr.t list) :
       Array.blit lrow 0 buf 0 lw;
       Array.blit rrow 0 buf lw rw;
       if keep buf then out := Array.copy buf :: !out
+
+(* Box a row's join key for the spill path; [None] if any component is
+   NULL (such rows never join, matching the in-memory build/probe). *)
+let boxed_key ixs =
+  let nk = Array.length ixs in
+  fun row ->
+    let k = Array.make nk Value.Null in
+    if fill_key ixs row k then Some k else None
 
 (* --- operator kernels --- *)
 
@@ -218,12 +232,17 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
      baked into each node's closure at compile time. *)
   let rec comp (rpath : int list) (p : Pplan.t) : cnode =
     let label = Pplan.node_label p.Pplan.node and loc = p.Pplan.loc in
-    (* Post-order bookkeeping shared by every non-SHIP wrapper below. *)
-    let book ctx rows fin =
+    (* Post-order bookkeeping shared by every non-SHIP wrapper below:
+       record the node, charge its output against the budget, release
+       the children's charges ([release]) now that they are consumed. *)
+    let book ctx ~release rows fin =
       let card = Array.length rows in
+      let bytes = rows_bytes rows in
       record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc ~ship:None
-        ~card ~bytes:(rows_bytes rows);
-      (rows, fin +. (float_of_int card *. row_cost_ms))
+        ~card ~bytes;
+      mem_charge ctx.mem bytes;
+      List.iter (mem_release ctx.mem) release;
+      (rows, bytes, fin +. (float_of_int card *. row_cost_ms))
     in
     (* Children execute right-first for binary operators: SHIP indices
        (and with them the deterministic per-attempt drop fates) follow
@@ -234,9 +253,9 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       ( cl,
         cr,
         fun ctx ->
-          let rrows, rfin = cr.exec ctx in
-          let lrows, lfin = cl.exec ctx in
-          (lrows, rrows, Float.max lfin rfin) )
+          let rrows, rb, rfin = cr.exec ctx in
+          let lrows, lb, lfin = cl.exec ctx in
+          (lrows, lb, rrows, rb, Float.max lfin rfin) )
     in
     match p.Pplan.node, p.Pplan.children with
     | Pplan.Table_scan { table; alias; partition }, [] ->
@@ -247,13 +266,14 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
           (fun (_ : Attr.t) c -> Attr.make ~rel:alias ~name:c)
           (Storage.Relation.schema r) (table_cols table)
       in
-      let rows = Storage.Relation.rows r in
       {
         cschema;
         exec =
           (fun ctx ->
             check_replica ~faults:ctx.faults ~table ~partition ~site:loc;
-            book ctx rows 0.);
+            (* fetched per execution, not at compile time: paged
+               relations re-read their segments on every access *)
+            book ctx ~release:[] (Storage.Relation.rows r) 0.);
       }
     | Pplan.Filter pred, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -262,8 +282,8 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let rows, fin = cc.exec ctx in
-            book ctx (filter_kernel keep rows) fin);
+            let rows, cb, fin = cc.exec ctx in
+            book ctx ~release:[ cb ] (filter_kernel keep rows) fin);
       }
     | Pplan.Project items, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -275,8 +295,8 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = List.map snd items;
         exec =
           (fun ctx ->
-            let rows, fin = cc.exec ctx in
-            book ctx (project_kernel gets rows) fin);
+            let rows, cb, fin = cc.exec ctx in
+            book ctx ~release:[ cb ] (project_kernel gets rows) fin);
       }
     | Pplan.Hash_join { keys; residual }, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -291,9 +311,27 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema;
         exec =
           (fun ctx ->
-            let lrows, rrows, fin = exec2 ctx in
+            let lrows, lb, rrows, rb, fin = exec2 ctx in
             let out = ref [] in
-            book ctx (hash_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows) fin);
+            let rows =
+              (* [rb] is the build side's serialized size — the same
+                 number [Interp] reads off the child relation, so the
+                 spill decision is engine-independent *)
+              if should_spill ctx.mem rb then begin
+                Spill.join ctx.spill ~build_bytes:rb ~lkey:(boxed_key lixs)
+                  ~rkey:(boxed_key rixs) ~emit:(emitter out) lrows rrows;
+                Array.of_list (List.rev !out)
+              end
+              else begin
+                mem_charge ctx.mem rb;
+                let rows =
+                  hash_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows
+                in
+                mem_release ctx.mem rb;
+                rows
+              end
+            in
+            book ctx ~release:[ lb; rb ] rows fin);
       }
     | Pplan.Nl_join pred, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -304,9 +342,11 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema;
         exec =
           (fun ctx ->
-            let lrows, rrows, fin = exec2 ctx in
+            let lrows, lb, rrows, rb, fin = exec2 ctx in
             let out = ref [] in
-            book ctx (nl_join_kernel ~emit:(emitter out) ~out lrows rrows) fin);
+            book ctx ~release:[ lb; rb ]
+              (nl_join_kernel ~emit:(emitter out) ~out lrows rrows)
+              fin);
       }
     | Pplan.Hash_agg { keys; aggs }, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -320,12 +360,44 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       let cschema =
         keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
       in
+      let nk = Array.length kixs and na = Array.length agg_fns in
+      let finish_group k accs =
+        let rowout = Array.make (nk + na) Value.Null in
+        Array.blit k 0 rowout 0 nk;
+        for i = 0 to na - 1 do
+          rowout.(nk + i) <- finish agg_fns.(i) accs.(i)
+        done;
+        rowout
+      in
       {
         cschema;
         exec =
           (fun ctx ->
-            let rows, fin = cc.exec ctx in
-            book ctx (hash_agg_kernel ~kixs ~agg_fns ~agg_gets rows) fin);
+            let rows, cb, fin = cc.exec ctx in
+            let outrows =
+              (* a global aggregate ([nk = 0]) is one group of scalar
+                 accumulators — nothing worth spilling *)
+              if nk > 0 && should_spill ctx.mem cb then begin
+                let out = ref [] in
+                Spill.agg ctx.spill ~input_bytes:cb
+                  ~key:(fun row -> Array.init nk (fun i -> key_val row kixs.(i)))
+                  ~na
+                  ~feed_row:(fun accs row ->
+                    for i = 0 to na - 1 do
+                      feed accs.(i) (agg_gets.(i) row)
+                    done)
+                  ~emit_group:(fun k accs -> out := finish_group k accs :: !out)
+                  rows;
+                Array.of_list (List.rev !out)
+              end
+              else begin
+                mem_charge ctx.mem cb;
+                let r = hash_agg_kernel ~kixs ~agg_fns ~agg_gets rows in
+                mem_release ctx.mem cb;
+                r
+              end
+            in
+            book ctx ~release:[ cb ] outrows fin);
       }
     | Pplan.Sort keys, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -340,8 +412,8 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let rows, fin = cc.exec ctx in
-            book ctx (sort_kernel ~kix rows) fin);
+            let rows, cb, fin = cc.exec ctx in
+            book ctx ~release:[ cb ] (sort_kernel ~kix rows) fin);
       }
     | Pplan.Merge_join { keys; residual }, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -356,9 +428,11 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema;
         exec =
           (fun ctx ->
-            let lrows, rrows, fin = exec2 ctx in
+            let lrows, lb, rrows, rb, fin = exec2 ctx in
             let out = ref [] in
-            book ctx (merge_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows) fin);
+            book ctx ~release:[ lb; rb ]
+              (merge_join_kernel ~lixs ~rixs ~emit:(emitter out) ~out lrows rrows)
+              fin);
       }
     | Pplan.Union_all, (_ :: _ as children) ->
       let ccs = List.mapi (fun i c -> comp (i :: rpath) c) children in
@@ -368,14 +442,14 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
           (fun ctx ->
             (* children left-to-right, explicitly (ship-order
                determinism) — matches [Interp] *)
-            let rec run_children fin acc = function
-              | [] -> (List.rev acc, fin)
+            let rec run_children fin acc bs = function
+              | [] -> (List.rev acc, List.rev bs, fin)
               | (c : cnode) :: rest ->
-                let rows, f = c.exec ctx in
-                run_children (Float.max fin f) (rows :: acc) rest
+                let rows, b, f = c.exec ctx in
+                run_children (Float.max fin f) (rows :: acc) (b :: bs) rest
             in
-            let parts, fin = run_children 0. [] ccs in
-            book ctx (Array.concat parts) fin);
+            let parts, bs, fin = run_children 0. [] [] ccs in
+            book ctx ~release:bs (Array.concat parts) fin);
       }
     | Pplan.Ship { from_loc; to_loc }, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -383,7 +457,7 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let rows, fin = cc.exec ctx in
+            let rows, cb, fin = cc.exec ctx in
             let bytes = rows_bytes rows in
             let record =
               do_ship ~faults:ctx.faults ~retry:ctx.retry ~network:ctx.network
@@ -391,7 +465,9 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
             in
             record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc
               ~ship:(Some record) ~card:(Array.length rows) ~bytes;
-            (rows, fin +. record.cost_ms));
+            (* memory-wise a SHIP is an alias of its child: no charge,
+               no release — the child's bytes stay live for the parent *)
+            (rows, cb, fin +. record.cost_ms));
       }
     | node, children ->
       fail "malformed plan: %s with %d children" (Pplan.node_label node)
@@ -400,13 +476,25 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
   comp [] plan
 
 let execute ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
-    ~(network : Catalog.Network.t) (t : t) : result =
+    ?budget ~(network : Catalog.Network.t) (t : t) : result =
   let stats = fresh_stats () in
   let profile = ref [] in
-  let ctx = { stats; profile; faults; retry; network } in
-  let rows, makespan_ms = Obs.Trace.span "exec.run" (fun () -> t.exec ctx) in
-  let relation = Storage.Relation.make ~schema:t.cschema ~rows in
-  { relation; stats; profile = List.rev !profile; makespan_ms }
+  let mem =
+    mem_create
+      ~budget:(match budget with Some b -> b | None -> budget_from_env ())
+  in
+  let spill = Spill.create mem in
+  let ctx = { stats; profile; faults; retry; network; mem; spill } in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.cleanup spill;
+      mem_finish mem)
+    (fun () ->
+      let rows, _bytes, makespan_ms =
+        Obs.Trace.span "exec.run" (fun () -> t.exec ctx)
+      in
+      let relation = Storage.Relation.make ~schema:t.cschema ~rows in
+      { relation; stats; profile = List.rev !profile; makespan_ms })
 
-let run ?faults ?retry ~network ~db ~table_cols plan =
-  execute ?faults ?retry ~network (compile ~db ~table_cols plan)
+let run ?faults ?retry ?budget ~network ~db ~table_cols plan =
+  execute ?faults ?retry ?budget ~network (compile ~db ~table_cols plan)

@@ -30,8 +30,9 @@ let default () =
         (Printf.sprintf
            "CGQP_ENGINE=%S: expected \"reference\", \"compiled\" or \"vector\"" s))
 
-let run ?(engine = Compiled) ?faults ?retry ~network ~db ~table_cols plan =
+let run ?(engine = Compiled) ?faults ?retry ?budget ~network ~db ~table_cols
+    plan =
   match engine with
-  | Reference -> Interp.run ?faults ?retry ~network ~db ~table_cols plan
-  | Compiled -> Compile.run ?faults ?retry ~network ~db ~table_cols plan
-  | Vector -> Vector.run ?faults ?retry ~network ~db ~table_cols plan
+  | Reference -> Interp.run ?faults ?retry ?budget ~network ~db ~table_cols plan
+  | Compiled -> Compile.run ?faults ?retry ?budget ~network ~db ~table_cols plan
+  | Vector -> Vector.run ?faults ?retry ?budget ~network ~db ~table_cols plan

@@ -27,6 +27,7 @@ val run :
   ?engine:t ->
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:Runtime.retry_policy ->
+  ?budget:int ->
   network:Catalog.Network.t ->
   db:Storage.Database.t ->
   table_cols:(string -> string list) ->

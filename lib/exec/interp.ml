@@ -12,13 +12,21 @@ open Relalg
    working whichever engine raised. *)
 include Runtime
 
-let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
+let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry) ?budget
     ~(network : Catalog.Network.t) ~(db : Storage.Database.t)
     ~(table_cols : string -> string list) (plan : Pplan.t) : result =
   let stats = fresh_stats () in
   let profile = ref [] in
+  let mem =
+    mem_create
+      ~budget:(match budget with Some b -> b | None -> budget_from_env ())
+  in
+  let spill = Spill.create mem in
   (* completion time of each subtree, for the makespan *)
   let done_at : (Pplan.t, float) Hashtbl.t = Hashtbl.create 64 in
+  (* charged output bytes of each subtree, released when the parent
+     has consumed (and charged) its own output *)
+  let bytes_at : (Pplan.t, int) Hashtbl.t = Hashtbl.create 64 in
   let child_finish p =
     List.fold_left
       (fun acc c -> Float.max acc (try Hashtbl.find done_at c with Not_found -> 0.))
@@ -75,12 +83,6 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
         let llook = Storage.Relation.lookup_fn lrel
         and rlook = Storage.Relation.lookup_fn rrel in
         let lkeys = List.map fst keys and rkeys = List.map snd keys in
-        let tbl = Row_tbl.create (max 16 (Storage.Relation.cardinality rrel)) in
-        Array.iter
-          (fun row ->
-            let k = Array.of_list (List.map (fun a -> rlook a row) rkeys) in
-            if not (Array.exists Value.is_null k) then Row_tbl.add tbl k row)
-          (Storage.Relation.rows rrel);
         let schema = Storage.Relation.schema lrel @ Storage.Relation.schema rrel in
         let out = ref [] in
         let jlook = Storage.Relation.lookup_of_schema schema in
@@ -89,16 +91,39 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
           | Pred.True -> fun _ -> true
           | residual -> fun row -> Pred.eval (fun a -> jlook a row) residual
         in
-        Array.iter
-          (fun lrow ->
-            let k = Array.of_list (List.map (fun a -> llook a lrow) lkeys) in
-            if not (Array.exists Value.is_null k) then
-              List.iter
-                (fun rrow ->
-                  let row = Array.append lrow rrow in
-                  if keep row then out := row :: !out)
-                (Row_tbl.find_all tbl k))
-          (Storage.Relation.rows lrel);
+        let emit lrow rrow =
+          let row = Array.append lrow rrow in
+          if keep row then out := row :: !out
+        in
+        (* the in-memory kernel's scratch state is the build-side hash
+           table — charge (or spill on) the build side's bytes *)
+        let build_bytes = Storage.Relation.byte_size rrel in
+        if should_spill mem build_bytes then begin
+          let keyf look keys row =
+            let k = Array.of_list (List.map (fun a -> look a row) keys) in
+            if Array.exists Value.is_null k then None else Some k
+          in
+          Spill.join spill ~build_bytes ~lkey:(keyf llook lkeys)
+            ~rkey:(keyf rlook rkeys) ~emit
+            (Storage.Relation.rows lrel)
+            (Storage.Relation.rows rrel)
+        end
+        else begin
+          mem_charge mem build_bytes;
+          let tbl = Row_tbl.create (max 16 (Storage.Relation.cardinality rrel)) in
+          Array.iter
+            (fun row ->
+              let k = Array.of_list (List.map (fun a -> rlook a row) rkeys) in
+              if not (Array.exists Value.is_null k) then Row_tbl.add tbl k row)
+            (Storage.Relation.rows rrel);
+          Array.iter
+            (fun lrow ->
+              let k = Array.of_list (List.map (fun a -> llook a lrow) lkeys) in
+              if not (Array.exists Value.is_null k) then
+                List.iter (fun rrow -> emit lrow rrow) (Row_tbl.find_all tbl k))
+            (Storage.Relation.rows lrel);
+          mem_release mem build_bytes
+        end;
         Storage.Relation.make ~schema ~rows:(Array.of_list (List.rev !out))
       | Pplan.Nl_join pred, [ l; r ] ->
         let lrel, rrel = exec2 l r in
@@ -117,43 +142,74 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
       | Pplan.Hash_agg { keys; aggs }, [ c ] ->
         let r = exec1 c in
         let look = Storage.Relation.lookup_fn r in
-        let groups : (Value.t array * acc array) Row_tbl.t = Row_tbl.create 64 in
-        let order = ref [] in
-        Array.iter
-          (fun row ->
-            let k = Array.of_list (List.map (fun a -> look a row) keys) in
-            let _, accs =
-              match Row_tbl.find_opt groups k with
-              | Some e -> e
-              | None ->
-                let e = (k, Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
-                Row_tbl.add groups k e;
-                order := k :: !order;
-                e
-            in
-            List.iteri
-              (fun i (a : Expr.agg) ->
-                feed accs.(i) (Expr.eval (fun at -> look at row) a.arg))
-              aggs)
-          (Storage.Relation.rows r);
-        (* a global aggregate over an empty input still yields one row *)
-        if keys = [] && Row_tbl.length groups = 0 then begin
-          let e = ([||], Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
-          Row_tbl.add groups [||] e;
-          order := [||] :: !order
-        end;
         let schema =
           keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
         in
+        let finish_group k accs =
+          Array.append k
+            (Array.of_list
+               (List.mapi (fun i (a : Expr.agg) -> finish a.fn accs.(i)) aggs))
+        in
+        let feed_row accs row =
+          List.iteri
+            (fun i (a : Expr.agg) ->
+              feed accs.(i) (Expr.eval (fun at -> look at row) a.arg))
+            aggs
+        in
+        (* the in-memory kernel's scratch is the group table, bounded by
+           the input — charge (or spill on) the input's bytes. A global
+           aggregate ([keys = []]) has one group and never spills. *)
+        let input_bytes = Storage.Relation.byte_size r in
         let rows =
-          List.rev_map
-            (fun k ->
-              let _, accs = Row_tbl.find groups k in
-              Array.append k
-                (Array.of_list
-                   (List.mapi (fun i (a : Expr.agg) -> finish a.fn accs.(i)) aggs)))
-            !order
-          |> Array.of_list
+          if keys <> [] && should_spill mem input_bytes then begin
+            let out = ref [] in
+            Spill.agg spill ~input_bytes
+              ~key:(fun row ->
+                Array.of_list (List.map (fun a -> look a row) keys))
+              ~na:(List.length aggs) ~feed_row
+              ~emit_group:(fun k accs -> out := finish_group k accs :: !out)
+              (Storage.Relation.rows r);
+            Array.of_list (List.rev !out)
+          end
+          else begin
+            mem_charge mem input_bytes;
+            let groups : (Value.t array * acc array) Row_tbl.t =
+              Row_tbl.create 64
+            in
+            let order = ref [] in
+            Array.iter
+              (fun row ->
+                let k = Array.of_list (List.map (fun a -> look a row) keys) in
+                let _, accs =
+                  match Row_tbl.find_opt groups k with
+                  | Some e -> e
+                  | None ->
+                    let e =
+                      (k, Array.init (List.length aggs) (fun _ -> fresh_acc ()))
+                    in
+                    Row_tbl.add groups k e;
+                    order := k :: !order;
+                    e
+                in
+                feed_row accs row)
+              (Storage.Relation.rows r);
+            (* a global aggregate over an empty input still yields one row *)
+            if keys = [] && Row_tbl.length groups = 0 then begin
+              let e = ([||], Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
+              Row_tbl.add groups [||] e;
+              order := [||] :: !order
+            end;
+            let rows =
+              List.rev_map
+                (fun k ->
+                  let _, accs = Row_tbl.find groups k in
+                  finish_group k accs)
+                !order
+              |> Array.of_list
+            in
+            mem_release mem input_bytes;
+            rows
+          end
         in
         Storage.Relation.make ~schema ~rows
       | Pplan.Sort keys, [ c ] ->
@@ -234,13 +290,29 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
           (List.length children)
     in
     let card = Storage.Relation.cardinality rel in
+    let bytes = Storage.Relation.byte_size rel in
     let ship =
       match p.Pplan.node with
       | Pplan.Ship _ -> ( match stats.ships with s :: _ -> Some s | [] -> None)
       | _ -> None
     in
     record_node ~stats ~profile ~rpath ~label:(Pplan.node_label p.Pplan.node)
-      ~loc:p.Pplan.loc ~ship ~card ~bytes:(Storage.Relation.byte_size rel);
+      ~loc:p.Pplan.loc ~ship ~card ~bytes;
+    (* Budget account: charge this operator's materialized output and
+       release the children's now that they are consumed. A SHIP is an
+       alias of its child (no new materialization): charge nothing,
+       keep the child's charge live under this node's entry. *)
+    (match p.Pplan.node with
+    | Pplan.Ship _ -> ()
+    | _ ->
+      mem_charge mem bytes;
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt bytes_at c with
+          | Some b -> mem_release mem b
+          | None -> ())
+        p.Pplan.children);
+    Hashtbl.replace bytes_at p bytes;
     let own_time =
       match p.Pplan.node with
       | Pplan.Ship _ ->
@@ -251,6 +323,12 @@ let run ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
     Hashtbl.replace done_at p (child_finish p +. own_time);
     rel
   in
-  let relation = Obs.Trace.span "exec.run" (fun () -> exec [] plan) in
+  let relation =
+    Fun.protect
+      ~finally:(fun () ->
+        Spill.cleanup spill;
+        mem_finish mem)
+      (fun () -> Obs.Trace.span "exec.run" (fun () -> exec [] plan))
+  in
   { relation; stats; profile = List.rev !profile;
     makespan_ms = (try Hashtbl.find done_at plan with Not_found -> 0.) }

@@ -125,12 +125,17 @@ exception Runtime_error of string
 val run :
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:retry_policy ->
+  ?budget:int ->
   network:Catalog.Network.t ->
   db:Storage.Database.t ->
   table_cols:(string -> string list) ->
   Pplan.t ->
   result
 (** Execute a placed plan bottom-up, materializing every operator.
+    [budget] (default: [CGQP_MEM_BUDGET], else unlimited) is the
+    byte-accounted memory budget — hash join/aggregation spill to disk
+    when their scratch state would trip it, with byte-identical
+    results (see {!Runtime.mem} and {!Spill}).
     [table_cols] resolves a table's stored column order, used to
     re-qualify scan schemas with the query alias. [faults] (default
     empty — a fault-free run is byte-identical to one without the

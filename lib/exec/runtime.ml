@@ -143,6 +143,125 @@ let rows_bytes (rows : Value.t array array) =
     (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)
     0 rows
 
+(* --- memory budget ------------------------------------------------
+
+   A per-execution byte account over serialized sizes (the same
+   [Value.byte_width] sums the SHIP ledger uses, so the numbers are
+   engine-independent): every operator charges its materialized output
+   and releases its children's after consuming them; hash join and
+   aggregation additionally charge their scratch state (the build side
+   / the input) for the duration of the kernel. When a charge would
+   exceed the budget, those two operators switch to the Grace spill
+   path ([Spill]) instead. [unlimited_budget] (the default) makes all
+   accounting a no-op, so budget-free runs pay nothing.
+
+   The spill decision is a pure function of (budget, deterministic byte
+   counts), identical across engines — which is what lets the spilling
+   and in-memory paths be differentially tested for byte-identity. *)
+
+type mem = {
+  budget : int;
+  mutable tracked : int;  (* currently charged bytes *)
+  mutable peak : int;
+  mutable spill_ops : int;  (* operators that took the spill path *)
+  mutable spill_parts : int;  (* Grace partitions across those *)
+  mutable spill_run_bytes : int;  (* bytes written to run files *)
+}
+
+let unlimited_budget = max_int
+
+let mem_create ~budget =
+  { budget; tracked = 0; peak = 0; spill_ops = 0; spill_parts = 0;
+    spill_run_bytes = 0 }
+
+let mem_charge m b =
+  if m.budget <> unlimited_budget then begin
+    m.tracked <- m.tracked + b;
+    if m.tracked > m.peak then m.peak <- m.tracked
+  end
+
+let mem_release m b =
+  if m.budget <> unlimited_budget then m.tracked <- max 0 (m.tracked - b)
+
+(* Would charging [b] more bytes trip the budget? *)
+let should_spill m b =
+  m.budget <> unlimited_budget && b > 0 && m.tracked + b > m.budget
+
+(* Grace fan-out: enough partitions that one partition of [bytes]
+   plausibly fits in a quarter of the budget, clamped to [2, 64]. *)
+let spill_partitions_for m ~bytes =
+  if m.budget <= 0 then 64
+  else
+    let per = max 1 (m.budget / 4) in
+    min 64 (max 2 ((bytes / per) + 1))
+
+(* "64m"-style byte counts: plain bytes, or a k/m/g suffix (powers of
+   1024); "unlimited" / empty / unset mean no budget. *)
+let parse_budget s =
+  let s = String.trim (String.lowercase_ascii s) in
+  match s with
+  | "" | "unlimited" | "none" | "inf" -> Some unlimited_budget
+  | _ ->
+    let mul, num =
+      let n = String.length s in
+      match s.[n - 1] with
+      | 'k' -> (1024, String.sub s 0 (n - 1))
+      | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    (match int_of_string_opt (String.trim num) with
+    | Some v when v >= 0 -> Some (v * mul)
+    | _ -> None)
+
+let budget_from_env () =
+  match Sys.getenv_opt "CGQP_MEM_BUDGET" with
+  | None -> unlimited_budget
+  | Some s -> (
+    match parse_budget s with
+    | Some b -> b
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "CGQP_MEM_BUDGET=%S: expected bytes, optionally suffixed k/m/g" s))
+
+(* Process-wide spill/paging observability (executions may run
+   concurrently on domains; the per-execution [mem] folds in at the
+   end). *)
+let c_spill_ops = Obs.Metrics.counter "cgqp_exec_spilled_operators_total"
+let c_spill_parts = Obs.Metrics.counter "cgqp_exec_spill_partitions_total"
+let c_spill_bytes = Obs.Metrics.counter "cgqp_exec_spill_bytes_total"
+let peak_tracked = Atomic.make 0
+
+let () =
+  Obs.Metrics.gauge "cgqp_exec_peak_tracked_bytes" (fun () ->
+      float_of_int (Atomic.get peak_tracked));
+  Obs.Metrics.gauge "cgqp_storage_segment_page_reads" (fun () ->
+      float_of_int (Storage.Segment.page_reads ()))
+
+(* Fold a finished execution's account into the process-wide stats. *)
+let mem_finish m =
+  let rec bump () =
+    let cur = Atomic.get peak_tracked in
+    if m.peak > cur && not (Atomic.compare_and_set peak_tracked cur m.peak) then
+      bump ()
+  in
+  bump ();
+  if m.spill_ops > 0 then begin
+    Obs.Metrics.inc ~by:m.spill_ops c_spill_ops;
+    Obs.Metrics.inc ~by:m.spill_parts c_spill_parts;
+    Obs.Metrics.inc ~by:m.spill_run_bytes c_spill_bytes
+  end
+
+(* Readers for [--stats] and the bench. *)
+let peak_tracked_bytes () = Atomic.get peak_tracked
+let spilled_operators () = Obs.Metrics.value c_spill_ops
+let spill_partitions () = Obs.Metrics.value c_spill_parts
+let spill_run_bytes () = Obs.Metrics.value c_spill_bytes
+let segment_page_reads () = Storage.Segment.page_reads ()
+
+let reset_mem_stats () = Atomic.set peak_tracked 0
+
 (* --- aggregate accumulation --- *)
 
 type acc = {

@@ -159,6 +159,73 @@ val rows_bytes : Value.t array array -> int
 (** Serialized size of a row set — what a SHIP of those rows moves.
     Agrees with [Storage.Relation.byte_size] on the same rows. *)
 
+(** {2 Memory budget}
+
+    A per-execution byte account over serialized sizes (the same
+    [Value.byte_width] sums the SHIP ledger uses, so the numbers are
+    engine-independent): every operator charges its materialized output
+    and releases its children's after consuming them; hash join and
+    aggregation additionally charge their scratch state (build side /
+    input) for the kernel's duration, and switch to the Grace spill
+    path ({!Spill}) when that charge would trip the budget. The spill
+    decision is a pure function of (budget, deterministic byte counts)
+    and the spill path re-emits in kernel order, so budget ∞ and
+    budget ε produce byte-identical reports — locked by the qcheck
+    differential in [test/test_exec.ml]. *)
+
+type mem = {
+  budget : int;  (** {!unlimited_budget} = no accounting at all *)
+  mutable tracked : int;  (** currently charged bytes *)
+  mutable peak : int;
+  mutable spill_ops : int;  (** operators that took the spill path *)
+  mutable spill_parts : int;  (** Grace partitions across those *)
+  mutable spill_run_bytes : int;  (** bytes written to run files *)
+}
+
+val unlimited_budget : int
+(** [max_int]: disables accounting (budget-free runs pay nothing). *)
+
+val mem_create : budget:int -> mem
+val mem_charge : mem -> int -> unit
+val mem_release : mem -> int -> unit
+
+val should_spill : mem -> int -> bool
+(** Would charging this many more bytes exceed the budget? Always
+    [false] under {!unlimited_budget}. *)
+
+val spill_partitions_for : mem -> bytes:int -> int
+(** Grace fan-out for spilling [bytes] of state: enough partitions
+    that one plausibly fits in a quarter of the budget, in [2, 64]. *)
+
+val parse_budget : string -> int option
+(** ["64m"]-style byte counts: plain bytes or a [k]/[m]/[g] suffix
+    (powers of 1024); ["unlimited"]/[""] mean no budget. [None] =
+    unparseable. *)
+
+val budget_from_env : unit -> int
+(** [CGQP_MEM_BUDGET] via {!parse_budget}; {!unlimited_budget} when
+    unset. Raises [Invalid_argument] on an unparseable value. *)
+
+val mem_finish : mem -> unit
+(** Fold a finished execution's account into the process-wide stats
+    (peak gauge + spill counters). Engines call this on every exit
+    path. *)
+
+val peak_tracked_bytes : unit -> int
+(** Process-wide high-water mark of tracked bytes (across executions
+    since the last {!reset_mem_stats}). *)
+
+val spilled_operators : unit -> int
+val spill_partitions : unit -> int
+val spill_run_bytes : unit -> int
+
+val segment_page_reads : unit -> int
+(** Re-export of {!Storage.Segment.page_reads} for [--stats]. *)
+
+val reset_mem_stats : unit -> unit
+(** Zero the peak gauge (the spill counters live in {!Obs.Metrics} and
+    reset with [Obs.Metrics.reset]). *)
+
 (** {2 Aggregate accumulation} *)
 
 type acc = {

@@ -1,0 +1,55 @@
+(** Grace-style spill-to-disk for hash join and hash aggregation.
+
+    When {!Runtime.should_spill} says an operator's scratch state would
+    trip the execution's memory budget, the kernels hand their inputs
+    here: rows are hash-partitioned by {!Runtime.Row_key.hash} into
+    on-disk run files, each partition is processed with only its own
+    state resident, and outputs are re-emitted in {e exactly} the
+    in-memory kernel's order (probe rows by input position, matches in
+    reverse insertion order; groups in first-seen order, each fed its
+    rows in input order) — so spilling is byte-invisible to results,
+    SHIP ledgers, profiles and EXPLAIN ANALYZE. See [docs/STORAGE.md]
+    and the qcheck differential in [test/test_exec.ml]. *)
+
+open Relalg
+
+type t
+(** Per-execution spill state: a lazily created unique directory under
+    [CGQP_SPILL_DIR] (default: the system temp dir), plus the
+    execution's byte account. *)
+
+val create : Runtime.mem -> t
+
+val cleanup : t -> unit
+(** Remove the spill directory and everything in it (idempotent; safe
+    if nothing ever spilled). Engines call this on every exit path,
+    including [Ship_failed] unwinds. *)
+
+val join :
+  t ->
+  build_bytes:int ->
+  lkey:(Value.t array -> Value.t array option) ->
+  rkey:(Value.t array -> Value.t array option) ->
+  emit:(Value.t array -> Value.t array -> unit) ->
+  Value.t array array ->
+  Value.t array array ->
+  unit
+(** [join t ~build_bytes ~lkey ~rkey ~emit lrows rrows] hash-joins
+    probe side [lrows] against build side [rrows] with run files,
+    calling [emit lrow rrow] in the in-memory kernel's exact sequence.
+    [lkey]/[rkey] box a row's key ([None] = NULL component, row drops
+    out); [build_bytes] sizes the partition fan-out. *)
+
+val agg :
+  t ->
+  input_bytes:int ->
+  key:(Value.t array -> Value.t array) ->
+  na:int ->
+  feed_row:(Runtime.acc array -> Value.t array -> unit) ->
+  emit_group:(Value.t array -> Runtime.acc array -> unit) ->
+  Value.t array array ->
+  unit
+(** [agg t ~input_bytes ~key ~na ~feed_row ~emit_group rows] groups
+    [rows] by [key] with run files, calling [emit_group] per group in
+    first-seen input order, accumulators fed in input order ([na]
+    accumulators per group). *)

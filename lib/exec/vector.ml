@@ -43,6 +43,8 @@ type ctx = {
   faults : Catalog.Network.Fault.schedule;
   retry : retry_policy;
   network : Catalog.Network.t;
+  mem : mem;  (* this execution's byte account *)
+  spill : Spill.t;
 }
 
 (* A batch-at-rest: columns plus an optional selection vector mapping
@@ -50,7 +52,10 @@ type ctx = {
    count (= length of [sel] when present). *)
 type chunk = { cols : Col.t array; card : int; sel : int array option }
 
-type cnode = { cschema : Attr.t list; exec : ctx -> chunk * float }
+(* [exec] returns the chunk, the bytes charged against the memory
+   budget for it (released by the parent once consumed), and the
+   subtree's simulated finish time. *)
+type cnode = { cschema : Attr.t list; exec : ctx -> chunk * int * float }
 type t = cnode
 
 let schema t = t.cschema
@@ -340,6 +345,42 @@ let fill_key_cols (cols : Col.t array) (ixs : int array) i (buf : Value.t array)
   done;
   !ok
 
+(* Spill-side row view of a chunk: one synthetic row per logical
+   position carrying the boxed key components plus the physical row
+   index as a trailing [Int]. The spill kernels only ever look at the
+   key (via the closures below); [emit] recovers the physical indices
+   and the join output is gathered exactly like the in-memory path, so
+   spilling cannot change the output's column representation. *)
+let key_rows ch (ixs : int array) : Value.t array array =
+  let nk = Array.length ixs in
+  let phys =
+    match ch.sel with
+    | Some sel -> fun j -> Array.unsafe_get sel j
+    | None -> fun j -> j
+  in
+  Array.init ch.card (fun j ->
+      let i = phys j in
+      let row = Array.make (nk + 1) Value.Null in
+      for k = 0 to nk - 1 do
+        let ix = Array.unsafe_get ixs k in
+        row.(k) <- (if ix >= 0 then Col.get ch.cols.(ix) i else Value.Null)
+      done;
+      row.(nk) <- Value.Int i;
+      row)
+
+(* Key extractors over [key_rows] rows; the join variant drops NULL
+   keys, matching the in-memory build/probe. *)
+let srow_key nk (row : Value.t array) = Array.sub row 0 nk
+
+let srow_join_key nk (row : Value.t array) =
+  let k = Array.sub row 0 nk in
+  if Array.exists Value.is_null k then None else Some k
+
+let srow_phys (row : Value.t array) =
+  match row.(Array.length row - 1) with
+  | Value.Int i -> i
+  | _ -> assert false
+
 (* Residual test over a candidate (left physical, right physical) pair:
    the joined row is assembled into a reused boxed buffer and tested
    with the shared row predicate — only candidates are ever boxed, and
@@ -610,11 +651,16 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
   (* [rpath] is the node's root-to-node child-index path, reversed. *)
   let rec comp (rpath : int list) (p : Pplan.t) : cnode =
     let label = Pplan.node_label p.Pplan.node and loc = p.Pplan.loc in
-    (* Same bookkeeping and float arithmetic as [Compile]'s [book]. *)
-    let book ctx ch fin =
+    (* Same bookkeeping and float arithmetic as [Compile]'s [book]:
+       record the node, charge its output bytes, release the children's
+       charges ([release]) now that they are consumed. *)
+    let book ctx ~release ch fin =
+      let bytes = chunk_bytes ch in
       record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc ~ship:None
-        ~card:ch.card ~bytes:(chunk_bytes ch);
-      (ch, fin +. (float_of_int ch.card *. row_cost_ms))
+        ~card:ch.card ~bytes;
+      mem_charge ctx.mem bytes;
+      List.iter (mem_release ctx.mem) release;
+      (ch, bytes, fin +. (float_of_int ch.card *. row_cost_ms))
     in
     (* Right child first (see the child-iteration contract in
        runtime.mli). *)
@@ -623,9 +669,9 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       ( cl,
         cr,
         fun ctx ->
-          let rch, rfin = cr.exec ctx in
-          let lch, lfin = cl.exec ctx in
-          (lch, rch, Float.max lfin rfin) )
+          let rch, rb, rfin = cr.exec ctx in
+          let lch, lb, lfin = cl.exec ctx in
+          (lch, lb, rch, rb, Float.max lfin rfin) )
     in
     match p.Pplan.node, p.Pplan.children with
     | Pplan.Table_scan { table; alias; partition }, [] ->
@@ -636,14 +682,16 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
           (fun (_ : Attr.t) c -> Attr.make ~rel:alias ~name:c)
           (Storage.Relation.schema r) (table_cols table)
       in
-      let cols = Storage.Relation.cols r in
       let card = Storage.Relation.cardinality r in
       {
         cschema;
         exec =
           (fun ctx ->
             check_replica ~faults:ctx.faults ~table ~partition ~site:loc;
-            book ctx { cols; card; sel = None } 0.);
+            (* fetched per execution, not at compile time: paged
+               relations re-read their segments on every access *)
+            let cols = Storage.Relation.cols r in
+            book ctx ~release:[] { cols; card; sel = None } 0.);
       }
     | Pplan.Filter pred, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -652,9 +700,11 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let ch, fin = cc.exec ctx in
+            let ch, cb, fin = cc.exec ctx in
             let sel = filter_select ch (bp ch) in
-            book ctx { ch with card = Array.length sel; sel = Some sel } fin);
+            book ctx ~release:[ cb ]
+              { ch with card = Array.length sel; sel = Some sel }
+              fin);
       }
     | Pplan.Project items, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -675,7 +725,7 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = List.map snd items;
         exec =
           (fun ctx ->
-            let ch, fin = cc.exec ctx in
+            let ch, cb, fin = cc.exec ctx in
             let cols =
               Array.map
                 (function
@@ -698,7 +748,7 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
                     Col.of_values out)
                 plans
             in
-            book ctx { cols; card = ch.card; sel = None } fin);
+            book ctx ~release:[ cb ] { cols; card = ch.card; sel = None } fin);
       }
     | Pplan.Hash_join { keys; residual }, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -709,12 +759,45 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       let cschema = cl.cschema @ cr.cschema in
       let lw = List.length cl.cschema and rw = List.length cr.cschema in
       let keeper = pair_keeper ~residual ~cschema ~lw ~rw in
+      let nk = Array.length lixs in
       {
         cschema;
         exec =
           (fun ctx ->
-            let lch, rch, fin = exec2 ctx in
-            book ctx (hash_join_chunk ~lixs ~rixs ~keeper lch rch) fin);
+            let lch, lb, rch, rb, fin = exec2 ctx in
+            let out =
+              (* [rb] is the build side's serialized size — the same
+                 number the row engines see, so the spill decision is
+                 engine-independent *)
+              if should_spill ctx.mem rb then begin
+                let lidx = Ivec.create () and ridx = Ivec.create () in
+                let push =
+                  match keeper with
+                  | None ->
+                    fun lp rp ->
+                      Ivec.push lidx lp;
+                      Ivec.push ridx rp
+                  | Some kp ->
+                    fun lp rp ->
+                      if kp lch rch lp rp then begin
+                        Ivec.push lidx lp;
+                        Ivec.push ridx rp
+                      end
+                in
+                Spill.join ctx.spill ~build_bytes:rb
+                  ~lkey:(srow_join_key nk) ~rkey:(srow_join_key nk)
+                  ~emit:(fun lrow rrow -> push (srow_phys lrow) (srow_phys rrow))
+                  (key_rows lch lixs) (key_rows rch rixs);
+                joined_chunk lch rch (Ivec.to_array lidx) (Ivec.to_array ridx)
+              end
+              else begin
+                mem_charge ctx.mem rb;
+                let o = hash_join_chunk ~lixs ~rixs ~keeper lch rch in
+                mem_release ctx.mem rb;
+                o
+              end
+            in
+            book ctx ~release:[ lb; rb ] out fin);
       }
     | Pplan.Nl_join pred, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -725,8 +808,8 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema;
         exec =
           (fun ctx ->
-            let lch, rch, fin = exec2 ctx in
-            book ctx (nl_join_chunk ~keeper lch rch) fin);
+            let lch, lb, rch, rb, fin = exec2 ctx in
+            book ctx ~release:[ lb; rb ] (nl_join_chunk ~keeper lch rch) fin);
       }
     | Pplan.Hash_agg { keys; aggs }, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -739,12 +822,51 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
       let cschema =
         keys @ List.map (fun (a : Expr.agg) -> Attr.unqualified a.alias) aggs
       in
+      let nk = Array.length kixs and na = Array.length agg_fns in
       {
         cschema;
         exec =
           (fun ctx ->
-            let ch, fin = cc.exec ctx in
-            book ctx (hash_agg_chunk ~kixs ~agg_fns ~agg_binds ch) fin);
+            let ch, cb, fin = cc.exec ctx in
+            let out =
+              (* a global aggregate ([nk = 0]) is one group of scalar
+                 accumulators — nothing worth spilling *)
+              if nk > 0 && should_spill ctx.mem cb then begin
+                let gets = Array.map (fun b -> b ch) agg_binds in
+                let acc = ref [] in
+                Spill.agg ctx.spill ~input_bytes:cb ~key:(srow_key nk) ~na
+                  ~feed_row:(fun accs row ->
+                    let i = srow_phys row in
+                    for a = 0 to na - 1 do
+                      feed accs.(a) ((Array.unsafe_get gets a) i)
+                    done)
+                  ~emit_group:(fun k accs -> acc := (k, accs) :: !acc)
+                  (key_rows ch kixs);
+                let groups = Array.of_list (List.rev !acc) in
+                let ngroups = Array.length groups in
+                let cols =
+                  (* same [Col.of_values] materialization as the
+                     in-memory kernel's tail *)
+                  Array.init (nk + na) (fun c ->
+                      if c < nk then
+                        Col.of_values
+                          (Array.init ngroups (fun g -> (fst groups.(g)).(c)))
+                      else
+                        let a = c - nk in
+                        Col.of_values
+                          (Array.init ngroups (fun g ->
+                               finish agg_fns.(a) (snd groups.(g)).(a))))
+                in
+                { cols; card = ngroups; sel = None }
+              end
+              else begin
+                mem_charge ctx.mem cb;
+                let o = hash_agg_chunk ~kixs ~agg_fns ~agg_binds ch in
+                mem_release ctx.mem cb;
+                o
+              end
+            in
+            book ctx ~release:[ cb ] out fin);
       }
     | Pplan.Sort keys, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -759,8 +881,8 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let ch, fin = cc.exec ctx in
-            book ctx (sort_chunk ~kix ch) fin);
+            let ch, cb, fin = cc.exec ctx in
+            book ctx ~release:[ cb ] (sort_chunk ~kix ch) fin);
       }
     | Pplan.Merge_join { keys; residual }, [ l; r ] ->
       let cl, cr, exec2 = comp2 l r in
@@ -775,8 +897,10 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema;
         exec =
           (fun ctx ->
-            let lch, rch, fin = exec2 ctx in
-            book ctx (merge_join_chunk ~lixs ~rixs ~keeper lch rch) fin);
+            let lch, lb, rch, rb, fin = exec2 ctx in
+            book ctx ~release:[ lb; rb ]
+              (merge_join_chunk ~lixs ~rixs ~keeper lch rch)
+              fin);
       }
     | Pplan.Union_all, (_ :: _ as children) ->
       let ccs = List.mapi (fun i c -> comp (i :: rpath) c) children in
@@ -788,13 +912,13 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
           (fun ctx ->
             (* children left-to-right, explicitly (ship-order
                determinism; see runtime.mli) *)
-            let rec run_children fin acc = function
-              | [] -> (List.rev acc, fin)
+            let rec run_children fin acc bs = function
+              | [] -> (List.rev acc, List.rev bs, fin)
               | (c : cnode) :: rest ->
-                let ch, f = c.exec ctx in
-                run_children (Float.max fin f) (ch :: acc) rest
+                let ch, b, f = c.exec ctx in
+                run_children (Float.max fin f) (ch :: acc) (b :: bs) rest
             in
-            let parts, fin = run_children 0. [] ccs in
+            let parts, bs, fin = run_children 0. [] [] ccs in
             List.iter
               (fun ch ->
                 if Array.length ch.cols <> width then
@@ -806,7 +930,7 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
                   Col.concat (List.map (fun m -> m.(j)) mats))
             in
             let card = List.fold_left (fun acc ch -> acc + ch.card) 0 parts in
-            book ctx { cols; card; sel = None } fin);
+            book ctx ~release:bs { cols; card; sel = None } fin);
       }
     | Pplan.Ship { from_loc; to_loc }, [ c ] ->
       let cc = comp (0 :: rpath) c in
@@ -814,15 +938,19 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
         cschema = cc.cschema;
         exec =
           (fun ctx ->
-            let ch, fin = cc.exec ctx in
-            let bytes = chunk_bytes ch in
+            let ch, cb, fin = cc.exec ctx in
+            (* [cb] is [chunk_bytes ch], just computed by the child's
+               [book] *)
+            let bytes = cb in
             let record =
               do_ship ~faults:ctx.faults ~retry:ctx.retry ~network:ctx.network
                 ~stats:ctx.stats ~from_loc ~to_loc ~bytes ~rows:ch.card
             in
             record_node ~stats:ctx.stats ~profile:ctx.profile ~rpath ~label ~loc
               ~ship:(Some record) ~card:ch.card ~bytes;
-            (ch, fin +. record.cost_ms));
+            (* memory-wise a SHIP is an alias of its child: no charge,
+               no release — the child's bytes stay live for the parent *)
+            (ch, cb, fin +. record.cost_ms));
       }
     | node, children ->
       fail "malformed plan: %s with %d children" (Pplan.node_label node)
@@ -831,15 +959,27 @@ let compile ~(db : Storage.Database.t) ~(table_cols : string -> string list)
   comp [] plan
 
 let execute ?(faults = Catalog.Network.Fault.empty) ?(retry = default_retry)
-    ~(network : Catalog.Network.t) (t : t) : result =
+    ?budget ~(network : Catalog.Network.t) (t : t) : result =
   let stats = fresh_stats () in
   let profile = ref [] in
-  let ctx = { stats; profile; faults; retry; network } in
-  let ch, makespan_ms = Obs.Trace.span "exec.run" (fun () -> t.exec ctx) in
-  let relation =
-    Storage.Relation.of_cols ~schema:t.cschema ~card:ch.card (materialize ch)
+  let mem =
+    mem_create
+      ~budget:(match budget with Some b -> b | None -> budget_from_env ())
   in
-  { relation; stats; profile = List.rev !profile; makespan_ms }
+  let spill = Spill.create mem in
+  let ctx = { stats; profile; faults; retry; network; mem; spill } in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.cleanup spill;
+      mem_finish mem)
+    (fun () ->
+      let ch, _bytes, makespan_ms =
+        Obs.Trace.span "exec.run" (fun () -> t.exec ctx)
+      in
+      let relation =
+        Storage.Relation.of_cols ~schema:t.cschema ~card:ch.card (materialize ch)
+      in
+      { relation; stats; profile = List.rev !profile; makespan_ms })
 
-let run ?faults ?retry ~network ~db ~table_cols plan =
-  execute ?faults ?retry ~network (compile ~db ~table_cols plan)
+let run ?faults ?retry ?budget ~network ~db ~table_cols plan =
+  execute ?faults ?retry ?budget ~network (compile ~db ~table_cols plan)

@@ -43,17 +43,20 @@ val compile :
 val execute :
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:Runtime.retry_policy ->
+  ?budget:int ->
   network:Catalog.Network.t ->
   t ->
   Runtime.result
 (** Execute a compiled vectorized plan. Semantics, SHIP accounting,
     fault injection and observability are exactly those of
-    {!Interp.run}; raises {!Runtime.Ship_failed} on permanent transfer
-    failures. *)
+    {!Interp.run}, including the [budget] memory account (default
+    [CGQP_MEM_BUDGET], else unlimited) with byte-identical spilling;
+    raises {!Runtime.Ship_failed} on permanent transfer failures. *)
 
 val run :
   ?faults:Catalog.Network.Fault.schedule ->
   ?retry:Runtime.retry_policy ->
+  ?budget:int ->
   network:Catalog.Network.t ->
   db:Storage.Database.t ->
   table_cols:(string -> string list) ->

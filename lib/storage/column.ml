@@ -48,9 +48,13 @@ let length t =
 
 let has_nulls t = Bytes.length t.nulls > 0
 
+(* The boxed fallback stores [Null] in the data array itself and may
+   carry no bitmap (e.g. [of_value_array] on an all-NULL input, where
+   sniffing finds no type evidence) — consult the values too. *)
 let is_null t i =
-  Bytes.length t.nulls > 0
-  && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  (Bytes.length t.nulls > 0
+  && Char.code (Bytes.unsafe_get t.nulls (i lsr 3)) land (1 lsl (i land 7)) <> 0)
+  || match t.data with Values a -> Value.is_null a.(i) | _ -> false
 
 (* --- null bitmap helpers --- *)
 
@@ -147,6 +151,17 @@ let to_values t = Array.init (length t) (fun i -> get t i)
 
 (* --- serialized size (agrees with Value.byte_width per element) --- *)
 
+let null_count t =
+  if not (has_nulls t) then 0
+  else begin
+    let n = length t in
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if bitmap_get t.nulls i then incr c
+    done;
+    !c
+  end
+
 let compute_bytes t =
   let n = length t in
   match t.data with
@@ -154,7 +169,26 @@ let compute_bytes t =
     (* fixed width, no nulls: O(1) *)
     let w = match t.data with Ints _ | Floats _ -> 8 | Dates _ -> 4 | _ -> 1 in
     w * n
-  | _ ->
+  | Ints _ | Floats _ | Dates _ | Bools _ ->
+    (* fixed width with nulls: width per non-null, 1 (the NULL tag) per
+       null — same numbers as the boxed loop below, without boxing *)
+    let w = match t.data with Ints _ | Floats _ -> 8 | Dates _ -> 4 | _ -> 1 in
+    let nulls = null_count t in
+    (w * (n - nulls)) + nulls
+  | Strs a ->
+    (* exact string accounting: 4 offset bytes + heap bytes per non-null
+       (= [Value.byte_width (Str s)]), 1 per null — no boxing *)
+    let acc = ref 0 in
+    if has_nulls t then
+      for i = 0 to n - 1 do
+        acc := !acc + (if bitmap_get t.nulls i then 1 else 4 + String.length a.(i))
+      done
+    else
+      for i = 0 to n - 1 do
+        acc := !acc + 4 + String.length a.(i)
+      done;
+    !acc
+  | Values _ ->
     let acc = ref 0 in
     for i = 0 to n - 1 do
       acc := !acc + Value.byte_width (get t i)
@@ -286,3 +320,107 @@ let concat (cols : t list) : t =
       in
       { data; nulls; bytes = -1 }
     end
+
+(* --- incremental typed construction (streaming loaders) --- *)
+
+type t_outer = t
+
+module Builder = struct
+  (* Growable typed buffers with the same NULL discipline as
+     [of_values_typed]: a value of the declared type lands in the slot,
+     anything else (including [Null]) stores a dummy and marks the
+     bitmap. [finish] trims to length and produces the same column
+     [of_values_typed ty (boxed values)] would. *)
+
+  type payload =
+    | Bints of int array
+    | Bfloats of float array
+    | Bstrs of string array
+    | Bdates of int array
+    | Bbools of Bytes.t
+
+  type t = {
+    ty : Value.ty;
+    mutable n : int;
+    mutable cap : int;
+    mutable payload : payload;
+    mutable nulls : Bytes.t;  (* bitmap sized to [cap] *)
+    mutable seen_null : bool;
+  }
+
+  let make_payload ty cap =
+    match ty with
+    | Value.Tint -> Bints (Array.make cap 0)
+    | Value.Tfloat -> Bfloats (Array.make cap 0.)
+    | Value.Tstr -> Bstrs (Array.make cap "")
+    | Value.Tdate -> Bdates (Array.make cap 0)
+    | Value.Tbool -> Bbools (Bytes.make cap '\000')
+
+  let create ?(hint = 1024) ty =
+    let cap = max 16 hint in
+    { ty; n = 0; cap; payload = make_payload ty cap; nulls = bitmap_create cap; seen_null = false }
+
+  let length b = b.n
+
+  let grow b =
+    let cap = b.cap * 2 in
+    let payload =
+      match b.payload with
+      | Bints a ->
+        let a' = Array.make cap 0 in
+        Array.blit a 0 a' 0 b.n; Bints a'
+      | Bfloats a ->
+        let a' = Array.make cap 0. in
+        Array.blit a 0 a' 0 b.n; Bfloats a'
+      | Bstrs a ->
+        let a' = Array.make cap "" in
+        Array.blit a 0 a' 0 b.n; Bstrs a'
+      | Bdates a ->
+        let a' = Array.make cap 0 in
+        Array.blit a 0 a' 0 b.n; Bdates a'
+      | Bbools by ->
+        let by' = Bytes.make cap '\000' in
+        Bytes.blit by 0 by' 0 b.n; Bbools by'
+    in
+    let nulls = bitmap_create cap in
+    Bytes.blit b.nulls 0 nulls 0 (Bytes.length b.nulls);
+    b.cap <- cap;
+    b.payload <- payload;
+    b.nulls <- nulls
+
+  let add b (v : Value.t) =
+    if b.n >= b.cap then grow b;
+    let i = b.n in
+    let mark () =
+      b.seen_null <- true;
+      bitmap_set b.nulls i
+    in
+    (match b.payload, v with
+    | Bints a, Value.Int x -> a.(i) <- x
+    | Bfloats a, Value.Float x -> a.(i) <- x
+    | Bstrs a, Value.Str s -> a.(i) <- s
+    | Bdates a, Value.Date d -> a.(i) <- d
+    | Bbools by, Value.Bool x -> if x then Bytes.set by i '\001'
+    | _ -> mark ());
+    b.n <- b.n + 1
+
+  let finish b : t_outer =
+    let n = b.n in
+    let data =
+      match b.payload with
+      | Bints a -> Ints (Array.sub a 0 n)
+      | Bfloats a -> Floats (Array.sub a 0 n)
+      | Bstrs a -> Strs (Array.sub a 0 n)
+      | Bdates a -> Dates (Array.sub a 0 n)
+      | Bbools by -> Bools (Bytes.sub by 0 n)
+    in
+    let nulls =
+      if not b.seen_null then no_nulls
+      else begin
+        let out = bitmap_create n in
+        Bytes.blit b.nulls 0 out 0 (Bytes.length out);
+        out
+      end
+    in
+    { data; nulls; bytes = -1 }
+end

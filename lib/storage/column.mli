@@ -68,3 +68,27 @@ val gather : t -> int array -> t
 val concat : t list -> t
 (** Row-wise concatenation (UNION ALL); same-variant inputs stay
     typed. *)
+
+(** Incremental typed column construction for streaming loaders (the
+    CSV reader feeds parsed values row-by-row without materializing the
+    whole file as boxed rows first). Same NULL discipline as
+    {!of_values_typed}: a value of another type is stored as NULL. *)
+module Builder : sig
+  type column := t
+
+  type t
+
+  val create : ?hint:int -> Value.ty -> t
+  (** Fresh builder for a column of type [ty]; [hint] pre-sizes the
+      buffer (default 1024). *)
+
+  val add : t -> Value.t -> unit
+  (** Append one value; amortized O(1). *)
+
+  val length : t -> int
+
+  val finish : t -> column
+  (** Seal into an immutable column — identical to what
+      [of_values_typed ty] over the same boxed values would build. The
+      builder must not be reused afterwards. *)
+end

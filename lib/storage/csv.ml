@@ -2,7 +2,13 @@
    engine. Quoting follows RFC 4180: fields may be wrapped in double
    quotes, embedded quotes are doubled; separators are commas, records
    newlines. Values are parsed according to declared column types; empty
-   fields read as NULL. *)
+   fields read as NULL.
+
+   Parsing is streaming: an incremental char machine emits one record
+   at a time and the loader lands values directly in typed
+   [Column.Builder]s, so a file is never materialized as boxed
+   [Value.t] rows (or even held in memory at once — [load_file] reads
+   in 64K chunks). *)
 
 open Relalg
 
@@ -10,52 +16,70 @@ exception Error of string
 
 let fail fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
 
+(* --- incremental record machine ----------------------------------
+
+   Feed chunks of input in any split; [finish] flushes a trailing
+   record that lacks a final newline. Quote state is explicit (instead
+   of one-character lookahead) so doubled quotes survive chunk
+   boundaries. *)
+
+type qstate = Plain | Quoted | Quote_seen  (* saw '"' inside quotes *)
+
+type machine = {
+  emit : string list -> unit;
+  buf : Buffer.t;
+  mutable fields : string list;  (* reversed *)
+  mutable q : qstate;
+}
+
+let machine ~emit = { emit; buf = Buffer.create 32; fields = []; q = Plain }
+
+let flush_field m =
+  m.fields <- Buffer.contents m.buf :: m.fields;
+  Buffer.clear m.buf
+
+let flush_record m =
+  flush_field m;
+  let r = List.rev m.fields in
+  m.fields <- [];
+  m.emit r
+
+let feed_char m c =
+  let plain () =
+    match c with
+    | '"' -> m.q <- Quoted
+    | ',' -> flush_field m
+    | '\r' -> ()
+    | '\n' -> flush_record m
+    | c -> Buffer.add_char m.buf c
+  in
+  match m.q with
+  | Quoted -> if c = '"' then m.q <- Quote_seen else Buffer.add_char m.buf c
+  | Quote_seen ->
+    if c = '"' then begin
+      Buffer.add_char m.buf '"';
+      m.q <- Quoted
+    end
+    else begin
+      m.q <- Plain;
+      plain ()
+    end
+  | Plain -> plain ()
+
+let feed m s len =
+  for i = 0 to len - 1 do
+    feed_char m s.[i]
+  done
+
+let finish m = if Buffer.length m.buf > 0 || m.fields <> [] then flush_record m
+
 (* Split one CSV document into records of fields. *)
 let parse_fields (s : string) : string list list =
-  let records = ref [] and fields = ref [] and buf = Buffer.create 32 in
-  let n = String.length s in
-  let flush_field () =
-    fields := Buffer.contents buf :: !fields;
-    Buffer.clear buf
-  in
-  let flush_record () =
-    flush_field ();
-    records := List.rev !fields :: !records;
-    fields := []
-  in
-  let rec go i in_quotes =
-    if i >= n then begin
-      if Buffer.length buf > 0 || !fields <> [] then flush_record ();
-      List.rev !records
-    end
-    else
-      let c = s.[i] in
-      if in_quotes then
-        if c = '"' then
-          if i + 1 < n && s.[i + 1] = '"' then begin
-            Buffer.add_char buf '"';
-            go (i + 2) true
-          end
-          else go (i + 1) false
-        else begin
-          Buffer.add_char buf c;
-          go (i + 1) true
-        end
-      else
-        match c with
-        | '"' -> go (i + 1) true
-        | ',' ->
-          flush_field ();
-          go (i + 1) false
-        | '\r' -> go (i + 1) false
-        | '\n' ->
-          flush_record ();
-          go (i + 1) false
-        | c ->
-          Buffer.add_char buf c;
-          go (i + 1) false
-  in
-  go 0 false
+  let records = ref [] in
+  let m = machine ~emit:(fun r -> records := r :: !records) in
+  feed m s (String.length s);
+  finish m;
+  List.rev !records
 
 let value_of_string (ty : Value.ty) (s : string) : Value.t =
   let s = String.trim s in
@@ -81,39 +105,54 @@ let value_of_string (ty : Value.ty) (s : string) : Value.t =
       | "false" | "f" | "0" -> Value.Bool false
       | _ -> fail "not a boolean: %S" s)
 
-(* [parse ~schema ~types ?header text]: rows typed per column. With
-   [header] (default true) the first record is skipped. *)
-let parse ~(schema : Attr.t list) ~(types : Value.ty list) ?(header = true)
-    (text : string) : Relation.t =
+(* Shared loader core: run [source] (which feeds records through a
+   machine) and land every record straight into per-column typed
+   builders. *)
+let build ~(schema : Attr.t list) ~(types : Value.ty list) ~header
+    ~(source : (string list -> unit) -> unit) : Relation.t =
   let arity = List.length schema in
   if List.length types <> arity then fail "schema/types arity mismatch";
-  let records = parse_fields text in
-  let records = if header then match records with _ :: r -> r | [] -> [] else records in
-  let rows =
-    List.mapi
-      (fun lineno fields ->
-        if List.length fields <> arity then
-          fail "record %d has %d fields, expected %d" (lineno + 1)
-            (List.length fields) arity
-        else Array.of_list (List.map2 value_of_string types fields))
-      records
+  let tys = Array.of_list types in
+  let builders = Array.map Column.Builder.create tys in
+  let nrows = ref 0 in
+  let pending_header = ref header in
+  let emit fields =
+    if !pending_header then pending_header := false
+    else begin
+      incr nrows;
+      let nf = List.length fields in
+      if nf <> arity then
+        fail "record %d has %d fields, expected %d" !nrows nf arity;
+      List.iteri
+        (fun j f -> Column.Builder.add builders.(j) (value_of_string tys.(j) f))
+        fields
+    end
   in
-  let rows = Array.of_list rows in
-  (* Build typed columns directly from the declared types — loaded data
-     lands column-major without a sniffing pass. *)
-  let card = Array.length rows in
-  let cols =
-    Array.of_list
-      (List.mapi
-         (fun j ty ->
-           Column.of_values_typed ty (Array.init card (fun i -> rows.(i).(j))))
-         types)
-  in
-  Relation.of_cols ~schema ~card cols
+  source emit;
+  Relation.of_cols ~schema ~card:!nrows (Array.map Column.Builder.finish builders)
 
-let load_file ~schema ~types ?header path : Relation.t =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse ~schema ~types ?header text
+(* [parse ~schema ~types ?header text]: rows typed per column. With
+   [header] (default true) the first record is skipped. *)
+let parse ~schema ~types ?(header = true) (text : string) : Relation.t =
+  build ~schema ~types ~header ~source:(fun emit ->
+      let m = machine ~emit in
+      feed m text (String.length text);
+      finish m)
+
+let chunk_size = 65536
+
+let load_file ~schema ~types ?(header = true) path : Relation.t =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  build ~schema ~types ~header ~source:(fun emit ->
+      let m = machine ~emit in
+      let chunk = Bytes.create chunk_size in
+      let rec go () =
+        let n = input ic chunk 0 chunk_size in
+        if n > 0 then begin
+          feed m (Bytes.sub_string chunk 0 n) n;
+          go ()
+        end
+      in
+      go ();
+      finish m)

@@ -16,7 +16,8 @@ let create () = { store = Key_map.empty }
 
 let add t ~table ?(partition = 0) rel =
   (* Stored base tables are the vectorized engine's scan inputs:
-     columnarize once at load time so no query pays the conversion. *)
+     columnarize once at load time so no query pays the conversion.
+     (No-op for paged relations, which page in per access.) *)
   Relation.columnarize rel;
   t.store <- Key_map.add (String.lowercase_ascii table, partition) rel t.store
 
@@ -34,3 +35,16 @@ let tables t =
 
 let total_rows t =
   Key_map.fold (fun _ r acc -> acc + Relation.cardinality r) t.store 0
+
+(* Persist every stored relation as column segments under
+   [dir/<table>_<partition>/] and return a database of paged relations
+   over them — the out-of-core twin of [t]. *)
+let paged t ~dir =
+  let out = create () in
+  Key_map.iter
+    (fun (table, partition) rel ->
+      let d = Filename.concat dir (Printf.sprintf "%s_%d" table partition) in
+      Segment.write ~dir:d rel;
+      add out ~table ~partition (Segment.relation (Segment.openh ~dir:d)))
+    t.store;
+  out

@@ -15,3 +15,9 @@ val tables : t -> (string * int) list
 (** All stored (table, partition) pairs. *)
 
 val total_rows : t -> int
+
+val paged : t -> dir:string -> t
+(** Write every stored relation as column segments under
+    [dir/<table>_<partition>/] ({!Segment.write}) and return a new
+    database whose relations are disk-backed ({!Segment.relation}) —
+    same tables, same data, resident working set near zero. *)

@@ -74,6 +74,12 @@ type t = {
          impossible (option-pointer writes are atomic in the OCaml
          memory model). Deliberately NOT Lazy.t — forcing a Lazy from
          two domains at once raises Lazy.Undefined. *)
+  pager : (unit -> Column.t array) option;
+      (* [Some load] = disk-backed (segment store): [load ()] pages the
+         full column set in from disk. Paged relations never cache a
+         materialized view — every [rows]/[cols] access re-reads, which
+         is the out-of-core contract (resident working set stays the
+         operator's output, not the base table). *)
 }
 
 let make ~schema ~rows =
@@ -83,7 +89,7 @@ let make ~schema ~rows =
       if Array.length r <> n then invalid_arg "Relation.make: row arity mismatch")
     rows;
   { schema; width = n; card = Array.length rows; rows_v = Some rows; cols_v = None;
-    index_v = None }
+    index_v = None; pager = None }
 
 let of_cols ~schema ~card cols =
   let n = List.length schema in
@@ -93,7 +99,14 @@ let of_cols ~schema ~card cols =
       if Column.length c <> card then
         invalid_arg "Relation.of_cols: column cardinality mismatch")
     cols;
-  { schema; width = n; card; rows_v = None; cols_v = Some cols; index_v = None }
+  { schema; width = n; card; rows_v = None; cols_v = Some cols; index_v = None;
+    pager = None }
+
+let paged ~schema ~card ~load =
+  { schema; width = List.length schema; card; rows_v = None; cols_v = None;
+    index_v = None; pager = Some load }
+
+let is_paged t = t.pager <> None
 
 let empty ~schema = make ~schema ~rows:[||]
 let schema t = t.schema
@@ -102,34 +115,41 @@ let cardinality t = t.card
 (* The row-view shim: row-major [Value.t array array], materialized
    from the columns on first access and cached. Callers must not
    mutate the result. *)
+let rows_of_cols t cols =
+  Array.init t.card (fun i -> Array.init t.width (fun j -> Column.get cols.(j) i))
+
 let rows t =
   match t.rows_v with
   | Some rows -> rows
-  | None ->
-    let cols = match t.cols_v with Some c -> c | None -> assert false in
-    let rows =
-      Array.init t.card (fun i ->
-          Array.init t.width (fun j -> Column.get cols.(j) i))
-    in
-    t.rows_v <- Some rows;
-    rows
+  | None -> (
+    match t.pager with
+    | Some load -> rows_of_cols t (load ()) (* paged: never cached *)
+    | None ->
+      let cols = match t.cols_v with Some c -> c | None -> assert false in
+      let rows = rows_of_cols t cols in
+      t.rows_v <- Some rows;
+      rows)
 
 (* Column-major view, materialized from the rows on first access and
    cached; stored base tables are columnarized up front by
-   [Database.add], so queries never pay this. *)
+   [Database.add], so queries never pay this. Paged relations re-read
+   from disk on every access and cache nothing. *)
 let cols t =
   match t.cols_v with
   | Some cols -> cols
-  | None ->
-    let rows = match t.rows_v with Some r -> r | None -> assert false in
-    let cols =
-      Array.init t.width (fun j ->
-          Column.of_values (Array.init t.card (fun i -> rows.(i).(j))))
-    in
-    t.cols_v <- Some cols;
-    cols
+  | None -> (
+    match t.pager with
+    | Some load -> load ()
+    | None ->
+      let rows = match t.rows_v with Some r -> r | None -> assert false in
+      let cols =
+        Array.init t.width (fun j ->
+            Column.of_values (Array.init t.card (fun i -> rows.(i).(j))))
+      in
+      t.cols_v <- Some cols;
+      cols)
 
-let columnarize t = ignore (cols t)
+let columnarize t = if t.pager = None then ignore (cols t)
 
 let index t =
   match t.index_v with
@@ -156,6 +176,8 @@ let lookup_fn t : Attr.t -> Value.t array -> Value.t =
 let byte_size t =
   match t.cols_v with
   | Some cols -> Array.fold_left (fun acc c -> acc + Column.byte_size c) 0 cols
+  | None when t.pager <> None ->
+    Array.fold_left (fun acc c -> acc + Column.byte_size c) 0 (cols t)
   | None ->
     Array.fold_left
       (fun acc row -> Array.fold_left (fun acc v -> acc + Value.byte_width v) acc row)

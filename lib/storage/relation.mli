@@ -33,6 +33,15 @@ val of_cols : schema:Attr.t list -> card:int -> Column.t array -> t
     width-0 relations). Raises [Invalid_argument] on arity or
     cardinality mismatch. *)
 
+val paged : schema:Attr.t list -> card:int -> load:(unit -> Column.t array) -> t
+(** A disk-backed relation: [load ()] pages the full column set in (in
+    schema order, each of length [card]). Paged relations never cache a
+    materialized view — every {!rows}/{!cols} access re-reads through
+    [load], so the resident working set is only what operators
+    materialize, not the base table. See {!Segment.relation}. *)
+
+val is_paged : t -> bool
+
 val empty : schema:Attr.t list -> t
 val schema : t -> Attr.t list
 
@@ -46,7 +55,8 @@ val cols : t -> Column.t array
     {!Database.add}. *)
 
 val columnarize : t -> unit
-(** Force the column-major view to be materialized now. *)
+(** Force the column-major view to be materialized now. No-op on paged
+    relations, which deliberately never cache. *)
 
 val cardinality : t -> int
 

@@ -1,0 +1,77 @@
+(** Disk-backed column segment store.
+
+    Persists a relation as one directory: a text [meta] file (schema,
+    cardinality, per-column representation tags) plus one
+    [col<j>.seg] file per column holding append-only segments of up to
+    {!segment_rows} rows. Fixed-width columns (ints / floats / dates /
+    bools) store one little-endian word per row; strings are
+    offset-indexed (offset array + payload heap); the boxed fallback
+    uses a tagged per-value codec. Every segment carries its null
+    bitmap and a footer (row/null counts, min/max, serialized byte
+    size).
+
+    Round-trips are representation-exact — a read-back column is
+    variant-, value- and [byte_size]-identical to what was written —
+    and {!relation} wraps a stored directory as a paged
+    {!Relation.t} that re-reads from disk on every access, so a
+    relation is resident or disk-backed invisibly to all three
+    engines. See [docs/STORAGE.md]. *)
+
+open Relalg
+
+val segment_rows : int
+(** Rows per segment: 64K (65536). *)
+
+val write : dir:string -> Relation.t -> unit
+(** Persist a relation into [dir] (created if needed, existing files
+    overwritten). *)
+
+type handle
+(** An opened segment directory (metadata only; column files are read
+    on demand). *)
+
+val openh : dir:string -> handle
+(** Open a directory written by {!write}. Raises [Failure] on a
+    missing/corrupt [meta] or a segment-size mismatch, [Sys_error] if
+    the directory does not exist. *)
+
+val schema : handle -> Attr.t list
+val cardinality : handle -> int
+
+val num_segments : handle -> int
+(** Segments per column: [ceil (cardinality / segment_rows)]. *)
+
+type cursor
+(** A sequential scan over the stored segments, yielding one
+    [Column.t] batch per column per segment. *)
+
+val cursor : handle -> cursor
+
+val next : cursor -> Column.t array option
+(** The next segment across all columns (each column [<= segment_rows]
+    rows, all the same length), or [None] when exhausted. The cursor
+    closes its file handles automatically after the last segment;
+    raises [Failure] on corrupt segment data. *)
+
+val close : cursor -> unit
+(** Release the cursor's file handles early (idempotent; abandoning a
+    cursor without closing leaks descriptors until GC). *)
+
+val read_all : handle -> Column.t array
+(** Page the whole relation in: per-column concatenation of all
+    segments, representation-identical to the columns that were
+    written. *)
+
+val relation : handle -> Relation.t
+(** The stored relation as a paged {!Relation.t}: every [rows]/[cols]
+    access re-reads from disk ({!Relation.is_paged} holds), so the
+    resident working set is only what operators materialize. *)
+
+val page_reads : unit -> int
+(** Process-wide count of segment page-ins (one per column segment
+    decoded from disk). *)
+
+val page_read_bytes : unit -> int
+(** Process-wide payload bytes decoded from disk. *)
+
+val reset_page_reads : unit -> unit

@@ -667,6 +667,119 @@ let test_differential_under_faults () =
        (QCheck.pair Plangen.arbitrary_plan QCheck.small_nat)
        prop)
 
+let test_differential_spill () =
+  (* Spilling is invisible: the same plan under an unlimited budget and
+     under budget 0 (every hash join/agg Grace-partitions to disk) must
+     produce byte-identical reports, on all three engines. *)
+  let db = default_db () in
+  let prop (plan, _) =
+    let fps =
+      List.concat_map
+        (fun (name, exec) ->
+          List.map
+            (fun budget -> (name, budget, result_fp (exec ~budget)))
+            [ Exec.Runtime.unlimited_budget; 0 ])
+        [
+          ("reference", fun ~budget -> Exec.Interp.run ~budget ~network ~db ~table_cols plan);
+          ("compiled", fun ~budget -> Exec.Compile.run ~budget ~network ~db ~table_cols plan);
+          ("vector", fun ~budget -> Exec.Vector.run ~budget ~network ~db ~table_cols plan);
+        ]
+    in
+    let name_of, budget_of, fp_of =
+      ( (fun (n, _, _) -> n),
+        (fun (_, b, _) -> if b = 0 then "budget 0" else "unlimited"),
+        fun (_, _, fp) -> fp )
+    in
+    let reference = List.hd fps in
+    List.iter
+      (fun other ->
+        if fp_of other <> fp_of reference then
+          Alcotest.failf
+            "%s (%s) and %s (%s) disagree on plan:@.%a" (name_of reference)
+            (budget_of reference) (name_of other) (budget_of other)
+            (P.pp ?indent:None) plan)
+      (List.tl fps);
+    true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:220
+       ~name:"spill differential: budget unlimited vs 0, three engines"
+       Plangen.arbitrary_plan prop)
+
+let test_spill_cleanup () =
+  (* Spill run files must vanish on every exit path: normal completion
+     and a Ship_failed unwind alike leave CGQP_SPILL_DIR empty. *)
+  let dir = Filename.temp_file "cgqp-spilltest-" "" in
+  Sys.remove dir;
+  let dir = dir ^ ".d" in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CGQP_SPILL_DIR" "";
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      Unix.putenv "CGQP_SPILL_DIR" dir;
+      let db = default_db () in
+      let spilling_join ?loc () =
+        node ?loc
+          (P.Hash_join { keys = [ (attr "r" "a", attr "s" "a") ]; residual = Pred.True })
+          [ scan ?loc "r"; scan ?loc "s" ]
+      in
+      let spilling_plan =
+        node
+          (P.Hash_agg
+             {
+               keys = [ attr "r" "b" ];
+               aggs = [ { Expr.fn = Expr.Count; arg = Expr.Const (Value.Int 1); alias = "n" } ];
+             })
+          [ spilling_join () ]
+      in
+      let check_empty ctx =
+        Alcotest.(check (array string))
+          (ctx ^ ": spill dir empty") [||] (Sys.readdir dir)
+      in
+      List.iter
+        (fun (name, exec) ->
+          let spilled0 = Exec.Runtime.spilled_operators () in
+          let (_ : Exec.Interp.result) = exec ~budget:0 spilling_plan in
+          Alcotest.(check bool)
+            (name ^ ": operators spilled") true
+            (Exec.Runtime.spilled_operators () > spilled0);
+          check_empty (name ^ " after normal run"))
+        [
+          ("reference", fun ~budget p -> Exec.Interp.run ~budget ~network ~db ~table_cols p);
+          ("compiled", fun ~budget p -> Exec.Compile.run ~budget ~network ~db ~table_cols p);
+          ("vector", fun ~budget p -> Exec.Vector.run ~budget ~network ~db ~table_cols p);
+        ];
+      (* Ship_failed unwind: the SHIP above the spilling join crosses a
+         permanently downed link, so execution aborts after the join has
+         already spilled — cleanup must still run. *)
+      let faults =
+        Catalog.Network.Fault.make ~seed:7
+          [ Catalog.Network.Fault.Link_down ("x", "y") ]
+      in
+      let doomed =
+        node
+          (P.Ship { from_loc = "y"; to_loc = "x" })
+          [ spilling_join ~loc:"y" () ]
+      in
+      List.iter
+        (fun (name, exec) ->
+          (match exec ~budget:0 doomed with
+          | (_ : Exec.Interp.result) ->
+            Alcotest.failf "%s: downed link must raise Ship_failed" name
+          | exception Exec.Interp.Ship_failed _ -> ());
+          check_empty (name ^ " after Ship_failed"))
+        [
+          ( "reference",
+            fun ~budget p -> Exec.Interp.run ~faults ~budget ~network ~db ~table_cols p );
+          ( "compiled",
+            fun ~budget p -> Exec.Compile.run ~faults ~budget ~network ~db ~table_cols p );
+          ( "vector",
+            fun ~budget p -> Exec.Vector.run ~faults ~budget ~network ~db ~table_cols p );
+        ])
+
 let test_tpch_golden_equivalence () =
   (* The paper's twelve TPC-H queries, optimized then executed on all
      three engines: results, ships and profiles must be byte-identical. *)
@@ -916,6 +1029,10 @@ let () =
             test_differential_random_plans;
           Alcotest.test_case "differential: under faults" `Quick
             test_differential_under_faults;
+          Alcotest.test_case "differential: spill vs in-memory" `Quick
+            test_differential_spill;
+          Alcotest.test_case "spill dir cleanup on all exit paths" `Quick
+            test_spill_cleanup;
           Alcotest.test_case "TPC-H golden equivalence" `Slow
             test_tpch_golden_equivalence;
           Alcotest.test_case "engine selection" `Quick test_engine_selection;

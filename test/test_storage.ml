@@ -275,6 +275,250 @@ let test_byte_size_layout_independent () =
   let rc = Storage.Relation.of_cols ~schema ~card:3 (Storage.Relation.cols r) in
   Alcotest.(check int) "columnar view" manual (Storage.Relation.byte_size rc)
 
+let test_byte_size_pinned () =
+  (* exact accounting, pinned: strings are a 4-byte length prefix plus
+     the heap bytes, NULL slots are 1 byte whatever the column type *)
+  let c =
+    Col.of_values_typed Value.Tstr
+      [| Value.Str "ab"; Value.Null; Value.Str ""; Value.Str "xyz" |]
+  in
+  Alcotest.(check int) "strs: offsets + heap" (6 + 1 + 4 + 7) (Col.byte_size c);
+  let ci =
+    Col.of_values_typed Value.Tint [| Value.Int 1; Value.Null; Value.Int 3 |]
+  in
+  Alcotest.(check int) "ints with nulls" (8 + 1 + 8) (Col.byte_size ci);
+  let cb = Col.of_values_typed Value.Tbool [| Value.Bool true; Value.Bool false |] in
+  Alcotest.(check int) "bools" 2 (Col.byte_size cb);
+  let cd = Col.of_values_typed Value.Tdate [| Value.Date 1; Value.Null |] in
+  Alcotest.(check int) "dates" (4 + 1) (Col.byte_size cd);
+  (* ... and always equal to the boxed per-value widths *)
+  let boxed c =
+    Array.fold_left (fun a v -> a + Value.byte_width v) 0 (Col.to_values c)
+  in
+  List.iter
+    (fun c -> Alcotest.(check int) "matches boxed widths" (boxed c) (Col.byte_size c))
+    [ c; ci; cb; cd ]
+
+let test_all_null_sniffed_is_null () =
+  (* an all-NULL input gives the sniffer no type evidence, so it lands
+     in the boxed fallback with no bitmap — [is_null] must still hold
+     (regression: it used to consult only the bitmap) *)
+  List.iter
+    (fun n ->
+      let c = Col.of_values (Array.make n Value.Null) in
+      for i = 0 to n - 1 do
+        Alcotest.(check bool) "sniffed all-NULL is_null" true (Col.is_null c i);
+        Alcotest.(check bool) "get yields NULL" true
+          (Value.is_null (Col.get c i))
+      done)
+    [ 1; 9 ]
+
+(* --- disk-backed segment store --------------------------------------
+
+   Round trips must be representation-exact: same column variant (the
+   meta file stores the tag), same values, same null bitmap, same
+   byte_size — so a paged relation is indistinguishable from the
+   resident one to all three engines. *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "cgqp-segtest-" "" in
+  Sys.remove f;
+  f ^ ".d"
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+    try Sys.rmdir d with Sys_error _ -> ()
+  end
+
+let col_tag (c : Col.t) =
+  match c.Col.data with
+  | Col.Ints _ -> 0
+  | Col.Floats _ -> 1
+  | Col.Strs _ -> 2
+  | Col.Dates _ -> 3
+  | Col.Bools _ -> 4
+  | Col.Values _ -> 5
+
+let same_col (a : Col.t) (b : Col.t) =
+  col_tag a = col_tag b
+  && Col.length a = Col.length b
+  && Array.for_all2 Value.equal (Col.to_values a) (Col.to_values b)
+  && Array.for_all
+       (fun i -> Col.is_null a i = Col.is_null b i)
+       (Array.init (Col.length a) (fun i -> i))
+  && Col.byte_size a = Col.byte_size b
+
+let seg_schema =
+  List.mapi (fun i _ -> Attr.make ~rel:"s" ~name:(Printf.sprintf "c%d" i)) all_tys
+
+(* deterministic mixed-type relation with NULLs sprinkled in *)
+let seg_rel n =
+  let cols =
+    Array.of_list
+      (List.mapi
+         (fun j ty ->
+           Col.of_values_typed ty
+             (Array.init n (fun i ->
+                  if (i + j) mod 7 = 0 then Value.Null
+                  else
+                    match ty with
+                    | Value.Tint -> Value.Int ((i * 3) - 1)
+                    | Value.Tfloat -> Value.Float (float_of_int i /. 4.)
+                    | Value.Tstr -> Value.Str (String.make (i mod 5) 'x')
+                    | Value.Tdate -> Value.Date (10_000 + i)
+                    | Value.Tbool -> Value.Bool (i mod 2 = 0))))
+         all_tys)
+  in
+  Storage.Relation.of_cols ~schema:seg_schema ~card:n cols
+
+let check_seg_roundtrip n =
+  let r = seg_rel n in
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Storage.Segment.write ~dir r;
+  let h = Storage.Segment.openh ~dir in
+  Alcotest.(check int) "cardinality" n (Storage.Segment.cardinality h);
+  let segs = (n + Storage.Segment.segment_rows - 1) / Storage.Segment.segment_rows in
+  Alcotest.(check int) "segment count" segs (Storage.Segment.num_segments h);
+  let cols = Storage.Segment.read_all h in
+  let orig = Storage.Relation.cols r in
+  Array.iteri
+    (fun j c ->
+      if not (same_col orig.(j) c) then
+        Alcotest.failf "column %d not representation-identical after round trip" j)
+    cols;
+  let pr = Storage.Segment.relation h in
+  Alcotest.(check bool) "is_paged" true (Storage.Relation.is_paged pr);
+  Alcotest.(check bool) "resident relation is not paged" false
+    (Storage.Relation.is_paged r);
+  Alcotest.(check int) "paged byte_size" (Storage.Relation.byte_size r)
+    (Storage.Relation.byte_size pr)
+
+let test_segment_empty () = check_seg_roundtrip 0
+let test_segment_one_row () = check_seg_roundtrip 1
+let test_segment_exact_64k () = check_seg_roundtrip Storage.Segment.segment_rows
+let test_segment_64k_plus_one () =
+  check_seg_roundtrip (Storage.Segment.segment_rows + 1)
+
+let test_segment_all_null_and_values () =
+  (* an all-NULL typed column and a boxed [Values] column both keep
+     their variant through the round trip — no sniffing on read *)
+  let n = 10 in
+  let sch = [ Attr.make ~rel:"s" ~name:"n"; Attr.make ~rel:"s" ~name:"v" ] in
+  let cn = Col.of_values_typed Value.Tint (Array.make n Value.Null) in
+  let cv =
+    Col.of_value_array
+      (Array.init n (fun i -> if i mod 2 = 0 then Value.Int i else Value.Str "m"))
+  in
+  let r = Storage.Relation.of_cols ~schema:sch ~card:n [| cn; cv |] in
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Storage.Segment.write ~dir r;
+  let cols = Storage.Segment.read_all (Storage.Segment.openh ~dir) in
+  Alcotest.(check bool) "all-NULL int column" true (same_col cn cols.(0));
+  Alcotest.(check bool) "boxed Values column" true (same_col cv cols.(1))
+
+let test_segment_page_reads () =
+  let r = seg_rel 100 in
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Storage.Segment.write ~dir r;
+  let pr = Storage.Segment.relation (Storage.Segment.openh ~dir) in
+  Storage.Segment.reset_page_reads ();
+  ignore (Storage.Relation.rows pr);
+  let r1 = Storage.Segment.page_reads () in
+  Alcotest.(check bool) "reads counted" true (r1 > 0);
+  Alcotest.(check bool) "bytes counted" true (Storage.Segment.page_read_bytes () > 0);
+  ignore (Storage.Relation.rows pr);
+  (* the out-of-core contract: paged relations never cache *)
+  Alcotest.(check bool) "second access pages again" true
+    (Storage.Segment.page_reads () > r1)
+
+let same_rel a b =
+  Storage.Relation.cardinality a = Storage.Relation.cardinality b
+  && Array.for_all2
+       (fun x y -> Array.for_all2 Value.equal x y)
+       (Storage.Relation.rows a) (Storage.Relation.rows b)
+
+let test_database_paged () =
+  let db = Storage.Database.create () in
+  Storage.Database.add db ~table:"t" (rel [ (1, "x"); (2, "y") ]);
+  Storage.Database.add db ~table:"t" ~partition:1 (rel [ (3, "z") ]);
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun s -> rm_rf (Filename.concat dir s)) (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ()
+      end)
+  @@ fun () ->
+  let pdb = Storage.Database.paged db ~dir in
+  Alcotest.(check int) "total rows" (Storage.Database.total_rows db)
+    (Storage.Database.total_rows pdb);
+  let part p =
+    ( Option.get (Storage.Database.find db ~table:"t" ~partition:p ()),
+      Option.get (Storage.Database.find pdb ~table:"t" ~partition:p ()) )
+  in
+  List.iter
+    (fun p ->
+      let o, pg = part p in
+      Alcotest.(check bool)
+        (Printf.sprintf "partition %d paged" p)
+        true
+        (Storage.Relation.is_paged pg);
+      Alcotest.(check bool) (Printf.sprintf "partition %d rows" p) true
+        (same_rel o pg))
+    [ 0; 1 ]
+
+let prop_builder_matches_typed =
+  let gen =
+    let open QCheck.Gen in
+    oneofl all_tys >>= fun ty ->
+    list_size (int_range 0 300) (nullable_gen ty) >>= fun vs ->
+    return (ty, Array.of_list vs)
+  in
+  QCheck.Test.make ~count:200
+    ~name:"Column.Builder equals of_values_typed (variant, nulls, bytes)"
+    (QCheck.make
+       ~print:(fun (ty, vs) ->
+         Fmt.str "%s: %a" (Value.ty_to_string ty)
+           Fmt.(array ~sep:comma (of_to_string Value.to_string))
+           vs)
+       gen)
+    (fun (ty, vs) ->
+      let b = Col.Builder.create ~hint:4 ty in
+      Array.iter (Col.Builder.add b) vs;
+      same_col (Col.of_values_typed ty vs) (Col.Builder.finish b))
+
+let prop_segment_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    oneofl all_tys >>= fun ty ->
+    list_size (int_range 0 300) (nullable_gen ty) >>= fun vs ->
+    return (ty, Array.of_list vs)
+  in
+  QCheck.Test.make ~count:150 ~name:"segment round trip per column type"
+    (QCheck.make
+       ~print:(fun (ty, vs) ->
+         Fmt.str "%s: %a" (Value.ty_to_string ty)
+           Fmt.(array ~sep:comma (of_to_string Value.to_string))
+           vs)
+       gen)
+    (fun (ty, vs) ->
+      let c = Col.of_values_typed ty vs in
+      let r =
+        Storage.Relation.of_cols
+          ~schema:[ Attr.make ~rel:"q" ~name:"c" ]
+          ~card:(Array.length vs) [| c |]
+      in
+      let dir = fresh_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      Storage.Segment.write ~dir r;
+      same_col c (Storage.Segment.read_all (Storage.Segment.openh ~dir)).(0))
+
 let prop_pick_in_list =
   QCheck.Test.make ~name:"pick returns a member" ~count:200
     QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 20) small_int))
@@ -311,5 +555,23 @@ let () =
           Alcotest.test_case "CSV golden (empty/quoted/NULL)" `Quick test_csv_golden;
           Alcotest.test_case "byte size layout-independent" `Quick
             test_byte_size_layout_independent;
+          Alcotest.test_case "byte size pinned (strings, nulls)" `Quick
+            test_byte_size_pinned;
+          Alcotest.test_case "all-NULL sniffed column is_null" `Quick
+            test_all_null_sniffed_is_null;
+          QCheck_alcotest.to_alcotest prop_builder_matches_typed;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "empty relation" `Quick test_segment_empty;
+          Alcotest.test_case "one row" `Quick test_segment_one_row;
+          Alcotest.test_case "exactly 64K rows" `Quick test_segment_exact_64k;
+          Alcotest.test_case "64K + 1 rows" `Quick test_segment_64k_plus_one;
+          Alcotest.test_case "all-NULL and boxed Values columns" `Quick
+            test_segment_all_null_and_values;
+          Alcotest.test_case "page-read accounting, no caching" `Quick
+            test_segment_page_reads;
+          Alcotest.test_case "Database.paged twin" `Quick test_database_paged;
+          QCheck_alcotest.to_alcotest prop_segment_roundtrip;
         ] );
     ]
